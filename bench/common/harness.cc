@@ -1,0 +1,59 @@
+#include "common/harness.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/str_util.h"
+#include "stats/descriptive.h"
+
+namespace sigsub {
+namespace bench {
+
+bool FastMode() {
+  const char* env = std::getenv("SIGSUB_BENCH_FAST");
+  return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
+void PrintHeader(const std::string& paper_result,
+                 const std::string& description) {
+  std::printf("==================================================\n");
+  std::printf("%s\n", paper_result.c_str());
+  std::printf("%s\n", description.c_str());
+  if (FastMode()) {
+    std::printf("[SIGSUB_BENCH_FAST=1: reduced-scale smoke run]\n");
+  }
+  std::printf("==================================================\n");
+}
+
+double TimeMs(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+std::string FormatMs(double ms) {
+  if (ms >= 1000.0) return StrFormat("%.2fs", ms / 1000.0);
+  if (ms >= 1.0) return StrFormat("%.2fms", ms);
+  return StrFormat("%.3fms", ms);
+}
+
+double PrintLogLogSlope(const std::string& label,
+                        const std::vector<double>& xs,
+                        const std::vector<double>& ys) {
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  stats::LinearFit fit = stats::FitLine(lx, ly);
+  std::printf("log-log slope (%s): %.3f   (r² = %.4f)\n", label.c_str(),
+              fit.slope, fit.r_squared);
+  return fit.slope;
+}
+
+}  // namespace bench
+}  // namespace sigsub

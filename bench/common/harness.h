@@ -1,0 +1,40 @@
+#ifndef SIGSUB_BENCH_COMMON_HARNESS_H_
+#define SIGSUB_BENCH_COMMON_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace sigsub {
+namespace bench {
+
+/// True when SIGSUB_BENCH_FAST=1 is set: benches shrink their sweeps for a
+/// quick smoke pass. The recorded outputs in EXPERIMENTS.md use the full
+/// paper-scale parameters (the default).
+bool FastMode();
+
+/// Prints the standard header for a bench binary: which paper result it
+/// regenerates and the workload description.
+void PrintHeader(const std::string& paper_result,
+                 const std::string& description);
+
+/// Wall-clock milliseconds of `fn` (single run; the scans themselves are
+/// deterministic and long enough that one run is stable).
+double TimeMs(const std::function<void()>& fn);
+
+/// Milliseconds pretty-printer: "0.53ms" / "1.24s".
+std::string FormatMs(double ms);
+
+/// Fits ln(y) = slope·ln(x) + c and prints "slope(label) = ...". Returns
+/// the slope; used for the paper's log-log scaling claims (Figs 1, 2, 5).
+double PrintLogLogSlope(const std::string& label,
+                        const std::vector<double>& xs,
+                        const std::vector<double>& ys);
+
+}  // namespace bench
+}  // namespace sigsub
+
+#endif  // SIGSUB_BENCH_COMMON_HARNESS_H_

@@ -1,0 +1,72 @@
+// Figure 3: X²_max and iteration count for heterogeneous multinomial
+// strings, varying the probability p0 of the first character.
+//
+//   S1: n = 10^4, k = 3, P = {p0, 0.5 − p0, 0.5}
+//   S2: n = 10^4, k = 5, P = {p0, 0.5 − p0, 0.1, 0.2, 0.2}
+//
+// Paper's observation: p0 changes X²_max but has no significant effect on
+// the number of iterations.
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "common/harness.h"
+#include "io/table_writer.h"
+#include "sigsub.h"
+#include "stats/descriptive.h"
+
+namespace {
+
+using namespace sigsub;
+
+void RunSeries(const char* name, int64_t n,
+               const std::function<std::vector<double>(double)>& probs_of,
+               const std::vector<double>& p0_values, int trials) {
+  io::TableWriter table(
+      {"p0", "E[X2max]", "iterations", "iter/10^4"});
+  for (double p0 : p0_values) {
+    auto model = seq::MultinomialModel::Make(probs_of(p0)).value();
+    std::vector<double> x2s, iters;
+    for (int trial = 0; trial < trials; ++trial) {
+      seq::Rng rng(5000 + static_cast<uint64_t>(p0 * 1000) + trial);
+      seq::Sequence s = seq::GenerateMultinomial(model, n, rng);
+      auto mss = core::FindMss(s, model);
+      x2s.push_back(mss->best.chi_square);
+      iters.push_back(static_cast<double>(mss->stats.positions_examined));
+    }
+    double mean_iter = stats::Mean(iters);
+    table.AddRow({StrFormat("%.2f", p0),
+                  StrFormat("%.2f", stats::Mean(x2s)),
+                  StrFormat("%.0f", mean_iter),
+                  StrFormat("%.1f", mean_iter / 1e4)});
+  }
+  std::printf("\n%s:\n%s", name, table.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 3 — X²_max and iterations vs p0 for multinomial strings",
+      "S1: n=10^4, k=3, P={p0, .5-p0, .5};  "
+      "S2: n=10^4, k=5, P={p0, .5-p0, .1, .2, .2}");
+
+  const int64_t n = 10000;
+  std::vector<double> p0_values = {0.05, 0.10, 0.15, 0.20, 0.25};
+  int trials = bench::FastMode() ? 2 : 10;
+
+  RunSeries("S1 (k = 3)", n,
+            [](double p0) {
+              return std::vector<double>{p0, 0.5 - p0, 0.5};
+            },
+            p0_values, trials);
+  RunSeries("S2 (k = 5)", n,
+            [](double p0) {
+              return std::vector<double>{p0, 0.5 - p0, 0.1, 0.2, 0.2};
+            },
+            p0_values, trials);
+  std::printf(
+      "\n(paper: X²_max varies with p0; iterations remain roughly flat)\n");
+  return 0;
+}

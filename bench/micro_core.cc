@@ -1,0 +1,105 @@
+// google-benchmark microbenchmarks for the hot kernels: X² evaluation,
+// prefix-count fills, skip solving, and the end-to-end scans.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/chain_cover.h"
+#include "sigsub.h"
+
+namespace {
+
+using namespace sigsub;
+
+seq::Sequence MakeString(int k, int64_t n) {
+  seq::Rng rng(424242 + k + n);
+  return seq::GenerateNull(k, n, rng);
+}
+
+void BM_ChiSquareEvaluate(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  core::ChiSquareContext ctx(seq::MultinomialModel::Uniform(k));
+  std::vector<int64_t> counts(k, 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.Evaluate(counts, 100 * k));
+  }
+}
+BENCHMARK(BM_ChiSquareEvaluate)->Arg(2)->Arg(5)->Arg(20);
+
+void BM_IncrementalExtend(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  core::ChiSquareContext ctx(seq::MultinomialModel::Uniform(k));
+  seq::Sequence s = MakeString(k, 4096);
+  core::ChiSquareContext::Incremental inc(ctx);
+  int64_t i = 0;
+  for (auto _ : state) {
+    if (i == s.size()) {
+      inc.Reset();
+      i = 0;
+    }
+    inc.Extend(s[i++]);
+    benchmark::DoNotOptimize(inc.chi_square());
+  }
+}
+BENCHMARK(BM_IncrementalExtend)->Arg(2)->Arg(20);
+
+void BM_PrefixCountsBuild(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  seq::Sequence s = MakeString(4, n);
+  for (auto _ : state) {
+    seq::PrefixCounts counts(s);
+    benchmark::DoNotOptimize(counts.sequence_size());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_PrefixCountsBuild)->Range(1 << 10, 1 << 16)->Complexity();
+
+void BM_SkipSolver(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  core::ChiSquareContext ctx(seq::MultinomialModel::Uniform(k));
+  core::SkipSolver solver(ctx);
+  std::vector<int64_t> counts(k, 50);
+  double x2 = ctx.Evaluate(counts, 50 * k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver.MaxSafeExtension(counts, 50 * k, x2, 25.0));
+  }
+}
+BENCHMARK(BM_SkipSolver)->Arg(2)->Arg(5)->Arg(20);
+
+void BM_FindMss(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  seq::Sequence s = MakeString(2, n);
+  core::ChiSquareContext ctx(seq::MultinomialModel::Uniform(2));
+  seq::PrefixCounts counts(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::FindMss(counts, ctx));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_FindMss)->Range(1 << 10, 1 << 16)->Complexity();
+
+void BM_NaiveFindMss(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  seq::Sequence s = MakeString(2, n);
+  core::ChiSquareContext ctx(seq::MultinomialModel::Uniform(2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::NaiveFindMss(s, ctx));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_NaiveFindMss)->Range(1 << 10, 1 << 13)->Complexity();
+
+void BM_FindTopT(benchmark::State& state) {
+  const int64_t t = state.range(0);
+  seq::Sequence s = MakeString(2, 1 << 14);
+  core::ChiSquareContext ctx(seq::MultinomialModel::Uniform(2));
+  seq::PrefixCounts counts(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::FindTopT(counts, ctx, t));
+  }
+}
+BENCHMARK(BM_FindTopT)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace

@@ -1,0 +1,82 @@
+// Table 1: comparison with existing techniques on synthetic (null-model)
+// binary strings — average X²_max found and average wall-clock time for
+// Trivial, Our algorithm, ARLM, AGMM (plus the blocked-scan baseline of
+// reference [2] for completeness).
+//
+// Paper (2.3 GHz dual-core, C): n = 20000 -> Trivial 8.54s / Our 0.5s /
+// ARLM 1.9s / AGMM 0.01s, all but AGMM reporting identical X²_max.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/harness.h"
+#include "io/table_writer.h"
+#include "sigsub.h"
+#include "stats/descriptive.h"
+
+int main() {
+  using namespace sigsub;
+  bench::PrintHeader(
+      "Table 1 — comparison with existing techniques (synthetic)",
+      "null binary strings; averages over several seeds");
+
+  std::vector<int64_t> sizes = {20000, 80000};
+  int trials = 3;
+  if (bench::FastMode()) {
+    sizes = {5000, 20000};
+    trials = 2;
+  }
+  auto model = seq::MultinomialModel::Uniform(2);
+
+  io::TableWriter table({"Algo", "String Size", "Avg X2max", "Avg Time"});
+  for (int64_t n : sizes) {
+    struct Row {
+      std::string name;
+      std::vector<double> x2s;
+      std::vector<double> times_ms;
+    };
+    std::vector<Row> rows = {{"Trivial", {}, {}},
+                             {"Our", {}, {}},
+                             {"Blocked", {}, {}},
+                             {"ARLM", {}, {}},
+                             {"AGMM", {}, {}}};
+    for (int trial = 0; trial < trials; ++trial) {
+      seq::Rng rng(8080 + n + 7 * trial);
+      seq::Sequence s = seq::GenerateNull(2, n, rng);
+      seq::PrefixCounts counts(s);
+      core::ChiSquareContext ctx(model);
+
+      core::MssResult result;
+      rows[0].times_ms.push_back(
+          bench::TimeMs([&] { result = core::NaiveFindMss(s, ctx); }));
+      rows[0].x2s.push_back(result.best.chi_square);
+
+      rows[1].times_ms.push_back(
+          bench::TimeMs([&] { result = core::FindMss(counts, ctx); }));
+      rows[1].x2s.push_back(result.best.chi_square);
+
+      rows[2].times_ms.push_back(bench::TimeMs(
+          [&] { result = core::FindMssBlocked(s, counts, ctx); }));
+      rows[2].x2s.push_back(result.best.chi_square);
+
+      rows[3].times_ms.push_back(bench::TimeMs(
+          [&] { result = core::FindMssArlm(s, counts, ctx); }));
+      rows[3].x2s.push_back(result.best.chi_square);
+
+      rows[4].times_ms.push_back(bench::TimeMs(
+          [&] { result = core::FindMssAgmm(s, counts, ctx); }));
+      rows[4].x2s.push_back(result.best.chi_square);
+    }
+    for (const Row& row : rows) {
+      table.AddRow({row.name, std::to_string(n),
+                    StrFormat("%.2f", stats::Mean(row.x2s)),
+                    bench::FormatMs(stats::Mean(row.times_ms))});
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("(expected shape: Trivial/Our/Blocked identical X2max; ARLM "
+              "equal or marginally lower; AGMM clearly lower; Our orders of "
+              "magnitude faster than Trivial; AGMM fastest)\n");
+  return 0;
+}

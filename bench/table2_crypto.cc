@@ -1,0 +1,51 @@
+// Table 2 (cryptology application, Section 7.4): X²_max of binary streams
+// from a defective RNG that repeats the previous symbol with probability p,
+// for n ∈ {1000, 5000, 10000, 20000} × p ∈ {0.50, 0.55, 0.60, 0.80}.
+//
+// Paper's reading: X²_max is minimal at p = 0.5 and increases with p, so
+// X²_max against the 2 ln n benchmark detects hidden serial correlation.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/harness.h"
+#include "io/table_writer.h"
+#include "sigsub.h"
+#include "stats/descriptive.h"
+
+int main() {
+  using namespace sigsub;
+  bench::PrintHeader(
+      "Table 2 — X²_max vs n and same-symbol probability p",
+      "biased binary Markov streams scored under the uniform null");
+
+  std::vector<int64_t> sizes = {1000, 5000, 10000, 20000};
+  std::vector<double> ps = {0.50, 0.55, 0.60, 0.80};
+  int trials = bench::FastMode() ? 3 : 10;
+  auto model = seq::MultinomialModel::Uniform(2);
+
+  io::TableWriter table(
+      {"X2max", "p = 0.50", "p = 0.55", "p = 0.60", "p = 0.80"});
+  for (int64_t n : sizes) {
+    std::vector<std::string> row{StrFormat("n = %lld",
+                                           static_cast<long long>(n))};
+    for (double p : ps) {
+      std::vector<double> values;
+      for (int trial = 0; trial < trials; ++trial) {
+        seq::Rng rng(2222 + n + static_cast<uint64_t>(p * 100) * 17 + trial);
+        seq::Sequence s = seq::GenerateBiasedBinary(p, n, rng);
+        auto mss = core::FindMss(s, model);
+        values.push_back(mss->best.chi_square);
+      }
+      row.push_back(StrFormat("%.2f", stats::Mean(values)));
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("(expected shape: rows increase with p; p = 0.50 column "
+              "tracks the 2 ln n benchmark: ");
+  for (int64_t n : sizes) std::printf("%.1f ", 2.0 * std::log(n));
+  std::printf(")\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table 4 (Section 7.5.1): per-algorithm comparison on the sports string —
+// which X² each algorithm finds and how long it takes.
+//
+// Paper: Trivial/Our/ARLM all find the optimal 1924-1933 patch (X² 38.76);
+// AGMM is fastest but returns the second-best patch (X² 26.99).
+
+#include <cstdio>
+#include <string>
+
+#include "common/harness.h"
+#include "io/table_writer.h"
+#include "sigsub.h"
+
+int main() {
+  using namespace sigsub;
+  bench::PrintHeader(
+      "Table 4 — algorithm comparison on the sports series",
+      "seeded synthetic rivalry series (stand-in for Yankees vs Red Sox)");
+
+  io::RivalrySeries series = io::RivalrySeries::Default();
+  double p = series.EmpiricalWinRate();
+  auto model = seq::MultinomialModel::Make({1.0 - p, p}).value();
+  const seq::Sequence& s = series.outcomes();
+  seq::PrefixCounts counts(s);
+  core::ChiSquareContext ctx(model);
+
+  io::TableWriter table({"Algorithm", "X2 val", "Start", "End", "Time"});
+  auto add_row = [&](const std::string& name, const core::MssResult& result,
+                     double ms) {
+    table.AddRow({name, StrFormat("%.2f", result.best.chi_square),
+                  series.dates().date(result.best.start).ToString(),
+                  series.dates().date(result.best.end - 1).ToString(),
+                  bench::FormatMs(ms)});
+  };
+
+  core::MssResult result;
+  double ms;
+  ms = bench::TimeMs([&] { result = core::NaiveFindMss(s, ctx); });
+  add_row("Trivial", result, ms);
+  ms = bench::TimeMs([&] { result = core::FindMss(counts, ctx); });
+  add_row("Our", result, ms);
+  ms = bench::TimeMs([&] { result = core::FindMssBlocked(s, counts, ctx); });
+  add_row("Blocked", result, ms);
+  ms = bench::TimeMs([&] { result = core::FindMssArlm(s, counts, ctx); });
+  add_row("ARLM", result, ms);
+  ms = bench::TimeMs([&] { result = core::FindMssAgmm(s, counts, ctx); });
+  add_row("AGMM", result, ms);
+
+  std::printf("%s", table.Render().c_str());
+  std::printf("(paper shape: exact algorithms agree on the optimum; AGMM "
+              "is fastest but may return a suboptimal patch)\n");
+  return 0;
+}

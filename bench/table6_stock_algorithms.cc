@@ -1,0 +1,66 @@
+// Table 6 (Section 7.5.2): per-algorithm comparison on the Dow Jones and
+// S&P 500 strings — the X² of the period found, its dates, the price
+// change, and the time taken.
+//
+// Paper: Trivial/Our/ARLM identical optima (Dow 25.22 / S&P 22.21); Our
+// ~10-15x faster than Trivial and ~4x faster than ARLM; AGMM fastest but
+// far from optimal (S&P: 13.44, "not even close to the top few").
+
+#include <cstdio>
+#include <string>
+
+#include "common/harness.h"
+#include "io/table_writer.h"
+#include "sigsub.h"
+
+namespace {
+
+using namespace sigsub;
+
+void Compare(const io::MarketSeries& series, io::TableWriter& table) {
+  double p = series.EmpiricalUpRate();
+  auto model = seq::MultinomialModel::Make({1.0 - p, p}).value();
+  const seq::Sequence& s = series.updown();
+  seq::PrefixCounts counts(s);
+  core::ChiSquareContext ctx(model);
+
+  auto add_row = [&](const std::string& name, const core::MssResult& result,
+                     double ms) {
+    table.AddRow(
+        {name, series.name(), StrFormat("%.2f", result.best.chi_square),
+         series.dates().date(result.best.start).ToString(),
+         series.dates().date(result.best.end - 1).ToString(),
+         io::FormatSignedPercent(series.PriceChangeInRange(
+             result.best.start, result.best.end)),
+         bench::FormatMs(ms)});
+  };
+
+  core::MssResult result;
+  double ms;
+  ms = bench::TimeMs([&] { result = core::NaiveFindMss(s, ctx); });
+  add_row("Trivial", result, ms);
+  ms = bench::TimeMs([&] { result = core::FindMss(counts, ctx); });
+  add_row("Our", result, ms);
+  ms = bench::TimeMs([&] { result = core::FindMssArlm(s, counts, ctx); });
+  add_row("ARLM", result, ms);
+  ms = bench::TimeMs([&] { result = core::FindMssAgmm(s, counts, ctx); });
+  add_row("AGMM", result, ms);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Table 6 — algorithm comparison on stock return strings",
+      "seeded synthetic stand-ins for Dow Jones and S&P 500");
+
+  io::TableWriter table(
+      {"Algo", "Sec.", "X2", "Start", "End", "Change", "Time"});
+  Compare(io::MarketSeries::DowJones(), table);
+  Compare(io::MarketSeries::SP500(), table);
+  std::printf("%s", table.Render().c_str());
+  std::printf("(paper shape: exact algorithms agree; Our clearly faster "
+              "than Trivial/ARLM at these sizes; AGMM fastest but can land "
+              "far from the optimum)\n");
+  return 0;
+}

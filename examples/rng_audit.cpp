@@ -1,0 +1,80 @@
+// Random-number-generator audit (paper Section 7.4): detect hidden
+// correlation between adjacent symbols of a bit stream.
+//
+// An ideal binary RNG emits the same symbol again with probability exactly
+// 0.5. A defective one repeats with probability p > 0.5. The audit compares
+// the stream's X²_max against the ~2 ln n benchmark the paper derives for
+// truly random strings — a defective generator's X²_max blows past it, and
+// the MSS pinpoints *where* the correlated stretch lives even if only a
+// portion of the stream is biased.
+
+#include <cmath>
+#include <cstdio>
+
+#include "sigsub.h"
+
+namespace {
+
+void Audit(const char* label, const sigsub::seq::Sequence& stream) {
+  using namespace sigsub;
+  auto model = seq::MultinomialModel::Uniform(2);
+  auto mss = core::FindMss(stream, model);
+  if (!mss.ok()) {
+    std::fprintf(stderr, "%s\n", mss.status().ToString().c_str());
+    return;
+  }
+  double benchmark = 2.0 * std::log(static_cast<double>(stream.size()));
+  // Verdict bands against the paper's 2 ln n benchmark for random strings:
+  // a single stream at 1.35x is already unusual; 2x is a blatant defect.
+  const char* verdict = "looks random";
+  if (mss->best.chi_square > 2.0 * benchmark) {
+    verdict = "SUSPICIOUS";
+  } else if (mss->best.chi_square > 1.35 * benchmark) {
+    verdict = "elevated";
+  }
+  std::printf("%-28s X²max = %8.2f  benchmark(2 ln n) = %6.2f  -> %s\n",
+              label, mss->best.chi_square, benchmark, verdict);
+  if (mss->best.chi_square > 1.35 * benchmark) {
+    std::printf("%-28s worst window: [%lld, %lld)\n", "",
+                static_cast<long long>(mss->best.start),
+                static_cast<long long>(mss->best.end));
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace sigsub;
+  const int64_t n = 50000;
+
+  // A healthy generator.
+  seq::Rng good_rng(1);
+  Audit("healthy RNG", seq::GenerateBiasedBinary(0.5, n, good_rng));
+
+  // Fully defective generators with increasing same-symbol bias
+  // (the paper's Table 2 sweep).
+  for (double p : {0.55, 0.60, 0.80}) {
+    seq::Rng rng(static_cast<uint64_t>(p * 1000));
+    char label[64];
+    std::snprintf(label, sizeof(label), "defective RNG (p=%.2f)", p);
+    Audit(label, seq::GenerateBiasedBinary(p, n, rng));
+  }
+
+  // The hard case the paper highlights: only a SUBSTRING of the stream is
+  // biased (the generator degrades temporarily). Whole-stream tests dilute
+  // the signal; the MSS finds the bad stretch directly.
+  seq::Rng rng(99);
+  seq::Sequence patchy(2);
+  patchy.Reserve(n);
+  {
+    seq::Sequence a = seq::GenerateBiasedBinary(0.5, 30000, rng);
+    seq::Sequence b = seq::GenerateBiasedBinary(0.9, 5000, rng);
+    seq::Sequence c = seq::GenerateBiasedBinary(0.5, 15000, rng);
+    for (int64_t i = 0; i < a.size(); ++i) patchy.Append(a[i]);
+    for (int64_t i = 0; i < b.size(); ++i) patchy.Append(b[i]);
+    for (int64_t i = 0; i < c.size(); ++i) patchy.Append(c[i]);
+  }
+  Audit("patchy RNG (bias in middle)", patchy);
+  std::printf("(bias planted at [30000, 35000))\n");
+  return 0;
+}

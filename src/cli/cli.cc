@@ -1,0 +1,301 @@
+#include "cli/cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/str_util.h"
+#include "core/min_length.h"
+#include "core/mss.h"
+#include "core/parallel.h"
+#include "core/significance.h"
+#include "core/threshold.h"
+#include "core/top_disjoint.h"
+#include "core/top_t.h"
+#include "io/table_writer.h"
+#include "seq/alphabet.h"
+#include "seq/sequence.h"
+#include "stats/count_statistics.h"
+
+namespace sigsub {
+namespace cli {
+namespace {
+
+const char* const kCommands[] = {"mss", "topt", "threshold", "minlen",
+                                 "score"};
+
+Result<double> ParseDouble(const std::string& text, const std::string& flag) {
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument(
+        StrCat("flag ", flag, " expects a number, got \"", text, "\""));
+  }
+  return value;
+}
+
+Result<int64_t> ParseInt(const std::string& text, const std::string& flag) {
+  char* end = nullptr;
+  long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument(
+        StrCat("flag ", flag, " expects an integer, got \"", text, "\""));
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<std::vector<double>> ParseProbs(const std::string& text) {
+  std::vector<double> probs;
+  for (const std::string& part : StrSplit(text, ',')) {
+    SIGSUB_ASSIGN_OR_RETURN(double p, ParseDouble(part, "--probs"));
+    probs.push_back(p);
+  }
+  return probs;
+}
+
+Result<std::string> LoadInput(const CliOptions& options) {
+  if (options.has_input_text) return options.input_text;
+  std::ifstream in(options.input_path);
+  if (!in) {
+    return Status::IOError(
+        StrCat("cannot open '", options.input_path, "'"));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  // Trim trailing newlines/whitespace, which files routinely carry.
+  while (!text.empty() &&
+         (text.back() == '\n' || text.back() == '\r' || text.back() == ' ' ||
+          text.back() == '\t')) {
+    text.pop_back();
+  }
+  return text;
+}
+
+std::string RenderSubstring(const core::Substring& sub, int k,
+                            const std::string& text) {
+  io::TableWriter table({"start", "end", "length", "X2", "p-value"});
+  table.AddRow({std::to_string(sub.start), std::to_string(sub.end),
+                std::to_string(sub.length()),
+                StrFormat("%.4f", sub.chi_square),
+                StrFormat("%.4g", core::SubstringPValue(sub.chi_square, k))});
+  std::string out = table.Render();
+  if (sub.length() > 0 && sub.length() <= 64) {
+    out += StrCat("text: \"",
+                  text.substr(static_cast<size_t>(sub.start),
+                              static_cast<size_t>(sub.length())),
+                  "\"\n");
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string UsageText() {
+  return
+      "usage: sigsub_cli <command> [--flag=value ...]\n"
+      "\n"
+      "commands:\n"
+      "  mss        most significant substring (Problem 1)\n"
+      "  topt       top-t substrings (Problem 2); --t, --disjoint\n"
+      "  threshold  substrings above a threshold (Problem 3); --alpha0 or "
+      "--pvalue\n"
+      "  minlen     MSS above a length floor (Problem 4); --min-length\n"
+      "  score      score one substring; --start, --end\n"
+      "\n"
+      "input:\n"
+      "  --string=TEXT | --input=PATH   the string to mine (required)\n"
+      "  --alphabet=CHARS               default: distinct input characters\n"
+      "  --probs=p1,p2,...              default: uniform\n"
+      "  --threads=N                    parallel scan for mss\n";
+}
+
+Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return Status::InvalidArgument(StrCat("missing command\n", UsageText()));
+  }
+  CliOptions options;
+  options.command = args[0];
+  bool known = false;
+  for (const char* command : kCommands) {
+    if (options.command == command) known = true;
+  }
+  if (!known) {
+    return Status::InvalidArgument(
+        StrCat("unknown command \"", options.command, "\"\n", UsageText()));
+  }
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument(
+          StrCat("expected --flag=value, got \"", arg, "\""));
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    std::string name = body.substr(0, eq);
+    std::string value =
+        eq == std::string::npos ? std::string() : body.substr(eq + 1);
+    if (name == "string") {
+      options.input_text = value;
+      options.has_input_text = true;
+    } else if (name == "input") {
+      options.input_path = value;
+    } else if (name == "alphabet") {
+      options.alphabet = value;
+    } else if (name == "probs") {
+      SIGSUB_ASSIGN_OR_RETURN(options.probs, ParseProbs(value));
+    } else if (name == "t") {
+      SIGSUB_ASSIGN_OR_RETURN(options.t, ParseInt(value, "--t"));
+    } else if (name == "disjoint") {
+      options.disjoint = true;
+    } else if (name == "alpha0") {
+      SIGSUB_ASSIGN_OR_RETURN(options.alpha0, ParseDouble(value, "--alpha0"));
+    } else if (name == "pvalue") {
+      SIGSUB_ASSIGN_OR_RETURN(options.pvalue, ParseDouble(value, "--pvalue"));
+    } else if (name == "min-length") {
+      SIGSUB_ASSIGN_OR_RETURN(options.min_length,
+                              ParseInt(value, "--min-length"));
+    } else if (name == "start") {
+      SIGSUB_ASSIGN_OR_RETURN(options.start, ParseInt(value, "--start"));
+    } else if (name == "end") {
+      SIGSUB_ASSIGN_OR_RETURN(options.end, ParseInt(value, "--end"));
+    } else if (name == "threads") {
+      SIGSUB_ASSIGN_OR_RETURN(int64_t threads,
+                              ParseInt(value, "--threads"));
+      options.threads = static_cast<int>(threads);
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unknown flag --", name, "\n", UsageText()));
+    }
+  }
+  if (!options.has_input_text && options.input_path.empty()) {
+    return Status::InvalidArgument("one of --string or --input is required");
+  }
+  if (options.has_input_text && !options.input_path.empty()) {
+    return Status::InvalidArgument("--string and --input are exclusive");
+  }
+  return options;
+}
+
+Result<std::string> Run(const CliOptions& options) {
+  SIGSUB_ASSIGN_OR_RETURN(std::string text, LoadInput(options));
+  if (text.empty()) {
+    return Status::InvalidArgument("input string is empty");
+  }
+
+  // Alphabet: explicit or the sorted distinct characters of the input.
+  std::string alphabet_chars = options.alphabet;
+  if (alphabet_chars.empty()) {
+    std::set<char> distinct(text.begin(), text.end());
+    alphabet_chars.assign(distinct.begin(), distinct.end());
+    if (alphabet_chars.size() < 2) {
+      alphabet_chars += alphabet_chars[0] == '0' ? '1' : '0';
+    }
+  }
+  SIGSUB_ASSIGN_OR_RETURN(seq::Alphabet alphabet,
+                          seq::Alphabet::FromCharacters(alphabet_chars));
+  SIGSUB_ASSIGN_OR_RETURN(seq::Sequence sequence,
+                          seq::Sequence::FromString(alphabet, text));
+
+  std::vector<double> probs = options.probs;
+  if (probs.empty()) {
+    probs.assign(alphabet.size(), 1.0 / alphabet.size());
+  }
+  SIGSUB_ASSIGN_OR_RETURN(seq::MultinomialModel model,
+                          seq::MultinomialModel::Make(std::move(probs)));
+
+  const int k = model.alphabet_size();
+  std::ostringstream out;
+  out << "n = " << sequence.size() << ", k = " << k << "\n";
+
+  if (options.command == "mss") {
+    SIGSUB_ASSIGN_OR_RETURN(
+        core::MssResult result,
+        core::FindMssParallel(sequence, model, options.threads));
+    out << RenderSubstring(result.best, k, text);
+    out << "examined " << result.stats.positions_examined << " of "
+        << core::TrivialScanPositions(sequence.size())
+        << " candidate positions\n";
+  } else if (options.command == "topt") {
+    if (options.t < 1) {
+      return Status::InvalidArgument(StrCat("--t must be >= 1, got ",
+                                            options.t));
+    }
+    io::TableWriter table({"rank", "start", "end", "X2", "p-value"});
+    if (options.disjoint) {
+      core::TopDisjointOptions disjoint;
+      disjoint.t = options.t;
+      disjoint.min_length = options.min_length;
+      SIGSUB_ASSIGN_OR_RETURN(std::vector<core::Substring> subs,
+                              core::FindTopDisjoint(sequence, model,
+                                                    disjoint));
+      for (size_t i = 0; i < subs.size(); ++i) {
+        table.AddRow({std::to_string(i + 1), std::to_string(subs[i].start),
+                      std::to_string(subs[i].end),
+                      StrFormat("%.4f", subs[i].chi_square),
+                      StrFormat("%.4g", core::SubstringPValue(
+                                            subs[i].chi_square, k))});
+      }
+    } else {
+      SIGSUB_ASSIGN_OR_RETURN(core::TopTResult result,
+                              core::FindTopT(sequence, model, options.t));
+      for (size_t i = 0; i < result.top.size(); ++i) {
+        const core::Substring& sub = result.top[i];
+        table.AddRow({std::to_string(i + 1), std::to_string(sub.start),
+                      std::to_string(sub.end),
+                      StrFormat("%.4f", sub.chi_square),
+                      StrFormat("%.4g",
+                                core::SubstringPValue(sub.chi_square, k))});
+      }
+    }
+    out << table.Render();
+  } else if (options.command == "threshold") {
+    double alpha0 = options.alpha0;
+    if (options.pvalue > 0.0) {
+      alpha0 = stats::ChiSquareThresholdForPValue(options.pvalue, k);
+      out << "alpha0 = " << StrFormat("%.4f", alpha0) << " (p-value "
+          << StrFormat("%.3g", options.pvalue) << ")\n";
+    }
+    if (alpha0 < 0.0) {
+      return Status::InvalidArgument(
+          "threshold needs --alpha0 or --pvalue");
+    }
+    core::ThresholdOptions threshold;
+    threshold.max_matches = 1000;
+    SIGSUB_ASSIGN_OR_RETURN(
+        core::ThresholdResult result,
+        core::FindAboveThreshold(sequence, model, alpha0, threshold));
+    out << result.match_count << " substrings above " << alpha0;
+    if (result.match_count >
+        static_cast<int64_t>(result.matches.size())) {
+      out << " (showing " << result.matches.size() << ")";
+    }
+    out << "\n";
+    io::TableWriter table({"start", "end", "X2"});
+    for (const core::Substring& sub : result.matches) {
+      table.AddRow({std::to_string(sub.start), std::to_string(sub.end),
+                    StrFormat("%.4f", sub.chi_square)});
+    }
+    if (table.row_count() > 0) out << table.Render();
+  } else if (options.command == "minlen") {
+    SIGSUB_ASSIGN_OR_RETURN(
+        core::MssResult result,
+        core::FindMssMinLength(sequence, model, options.min_length));
+    out << RenderSubstring(result.best, k, text);
+  } else if (options.command == "score") {
+    if (options.start < 0 || options.end < 0) {
+      return Status::InvalidArgument("score needs --start and --end");
+    }
+    SIGSUB_ASSIGN_OR_RETURN(
+        core::ScoredSubstring scored,
+        core::ScoreSubstring(sequence, model, options.start, options.end));
+    out << RenderSubstring(scored.substring, k, text);
+    out << "G2 = " << StrFormat("%.4f", scored.g2) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cli
+}  // namespace sigsub

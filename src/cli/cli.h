@@ -1,0 +1,59 @@
+#ifndef SIGSUB_CLI_CLI_H_
+#define SIGSUB_CLI_CLI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sigsub {
+namespace cli {
+
+/// Parsed command line for the `sigsub_cli` tool.
+///
+///   sigsub_cli <command> [--flag=value ...]
+///
+/// Commands: mss | topt | threshold | minlen | score.
+/// Flags:
+///   --string=TEXT        input string literal (exclusive with --input)
+///   --input=PATH         read the input string from a file
+///   --alphabet=CHARS     symbol set (default: distinct input characters)
+///   --probs=p1,p2,...    null-model probabilities (default: uniform)
+///   --t=N                top-t size (topt; default 10)
+///   --disjoint           non-overlapping top-t (topt)
+///   --alpha0=X           threshold (threshold)
+///   --pvalue=P           derive alpha0 from a per-substring p-value
+///   --min-length=N       length floor (minlen; default 1)
+///   --start=I --end=J    substring to score (score)
+///   --threads=N          parallel MSS scan (mss; default 1)
+struct CliOptions {
+  std::string command;
+  std::string input_path;
+  std::string input_text;
+  bool has_input_text = false;
+  std::string alphabet;
+  std::vector<double> probs;
+  int64_t t = 10;
+  bool disjoint = false;
+  double alpha0 = -1.0;
+  double pvalue = -1.0;
+  int64_t min_length = 1;
+  int64_t start = -1;
+  int64_t end = -1;
+  int threads = 1;
+};
+
+/// Usage text for --help / errors.
+std::string UsageText();
+
+/// Parses argv-style arguments (excluding the program name).
+Result<CliOptions> ParseArgs(const std::vector<std::string>& args);
+
+/// Executes a parsed command and returns the printable report.
+Result<std::string> Run(const CliOptions& options);
+
+}  // namespace cli
+}  // namespace sigsub
+
+#endif  // SIGSUB_CLI_CLI_H_

@@ -1,0 +1,41 @@
+#ifndef SIGSUB_COMMON_CHECK_H_
+#define SIGSUB_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// SIGSUB_CHECK(cond): aborts with a diagnostic if `cond` is false. Active in
+/// all build modes; reserve it for programming errors (precondition
+/// violations inside the library), not for user-input validation, which
+/// should return Status.
+#define SIGSUB_CHECK(cond)                                                 \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "SIGSUB_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+/// SIGSUB_CHECK with a custom printf-style message appended.
+#define SIGSUB_CHECK_MSG(cond, ...)                                        \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "SIGSUB_CHECK failed at %s:%d: %s: ", __FILE__, \
+                   __LINE__, #cond);                                       \
+      std::fprintf(stderr, __VA_ARGS__);                                   \
+      std::fprintf(stderr, "\n");                                          \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+/// Debug-only check; compiled out in NDEBUG builds (hot paths).
+#ifdef NDEBUG
+#define SIGSUB_DCHECK(cond) \
+  do {                      \
+  } while (false)
+#else
+#define SIGSUB_DCHECK(cond) SIGSUB_CHECK(cond)
+#endif
+
+#endif  // SIGSUB_COMMON_CHECK_H_

@@ -1,0 +1,85 @@
+#ifndef SIGSUB_COMMON_RESULT_H_
+#define SIGSUB_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace sigsub {
+
+/// Result<T> holds either a value of type T or a non-OK Status, mirroring
+/// arrow::Result / absl::StatusOr. Accessing the value of an errored Result
+/// is a programming error and aborts (checked in all build modes).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+
+  /// Implicit construction from a non-OK status (failure). Constructing a
+  /// Result from an OK status is a programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    SIGSUB_CHECK(!status_.ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SIGSUB_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    SIGSUB_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    SIGSUB_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is an error.
+#define SIGSUB_RETURN_IF_ERROR(expr)                 \
+  do {                                               \
+    ::sigsub::Status _sigsub_status = (expr);        \
+    if (!_sigsub_status.ok()) return _sigsub_status; \
+  } while (false)
+
+/// Evaluates `rexpr` (a Result<T> expression); on success assigns the value
+/// to `lhs`, otherwise returns the error status from the enclosing function.
+#define SIGSUB_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  SIGSUB_ASSIGN_OR_RETURN_IMPL_(                                   \
+      SIGSUB_MACRO_CONCAT_(_sigsub_result, __LINE__), lhs, rexpr)
+
+#define SIGSUB_MACRO_CONCAT_INNER_(x, y) x##y
+#define SIGSUB_MACRO_CONCAT_(x, y) SIGSUB_MACRO_CONCAT_INNER_(x, y)
+#define SIGSUB_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                  \
+  if (!result.ok()) return result.status();               \
+  lhs = std::move(result).value()
+
+}  // namespace sigsub
+
+#endif  // SIGSUB_COMMON_RESULT_H_

@@ -1,0 +1,119 @@
+#include "core/agmm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace sigsub {
+namespace core {
+
+MssResult FindMssAgmm(const seq::Sequence& sequence,
+                      const seq::PrefixCounts& counts,
+                      const ChiSquareContext& context) {
+  SIGSUB_CHECK(sequence.alphabet_size() == context.alphabet_size());
+  SIGSUB_CHECK(sequence.size() == counts.sequence_size());
+  const int64_t n = sequence.size();
+  const int k = context.alphabet_size();
+  MssResult result;
+  result.best = Substring{0, 0, 0.0};
+  std::vector<int64_t> scratch(k);
+  bool found = false;
+
+  auto consider = [&](int64_t start, int64_t end) {
+    if (start >= end) return;
+    counts.FillCounts(start, end, scratch);
+    double x2 = context.Evaluate(scratch, end - start);
+    ++result.stats.positions_examined;
+    if (x2 > result.best.chi_square || !found) {
+      found = true;
+      result.best = Substring{start, end, x2};
+    }
+  };
+
+  for (int c = 0; c < k; ++c) {
+    const double p = context.probs()[c];
+    std::span<const int64_t> row = counts.Row(c);
+    // Global extrema of W_c(j) = row[j] − j·p over j = 0..n, plus the
+    // running prefix extrema used for the per-endpoint excursion
+    // candidates below.
+    int64_t argmax = 0, argmin = 0;
+    double wmax = 0.0, wmin = 0.0;
+    int64_t best_up_start = 0, best_up_end = 0;
+    int64_t best_down_start = 0, best_down_end = 0;
+    double best_up = -1.0, best_down = -1.0;
+    int64_t prefix_min_at = 0, prefix_max_at = 0;
+    double prefix_min = 0.0, prefix_max = 0.0;
+    for (int64_t j = 1; j <= n; ++j) {
+      double w = static_cast<double>(row[j]) - static_cast<double>(j) * p;
+      if (w > wmax) {
+        wmax = w;
+        argmax = j;
+      }
+      if (w < wmin) {
+        wmin = w;
+        argmin = j;
+      }
+      // Steepest rise (c over-represented) and fall (under-represented)
+      // ending at j, measured against the prefix extrema. Normalizing by
+      // sqrt(length) approximates the X² objective for the excursion.
+      double up = w - prefix_min;
+      if (up > 0.0) {
+        double score = up * up / static_cast<double>(j - prefix_min_at);
+        if (score > best_up) {
+          best_up = score;
+          best_up_start = prefix_min_at;
+          best_up_end = j;
+        }
+      }
+      double down = prefix_max - w;
+      if (down > 0.0) {
+        double score = down * down / static_cast<double>(j - prefix_max_at);
+        if (score > best_down) {
+          best_down = score;
+          best_down_start = prefix_max_at;
+          best_down_end = j;
+        }
+      }
+      if (w < prefix_min) {
+        prefix_min = w;
+        prefix_min_at = j;
+      }
+      if (w > prefix_max) {
+        prefix_max = w;
+        prefix_max_at = j;
+      }
+    }
+    result.stats.positions_examined += n;  // One walk evaluation per index.
+    int64_t lo = std::min(argmax, argmin);
+    int64_t hi = std::max(argmax, argmin);
+    consider(lo, hi);       // The largest excursion of W_c.
+    consider(0, argmax);    // Prefix up to the global max.
+    consider(0, argmin);    // Prefix down to the global min.
+    consider(argmax, n);    // Suffix after the global max.
+    consider(argmin, n);    // Suffix after the global min.
+    consider(best_up_start, best_up_end);      // Steepest normalized rise.
+    consider(best_down_start, best_down_end);  // Steepest normalized fall.
+  }
+  result.stats.start_positions = k;
+  return result;
+}
+
+Result<MssResult> FindMssAgmm(const seq::Sequence& sequence,
+                              const seq::MultinomialModel& model) {
+  if (sequence.empty()) {
+    return Status::InvalidArgument("sequence is empty; it has no substrings");
+  }
+  if (sequence.alphabet_size() != model.alphabet_size()) {
+    return Status::InvalidArgument(
+        StrCat("sequence alphabet size (", sequence.alphabet_size(),
+               ") != model alphabet size (", model.alphabet_size(), ")"));
+  }
+  seq::PrefixCounts counts(sequence);
+  ChiSquareContext context(model);
+  return FindMssAgmm(sequence, counts, context);
+}
+
+}  // namespace core
+}  // namespace sigsub

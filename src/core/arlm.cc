@@ -1,0 +1,67 @@
+#include "core/arlm.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace sigsub {
+namespace core {
+
+std::vector<int64_t> ArlmCandidateBoundaries(const seq::Sequence& sequence) {
+  const int64_t n = sequence.size();
+  std::vector<int64_t> boundaries;
+  boundaries.reserve(static_cast<size_t>(n) / 2 + 2);
+  boundaries.push_back(0);
+  for (int64_t j = 1; j < n; ++j) {
+    if (sequence[j - 1] != sequence[j]) boundaries.push_back(j);
+  }
+  boundaries.push_back(n);
+  return boundaries;
+}
+
+MssResult FindMssArlm(const seq::Sequence& sequence,
+                      const seq::PrefixCounts& counts,
+                      const ChiSquareContext& context) {
+  SIGSUB_CHECK(sequence.alphabet_size() == context.alphabet_size());
+  SIGSUB_CHECK(sequence.size() == counts.sequence_size());
+  std::vector<int64_t> boundaries = ArlmCandidateBoundaries(sequence);
+  const size_t m = boundaries.size();
+  MssResult result;
+  result.best = Substring{0, 0, 0.0};
+  std::vector<int64_t> scratch(context.alphabet_size());
+  bool found = false;
+  for (size_t bi = 0; bi + 1 < m; ++bi) {
+    ++result.stats.start_positions;
+    for (size_t bj = bi + 1; bj < m; ++bj) {
+      int64_t start = boundaries[bi];
+      int64_t end = boundaries[bj];
+      counts.FillCounts(start, end, scratch);
+      double x2 = context.Evaluate(scratch, end - start);
+      ++result.stats.positions_examined;
+      if (x2 > result.best.chi_square || !found) {
+        found = true;
+        result.best = Substring{start, end, x2};
+      }
+    }
+  }
+  return result;
+}
+
+Result<MssResult> FindMssArlm(const seq::Sequence& sequence,
+                              const seq::MultinomialModel& model) {
+  if (sequence.empty()) {
+    return Status::InvalidArgument("sequence is empty; it has no substrings");
+  }
+  if (sequence.alphabet_size() != model.alphabet_size()) {
+    return Status::InvalidArgument(
+        StrCat("sequence alphabet size (", sequence.alphabet_size(),
+               ") != model alphabet size (", model.alphabet_size(), ")"));
+  }
+  seq::PrefixCounts counts(sequence);
+  ChiSquareContext context(model);
+  return FindMssArlm(sequence, counts, context);
+}
+
+}  // namespace core
+}  // namespace sigsub

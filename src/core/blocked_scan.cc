@@ -1,0 +1,88 @@
+#include "core/blocked_scan.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/str_util.h"
+#include "core/chain_cover.h"
+
+namespace sigsub {
+namespace core {
+
+MssResult FindMssBlocked(const seq::Sequence& sequence,
+                         const seq::PrefixCounts& counts,
+                         const ChiSquareContext& context,
+                         int64_t block_size) {
+  SIGSUB_CHECK(sequence.alphabet_size() == context.alphabet_size());
+  SIGSUB_CHECK(sequence.size() == counts.sequence_size());
+  SIGSUB_CHECK(block_size >= 1);
+  const int64_t n = sequence.size();
+  MssResult result;
+  result.best = Substring{0, 0, 0.0};
+  SkipSolver solver(context);
+  std::vector<int64_t> scratch(context.alphabet_size());
+  bool found = false;
+
+  for (int64_t i = n - 1; i >= 0; --i) {
+    ++result.stats.start_positions;
+    int64_t end = i + 1;
+    while (end <= n) {
+      // Examine the block's first ending position.
+      counts.FillCounts(i, end, scratch);
+      int64_t l = end - i;
+      double x2 = context.Evaluate(scratch, l);
+      ++result.stats.positions_examined;
+      if (x2 > result.best.chi_square || !found) {
+        found = true;
+        result.best = Substring{i, end, x2};
+      }
+      int64_t block_last = std::min(end + block_size - 1, n);
+      int64_t m = block_last - end;  // Remaining ends inside the block.
+      if (m > 0) {
+        int64_t safe =
+            solver.MaxSafeExtension(scratch, l, x2, result.best.chi_square);
+        if (safe >= m) {
+          // Whole block is dominated: skip it (block granularity only).
+          ++result.stats.skip_events;
+          result.stats.positions_skipped += m;
+        } else {
+          // Evaluate the rest of the block one position at a time.
+          for (int64_t e = end + 1; e <= block_last; ++e) {
+            counts.FillCounts(i, e, scratch);
+            double x2e = context.Evaluate(scratch, e - i);
+            ++result.stats.positions_examined;
+            if (x2e > result.best.chi_square) {
+              result.best = Substring{i, e, x2e};
+            }
+          }
+        }
+      }
+      end = block_last + 1;
+    }
+  }
+  return result;
+}
+
+Result<MssResult> FindMssBlocked(const seq::Sequence& sequence,
+                                 const seq::MultinomialModel& model,
+                                 int64_t block_size) {
+  if (sequence.empty()) {
+    return Status::InvalidArgument("sequence is empty; it has no substrings");
+  }
+  if (sequence.alphabet_size() != model.alphabet_size()) {
+    return Status::InvalidArgument(
+        StrCat("sequence alphabet size (", sequence.alphabet_size(),
+               ") != model alphabet size (", model.alphabet_size(), ")"));
+  }
+  if (block_size < 1) {
+    return Status::InvalidArgument(
+        StrCat("block_size must be >= 1, got ", block_size));
+  }
+  seq::PrefixCounts counts(sequence);
+  ChiSquareContext context(model);
+  return FindMssBlocked(sequence, counts, context, block_size);
+}
+
+}  // namespace core
+}  // namespace sigsub

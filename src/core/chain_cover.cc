@@ -1,0 +1,115 @@
+#include "core/chain_cover.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace sigsub {
+namespace core {
+namespace {
+
+/// Evaluates the per-character cover quadratic
+///   q(x) = (1 − p_c)x² + (2Y_c − 2lp_c − p_c·B)x + (X²_l − B)·l·p_c
+/// in long double, used to verify integer skip candidates exactly enough
+/// that floating-point error can only cost skip length, never correctness.
+long double CoverQuadraticAt(int64_t y_c, double p_c, int64_t l, double x2_l,
+                             double budget, int64_t x) {
+  long double a = 1.0L - static_cast<long double>(p_c);
+  long double b = 2.0L * static_cast<long double>(y_c) -
+                  2.0L * static_cast<long double>(l) * p_c -
+                  static_cast<long double>(p_c) * budget;
+  long double c = (static_cast<long double>(x2_l) - budget) *
+                  static_cast<long double>(l) * p_c;
+  long double lx = static_cast<long double>(x);
+  return (a * lx + b) * lx + c;
+}
+
+}  // namespace
+
+double CoverChiSquare(double x2_l, int64_t l, int64_t y_c, double p_c,
+                      double x) {
+  SIGSUB_DCHECK(l >= 1);
+  SIGSUB_DCHECK(x >= 0.0);
+  double dl = static_cast<double>(l);
+  double y = static_cast<double>(y_c);
+  return dl * (x2_l + dl) / (dl + x) + (2.0 * x * y + x * x) / ((dl + x) * p_c) -
+         (dl + x);
+}
+
+double SkipSolver::CharacterRoot(int64_t y_c, double p_c, int64_t l,
+                                 double x2_l, double budget) const {
+  double a = 1.0 - p_c;
+  double b = 2.0 * static_cast<double>(y_c) -
+             2.0 * static_cast<double>(l) * p_c - p_c * budget;
+  double c = (x2_l - budget) * static_cast<double>(l) * p_c;
+  if (c > 0.0) return 0.0;  // X²_l already above budget: no safe extension.
+  double disc = b * b - 4.0 * a * c;
+  double sq = std::sqrt(disc);
+  // Positive root of an upward parabola with q(0) = c <= 0. Use the
+  // cancellation-free branch.
+  if (b <= 0.0) return (-b + sq) / (2.0 * a);
+  return (-2.0 * c) / (b + sq);
+}
+
+int64_t SkipSolver::MaxSafeExtension(std::span<const int64_t> counts,
+                                     int64_t l, double x2_l,
+                                     double budget) const {
+  SIGSUB_DCHECK(l >= 1);
+  std::span<const double> probs = context_->probs();
+  SIGSUB_DCHECK(counts.size() == probs.size());
+  if (x2_l > budget) return 0;
+
+  double min_root = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < probs.size(); ++c) {
+    double root = CharacterRoot(counts[c], probs[c], l, x2_l, budget);
+    if (root < min_root) min_root = root;
+  }
+  if (!(min_root > 0.0)) return 0;
+  // Guard against pathological overflow of the cast below.
+  if (min_root > 9.0e18) min_root = 9.0e18;
+  int64_t m = static_cast<int64_t>(std::floor(min_root));
+  if (m <= 0) return 0;
+
+  // Verify the integer candidate against every character's quadratic in
+  // extended precision; floating-point error in the root can otherwise
+  // overshoot by one position. Each decrement is at most a rounding step,
+  // so this loop runs O(1) times in practice.
+  for (size_t c = 0; c < probs.size() && m > 0;) {
+    if (CoverQuadraticAt(counts[c], probs[c], l, x2_l, budget, m) > 0.0L) {
+      --m;
+      c = 0;  // Re-verify all characters at the smaller candidate.
+      continue;
+    }
+    ++c;
+  }
+  return m;
+}
+
+int64_t PaperSingleCharacterSkip(const ChiSquareContext& context,
+                                 std::span<const int64_t> counts, int64_t l,
+                                 double x2_l, double budget) {
+  std::span<const double> probs = context.probs();
+  SIGSUB_DCHECK(counts.size() == probs.size());
+  // Paper line 9: t = argmax (2Y_m + x)/p_m. With x unknown at selection
+  // time we follow the common reading x ~ 0, i.e. argmax Y_m/p_m (the
+  // Lemma 2 character).
+  size_t t = 0;
+  double best_score = -1.0;
+  for (size_t c = 0; c < probs.size(); ++c) {
+    double score = static_cast<double>(counts[c]) / probs[c];
+    if (score > best_score) {
+      best_score = score;
+      t = c;
+    }
+  }
+  SkipSolver solver(context);
+  double root = solver.CharacterRoot(counts[t], probs[t], l, x2_l, budget);
+  // Paper line 13-14: x = ceil(root), increment l by x => x − 1 unchecked
+  // positions are skipped.
+  int64_t x = static_cast<int64_t>(std::ceil(root));
+  return x > 0 ? x - 1 : 0;
+}
+
+}  // namespace core
+}  // namespace sigsub

@@ -1,0 +1,123 @@
+#include "core/length_bounded.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/str_util.h"
+#include "core/chain_cover.h"
+
+namespace sigsub {
+namespace core {
+namespace {
+
+Status ValidateInput(const seq::Sequence& sequence,
+                     const seq::MultinomialModel& model, int64_t min_length,
+                     int64_t max_length) {
+  if (sequence.empty()) {
+    return Status::InvalidArgument("sequence is empty; it has no substrings");
+  }
+  if (sequence.alphabet_size() != model.alphabet_size()) {
+    return Status::InvalidArgument(
+        StrCat("sequence alphabet size (", sequence.alphabet_size(),
+               ") != model alphabet size (", model.alphabet_size(), ")"));
+  }
+  if (min_length < 1 || min_length > sequence.size()) {
+    return Status::InvalidArgument(
+        StrCat("min_length must be in [1, ", sequence.size(), "], got ",
+               min_length));
+  }
+  if (max_length < min_length) {
+    return Status::InvalidArgument(
+        StrCat("max_length (", max_length, ") < min_length (", min_length,
+               ")"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+MssResult FindMssLengthBounded(const seq::PrefixCounts& counts,
+                               const ChiSquareContext& context,
+                               int64_t min_length, int64_t max_length) {
+  SIGSUB_CHECK(context.alphabet_size() == counts.alphabet_size());
+  SIGSUB_CHECK(min_length >= 1 && max_length >= min_length);
+  const int64_t n = counts.sequence_size();
+  MssResult result;
+  result.best = Substring{0, 0, 0.0};
+  if (n < min_length) return result;
+
+  SkipSolver solver(context);
+  std::vector<int64_t> scratch(context.alphabet_size());
+  double best = 0.0;
+  bool found = false;
+  for (int64_t i = n - min_length; i >= 0; --i) {
+    ++result.stats.start_positions;
+    int64_t row_end = std::min(n, i + max_length);
+    int64_t end = i + min_length;
+    while (end <= row_end) {
+      counts.FillCounts(i, end, scratch);
+      int64_t l = end - i;
+      double x2 = context.Evaluate(scratch, l);
+      ++result.stats.positions_examined;
+      if (x2 > best || !found) {
+        best = x2;
+        found = true;
+        result.best = Substring{i, end, x2};
+      }
+      int64_t skip = solver.MaxSafeExtension(scratch, l, x2, best);
+      if (skip > 0) {
+        ++result.stats.skip_events;
+        int64_t last_skipped = std::min(end + skip, row_end);
+        if (last_skipped > end) {
+          result.stats.positions_skipped += last_skipped - end;
+        }
+      }
+      end += skip + 1;
+    }
+  }
+  return result;
+}
+
+Result<MssResult> FindMssLengthBounded(const seq::Sequence& sequence,
+                                       const seq::MultinomialModel& model,
+                                       int64_t min_length,
+                                       int64_t max_length) {
+  SIGSUB_RETURN_IF_ERROR(
+      ValidateInput(sequence, model, min_length, max_length));
+  seq::PrefixCounts counts(sequence);
+  ChiSquareContext context(model);
+  return FindMssLengthBounded(counts, context, min_length, max_length);
+}
+
+Result<MssResult> NaiveFindMssLengthBounded(
+    const seq::Sequence& sequence, const seq::MultinomialModel& model,
+    int64_t min_length, int64_t max_length) {
+  SIGSUB_RETURN_IF_ERROR(
+      ValidateInput(sequence, model, min_length, max_length));
+  ChiSquareContext context(model);
+  ChiSquareContext::Incremental inc(context);
+  const int64_t n = sequence.size();
+  MssResult result;
+  result.best = Substring{0, 0, 0.0};
+  bool found = false;
+  for (int64_t i = 0; i + min_length <= n; ++i) {
+    ++result.stats.start_positions;
+    inc.Reset();
+    int64_t row_end = std::min(n, i + max_length);
+    for (int64_t end = i + 1; end <= row_end; ++end) {
+      inc.Extend(sequence[end - 1]);
+      if (end - i < min_length) continue;
+      ++result.stats.positions_examined;
+      double x2 = inc.chi_square();
+      if (x2 > result.best.chi_square || !found) {
+        found = true;
+        result.best = Substring{i, end, x2};
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace sigsub

@@ -1,0 +1,40 @@
+#ifndef SIGSUB_CORE_LENGTH_BOUNDED_H_
+#define SIGSUB_CORE_LENGTH_BOUNDED_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/chi_square.h"
+#include "core/scan_types.h"
+#include "seq/model.h"
+#include "seq/prefix_counts.h"
+#include "seq/sequence.h"
+
+namespace sigsub {
+namespace core {
+
+/// MSS among substrings with min_length <= length <= max_length — the
+/// windowed setting of the related work the paper discusses in Section 2
+/// (episode mining constrains patterns to a window of size w), folded into
+/// the skip-scan framework. Generalizes both FindMss (1, n) and
+/// FindMssMinLength (Γ₀+1, n). The chain-cover skip applies unchanged; the
+/// cap only shortens each scan row.
+Result<MssResult> FindMssLengthBounded(const seq::Sequence& sequence,
+                                       const seq::MultinomialModel& model,
+                                       int64_t min_length,
+                                       int64_t max_length);
+
+/// Kernel variant.
+MssResult FindMssLengthBounded(const seq::PrefixCounts& counts,
+                               const ChiSquareContext& context,
+                               int64_t min_length, int64_t max_length);
+
+/// Exact O(n·w) baseline for tests (w = max_length).
+Result<MssResult> NaiveFindMssLengthBounded(
+    const seq::Sequence& sequence, const seq::MultinomialModel& model,
+    int64_t min_length, int64_t max_length);
+
+}  // namespace core
+}  // namespace sigsub
+
+#endif  // SIGSUB_CORE_LENGTH_BOUNDED_H_

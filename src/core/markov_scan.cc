@@ -1,0 +1,143 @@
+#include "core/markov_scan.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace sigsub {
+namespace core {
+
+MarkovChiSquare::MarkovChiSquare(int k, std::vector<double> inv_transitions)
+    : k_(k), inv_transitions_(std::move(inv_transitions)) {}
+
+Result<MarkovChiSquare> MarkovChiSquare::Make(const seq::MarkovModel& model) {
+  const int k = model.alphabet_size();
+  std::vector<double> inv(static_cast<size_t>(k) * k);
+  for (int a = 0; a < k; ++a) {
+    for (int b = 0; b < k; ++b) {
+      double t = model.transition(a, b);
+      if (!(t > 0.0)) {
+        return Status::InvalidArgument(
+            StrCat("Markov chi-square needs strictly positive transition "
+                   "probabilities; T[",
+                   a, "][", b, "] = ", t));
+      }
+      inv[a * k + b] = 1.0 / t;
+    }
+  }
+  return MarkovChiSquare(k, std::move(inv));
+}
+
+double MarkovChiSquare::Evaluate(std::span<const int64_t> pair_counts) const {
+  SIGSUB_DCHECK(pair_counts.size() ==
+                static_cast<size_t>(k_) * static_cast<size_t>(k_));
+  int64_t m = 0;
+  double total = 0.0;
+  for (int a = 0; a < k_; ++a) {
+    int64_t row_total = 0;
+    double row_weighted = 0.0;
+    for (int b = 0; b < k_; ++b) {
+      int64_t n_ab = pair_counts[a * k_ + b];
+      row_total += n_ab;
+      row_weighted += static_cast<double>(n_ab) *
+                      static_cast<double>(n_ab) * inv_transitions_[a * k_ + b];
+    }
+    if (row_total > 0) {
+      total += row_weighted / static_cast<double>(row_total);
+      m += row_total;
+    }
+  }
+  return m == 0 ? 0.0 : total - static_cast<double>(m);
+}
+
+MarkovChiSquare::Incremental::Incremental(const MarkovChiSquare& context)
+    : context_(&context),
+      pair_counts_(static_cast<size_t>(context.k_) * context.k_, 0),
+      row_totals_(context.k_, 0),
+      row_weighted_(context.k_, 0.0) {}
+
+void MarkovChiSquare::Incremental::Reset() {
+  std::fill(pair_counts_.begin(), pair_counts_.end(), 0);
+  std::fill(row_totals_.begin(), row_totals_.end(), 0);
+  std::fill(row_weighted_.begin(), row_weighted_.end(), 0.0);
+  total_ = 0.0;
+  transitions_ = 0;
+  has_previous_ = false;
+}
+
+void MarkovChiSquare::Incremental::Extend(uint8_t symbol) {
+  const int k = context_->k_;
+  SIGSUB_DCHECK(symbol < k);
+  if (!has_previous_) {
+    has_previous_ = true;
+    previous_ = symbol;
+    return;
+  }
+  const int a = previous_;
+  const int b = symbol;
+  // Remove row a's old contribution, apply the (a, b) transition, add the
+  // new contribution back: O(1) per extension.
+  if (row_totals_[a] > 0) {
+    total_ -= row_weighted_[a] / static_cast<double>(row_totals_[a]);
+  }
+  int64_t& n_ab = pair_counts_[a * k + b];
+  row_weighted_[a] += static_cast<double>(2 * n_ab + 1) *
+                      context_->inv_transitions_[a * k + b];
+  ++n_ab;
+  ++row_totals_[a];
+  total_ += row_weighted_[a] / static_cast<double>(row_totals_[a]);
+  ++transitions_;
+  previous_ = symbol;
+}
+
+double MarkovChiSquare::Incremental::chi_square() const {
+  return transitions_ == 0 ? 0.0
+                           : total_ - static_cast<double>(transitions_);
+}
+
+Result<MssResult> FindMssMarkov(const seq::Sequence& sequence,
+                                const seq::MarkovModel& model,
+                                int64_t min_transitions) {
+  if (sequence.size() < 2) {
+    return Status::InvalidArgument(
+        "Markov MSS needs a sequence with at least one transition");
+  }
+  if (sequence.alphabet_size() != model.alphabet_size()) {
+    return Status::InvalidArgument(
+        StrCat("sequence alphabet size (", sequence.alphabet_size(),
+               ") != model alphabet size (", model.alphabet_size(), ")"));
+  }
+  if (min_transitions < 1 || min_transitions > sequence.size() - 1) {
+    return Status::InvalidArgument(
+        StrCat("min_transitions must be in [1, ", sequence.size() - 1,
+               "], got ", min_transitions));
+  }
+  SIGSUB_ASSIGN_OR_RETURN(MarkovChiSquare context,
+                          MarkovChiSquare::Make(model));
+
+  const int64_t n = sequence.size();
+  MssResult result;
+  result.best = Substring{0, 0, 0.0};
+  MarkovChiSquare::Incremental inc(context);
+  bool found = false;
+  for (int64_t i = 0; i + min_transitions < n; ++i) {
+    ++result.stats.start_positions;
+    inc.Reset();
+    inc.Extend(sequence[i]);
+    for (int64_t end = i + 2; end <= n; ++end) {
+      inc.Extend(sequence[end - 1]);
+      if (inc.transitions() < min_transitions) continue;
+      ++result.stats.positions_examined;
+      double x2 = inc.chi_square();
+      if (x2 > result.best.chi_square || !found) {
+        found = true;
+        result.best = Substring{i, end, x2};
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace sigsub

@@ -1,0 +1,33 @@
+#ifndef SIGSUB_CORE_MIN_LENGTH_H_
+#define SIGSUB_CORE_MIN_LENGTH_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/chi_square.h"
+#include "core/scan_types.h"
+#include "seq/model.h"
+#include "seq/prefix_counts.h"
+#include "seq/sequence.h"
+
+namespace sigsub {
+namespace core {
+
+/// Problem 4 (MSS above a given length): the highest-X² substring among
+/// those of length >= min_length. The paper (Section 6.3) phrases the
+/// constraint as length strictly greater than Γ₀; that maps to
+/// min_length = Γ₀ + 1 here. Complexity O(k·(n − min_length)·(√n − √Γ₀))
+/// w.h.p. (paper Section 6.3).
+Result<MssResult> FindMssMinLength(const seq::Sequence& sequence,
+                                   const seq::MultinomialModel& model,
+                                   int64_t min_length);
+
+/// Kernel variant (see FindMss).
+MssResult FindMssMinLength(const seq::PrefixCounts& counts,
+                           const ChiSquareContext& context,
+                           int64_t min_length);
+
+}  // namespace core
+}  // namespace sigsub
+
+#endif  // SIGSUB_CORE_MIN_LENGTH_H_

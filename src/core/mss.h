@@ -1,0 +1,40 @@
+#ifndef SIGSUB_CORE_MSS_H_
+#define SIGSUB_CORE_MSS_H_
+
+#include "common/result.h"
+#include "core/chi_square.h"
+#include "core/scan_types.h"
+#include "seq/model.h"
+#include "seq/prefix_counts.h"
+#include "seq/sequence.h"
+
+namespace sigsub {
+namespace core {
+
+/// Problem 1 (Most Significant Substring): the substring of `sequence`
+/// maximizing the Pearson X² statistic under `model`. This is the paper's
+/// Algorithm 1, running in O(k·n^{3/2}) time with high probability via
+/// chain-cover skips; worst case O(k·n²).
+///
+/// Validates that the sequence is non-empty and the alphabet sizes match.
+Result<MssResult> FindMss(const seq::Sequence& sequence,
+                          const seq::MultinomialModel& model);
+
+/// Kernel variant for callers that already built the prefix counts and
+/// evaluation context (benchmarks reuse them across algorithms). Inputs
+/// must be consistent (same alphabet size) and non-empty.
+MssResult FindMss(const seq::PrefixCounts& counts,
+                  const ChiSquareContext& context);
+
+/// Restricted kernel: MSS among substrings contained in [range_start,
+/// range_end) with length >= min_length. Shared by the min-length variant
+/// (Problem 4) and the disjoint top-t utility. Returns a result with
+/// best.length() == 0 if no substring qualifies.
+MssResult FindMssInRange(const seq::PrefixCounts& counts,
+                         const ChiSquareContext& context, int64_t range_start,
+                         int64_t range_end, int64_t min_length);
+
+}  // namespace core
+}  // namespace sigsub
+
+#endif  // SIGSUB_CORE_MSS_H_

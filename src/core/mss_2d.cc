@@ -1,0 +1,116 @@
+#include "core/mss_2d.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/str_util.h"
+#include "core/chain_cover.h"
+
+namespace sigsub {
+namespace core {
+namespace {
+
+Status ValidateInput(const seq::Grid& grid,
+                     const seq::MultinomialModel& model) {
+  if (grid.alphabet_size() != model.alphabet_size()) {
+    return Status::InvalidArgument(
+        StrCat("grid alphabet size (", grid.alphabet_size(),
+               ") != model alphabet size (", model.alphabet_size(), ")"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Mss2dResult FindMss2d(const seq::GridPrefixCounts& counts,
+                      const ChiSquareContext& context) {
+  SIGSUB_CHECK(counts.alphabet_size() == context.alphabet_size());
+  const int64_t rows = counts.rows();
+  const int64_t cols = counts.cols();
+  const int k = context.alphabet_size();
+  Mss2dResult result;
+  SkipSolver solver(context);
+  std::vector<int64_t> scratch(k);
+  double best = 0.0;
+  bool found = false;
+
+  for (int64_t r0 = 0; r0 < rows; ++r0) {
+    for (int64_t r1 = r0 + 1; r1 <= rows; ++r1) {
+      const int64_t height = r1 - r0;
+      ++result.stats.start_positions;  // One scan row per band/start combo.
+      for (int64_t c0 = 0; c0 < cols; ++c0) {
+        int64_t c1 = c0 + 1;
+        while (c1 <= cols) {
+          counts.FillCounts(r0, r1, c0, c1, scratch);
+          int64_t l = height * (c1 - c0);
+          double x2 = context.Evaluate(scratch, l);
+          ++result.stats.positions_examined;
+          if (x2 > best || !found) {
+            best = x2;
+            found = true;
+            result.best = Rectangle{r0, r1, c0, c1, x2};
+          }
+          // A rectangle extended by one column appends `height` cells, so
+          // a safe character extension of m licenses floor(m / height)
+          // skipped columns (Theorem 1 bounds ALL extensions by <= m
+          // characters, in particular the column-structured ones).
+          int64_t safe_chars = solver.MaxSafeExtension(scratch, l, x2, best);
+          int64_t col_skip = safe_chars / height;
+          if (col_skip > 0) {
+            ++result.stats.skip_events;
+            int64_t last_skipped = std::min(c1 + col_skip, cols);
+            if (last_skipped > c1) {
+              result.stats.positions_skipped += last_skipped - c1;
+            }
+          }
+          c1 += col_skip + 1;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Result<Mss2dResult> FindMss2d(const seq::Grid& grid,
+                              const seq::MultinomialModel& model) {
+  SIGSUB_RETURN_IF_ERROR(ValidateInput(grid, model));
+  seq::GridPrefixCounts counts(grid);
+  ChiSquareContext context(model);
+  return FindMss2d(counts, context);
+}
+
+Result<Mss2dResult> NaiveFindMss2d(const seq::Grid& grid,
+                                   const seq::MultinomialModel& model) {
+  SIGSUB_RETURN_IF_ERROR(ValidateInput(grid, model));
+  seq::GridPrefixCounts counts(grid);
+  ChiSquareContext context(model);
+  const int64_t rows = grid.rows();
+  const int64_t cols = grid.cols();
+  std::vector<int64_t> scratch(context.alphabet_size());
+  Mss2dResult result;
+  double best = 0.0;
+  bool found = false;
+  for (int64_t r0 = 0; r0 < rows; ++r0) {
+    for (int64_t r1 = r0 + 1; r1 <= rows; ++r1) {
+      ++result.stats.start_positions;
+      for (int64_t c0 = 0; c0 < cols; ++c0) {
+        for (int64_t c1 = c0 + 1; c1 <= cols; ++c1) {
+          counts.FillCounts(r0, r1, c0, c1, scratch);
+          double x2 =
+              context.Evaluate(scratch, (r1 - r0) * (c1 - c0));
+          ++result.stats.positions_examined;
+          if (x2 > best || !found) {
+            best = x2;
+            found = true;
+            result.best = Rectangle{r0, r1, c0, c1, x2};
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace sigsub

@@ -1,0 +1,54 @@
+#ifndef SIGSUB_CORE_MSS_2D_H_
+#define SIGSUB_CORE_MSS_2D_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/chi_square.h"
+#include "core/scan_types.h"
+#include "seq/grid.h"
+#include "seq/model.h"
+
+namespace sigsub {
+namespace core {
+
+/// The most significant axis-aligned subrectangle of a grid (the paper's
+/// Section 8 two-dimensional extension). X² of a rectangle is the ordinary
+/// multinomial statistic of its cell-count vector.
+struct Rectangle {
+  int64_t row0 = 0;
+  int64_t row1 = 0;  // Exclusive.
+  int64_t col0 = 0;
+  int64_t col1 = 0;  // Exclusive.
+  double chi_square = 0.0;
+
+  int64_t area() const { return (row1 - row0) * (col1 - col0); }
+};
+
+struct Mss2dResult {
+  Rectangle best;
+  ScanStats stats;  // positions_examined counts evaluated rectangles.
+};
+
+/// Exact 2-D MSS with chain-cover column skipping. For each row band
+/// [r0, r1) the columns are scanned left-to-right like the 1-D algorithm;
+/// extending the rectangle by one column appends h = r1 − r0 characters,
+/// so a safe character-extension of m characters (Theorem 1) licenses
+/// skipping ⌊m / h⌋ columns. Complexity O(R²·C^{3/2}·k) w.h.p. on null
+/// grids, O(R²·C²·k) worst case — versus Θ(R²·C²) rectangles for the
+/// trivial enumeration.
+Result<Mss2dResult> FindMss2d(const seq::Grid& grid,
+                              const seq::MultinomialModel& model);
+
+/// Kernel variant over prebuilt prefix sums.
+Mss2dResult FindMss2d(const seq::GridPrefixCounts& counts,
+                      const ChiSquareContext& context);
+
+/// Exact O(R²·C²) baseline for tests.
+Result<Mss2dResult> NaiveFindMss2d(const seq::Grid& grid,
+                                   const seq::MultinomialModel& model);
+
+}  // namespace core
+}  // namespace sigsub
+
+#endif  // SIGSUB_CORE_MSS_2D_H_

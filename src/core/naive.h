@@ -1,0 +1,56 @@
+#ifndef SIGSUB_CORE_NAIVE_H_
+#define SIGSUB_CORE_NAIVE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/chi_square.h"
+#include "core/scan_types.h"
+#include "seq/model.h"
+#include "seq/sequence.h"
+
+namespace sigsub {
+namespace core {
+
+/// The trivial O(n²) algorithms (paper Section 2): enumerate every start
+/// position and extend the end one character at a time, maintaining the
+/// count vector incrementally so each substring costs O(1). These are the
+/// exact baselines the paper compares against ("Trivial" rows in Tables 1,
+/// 4 and 6 and the "Trivial Algorithm" series in Figures 1, 6 and 7), and
+/// the ground truth oracle for the test suite.
+
+/// Problem 1, exact, O(n²).
+Result<MssResult> NaiveFindMss(const seq::Sequence& sequence,
+                               const seq::MultinomialModel& model);
+MssResult NaiveFindMss(const seq::Sequence& sequence,
+                       const ChiSquareContext& context);
+
+/// Problem 2, exact, O(n² log t).
+Result<TopTResult> NaiveFindTopT(const seq::Sequence& sequence,
+                                 const seq::MultinomialModel& model,
+                                 int64_t t);
+TopTResult NaiveFindTopT(const seq::Sequence& sequence,
+                         const ChiSquareContext& context, int64_t t);
+
+/// Problem 3, exact, O(n²). Collects at most `max_matches` substrings but
+/// always reports the exact total count.
+Result<ThresholdResult> NaiveFindAboveThreshold(
+    const seq::Sequence& sequence, const seq::MultinomialModel& model,
+    double alpha0, int64_t max_matches = INT64_MAX);
+ThresholdResult NaiveFindAboveThreshold(const seq::Sequence& sequence,
+                                        const ChiSquareContext& context,
+                                        double alpha0,
+                                        int64_t max_matches = INT64_MAX);
+
+/// Problem 4, exact, O(n²): MSS among substrings of length >= min_length.
+Result<MssResult> NaiveFindMssMinLength(const seq::Sequence& sequence,
+                                        const seq::MultinomialModel& model,
+                                        int64_t min_length);
+MssResult NaiveFindMssMinLength(const seq::Sequence& sequence,
+                                const ChiSquareContext& context,
+                                int64_t min_length);
+
+}  // namespace core
+}  // namespace sigsub
+
+#endif  // SIGSUB_CORE_NAIVE_H_

@@ -1,0 +1,120 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/str_util.h"
+#include "core/chain_cover.h"
+
+namespace sigsub {
+namespace core {
+namespace {
+
+/// Lock-free monotone maximum over doubles (all values non-negative here).
+class AtomicMax {
+ public:
+  double load() const { return value_.load(std::memory_order_relaxed); }
+
+  void Update(double candidate) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (candidate > current &&
+           !value_.compare_exchange_weak(current, candidate,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+}  // namespace
+
+MssResult FindMssParallel(const seq::PrefixCounts& counts,
+                          const ChiSquareContext& context, int num_threads) {
+  SIGSUB_CHECK(context.alphabet_size() == counts.alphabet_size());
+  const int64_t n = counts.sequence_size();
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 1;
+  }
+  num_threads = static_cast<int>(
+      std::min<int64_t>(num_threads, std::max<int64_t>(1, n)));
+
+  AtomicMax shared_best;
+  std::vector<MssResult> per_thread(num_threads);
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+
+  auto scan_strided = [&](int tid) {
+    MssResult& local = per_thread[tid];
+    local.best = Substring{0, 0, 0.0};
+    SkipSolver solver(context);
+    std::vector<int64_t> scratch(context.alphabet_size());
+    bool found = false;
+    for (int64_t i = n - 1 - tid; i >= 0; i -= num_threads) {
+      ++local.stats.start_positions;
+      int64_t end = i + 1;
+      while (end <= n) {
+        counts.FillCounts(i, end, scratch);
+        int64_t l = end - i;
+        double x2 = context.Evaluate(scratch, l);
+        ++local.stats.positions_examined;
+        if (x2 > local.best.chi_square || !found) {
+          found = true;
+          local.best = Substring{i, end, x2};
+          shared_best.Update(x2);
+        }
+        int64_t skip =
+            solver.MaxSafeExtension(scratch, l, x2, shared_best.load());
+        if (skip > 0) {
+          ++local.stats.skip_events;
+          int64_t last_skipped = std::min(end + skip, n);
+          if (last_skipped > end) {
+            local.stats.positions_skipped += last_skipped - end;
+          }
+        }
+        end += skip + 1;
+      }
+    }
+  };
+
+  if (num_threads == 1) {
+    scan_strided(0);
+  } else {
+    for (int tid = 0; tid < num_threads; ++tid) {
+      workers.emplace_back(scan_strided, tid);
+    }
+    for (auto& worker : workers) worker.join();
+  }
+
+  MssResult result = per_thread[0];
+  for (int tid = 1; tid < num_threads; ++tid) {
+    if (per_thread[tid].best.chi_square > result.best.chi_square) {
+      result.best = per_thread[tid].best;
+    }
+    result.stats.Merge(per_thread[tid].stats);
+  }
+  return result;
+}
+
+Result<MssResult> FindMssParallel(const seq::Sequence& sequence,
+                                  const seq::MultinomialModel& model,
+                                  int num_threads) {
+  if (sequence.empty()) {
+    return Status::InvalidArgument("sequence is empty; it has no substrings");
+  }
+  if (sequence.alphabet_size() != model.alphabet_size()) {
+    return Status::InvalidArgument(
+        StrCat("sequence alphabet size (", sequence.alphabet_size(),
+               ") != model alphabet size (", model.alphabet_size(), ")"));
+  }
+  seq::PrefixCounts counts(sequence);
+  ChiSquareContext context(model);
+  return FindMssParallel(counts, context, num_threads);
+}
+
+}  // namespace core
+}  // namespace sigsub

@@ -1,0 +1,40 @@
+#ifndef SIGSUB_CORE_PARALLEL_H_
+#define SIGSUB_CORE_PARALLEL_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/chi_square.h"
+#include "core/scan_types.h"
+#include "seq/model.h"
+#include "seq/prefix_counts.h"
+#include "seq/sequence.h"
+
+namespace sigsub {
+namespace core {
+
+/// Multi-threaded MSS (Problem 1). Start positions are strided across
+/// threads; each thread runs the same chain-cover skip scan against a
+/// shared atomic X²_max, so a discovery by any thread immediately widens
+/// every thread's skips. Exact: a substring is only ever skipped when its
+/// cover bound is at most the shared maximum at that instant, which never
+/// exceeds the final maximum.
+///
+/// The returned X² value equals the sequential algorithm's; when several
+/// substrings tie at the maximum, which one is reported may vary across
+/// runs (thread interleaving picks the witness).
+///
+/// `num_threads` <= 0 selects std::thread::hardware_concurrency().
+Result<MssResult> FindMssParallel(const seq::Sequence& sequence,
+                                  const seq::MultinomialModel& model,
+                                  int num_threads = 0);
+
+/// Kernel variant (see FindMss).
+MssResult FindMssParallel(const seq::PrefixCounts& counts,
+                          const ChiSquareContext& context,
+                          int num_threads = 0);
+
+}  // namespace core
+}  // namespace sigsub
+
+#endif  // SIGSUB_CORE_PARALLEL_H_

@@ -1,0 +1,72 @@
+#ifndef SIGSUB_CORE_SCAN_TYPES_H_
+#define SIGSUB_CORE_SCAN_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sigsub {
+namespace core {
+
+/// A scored substring [start, end) of the input sequence (0-based,
+/// half-open; the paper's S[i..j] 1-based inclusive maps to
+/// [i-1, j)).
+struct Substring {
+  int64_t start = 0;
+  int64_t end = 0;  // Exclusive.
+  double chi_square = 0.0;
+
+  int64_t length() const { return end - start; }
+};
+
+/// True if the two substrings share at least one position.
+inline bool Overlaps(const Substring& a, const Substring& b) {
+  return a.start < b.end && b.start < a.end;
+}
+
+/// Instrumentation counters filled by every scan. `positions_examined` is
+/// the paper's "number of iterations": how many (start, end) pairs had
+/// their X² evaluated. The trivial scan examines n(n+1)/2; the paper's
+/// algorithm examines O(n^{3/2}) w.h.p.
+struct ScanStats {
+  int64_t positions_examined = 0;
+  int64_t start_positions = 0;
+  int64_t skip_events = 0;      // Times a positive skip was taken.
+  int64_t positions_skipped = 0;  // Total ending positions never examined.
+
+  void Merge(const ScanStats& other) {
+    positions_examined += other.positions_examined;
+    start_positions += other.start_positions;
+    skip_events += other.skip_events;
+    positions_skipped += other.positions_skipped;
+  }
+};
+
+/// Result of a most-significant-substring search (Problems 1 and 4).
+struct MssResult {
+  Substring best;
+  ScanStats stats;
+};
+
+/// Result of a top-t search (Problem 2): substrings in descending X² order.
+struct TopTResult {
+  std::vector<Substring> top;
+  ScanStats stats;
+};
+
+/// Result of a threshold search (Problem 3). When the scan runs in
+/// counting mode (or `matches` overflows the caller's cap), `match_count`
+/// still reports the exact total.
+struct ThresholdResult {
+  std::vector<Substring> matches;
+  int64_t match_count = 0;
+  Substring best;  // Highest-X² match (valid iff match_count > 0).
+  ScanStats stats;
+};
+
+/// Closed form for the trivial algorithm's examined positions: n(n+1)/2.
+inline int64_t TrivialScanPositions(int64_t n) { return n * (n + 1) / 2; }
+
+}  // namespace core
+}  // namespace sigsub
+
+#endif  // SIGSUB_CORE_SCAN_TYPES_H_

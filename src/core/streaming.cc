@@ -1,0 +1,65 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace sigsub {
+namespace core {
+
+StreamingDetector::StreamingDetector(const seq::MultinomialModel& model,
+                                     Options options)
+    : context_(model), options_(options), scratch_(model.alphabet_size()) {
+  for (int64_t scale = 1; scale < options_.max_window; scale *= 2) {
+    scales_.push_back(scale);
+  }
+  scales_.push_back(options_.max_window);
+  cumulative_.assign(static_cast<size_t>(options_.max_window) + 1,
+                     std::vector<int64_t>(model.alphabet_size(), 0));
+}
+
+Result<StreamingDetector> StreamingDetector::Make(
+    const seq::MultinomialModel& model, Options options) {
+  if (options.max_window < 1) {
+    return Status::InvalidArgument(
+        StrCat("max_window must be >= 1, got ", options.max_window));
+  }
+  if (options.alpha0 < 0.0) {
+    return Status::InvalidArgument(
+        StrCat("alpha0 must be >= 0, got ", options.alpha0));
+  }
+  return StreamingDetector(model, options);
+}
+
+std::optional<StreamingDetector::Alarm> StreamingDetector::Append(
+    uint8_t symbol) {
+  SIGSUB_DCHECK(symbol < context_.alphabet_size());
+  const int64_t ring = options_.max_window + 1;
+  const std::vector<int64_t>& previous =
+      cumulative_[static_cast<size_t>(position_ % ring)];
+  ++position_;
+  std::vector<int64_t>& current =
+      cumulative_[static_cast<size_t>(position_ % ring)];
+  current = previous;
+  ++current[symbol];
+
+  std::optional<Alarm> alarm;
+  for (int64_t scale : scales_) {
+    if (scale > position_) break;
+    const std::vector<int64_t>& window_start =
+        cumulative_[static_cast<size_t>((position_ - scale) % ring)];
+    for (size_t c = 0; c < scratch_.size(); ++c) {
+      scratch_[c] = current[c] - window_start[c];
+    }
+    double x2 = context_.Evaluate(scratch_, scale);
+    if (x2 > options_.alpha0 &&
+        (!alarm.has_value() || x2 > alarm->chi_square)) {
+      alarm = Alarm{position_, scale, x2};
+    }
+  }
+  return alarm;
+}
+
+}  // namespace core
+}  // namespace sigsub

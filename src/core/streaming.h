@@ -1,0 +1,73 @@
+#ifndef SIGSUB_CORE_STREAMING_H_
+#define SIGSUB_CORE_STREAMING_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/chi_square.h"
+#include "seq/model.h"
+
+namespace sigsub {
+namespace core {
+
+/// Online anomaly monitor for the intrusion-detection / monitoring
+/// applications the paper motivates (Section 1): symbols arrive one at a
+/// time and the detector flags, immediately, suffix windows whose X²
+/// exceeds a threshold.
+///
+/// After each Append the detector evaluates the suffix windows of dyadic
+/// lengths 1, 2, 4, ..., max_window (plus max_window itself), O(k·log W)
+/// work per symbol with O(k·W) memory. Coverage rationale: any anomalous
+/// interval of length L is contained in the dyadic suffix of length
+/// 2^⌈lg L⌉ evaluated at the interval's last position, which dilutes its
+/// composition by at most a factor ~2 in length — so a planted anomaly
+/// strong enough to clear ~2× dilution is guaranteed to be seen. For exact
+/// offline mining use FindAboveThreshold.
+class StreamingDetector {
+ public:
+  struct Options {
+    int64_t max_window = 4096;  // Longest suffix window monitored.
+    double alpha0 = 0.0;        // Alarm when X² > alpha0.
+  };
+
+  /// An alarm raised at stream position `end` (exclusive; i.e. after
+  /// `end` symbols total) for the suffix window [end - length, end).
+  struct Alarm {
+    int64_t end = 0;
+    int64_t length = 0;
+    double chi_square = 0.0;
+  };
+
+  /// Fails if max_window < 1 or alpha0 < 0.
+  static Result<StreamingDetector> Make(const seq::MultinomialModel& model,
+                                        Options options);
+
+  /// Feeds one symbol; returns the strongest alarming suffix window ending
+  /// here, if any window's X² exceeds alpha0.
+  std::optional<Alarm> Append(uint8_t symbol);
+
+  /// Total symbols consumed.
+  int64_t position() const { return position_; }
+
+  /// The window lengths evaluated at each step (dyadic + max).
+  const std::vector<int64_t>& scales() const { return scales_; }
+
+ private:
+  StreamingDetector(const seq::MultinomialModel& model, Options options);
+
+  ChiSquareContext context_;
+  Options options_;
+  std::vector<int64_t> scales_;
+  // Ring of cumulative counts: cumulative_[t % (W+1)] = counts of the
+  // first t symbols, valid for t in [position_ - W, position_].
+  std::vector<std::vector<int64_t>> cumulative_;
+  std::vector<int64_t> scratch_;
+  int64_t position_ = 0;
+};
+
+}  // namespace core
+}  // namespace sigsub
+
+#endif  // SIGSUB_CORE_STREAMING_H_

@@ -1,0 +1,106 @@
+#include "core/top_t.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/str_util.h"
+#include "core/chain_cover.h"
+
+namespace sigsub {
+namespace core {
+namespace {
+
+struct MinByChiSquare {
+  bool operator()(const Substring& a, const Substring& b) const {
+    return a.chi_square > b.chi_square;
+  }
+};
+
+}  // namespace
+
+TopTCollector::TopTCollector(int64_t t) : t_(t) {
+  SIGSUB_CHECK(t >= 1);
+  heap_.reserve(static_cast<size_t>(std::min<int64_t>(t, 1 << 20)));
+}
+
+double TopTCollector::budget() const {
+  if (static_cast<int64_t>(heap_.size()) < t_) return 0.0;
+  return heap_.front().chi_square;
+}
+
+bool TopTCollector::Offer(const Substring& candidate) {
+  if (!(candidate.chi_square > budget())) return false;
+  if (static_cast<int64_t>(heap_.size()) == t_) {
+    std::pop_heap(heap_.begin(), heap_.end(), MinByChiSquare());
+    heap_.pop_back();
+  }
+  heap_.push_back(candidate);
+  std::push_heap(heap_.begin(), heap_.end(), MinByChiSquare());
+  return true;
+}
+
+std::vector<Substring> TopTCollector::TakeSortedDescending() {
+  std::vector<Substring> out = std::move(heap_);
+  heap_.clear();
+  std::sort(out.begin(), out.end(), [](const Substring& a, const Substring& b) {
+    return a.chi_square > b.chi_square;
+  });
+  return out;
+}
+
+TopTResult FindTopT(const seq::PrefixCounts& counts,
+                    const ChiSquareContext& context, int64_t t) {
+  SIGSUB_CHECK(context.alphabet_size() == counts.alphabet_size());
+  SIGSUB_CHECK(t >= 1);
+  const int64_t n = counts.sequence_size();
+  TopTResult result;
+  TopTCollector collector(t);
+  SkipSolver solver(context);
+  std::vector<int64_t> scratch(context.alphabet_size());
+
+  for (int64_t i = n - 1; i >= 0; --i) {
+    ++result.stats.start_positions;
+    int64_t end = i + 1;
+    while (end <= n) {
+      counts.FillCounts(i, end, scratch);
+      int64_t l = end - i;
+      double x2 = context.Evaluate(scratch, l);
+      ++result.stats.positions_examined;
+      collector.Offer(Substring{i, end, x2});
+      // Skip against the t-th best value (paper's X²_max_t), re-read after
+      // the offer so insertions tighten the budget immediately.
+      int64_t skip = solver.MaxSafeExtension(scratch, l, x2, collector.budget());
+      if (skip > 0) {
+        ++result.stats.skip_events;
+        int64_t last_skipped = std::min(end + skip, n);
+        if (last_skipped > end) {
+          result.stats.positions_skipped += last_skipped - end;
+        }
+      }
+      end += skip + 1;
+    }
+  }
+  result.top = collector.TakeSortedDescending();
+  return result;
+}
+
+Result<TopTResult> FindTopT(const seq::Sequence& sequence,
+                            const seq::MultinomialModel& model, int64_t t) {
+  if (sequence.empty()) {
+    return Status::InvalidArgument("sequence is empty; it has no substrings");
+  }
+  if (sequence.alphabet_size() != model.alphabet_size()) {
+    return Status::InvalidArgument(
+        StrCat("sequence alphabet size (", sequence.alphabet_size(),
+               ") != model alphabet size (", model.alphabet_size(), ")"));
+  }
+  if (t < 1) {
+    return Status::InvalidArgument(StrCat("t must be >= 1, got ", t));
+  }
+  seq::PrefixCounts counts(sequence);
+  ChiSquareContext context(model);
+  return FindTopT(counts, context, t);
+}
+
+}  // namespace core
+}  // namespace sigsub

@@ -1,0 +1,56 @@
+#ifndef SIGSUB_CORE_TOP_T_H_
+#define SIGSUB_CORE_TOP_T_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/chi_square.h"
+#include "core/scan_types.h"
+#include "seq/model.h"
+#include "seq/prefix_counts.h"
+#include "seq/sequence.h"
+
+namespace sigsub {
+namespace core {
+
+/// Min-heap of the best t substrings seen so far, mirroring the heap of
+/// Algorithm 2. The paper initializes the heap with t zero entries, so a
+/// substring must score strictly above 0 to enter; consequently fewer than
+/// t substrings may be returned when the string has few positive-X²
+/// substrings. `budget()` is the paper's X²_max_t: the value a new
+/// substring must beat, and the bound handed to the chain-cover skip.
+class TopTCollector {
+ public:
+  explicit TopTCollector(int64_t t);
+
+  int64_t capacity() const { return t_; }
+  int64_t size() const { return static_cast<int64_t>(heap_.size()); }
+  double budget() const;
+
+  /// Inserts `candidate` if it beats the budget; returns true if inserted.
+  bool Offer(const Substring& candidate);
+
+  /// Destructively extracts the collected substrings in descending X²
+  /// order.
+  std::vector<Substring> TakeSortedDescending();
+
+ private:
+  int64_t t_;
+  std::vector<Substring> heap_;  // Min-heap on chi_square.
+};
+
+/// Problem 2 (Top-t substrings): the t substrings with the highest X²
+/// values, in descending order. Paper Algorithm 2; O((k + log t)·n^{3/2})
+/// with high probability.
+Result<TopTResult> FindTopT(const seq::Sequence& sequence,
+                            const seq::MultinomialModel& model, int64_t t);
+
+/// Kernel variant (see FindMss).
+TopTResult FindTopT(const seq::PrefixCounts& counts,
+                    const ChiSquareContext& context, int64_t t);
+
+}  // namespace core
+}  // namespace sigsub
+
+#endif  // SIGSUB_CORE_TOP_T_H_

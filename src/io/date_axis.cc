@@ -1,0 +1,99 @@
+#include "io/date_axis.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace sigsub {
+namespace io {
+
+std::string Date::ToString() const {
+  return StrFormat("%02d-%02d-%04d", day, month, year);
+}
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  SIGSUB_CHECK(month >= 1 && month <= 12);
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+Date AddDays(Date d, int64_t days) {
+  SIGSUB_CHECK(days >= 0);
+  while (days > 0) {
+    int remaining_in_month = DaysInMonth(d.year, d.month) - d.day;
+    if (days <= remaining_in_month) {
+      d.day += static_cast<int>(days);
+      return d;
+    }
+    days -= remaining_in_month + 1;
+    d.day = 1;
+    if (++d.month > 12) {
+      d.month = 1;
+      ++d.year;
+    }
+  }
+  return d;
+}
+
+int DayOfWeek(const Date& d) {
+  // Sakamoto's algorithm, shifted so 0 = Monday.
+  static const int kOffsets[] = {0, 3, 2, 5, 0, 3, 5, 1, 4, 6, 2, 4};
+  int y = d.year;
+  if (d.month < 3) y -= 1;
+  int dow_sun0 =
+      (y + y / 4 - y / 100 + y / 400 + kOffsets[d.month - 1] + d.day) % 7;
+  return (dow_sun0 + 6) % 7;
+}
+
+DateAxis DateAxis::SportsSchedule(int start_year, int64_t num_games,
+                                  int games_per_year) {
+  SIGSUB_CHECK(num_games >= 0);
+  SIGSUB_CHECK(games_per_year >= 1);
+  std::vector<Date> dates;
+  dates.reserve(static_cast<size_t>(num_games));
+  // Season runs April 15 to roughly October 1: ~170 days.
+  const int season_days = 170;
+  int year = start_year;
+  int64_t produced = 0;
+  while (produced < num_games) {
+    for (int g = 0; g < games_per_year && produced < num_games; ++g) {
+      int64_t offset = static_cast<int64_t>(g) * season_days /
+                       std::max(1, games_per_year - 1);
+      dates.push_back(AddDays(Date{year, 4, 15}, offset));
+      ++produced;
+    }
+    ++year;
+  }
+  return DateAxis(std::move(dates));
+}
+
+DateAxis DateAxis::TradingDays(Date start, int64_t num_days) {
+  SIGSUB_CHECK(num_days >= 0);
+  std::vector<Date> dates;
+  dates.reserve(static_cast<size_t>(num_days));
+  Date d = start;
+  while (static_cast<int64_t>(dates.size()) < num_days) {
+    if (DayOfWeek(d) < 5) dates.push_back(d);  // Monday..Friday.
+    d = AddDays(d, 1);
+  }
+  return DateAxis(std::move(dates));
+}
+
+int64_t DateAxis::LowerBound(const Date& d) const {
+  auto before = [](const Date& a, const Date& b) {
+    if (a.year != b.year) return a.year < b.year;
+    if (a.month != b.month) return a.month < b.month;
+    return a.day < b.day;
+  };
+  auto it = std::lower_bound(dates_.begin(), dates_.end(), d, before);
+  return it - dates_.begin();
+}
+
+}  // namespace io
+}  // namespace sigsub

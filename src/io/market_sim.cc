@@ -1,0 +1,173 @@
+#include "io/market_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "common/check.h"
+#include "common/str_util.h"
+#include "seq/rng.h"
+
+namespace sigsub {
+namespace io {
+namespace {
+
+Status ValidateRegimes(const MarketConfig& config) {
+  std::vector<MarketRegime> regimes = config.regimes;
+  std::sort(regimes.begin(), regimes.end(),
+            [](const MarketRegime& a, const MarketRegime& b) {
+              return a.start_day < b.start_day;
+            });
+  int64_t prev_end = 0;
+  for (const MarketRegime& regime : regimes) {
+    if (regime.start_day < 0 || regime.num_days <= 0) {
+      return Status::InvalidArgument(
+          StrCat("regime '", regime.label, "' has invalid bounds [",
+                 regime.start_day, ", +", regime.num_days, ")"));
+    }
+    if (regime.start_day < prev_end) {
+      return Status::InvalidArgument(
+          StrCat("regime '", regime.label, "' overlaps the previous regime"));
+    }
+    if (regime.start_day + regime.num_days > config.num_days) {
+      return Status::InvalidArgument(
+          StrCat("regime '", regime.label, "' extends past the series (",
+                 config.num_days, " days)"));
+    }
+    if (!(regime.up_prob > 0.0 && regime.up_prob < 1.0)) {
+      return Status::InvalidArgument(
+          StrCat("regime '", regime.label, "' up_prob must be in (0,1), got ",
+                 regime.up_prob));
+    }
+    prev_end = regime.start_day + regime.num_days;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MarketSeries> MarketSeries::Generate(const MarketConfig& config) {
+  if (config.num_days <= 0) {
+    return Status::InvalidArgument(
+        StrCat("num_days must be positive, got ", config.num_days));
+  }
+  if (!(config.base_up_prob > 0.0 && config.base_up_prob < 1.0)) {
+    return Status::InvalidArgument(
+        StrCat("base_up_prob must be in (0,1), got ", config.base_up_prob));
+  }
+  SIGSUB_RETURN_IF_ERROR(ValidateRegimes(config));
+
+  std::vector<double> up_prob(static_cast<size_t>(config.num_days),
+                              config.base_up_prob);
+  for (const MarketRegime& regime : config.regimes) {
+    for (int64_t d = regime.start_day; d < regime.start_day + regime.num_days;
+         ++d) {
+      up_prob[static_cast<size_t>(d)] = regime.up_prob;
+    }
+  }
+  seq::Rng rng(config.seed);
+  seq::Sequence updown(2);
+  updown.Reserve(config.num_days);
+  for (int64_t d = 0; d < config.num_days; ++d) {
+    updown.Append(rng.NextBernoulli(up_prob[static_cast<size_t>(d)]) ? 1 : 0);
+  }
+  DateAxis dates = DateAxis::TradingDays(config.start_date, config.num_days);
+  return MarketSeries(config, std::move(updown), std::move(dates));
+}
+
+namespace {
+
+/// Builds a config whose regimes are specified by calendar dates; indices
+/// are resolved against the trading-day axis.
+MarketSeries BuildNamedSeries(
+    MarketConfig config,
+    const std::vector<std::tuple<Date, Date, double, std::string>>& spans) {
+  DateAxis axis = DateAxis::TradingDays(config.start_date, config.num_days);
+  for (const auto& [from, to, up_prob, label] : spans) {
+    int64_t start = axis.LowerBound(from);
+    int64_t end = axis.LowerBound(to);
+    SIGSUB_CHECK(end > start);
+    config.regimes.push_back(MarketRegime{start, end - start, up_prob, label});
+  }
+  auto result = MarketSeries::Generate(config);
+  SIGSUB_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace
+
+MarketSeries MarketSeries::DowJones() {
+  MarketConfig config;
+  config.name = "Dow Jones";
+  config.start_date = Date{1928, 10, 1};
+  config.num_days = 20906;  // Paper: 20906 days since 1928.
+  config.base_up_prob = 0.52;
+  config.seed = 19281001;
+  return BuildNamedSeries(
+      config,
+      {
+          {{1929, 9, 19}, {1929, 11, 14}, 0.25, "1929 crash"},
+          {{1931, 2, 27}, {1932, 5, 4}, 0.38, "1931-32 depression slide"},
+          {{1954, 2, 24}, {1955, 12, 6}, 0.64, "1954-55 bull run"},
+          {{1958, 6, 25}, {1959, 8, 4}, 0.655, "1958-59 bull run"},
+      });
+}
+
+MarketSeries MarketSeries::SP500() {
+  MarketConfig config;
+  config.name = "S&P 500";
+  config.start_date = Date{1950, 1, 3};
+  config.num_days = 15600;  // Paper: 15600 days since 1950.
+  config.base_up_prob = 0.53;
+  config.seed = 19500103;
+  return BuildNamedSeries(
+      config,
+      {
+          {{1953, 9, 15}, {1955, 9, 20}, 0.63, "1953-55 bull run"},
+          {{1973, 10, 26}, {1974, 11, 21}, 0.36, "1973-74 bear market"},
+          {{1994, 12, 9}, {1995, 5, 17}, 0.73, "1994-95 rally"},
+          {{2000, 9, 5}, {2003, 3, 12}, 0.475, "2000-03 dot-com bust"},
+      });
+}
+
+MarketSeries MarketSeries::Ibm() {
+  MarketConfig config;
+  config.name = "IBM";
+  config.start_date = Date{1962, 1, 2};
+  config.num_days = 12517;  // Paper: 12517 days since 1962.
+  config.base_up_prob = 0.515;
+  config.seed = 19620102;
+  return BuildNamedSeries(
+      config,
+      {
+          {{1962, 10, 26}, {1968, 1, 26}, 0.557, "1962-68 growth era"},
+          {{1970, 8, 13}, {1970, 10, 6}, 0.78, "1970 rally"},
+          {{1973, 2, 22}, {1975, 8, 13}, 0.45, "1973-75 slide"},
+          {{2005, 3, 31}, {2005, 4, 20}, 0.10, "2005 drop"},
+      });
+}
+
+int64_t MarketSeries::UpDaysInRange(int64_t start, int64_t end) const {
+  SIGSUB_CHECK(start >= 0 && start <= end && end <= updown_.size());
+  int64_t ups = 0;
+  for (int64_t i = start; i < end; ++i) ups += updown_[i];
+  return ups;
+}
+
+double MarketSeries::EmpiricalUpRate() const {
+  SIGSUB_CHECK(updown_.size() > 0);
+  return static_cast<double>(UpDaysInRange(0, updown_.size())) /
+         static_cast<double>(updown_.size());
+}
+
+double MarketSeries::PriceChangeInRange(int64_t start, int64_t end) const {
+  int64_t ups = UpDaysInRange(start, end);
+  int64_t downs = (end - start) - ups;
+  double m = config_.daily_move;
+  return std::exp(static_cast<double>(ups) * std::log1p(m) +
+                  static_cast<double>(downs) * std::log1p(-m)) -
+         1.0;
+}
+
+}  // namespace io
+}  // namespace sigsub

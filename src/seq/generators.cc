@@ -1,0 +1,79 @@
+#include "seq/generators.h"
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace sigsub {
+namespace seq {
+
+Sequence GenerateMultinomial(const MultinomialModel& model, int64_t n,
+                             Rng& rng) {
+  SIGSUB_CHECK(n >= 0);
+  Sequence seq(model.alphabet_size());
+  seq.Reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    seq.Append(model.SampleSymbol(rng.NextDouble()));
+  }
+  return seq;
+}
+
+Sequence GenerateNull(int k, int64_t n, Rng& rng) {
+  return GenerateMultinomial(MultinomialModel::Uniform(k), n, rng);
+}
+
+Sequence GenerateMarkov(const MarkovModel& model, int64_t n, Rng& rng) {
+  SIGSUB_CHECK(n >= 0);
+  Sequence seq(model.alphabet_size());
+  seq.Reserve(n);
+  if (n == 0) return seq;
+  uint8_t current = model.SampleInitial(rng.NextDouble());
+  seq.Append(current);
+  for (int64_t i = 1; i < n; ++i) {
+    current = model.SampleNext(current, rng.NextDouble());
+    seq.Append(current);
+  }
+  return seq;
+}
+
+Sequence GenerateBiasedBinary(double p_same, int64_t n, Rng& rng) {
+  return GenerateMarkov(MarkovModel::BiasedBinary(p_same), n, rng);
+}
+
+Result<Sequence> GenerateRegimes(int alphabet_size,
+                                 const std::vector<Regime>& regimes,
+                                 Rng& rng) {
+  if (alphabet_size < 2 || alphabet_size > 255) {
+    return Status::InvalidArgument(
+        StrCat("invalid alphabet size ", alphabet_size));
+  }
+  int64_t total = 0;
+  std::vector<MultinomialModel> models;
+  models.reserve(regimes.size());
+  for (size_t i = 0; i < regimes.size(); ++i) {
+    const Regime& regime = regimes[i];
+    if (regime.length < 0) {
+      return Status::InvalidArgument(
+          StrCat("regime ", i, " has negative length ", regime.length));
+    }
+    if (static_cast<int>(regime.probs.size()) != alphabet_size) {
+      return Status::InvalidArgument(
+          StrCat("regime ", i, " has ", regime.probs.size(),
+                 " probabilities, expected ", alphabet_size));
+    }
+    SIGSUB_ASSIGN_OR_RETURN(MultinomialModel model,
+                            MultinomialModel::Make(regime.probs));
+    models.push_back(std::move(model));
+    total += regime.length;
+  }
+  Sequence seq(alphabet_size);
+  seq.Reserve(total);
+  for (size_t i = 0; i < regimes.size(); ++i) {
+    for (int64_t j = 0; j < regimes[i].length; ++j) {
+      seq.Append(models[i].SampleSymbol(rng.NextDouble()));
+    }
+  }
+  return seq;
+}
+
+}  // namespace seq
+}  // namespace sigsub

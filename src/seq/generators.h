@@ -1,0 +1,50 @@
+#ifndef SIGSUB_SEQ_GENERATORS_H_
+#define SIGSUB_SEQ_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/model.h"
+#include "seq/rng.h"
+#include "seq/sequence.h"
+
+namespace sigsub {
+namespace seq {
+
+/// String generators for every family the paper evaluates (Section 7.1):
+/// the null model (uniform multinomial), arbitrary multinomial, geometric,
+/// harmonic ("Zapian"), first-order Markov, and the regime-switching
+/// generator used to plant ground-truth anomalies in the application
+/// benchmarks.
+
+/// i.i.d. draws from `model`.
+Sequence GenerateMultinomial(const MultinomialModel& model, int64_t n,
+                             Rng& rng);
+
+/// The paper's "null model" string: uniform probabilities over k symbols.
+Sequence GenerateNull(int k, int64_t n, Rng& rng);
+
+/// First-order Markov chain draws from `model`.
+Sequence GenerateMarkov(const MarkovModel& model, int64_t n, Rng& rng);
+
+/// Binary string from the defective-RNG model of the cryptology application
+/// (Section 7.4): Pr[S[i+1] == S[i]] = p_same.
+Sequence GenerateBiasedBinary(double p_same, int64_t n, Rng& rng);
+
+/// A segment of a regime-switching generation plan: `length` characters
+/// drawn i.i.d. from `probs` (must match the alphabet size of the plan).
+struct Regime {
+  int64_t length = 0;
+  std::vector<double> probs;
+};
+
+/// Concatenates i.i.d. segments with per-segment distributions; used to
+/// plant statistically significant substrings with known boundaries
+/// (application datasets, integration tests).
+Result<Sequence> GenerateRegimes(int alphabet_size,
+                                 const std::vector<Regime>& regimes, Rng& rng);
+
+}  // namespace seq
+}  // namespace sigsub
+
+#endif  // SIGSUB_SEQ_GENERATORS_H_

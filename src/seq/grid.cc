@@ -1,0 +1,110 @@
+#include "seq/grid.h"
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace sigsub {
+namespace seq {
+
+Grid::Grid(int alphabet_size, int64_t rows, int64_t cols)
+    : alphabet_size_(alphabet_size),
+      rows_(rows),
+      cols_(cols),
+      cells_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0) {}
+
+Result<Grid> Grid::Make(int alphabet_size, int64_t rows, int64_t cols) {
+  if (alphabet_size < 2 || alphabet_size > 255) {
+    return Status::InvalidArgument(
+        StrCat("invalid alphabet size ", alphabet_size));
+  }
+  if (rows <= 0 || cols <= 0) {
+    return Status::InvalidArgument(
+        StrCat("grid dimensions must be positive, got ", rows, "x", cols));
+  }
+  return Grid(alphabet_size, rows, cols);
+}
+
+Grid Grid::GenerateNull(const MultinomialModel& model, int64_t rows,
+                        int64_t cols, Rng& rng) {
+  SIGSUB_CHECK(rows > 0 && cols > 0);
+  Grid grid(model.alphabet_size(), rows, cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      grid.set(r, c, model.SampleSymbol(rng.NextDouble()));
+    }
+  }
+  return grid;
+}
+
+Result<Grid> Grid::GenerateWithPlantedRect(
+    const MultinomialModel& background, int64_t rows, int64_t cols,
+    int64_t row0, int64_t row1, int64_t col0, int64_t col1,
+    const std::vector<double>& anomaly_probs, Rng& rng) {
+  if (row0 < 0 || row0 >= row1 || row1 > rows || col0 < 0 || col0 >= col1 ||
+      col1 > cols) {
+    return Status::InvalidArgument(
+        StrCat("planted rectangle [", row0, ",", row1, ")x[", col0, ",",
+               col1, ") out of bounds for ", rows, "x", cols));
+  }
+  SIGSUB_ASSIGN_OR_RETURN(
+      MultinomialModel anomaly,
+      MultinomialModel::Make(std::vector<double>(anomaly_probs)));
+  if (anomaly.alphabet_size() != background.alphabet_size()) {
+    return Status::InvalidArgument("anomaly alphabet size mismatch");
+  }
+  Grid grid = GenerateNull(background, rows, cols, rng);
+  for (int64_t r = row0; r < row1; ++r) {
+    for (int64_t c = col0; c < col1; ++c) {
+      grid.set(r, c, anomaly.SampleSymbol(rng.NextDouble()));
+    }
+  }
+  return grid;
+}
+
+void Grid::set(int64_t r, int64_t c, uint8_t symbol) {
+  SIGSUB_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  SIGSUB_DCHECK(symbol < alphabet_size_);
+  cells_[r * cols_ + c] = symbol;
+}
+
+GridPrefixCounts::GridPrefixCounts(const Grid& grid)
+    : alphabet_size_(grid.alphabet_size()),
+      rows_(grid.rows()),
+      cols_(grid.cols()) {
+  counts_.resize(alphabet_size_);
+  for (int s = 0; s < alphabet_size_; ++s) {
+    counts_[s].assign(static_cast<size_t>((rows_ + 1) * (cols_ + 1)), 0);
+  }
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t c = 0; c < cols_; ++c) {
+      for (int s = 0; s < alphabet_size_; ++s) {
+        counts_[s][Index(r + 1, c + 1)] =
+            counts_[s][Index(r, c + 1)] + counts_[s][Index(r + 1, c)] -
+            counts_[s][Index(r, c)];
+      }
+      ++counts_[grid.at(r, c)][Index(r + 1, c + 1)];
+    }
+  }
+}
+
+int64_t GridPrefixCounts::CountInRect(int symbol, int64_t row0, int64_t row1,
+                                      int64_t col0, int64_t col1) const {
+  SIGSUB_DCHECK(symbol >= 0 && symbol < alphabet_size_);
+  SIGSUB_DCHECK(row0 >= 0 && row0 <= row1 && row1 <= rows_);
+  SIGSUB_DCHECK(col0 >= 0 && col0 <= col1 && col1 <= cols_);
+  const std::vector<int64_t>& plane = counts_[symbol];
+  return plane[Index(row1, col1)] - plane[Index(row0, col1)] -
+         plane[Index(row1, col0)] + plane[Index(row0, col0)];
+}
+
+void GridPrefixCounts::FillCounts(int64_t row0, int64_t row1, int64_t col0,
+                                  int64_t col1,
+                                  std::span<int64_t> out) const {
+  SIGSUB_DCHECK(static_cast<int>(out.size()) == alphabet_size_);
+  for (int s = 0; s < alphabet_size_; ++s) {
+    out[s] = CountInRect(s, row0, row1, col0, col1);
+  }
+}
+
+}  // namespace seq
+}  // namespace sigsub

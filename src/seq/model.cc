@@ -1,0 +1,203 @@
+#include "seq/model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace sigsub {
+namespace seq {
+namespace {
+
+Status ValidateDistribution(std::span<const double> probs,
+                            std::string_view what) {
+  if (probs.size() < 2) {
+    return Status::InvalidArgument(
+        StrCat(what, " needs at least 2 entries, got ", probs.size()));
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    if (!(probs[i] > 0.0)) {
+      return Status::InvalidArgument(StrCat(
+          what, " entries must be strictly positive; entry ", i, " is ",
+          probs[i]));
+    }
+    total += probs[i];
+  }
+  if (std::fabs(total - 1.0) > 1e-9) {
+    return Status::InvalidArgument(
+        StrCat(what, " must sum to 1, got ", total));
+  }
+  return Status::OK();
+}
+
+std::vector<double> CumulativeOf(std::span<const double> probs) {
+  std::vector<double> cum(probs.size());
+  double running = 0.0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    running += probs[i];
+    cum[i] = running;
+  }
+  cum.back() = 1.0;  // Guard against rounding drift at the top.
+  return cum;
+}
+
+uint8_t SampleFromCumulative(std::span<const double> cum, double u) {
+  // Binary search the first index with cum[i] > u.
+  size_t lo = 0, hi = cum.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (cum[mid] > u) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return static_cast<uint8_t>(lo);
+}
+
+}  // namespace
+
+MultinomialModel::MultinomialModel(std::vector<double> probs)
+    : probs_(std::move(probs)), cumulative_(CumulativeOf(probs_)) {}
+
+Result<MultinomialModel> MultinomialModel::Make(std::vector<double> probs) {
+  SIGSUB_RETURN_IF_ERROR(ValidateDistribution(probs, "probability vector"));
+  if (probs.size() > 255) {
+    return Status::InvalidArgument(
+        StrCat("alphabet too large: ", probs.size(), " > 255"));
+  }
+  return MultinomialModel(std::move(probs));
+}
+
+MultinomialModel MultinomialModel::Uniform(int k) {
+  SIGSUB_CHECK(k >= 2 && k <= 255);
+  return MultinomialModel(std::vector<double>(k, 1.0 / k));
+}
+
+MultinomialModel MultinomialModel::Geometric(int k) {
+  SIGSUB_CHECK(k >= 2 && k <= 62);  // 2^-62 underflows usefulness.
+  std::vector<double> probs(k);
+  double total = 0.0;
+  double w = 1.0;
+  for (int i = 0; i < k; ++i) {
+    w /= 2.0;
+    probs[i] = w;
+    total += w;
+  }
+  for (double& p : probs) p /= total;
+  return MultinomialModel(std::move(probs));
+}
+
+MultinomialModel MultinomialModel::Harmonic(int k) {
+  SIGSUB_CHECK(k >= 2 && k <= 255);
+  std::vector<double> probs(k);
+  double total = 0.0;
+  for (int i = 0; i < k; ++i) {
+    probs[i] = 1.0 / static_cast<double>(i + 1);
+    total += probs[i];
+  }
+  for (double& p : probs) p /= total;
+  return MultinomialModel(std::move(probs));
+}
+
+uint8_t MultinomialModel::SampleSymbol(double u) const {
+  SIGSUB_DCHECK(u >= 0.0 && u < 1.0);
+  return SampleFromCumulative(cumulative_, u);
+}
+
+MarkovModel::MarkovModel(int k, std::vector<double> transitions,
+                         std::vector<double> initial)
+    : k_(k),
+      transitions_(std::move(transitions)),
+      row_cumulative_(transitions_.size()),
+      initial_(std::move(initial)),
+      initial_cumulative_(CumulativeOf(initial_)) {
+  for (int i = 0; i < k_; ++i) {
+    double running = 0.0;
+    for (int j = 0; j < k_; ++j) {
+      running += transitions_[i * k_ + j];
+      row_cumulative_[i * k_ + j] = running;
+    }
+    row_cumulative_[i * k_ + (k_ - 1)] = 1.0;
+  }
+}
+
+Result<MarkovModel> MarkovModel::Make(int k, std::vector<double> transitions,
+                                      std::vector<double> initial) {
+  if (k < 2 || k > 255) {
+    return Status::InvalidArgument(StrCat("invalid alphabet size ", k));
+  }
+  if (transitions.size() != static_cast<size_t>(k) * k) {
+    return Status::InvalidArgument(
+        StrCat("transition matrix must have ", k * k, " entries, got ",
+               transitions.size()));
+  }
+  if (initial.size() != static_cast<size_t>(k)) {
+    return Status::InvalidArgument(
+        StrCat("initial distribution must have ", k, " entries, got ",
+               initial.size()));
+  }
+  SIGSUB_RETURN_IF_ERROR(
+      ValidateDistribution(initial, "initial distribution"));
+  for (int i = 0; i < k; ++i) {
+    SIGSUB_RETURN_IF_ERROR(ValidateDistribution(
+        std::span<const double>(transitions).subspan(i * k, k),
+        StrCat("transition row ", i)));
+  }
+  return MarkovModel(k, std::move(transitions), std::move(initial));
+}
+
+MarkovModel MarkovModel::PaperFamily(int k) {
+  SIGSUB_CHECK(k >= 2 && k <= 62);
+  std::vector<double> transitions(static_cast<size_t>(k) * k);
+  for (int i = 0; i < k; ++i) {
+    double total = 0.0;
+    for (int j = 0; j < k; ++j) {
+      int d = ((i - j) % k + k) % k;
+      transitions[i * k + j] = std::pow(2.0, -static_cast<double>(d));
+      total += transitions[i * k + j];
+    }
+    for (int j = 0; j < k; ++j) transitions[i * k + j] /= total;
+  }
+  std::vector<double> initial(k, 1.0 / k);
+  return MarkovModel(k, std::move(transitions), std::move(initial));
+}
+
+MarkovModel MarkovModel::BiasedBinary(double p_same) {
+  SIGSUB_CHECK(p_same > 0.0 && p_same < 1.0);
+  std::vector<double> transitions = {p_same, 1.0 - p_same,  //
+                                     1.0 - p_same, p_same};
+  std::vector<double> initial = {0.5, 0.5};
+  return MarkovModel(2, std::move(transitions), std::move(initial));
+}
+
+uint8_t MarkovModel::SampleInitial(double u) const {
+  return SampleFromCumulative(initial_cumulative_, u);
+}
+
+uint8_t MarkovModel::SampleNext(uint8_t current, double u) const {
+  SIGSUB_DCHECK(current < k_);
+  return SampleFromCumulative(
+      std::span<const double>(row_cumulative_).subspan(current * k_, k_), u);
+}
+
+std::vector<double> MarkovModel::StationaryDistribution() const {
+  std::vector<double> pi(initial_);
+  std::vector<double> next(k_);
+  for (int iter = 0; iter < 10000; ++iter) {
+    for (int j = 0; j < k_; ++j) {
+      double sum = 0.0;
+      for (int i = 0; i < k_; ++i) sum += pi[i] * transitions_[i * k_ + j];
+      next[j] = sum;
+    }
+    double diff = 0.0;
+    for (int j = 0; j < k_; ++j) diff += std::fabs(next[j] - pi[j]);
+    pi.swap(next);
+    if (diff < 1e-14) break;
+  }
+  return pi;
+}
+
+}  // namespace seq
+}  // namespace sigsub

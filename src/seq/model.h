@@ -1,0 +1,95 @@
+#ifndef SIGSUB_SEQ_MODEL_H_
+#define SIGSUB_SEQ_MODEL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sigsub {
+namespace seq {
+
+/// The memoryless Bernoulli (multinomial) null model of the paper: each
+/// letter is drawn i.i.d. from P = {p_1..p_k}, Σ p_i = 1, p_i > 0.
+class MultinomialModel {
+ public:
+  /// Validates and normalizes nothing: `probs` must already sum to 1 within
+  /// 1e-9 and be strictly positive.
+  static Result<MultinomialModel> Make(std::vector<double> probs);
+
+  /// Uniform model over k symbols (the paper's "null model" strings).
+  static MultinomialModel Uniform(int k);
+
+  /// Geometric model: p_i ∝ 2^{-i} (paper Section 7.1.2(a)).
+  static MultinomialModel Geometric(int k);
+
+  /// Harmonic / Zipf model: p_i ∝ 1/i (paper Section 7.1.2(b), the figure's
+  /// "Zapian" label).
+  static MultinomialModel Harmonic(int k);
+
+  int alphabet_size() const { return static_cast<int>(probs_.size()); }
+  std::span<const double> probs() const { return probs_; }
+  double prob(int symbol) const { return probs_[symbol]; }
+
+  /// Cumulative probabilities, cum[i] = p_0 + ... + p_i (cum[k-1] == 1).
+  std::span<const double> cumulative() const { return cumulative_; }
+
+  /// Maps u in [0,1) to a symbol by inverse-CDF lookup.
+  uint8_t SampleSymbol(double u) const;
+
+ private:
+  explicit MultinomialModel(std::vector<double> probs);
+
+  std::vector<double> probs_;
+  std::vector<double> cumulative_;
+};
+
+/// First-order Markov chain over k symbols. Used for the paper's "Markov
+/// string" family (transition probability of a_j following a_i proportional
+/// to 1/2^{(i-j) mod k}) and for the biased random-number-generator model of
+/// the cryptology application (Section 7.4).
+class MarkovModel {
+ public:
+  /// `transitions` is row-major k×k; each row must sum to 1 within 1e-9.
+  /// `initial` is the distribution of the first character.
+  static Result<MarkovModel> Make(int k, std::vector<double> transitions,
+                                  std::vector<double> initial);
+
+  /// The paper's Markov family: T[i][j] ∝ 1/2^{(i-j) mod k}, uniform start.
+  static MarkovModel PaperFamily(int k);
+
+  /// Binary RNG model with Pr[next == current] = p_same (paper Table 2).
+  static MarkovModel BiasedBinary(double p_same);
+
+  int alphabet_size() const { return k_; }
+  double transition(int from, int to) const {
+    return transitions_[from * k_ + to];
+  }
+  std::span<const double> initial() const { return initial_; }
+
+  /// Samples the first symbol from `u` in [0,1).
+  uint8_t SampleInitial(double u) const;
+  /// Samples the successor of `current` from `u` in [0,1).
+  uint8_t SampleNext(uint8_t current, double u) const;
+
+  /// Stationary distribution (power iteration); useful for choosing the
+  /// null-model P when scoring Markov-generated strings.
+  std::vector<double> StationaryDistribution() const;
+
+ private:
+  MarkovModel(int k, std::vector<double> transitions,
+              std::vector<double> initial);
+
+  int k_;
+  std::vector<double> transitions_;       // k*k row-major.
+  std::vector<double> row_cumulative_;    // k*k row-major cumsums.
+  std::vector<double> initial_;
+  std::vector<double> initial_cumulative_;
+};
+
+}  // namespace seq
+}  // namespace sigsub
+
+#endif  // SIGSUB_SEQ_MODEL_H_

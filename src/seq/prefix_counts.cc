@@ -1,0 +1,33 @@
+#include "seq/prefix_counts.h"
+
+#include "common/check.h"
+
+namespace sigsub {
+namespace seq {
+
+PrefixCounts::PrefixCounts(const Sequence& sequence)
+    : alphabet_size_(sequence.alphabet_size()), n_(sequence.size()) {
+  counts_.resize(alphabet_size_);
+  for (int c = 0; c < alphabet_size_; ++c) {
+    counts_[c].assign(static_cast<size_t>(n_) + 1, 0);
+  }
+  std::span<const uint8_t> symbols = sequence.symbols();
+  for (int64_t i = 0; i < n_; ++i) {
+    for (int c = 0; c < alphabet_size_; ++c) {
+      counts_[c][i + 1] = counts_[c][i];
+    }
+    ++counts_[symbols[i]][i + 1];
+  }
+}
+
+void PrefixCounts::FillCounts(int64_t start, int64_t end,
+                              std::span<int64_t> out) const {
+  SIGSUB_DCHECK(start >= 0 && start <= end && end <= n_);
+  SIGSUB_DCHECK(static_cast<int>(out.size()) == alphabet_size_);
+  for (int c = 0; c < alphabet_size_; ++c) {
+    out[c] = counts_[c][end] - counts_[c][start];
+  }
+}
+
+}  // namespace seq
+}  // namespace sigsub

@@ -1,0 +1,49 @@
+#ifndef SIGSUB_SEQ_PREFIX_COUNTS_H_
+#define SIGSUB_SEQ_PREFIX_COUNTS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "seq/sequence.h"
+
+namespace sigsub {
+namespace seq {
+
+/// The k count arrays of the paper (Section 2): counts_[c][i] is the number
+/// of occurrences of symbol c in S[0, i). Built in O(k·n), answers any
+/// substring count query in O(1) per character, which is what makes each
+/// examined position of the MSS scan O(k) instead of O(length).
+class PrefixCounts {
+ public:
+  explicit PrefixCounts(const Sequence& sequence);
+
+  int alphabet_size() const { return alphabet_size_; }
+  int64_t sequence_size() const { return n_; }
+
+  /// Occurrences of `symbol` in S[0, pos), 0 <= pos <= n.
+  int64_t PrefixCount(int symbol, int64_t pos) const {
+    return counts_[symbol][pos];
+  }
+
+  /// Occurrences of `symbol` in S[start, end).
+  int64_t CountInRange(int symbol, int64_t start, int64_t end) const {
+    return counts_[symbol][end] - counts_[symbol][start];
+  }
+
+  /// Fills `out` (size k) with the count vector of S[start, end).
+  void FillCounts(int64_t start, int64_t end, std::span<int64_t> out) const;
+
+  /// Row for one symbol (size n+1); exposed for kernels that stride rows.
+  std::span<const int64_t> Row(int symbol) const { return counts_[symbol]; }
+
+ private:
+  int alphabet_size_;
+  int64_t n_;
+  std::vector<std::vector<int64_t>> counts_;  // k rows of n+1 entries.
+};
+
+}  // namespace seq
+}  // namespace sigsub
+
+#endif  // SIGSUB_SEQ_PREFIX_COUNTS_H_

@@ -1,0 +1,51 @@
+#ifndef SIGSUB_SIGSUB_H_
+#define SIGSUB_SIGSUB_H_
+
+/// Umbrella header for the sigsub library: mining statistically significant
+/// substrings with the chi-square statistic (Sachan & Bhattacharya,
+/// VLDB 2012).
+///
+/// Typical use:
+///
+///   sigsub::seq::Rng rng(42);
+///   sigsub::seq::Sequence s = sigsub::seq::GenerateNull(2, 100000, rng);
+///   auto model = sigsub::seq::MultinomialModel::Uniform(2);
+///   auto mss = sigsub::core::FindMss(s, model);      // Problem 1
+///   auto top = sigsub::core::FindTopT(s, model, 10); // Problem 2
+///   double p = sigsub::core::SubstringPValue(mss->best.chi_square, 2);
+
+#include "core/agmm.h"
+#include "core/arlm.h"
+#include "core/blocked_scan.h"
+#include "core/chain_cover.h"
+#include "core/chi_square.h"
+#include "core/length_bounded.h"
+#include "core/markov_scan.h"
+#include "core/min_length.h"
+#include "core/mss.h"
+#include "core/mss_2d.h"
+#include "core/parallel.h"
+#include "core/streaming.h"
+#include "core/naive.h"
+#include "core/scan_types.h"
+#include "core/significance.h"
+#include "core/threshold.h"
+#include "core/top_disjoint.h"
+#include "core/top_t.h"
+#include "io/csv.h"
+#include "io/date_axis.h"
+#include "io/market_sim.h"
+#include "io/sports_sim.h"
+#include "io/string_codec.h"
+#include "io/table_writer.h"
+#include "seq/alphabet.h"
+#include "seq/generators.h"
+#include "seq/grid.h"
+#include "seq/model.h"
+#include "seq/prefix_counts.h"
+#include "seq/rng.h"
+#include "seq/sequence.h"
+#include "stats/chi_squared.h"
+#include "stats/count_statistics.h"
+
+#endif  // SIGSUB_SIGSUB_H_

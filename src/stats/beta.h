@@ -1,0 +1,19 @@
+#ifndef SIGSUB_STATS_BETA_H_
+#define SIGSUB_STATS_BETA_H_
+
+namespace sigsub {
+namespace stats {
+
+/// ln B(a, b) = ln Γ(a) + ln Γ(b) - ln Γ(a+b).
+double LogBeta(double a, double b);
+
+/// Regularized incomplete beta function I_x(a, b), the CDF of Beta(a, b)
+/// at x in [0, 1]. Computed with the Lentz continued fraction, using the
+/// symmetry I_x(a,b) = 1 - I_{1-x}(b,a) to stay in the fast-converging
+/// region.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+}  // namespace stats
+}  // namespace sigsub
+
+#endif  // SIGSUB_STATS_BETA_H_

@@ -1,0 +1,56 @@
+#include "stats/binomial.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "stats/beta.h"
+#include "stats/gamma.h"
+
+namespace sigsub {
+namespace stats {
+
+double LogBinomialCoefficient(int64_t n, int64_t y) {
+  SIGSUB_DCHECK(n >= 0 && y >= 0 && y <= n);
+  return LogGamma(static_cast<double>(n) + 1.0) -
+         LogGamma(static_cast<double>(y) + 1.0) -
+         LogGamma(static_cast<double>(n - y) + 1.0);
+}
+
+BinomialDistribution::BinomialDistribution(int64_t n, double p)
+    : n_(n), p_(p) {
+  SIGSUB_CHECK(n >= 0);
+  SIGSUB_CHECK(p >= 0.0 && p <= 1.0);
+}
+
+double BinomialDistribution::LogPmf(int64_t y) const {
+  if (y < 0 || y > n_) return -std::numeric_limits<double>::infinity();
+  if (p_ == 0.0) return y == 0 ? 0.0 : -std::numeric_limits<double>::infinity();
+  if (p_ == 1.0) return y == n_ ? 0.0 : -std::numeric_limits<double>::infinity();
+  return LogBinomialCoefficient(n_, y) + y * std::log(p_) +
+         (n_ - y) * std::log1p(-p_);
+}
+
+double BinomialDistribution::Pmf(int64_t y) const {
+  double lp = LogPmf(y);
+  return std::isinf(lp) ? 0.0 : std::exp(lp);
+}
+
+double BinomialDistribution::Cdf(int64_t y) const {
+  if (y < 0) return 0.0;
+  if (y >= n_) return 1.0;
+  // P(X <= y) = I_{1-p}(n-y, y+1).
+  return RegularizedIncompleteBeta(static_cast<double>(n_ - y),
+                                   static_cast<double>(y) + 1.0, 1.0 - p_);
+}
+
+double BinomialDistribution::Sf(int64_t y) const {
+  if (y < 0) return 1.0;
+  if (y >= n_) return 0.0;
+  // P(X > y) = I_p(y+1, n-y).
+  return RegularizedIncompleteBeta(static_cast<double>(y) + 1.0,
+                                   static_cast<double>(n_ - y), p_);
+}
+
+}  // namespace stats
+}  // namespace sigsub

@@ -1,0 +1,41 @@
+#ifndef SIGSUB_STATS_BINOMIAL_H_
+#define SIGSUB_STATS_BINOMIAL_H_
+
+#include <cstdint>
+
+namespace sigsub {
+namespace stats {
+
+/// Binomial(n, p) helpers. Character counts Y_i in the paper are binomial
+/// (paper Eq. 23); tests use these to validate generators and the
+/// normal-approximation regime (Theorem 2).
+class BinomialDistribution {
+ public:
+  BinomialDistribution(int64_t n, double p);
+
+  int64_t n() const { return n_; }
+  double p() const { return p_; }
+  double mean() const { return static_cast<double>(n_) * p_; }
+  double variance() const { return static_cast<double>(n_) * p_ * (1.0 - p_); }
+
+  /// ln P(X = y).
+  double LogPmf(int64_t y) const;
+  /// P(X = y).
+  double Pmf(int64_t y) const;
+  /// P(X <= y), via the regularized incomplete beta identity.
+  double Cdf(int64_t y) const;
+  /// P(X > y).
+  double Sf(int64_t y) const;
+
+ private:
+  int64_t n_;
+  double p_;
+};
+
+/// ln C(n, y).
+double LogBinomialCoefficient(int64_t n, int64_t y);
+
+}  // namespace stats
+}  // namespace sigsub
+
+#endif  // SIGSUB_STATS_BINOMIAL_H_

@@ -1,0 +1,89 @@
+#include "stats/exact_multinomial.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "common/str_util.h"
+#include "stats/count_statistics.h"
+#include "stats/gamma.h"
+
+namespace sigsub {
+namespace stats {
+namespace {
+
+constexpr int64_t kEnumerationBudget = 10'000'000;
+
+// Recursively enumerates compositions of `remaining` over positions
+// [index, k), accumulating probability of configurations at least as
+// extreme (by X²) as the observed statistic.
+void Enumerate(std::vector<int64_t>& counts, size_t index, int64_t remaining,
+               std::span<const double> probs, double observed_x2,
+               double* p_sum) {
+  if (index + 1 == counts.size()) {
+    counts[index] = remaining;
+    double x2 = PearsonChiSquare(counts, probs);
+    // Tolerance keeps "as extreme as observed" robust to rounding.
+    if (x2 >= observed_x2 - 1e-9) {
+      *p_sum += std::exp(LogMultinomialProbability(counts, probs));
+    }
+    return;
+  }
+  for (int64_t y = 0; y <= remaining; ++y) {
+    counts[index] = y;
+    Enumerate(counts, index + 1, remaining - y, probs, observed_x2, p_sum);
+  }
+}
+
+}  // namespace
+
+double LogMultinomialProbability(std::span<const int64_t> counts,
+                                 std::span<const double> probs) {
+  SIGSUB_DCHECK(counts.size() == probs.size());
+  int64_t l = 0;
+  for (int64_t y : counts) l += y;
+  double log_p = LogGamma(static_cast<double>(l) + 1.0);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    log_p += counts[i] * std::log(probs[i]) -
+             LogGamma(static_cast<double>(counts[i]) + 1.0);
+  }
+  return log_p;
+}
+
+int64_t MultinomialConfigurationCount(int64_t l, int k) {
+  SIGSUB_CHECK(l >= 0 && k >= 1);
+  // C(l + k - 1, k - 1) with overflow saturation.
+  int64_t result = 1;
+  for (int i = 1; i <= k - 1; ++i) {
+    // result *= (l + i); result /= i;  -- keep exact by multiplying first.
+    if (result > std::numeric_limits<int64_t>::max() / (l + i)) {
+      return std::numeric_limits<int64_t>::max();
+    }
+    result = result * (l + i) / i;
+  }
+  return result;
+}
+
+Result<double> ExactMultinomialPValue(std::span<const int64_t> observed,
+                                      std::span<const double> probs) {
+  SIGSUB_RETURN_IF_ERROR(ValidateCountsAndProbs(observed, probs));
+  int64_t l = 0;
+  for (int64_t y : observed) l += y;
+  int64_t configs = MultinomialConfigurationCount(l, observed.size());
+  if (configs > kEnumerationBudget) {
+    return Status::InvalidArgument(
+        StrCat("exact p-value enumeration needs ", configs,
+               " configurations; budget is ", kEnumerationBudget));
+  }
+  double observed_x2 = PearsonChiSquare(observed, probs);
+  std::vector<int64_t> counts(observed.size(), 0);
+  double p_sum = 0.0;
+  Enumerate(counts, 0, l, probs, observed_x2, &p_sum);
+  // Clamp tiny accumulation error into [0, 1].
+  return std::fmin(1.0, std::fmax(0.0, p_sum));
+}
+
+}  // namespace stats
+}  // namespace sigsub

@@ -1,0 +1,38 @@
+#ifndef SIGSUB_STATS_NORMAL_H_
+#define SIGSUB_STATS_NORMAL_H_
+
+namespace sigsub {
+namespace stats {
+
+/// The normal distribution N(mean, stddev²). Used by the paper's analysis
+/// (binomial→normal convergence, Theorem 2) and by generator tests.
+class NormalDistribution {
+ public:
+  NormalDistribution(double mean, double stddev);
+
+  double mean() const { return mean_; }
+  double stddev() const { return stddev_; }
+
+  double Pdf(double x) const;
+  double Cdf(double x) const;
+  double Sf(double x) const;
+
+  /// Quantile via the Acklam rational approximation refined with one
+  /// Halley step; |error| < 1e-9 over (0, 1).
+  double Quantile(double p) const;
+
+ private:
+  double mean_;
+  double stddev_;
+};
+
+/// Standard normal CDF Φ(z).
+double StandardNormalCdf(double z);
+
+/// Standard normal quantile Φ⁻¹(p), p in (0, 1).
+double StandardNormalQuantile(double p);
+
+}  // namespace stats
+}  // namespace sigsub
+
+#endif  // SIGSUB_STATS_NORMAL_H_

@@ -1,0 +1,174 @@
+#include "cli/cli.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "io/csv.h"
+
+namespace sigsub {
+namespace cli {
+namespace {
+
+TEST(ParseArgsTest, RequiresCommand) {
+  EXPECT_TRUE(ParseArgs({}).status().IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"bogus"}).status().IsInvalidArgument());
+}
+
+TEST(ParseArgsTest, RequiresInput) {
+  EXPECT_TRUE(ParseArgs({"mss"}).status().IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"mss", "--string=01", "--input=x"})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ParseArgsTest, ParsesFlags) {
+  auto options = ParseArgs({"topt", "--string=0110", "--t=5", "--disjoint",
+                            "--probs=0.25,0.75", "--alphabet=01",
+                            "--min-length=3", "--threads=2"});
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options->command, "topt");
+  EXPECT_EQ(options->input_text, "0110");
+  EXPECT_EQ(options->t, 5);
+  EXPECT_TRUE(options->disjoint);
+  EXPECT_EQ(options->probs, (std::vector<double>{0.25, 0.75}));
+  EXPECT_EQ(options->alphabet, "01");
+  EXPECT_EQ(options->min_length, 3);
+  EXPECT_EQ(options->threads, 2);
+}
+
+TEST(ParseArgsTest, RejectsMalformedValues) {
+  EXPECT_TRUE(ParseArgs({"mss", "--string=01", "--t=abc"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"mss", "--string=01", "--probs=0.5,x"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"mss", "--string=01", "--bogus=1"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"mss", "string=01"}).status().IsInvalidArgument());
+}
+
+TEST(RunTest, MssOnLiteralString) {
+  auto options = ParseArgs({"mss", "--string=0101011111111110101"});
+  ASSERT_TRUE(options.ok());
+  auto report = cli::Run(options.value());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // The run of ones must be the reported window.
+  EXPECT_NE(report->find("111111111"), std::string::npos);
+  EXPECT_NE(report->find("X2"), std::string::npos);
+}
+
+TEST(RunTest, InfersAlphabetFromInput) {
+  auto options = ParseArgs({"mss", "--string=acgtacgtaaaaaaa"});
+  ASSERT_TRUE(options.ok());
+  auto report = cli::Run(options.value());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("k = 4"), std::string::npos);
+}
+
+TEST(RunTest, ExplicitProbsChangeScores) {
+  auto uniform = cli::Run(ParseArgs({"score", "--string=1111100000",
+                                "--start=0", "--end=5"})
+                         .value());
+  auto skewed = cli::Run(ParseArgs({"score", "--string=1111100000",
+                               "--probs=0.9,0.1", "--start=0", "--end=5"})
+                        .value());
+  ASSERT_TRUE(uniform.ok());
+  ASSERT_TRUE(skewed.ok());
+  EXPECT_NE(*uniform, *skewed);
+}
+
+TEST(RunTest, ThresholdFromPValue) {
+  auto options =
+      ParseArgs({"threshold", "--string=0101010111111111111111010101",
+                 "--pvalue=0.001"});
+  ASSERT_TRUE(options.ok());
+  auto report = cli::Run(options.value());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("alpha0"), std::string::npos);
+}
+
+TEST(RunTest, ThresholdRequiresAlphaOrPValue) {
+  auto options = ParseArgs({"threshold", "--string=0101"});
+  ASSERT_TRUE(options.ok());
+  EXPECT_TRUE(cli::Run(options.value()).status().IsInvalidArgument());
+}
+
+TEST(RunTest, ToptDisjointReturnsRankedRows) {
+  auto options = ParseArgs(
+      {"topt", "--string=000000001111111100000000111111110000000", "--t=2",
+       "--disjoint", "--min-length=4"});
+  ASSERT_TRUE(options.ok());
+  auto report = cli::Run(options.value());
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("rank"), std::string::npos);
+  EXPECT_NE(report->find("1 "), std::string::npos);
+}
+
+TEST(RunTest, MinlenRespectsFloor) {
+  auto options = ParseArgs(
+      {"minlen", "--string=01010111111010101010101010", "--min-length=10"});
+  ASSERT_TRUE(options.ok());
+  auto report = cli::Run(options.value());
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("length"), std::string::npos);
+}
+
+TEST(RunTest, ScoreValidatesBounds) {
+  auto options =
+      ParseArgs({"score", "--string=0101", "--start=2", "--end=9"});
+  ASSERT_TRUE(options.ok());
+  EXPECT_TRUE(cli::Run(options.value()).status().IsOutOfRange());
+}
+
+TEST(RunTest, ReadsInputFromFile) {
+  std::string path = ::testing::TempDir() + "/sigsub_cli_input.txt";
+  ASSERT_TRUE(io::WriteTextFile(path, "00000111111111110000\n").ok());
+  auto options = ParseArgs({"mss", std::string("--input=") + path});
+  ASSERT_TRUE(options.ok());
+  auto report = cli::Run(options.value());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("n = 20"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(RunTest, MissingFileIsIOError) {
+  auto options = ParseArgs({"mss", "--input=/no/such/file"});
+  ASSERT_TRUE(options.ok());
+  EXPECT_TRUE(cli::Run(options.value()).status().IsIOError());
+}
+
+TEST(RunTest, EmptyStringRejected) {
+  auto options = ParseArgs({"mss", "--string="});
+  ASSERT_TRUE(options.ok());
+  EXPECT_TRUE(cli::Run(options.value()).status().IsInvalidArgument());
+}
+
+TEST(RunTest, ParallelMssMatchesDefault) {
+  std::string input = "--string=01101010111111111101010101010010101";
+  auto single = cli::Run(ParseArgs({"mss", input, "--threads=1"}).value());
+  auto multi = cli::Run(ParseArgs({"mss", input, "--threads=4"}).value());
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(multi.ok());
+  // The reported substring (and hence the report up to the work counter,
+  // which legitimately differs across thread counts) must agree: this
+  // input has a unique maximum.
+  auto table_part = [](const std::string& report) {
+    return report.substr(0, report.find("examined"));
+  };
+  EXPECT_EQ(table_part(*single), table_part(*multi));
+}
+
+TEST(UsageTest, MentionsAllCommands) {
+  std::string usage = UsageText();
+  for (const char* command :
+       {"mss", "topt", "threshold", "minlen", "score"}) {
+    EXPECT_NE(usage.find(command), std::string::npos) << command;
+  }
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace sigsub

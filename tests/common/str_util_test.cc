@@ -1,0 +1,49 @@
+#include "common/str_util.h"
+
+#include "gtest/gtest.h"
+
+namespace sigsub {
+namespace {
+
+TEST(StrCatTest, ConcatenatesMixedTypes) {
+  EXPECT_EQ(StrCat("n=", 42, ", p=", 0.5), "n=42, p=0.5");
+  EXPECT_EQ(StrCat(), "");
+  EXPECT_EQ(StrCat("solo"), "solo");
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(StrJoin({"a"}, ","), "a");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"x", "y"}, " -> "), "x -> y");
+}
+
+TEST(StrSplitTest, SplitsKeepingEmptyFields) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StrSplitJoinTest, RoundTrips) {
+  std::vector<std::string> parts{"alpha", "", "gamma", "delta"};
+  EXPECT_EQ(StrSplit(StrJoin(parts, "|"), '|'), parts);
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d/%d", 3, 4), "3/4");
+  EXPECT_EQ(StrFormat("%.2f%%", 54.268), "54.27%");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+  EXPECT_EQ(StrFormat("%05d", 42), "00042");
+}
+
+TEST(StrFormatTest, LongOutputIsNotTruncated) {
+  std::string long_arg(5000, 'x');
+  std::string out = StrFormat("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 5002u);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+}
+
+}  // namespace
+}  // namespace sigsub

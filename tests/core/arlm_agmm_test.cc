@@ -1,0 +1,181 @@
+#include <vector>
+
+#include "core/agmm.h"
+#include "core/arlm.h"
+#include "core/mss.h"
+#include "core/naive.h"
+#include "gtest/gtest.h"
+#include "seq/generators.h"
+#include "seq/rng.h"
+#include "testing/test_util.h"
+
+namespace sigsub {
+namespace core {
+namespace {
+
+TEST(ArlmTest, CandidateBoundariesAreRunBoundaries) {
+  seq::Sequence s = seq::Sequence::FromSymbols(2, {0, 0, 1, 1, 1, 0}).value();
+  std::vector<int64_t> boundaries = ArlmCandidateBoundaries(s);
+  EXPECT_EQ(boundaries, (std::vector<int64_t>{0, 2, 5, 6}));
+}
+
+TEST(ArlmTest, SingleRunStringHasTwoBoundaries) {
+  seq::Sequence s =
+      seq::Sequence::FromSymbols(2, std::vector<uint8_t>(10, 1)).value();
+  EXPECT_EQ(ArlmCandidateBoundaries(s), (std::vector<int64_t>{0, 10}));
+}
+
+TEST(ArlmTest, NeverExceedsTrueMss) {
+  seq::Rng rng(41);
+  for (int k : {2, 3, 5}) {
+    for (int trial = 0; trial < 5; ++trial) {
+      seq::Sequence s = seq::GenerateNull(k, 300, rng);
+      auto model = seq::MultinomialModel::Uniform(k);
+      auto arlm = FindMssArlm(s, model);
+      auto exact = NaiveFindMss(s, model);
+      ASSERT_TRUE(arlm.ok());
+      ASSERT_TRUE(exact.ok());
+      EXPECT_LE(arlm->best.chi_square,
+                exact->best.chi_square + 1e-9 * (1 + exact->best.chi_square))
+          << "k=" << k << " trial=" << trial;
+    }
+  }
+}
+
+TEST(ArlmTest, NearOptimalOnNullBinaryStrings) {
+  // The paper observed ARLM matching the exact optimum on their synthetic
+  // binary data; with fixed seeds our reconstruction recovers at least 90%
+  // of the optimum value on every trial (usually 100%).
+  seq::Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    seq::Sequence s = seq::GenerateNull(2, 1000, rng);
+    auto model = seq::MultinomialModel::Uniform(2);
+    auto arlm = FindMssArlm(s, model);
+    auto exact = NaiveFindMss(s, model);
+    ASSERT_TRUE(arlm.ok());
+    ASSERT_TRUE(exact.ok());
+    EXPECT_GE(arlm->best.chi_square, 0.9 * exact->best.chi_square)
+        << "trial=" << trial;
+  }
+}
+
+TEST(ArlmTest, ExactOnRunStructuredString) {
+  // When the anomaly is a pure run, its boundaries are run boundaries and
+  // ARLM must find the exact optimum.
+  seq::Rng rng(43);
+  auto s = seq::GenerateRegimes(
+      2, {{200, {0.5, 0.5}}, {60, {0.999, 0.001}}, {200, {0.5, 0.5}}}, rng);
+  ASSERT_TRUE(s.ok());
+  auto model = seq::MultinomialModel::Uniform(2);
+  auto arlm = FindMssArlm(s.value(), model);
+  auto exact = NaiveFindMss(s.value(), model);
+  ASSERT_TRUE(arlm.ok());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_X2_EQ(arlm->best.chi_square, exact->best.chi_square);
+}
+
+TEST(ArlmTest, ExaminesFewerPairsThanTrivial) {
+  seq::Rng rng(44);
+  seq::Sequence s = seq::GenerateNull(2, 2000, rng);
+  auto model = seq::MultinomialModel::Uniform(2);
+  auto arlm = FindMssArlm(s, model);
+  ASSERT_TRUE(arlm.ok());
+  // Random binary: ~n/2 runs → ~n²/8 pairs vs n²/2 trivial.
+  EXPECT_LT(arlm->stats.positions_examined, TrivialScanPositions(2000) / 2);
+}
+
+TEST(AgmmTest, NeverExceedsTrueMss) {
+  seq::Rng rng(45);
+  for (int k : {2, 3, 5}) {
+    for (int trial = 0; trial < 5; ++trial) {
+      seq::Sequence s = seq::GenerateNull(k, 400, rng);
+      auto model = seq::MultinomialModel::Uniform(k);
+      auto agmm = FindMssAgmm(s, model);
+      auto exact = NaiveFindMss(s, model);
+      ASSERT_TRUE(agmm.ok());
+      ASSERT_TRUE(exact.ok());
+      EXPECT_LE(agmm->best.chi_square,
+                exact->best.chi_square + 1e-9 * (1 + exact->best.chi_square))
+          << "k=" << k << " trial=" << trial;
+    }
+  }
+}
+
+TEST(AgmmTest, FindsSingleDominantExcursion) {
+  // A unimodal deviation walk: slight 1-drift outside the window, strong
+  // 0-burst inside. The global minimum/maximum of W_0 then bracket the
+  // planted window tightly and AGMM lands near the optimum. (With a
+  // zero-drift background the walk keeps wandering after the burst and
+  // AGMM's bracket widens — the documented failure mode tested below.)
+  seq::Rng rng(46);
+  auto s = seq::GenerateRegimes(
+      2, {{500, {0.45, 0.55}}, {200, {0.95, 0.05}}, {500, {0.45, 0.55}}},
+      rng);
+  ASSERT_TRUE(s.ok());
+  auto model = seq::MultinomialModel::Uniform(2);
+  auto agmm = FindMssAgmm(s.value(), model);
+  auto exact = NaiveFindMss(s.value(), model);
+  ASSERT_TRUE(agmm.ok());
+  ASSERT_TRUE(exact.ok());
+  // Even in this friendly case the bracket includes some drift on both
+  // sides of the burst, so AGMM recovers most but not all of the optimal
+  // X² — comfortably better than the adversarial case below.
+  EXPECT_GE(agmm->best.chi_square, 0.65 * exact->best.chi_square);
+}
+
+TEST(AgmmTest, CanMissInteriorAnomalyWithTwoExcursions) {
+  // Two opposite-signed excursions: the walk's global max/min bracket the
+  // whole middle, and AGMM's candidate set misses the sharp interior
+  // anomaly — the paper's documented failure mode (Tables 1/4/6). The
+  // construction: a strong 1-burst followed by a strong 0-burst.
+  seq::Rng rng(47);
+  auto s = seq::GenerateRegimes(2,
+                                {{400, {0.5, 0.5}},
+                                 {80, {0.05, 0.95}},
+                                 {400, {0.5, 0.5}},
+                                 {80, {0.95, 0.05}},
+                                 {400, {0.5, 0.5}}},
+                                rng);
+  ASSERT_TRUE(s.ok());
+  auto model = seq::MultinomialModel::Uniform(2);
+  auto agmm = FindMssAgmm(s.value(), model);
+  auto exact = NaiveFindMss(s.value(), model);
+  ASSERT_TRUE(agmm.ok());
+  ASSERT_TRUE(exact.ok());
+  // AGMM stays a valid lower bound but visibly below the optimum here.
+  EXPECT_LT(agmm->best.chi_square, 0.95 * exact->best.chi_square);
+}
+
+TEST(AgmmTest, LinearWorkFootprint) {
+  seq::Rng rng(48);
+  seq::Sequence s = seq::GenerateNull(2, 10000, rng);
+  auto model = seq::MultinomialModel::Uniform(2);
+  auto agmm = FindMssAgmm(s, model);
+  ASSERT_TRUE(agmm.ok());
+  // O(k·n) walk evaluations plus a handful of candidates.
+  EXPECT_LT(agmm->stats.positions_examined, 2 * 2 * 10000 + 100);
+}
+
+TEST(BaselineOrderingTest, QualityOrderAgmmLeArlmLeExact) {
+  // On random binary strings the documented ordering holds with fixed
+  // seeds: AGMM <= ARLM <= exact.
+  seq::Rng rng(49);
+  for (int trial = 0; trial < 8; ++trial) {
+    seq::Sequence s = seq::GenerateNull(2, 800, rng);
+    auto model = seq::MultinomialModel::Uniform(2);
+    auto agmm = FindMssAgmm(s, model);
+    auto arlm = FindMssArlm(s, model);
+    auto exact = NaiveFindMss(s, model);
+    ASSERT_TRUE(agmm.ok());
+    ASSERT_TRUE(arlm.ok());
+    ASSERT_TRUE(exact.ok());
+    EXPECT_LE(agmm->best.chi_square, arlm->best.chi_square + 1e-9)
+        << "trial=" << trial;
+    EXPECT_LE(arlm->best.chi_square, exact->best.chi_square + 1e-9)
+        << "trial=" << trial;
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sigsub

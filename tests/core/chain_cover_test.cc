@@ -1,0 +1,235 @@
+#include "core/chain_cover.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "seq/generators.h"
+#include "seq/rng.h"
+#include "testing/test_util.h"
+
+namespace sigsub {
+namespace core {
+namespace {
+
+// Enumerates all count-vector extensions (compositions of `extra` over k
+// characters) of `base`, returning the maximum resulting X². This is the
+// exhaustive left-hand side of Theorem 1.
+double MaxExtensionChiSquare(const ChiSquareContext& ctx,
+                             std::vector<int64_t> base, int64_t base_len,
+                             int64_t extra) {
+  const int k = ctx.alphabet_size();
+  std::vector<int64_t> add(k, 0);
+  double best = -1.0;
+  // Recursive composition enumeration.
+  std::function<void(int, int64_t)> rec = [&](int index, int64_t remaining) {
+    if (index == k - 1) {
+      add[index] = remaining;
+      std::vector<int64_t> counts(base);
+      for (int c = 0; c < k; ++c) counts[c] += add[c];
+      best = std::max(best, ctx.Evaluate(counts, base_len + extra));
+      return;
+    }
+    for (int64_t y = 0; y <= remaining; ++y) {
+      add[index] = y;
+      rec(index + 1, remaining - y);
+    }
+  };
+  rec(0, extra);
+  return best;
+}
+
+TEST(CoverChiSquareTest, MatchesDirectEvaluationOfPaddedCounts) {
+  // X²_λ(c, x) computed by the closed form must equal evaluating the
+  // padded count vector directly (paper Eq. 19 vs Eq. 5).
+  ChiSquareContext ctx(seq::MultinomialModel::Make({0.2, 0.3, 0.5}).value());
+  std::vector<int64_t> counts{4, 1, 3};
+  int64_t l = 8;
+  double x2 = ctx.Evaluate(counts, l);
+  for (int c = 0; c < 3; ++c) {
+    for (int64_t x : {1, 2, 5, 17}) {
+      std::vector<int64_t> padded(counts);
+      padded[c] += x;
+      double direct = ctx.Evaluate(padded, l + x);
+      double closed = CoverChiSquare(x2, l, counts[c], ctx.probs()[c],
+                                     static_cast<double>(x));
+      EXPECT_NEAR(closed, direct, 1e-9 * (1.0 + std::fabs(direct)))
+          << "c=" << c << " x=" << x;
+    }
+  }
+}
+
+TEST(CoverChiSquareTest, ZeroExtensionIsIdentity) {
+  ChiSquareContext ctx(seq::MultinomialModel::Uniform(2));
+  std::vector<int64_t> counts{6, 2};
+  double x2 = ctx.Evaluate(counts, 8);
+  EXPECT_NEAR(CoverChiSquare(x2, 8, counts[0], 0.5, 0.0), x2, 1e-12);
+}
+
+TEST(Lemma2Test, AppendingArgmaxCharacterIncreasesChiSquare) {
+  // Lemma 2: appending the character maximizing Y_j/p_j strictly increases
+  // X². Checked over random count vectors.
+  seq::Rng rng(11);
+  for (int iter = 0; iter < 200; ++iter) {
+    int k = 2 + static_cast<int>(rng.NextBounded(4));
+    seq::MultinomialModel model =
+        (iter % 2 == 0) ? seq::MultinomialModel::Uniform(k)
+                        : seq::MultinomialModel::Harmonic(k);
+    ChiSquareContext ctx(model);
+    std::vector<int64_t> counts(k);
+    int64_t l = 0;
+    for (int c = 0; c < k; ++c) {
+      counts[c] = static_cast<int64_t>(rng.NextBounded(20));
+      l += counts[c];
+    }
+    if (l == 0) continue;
+    // Pick j = argmax Y_j / p_j.
+    int j = 0;
+    double best_score = -1.0;
+    for (int c = 0; c < k; ++c) {
+      double score = static_cast<double>(counts[c]) / model.prob(c);
+      if (score > best_score) {
+        best_score = score;
+        j = c;
+      }
+    }
+    double before = ctx.Evaluate(counts, l);
+    ++counts[j];
+    double after = ctx.Evaluate(counts, l + 1);
+    EXPECT_GT(after, before) << "iter=" << iter;
+  }
+}
+
+TEST(Theorem1Test, CoverBoundDominatesAllExtensionsExhaustively) {
+  // Theorem 1: for every extension length m <= l1, every possible extension
+  // is bounded by max_c X²_λ(c, l1). Verified by exhaustive composition
+  // enumeration for small k and l1.
+  seq::Rng rng(13);
+  for (int iter = 0; iter < 60; ++iter) {
+    int k = 2 + static_cast<int>(rng.NextBounded(2));  // k in {2,3}.
+    seq::MultinomialModel model =
+        (iter % 2 == 0) ? seq::MultinomialModel::Uniform(k)
+                        : seq::MultinomialModel::Geometric(k);
+    ChiSquareContext ctx(model);
+    std::vector<int64_t> counts(k);
+    int64_t l = 0;
+    for (int c = 0; c < k; ++c) {
+      counts[c] = 1 + static_cast<int64_t>(rng.NextBounded(8));
+      l += counts[c];
+    }
+    double x2 = ctx.Evaluate(counts, l);
+    for (int64_t l1 : {1, 2, 3, 5}) {
+      double bound = -1.0;
+      for (int c = 0; c < k; ++c) {
+        bound = std::max(bound, CoverChiSquare(x2, l, counts[c],
+                                               model.prob(c),
+                                               static_cast<double>(l1)));
+      }
+      for (int64_t m = 1; m <= l1; ++m) {
+        double worst = MaxExtensionChiSquare(ctx, counts, l, m);
+        EXPECT_LE(worst, bound + 1e-9)
+            << "iter=" << iter << " l1=" << l1 << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(SkipSolverTest, SkipIsSoundExhaustively) {
+  // For random bases, every extension by 1..MaxSafeExtension must stay at
+  // or below the budget (checked exhaustively over compositions).
+  seq::Rng rng(17);
+  for (int iter = 0; iter < 60; ++iter) {
+    int k = 2 + static_cast<int>(rng.NextBounded(2));
+    seq::MultinomialModel model =
+        (iter % 2 == 0) ? seq::MultinomialModel::Uniform(k)
+                        : seq::MultinomialModel::Harmonic(k);
+    ChiSquareContext ctx(model);
+    SkipSolver solver(ctx);
+    std::vector<int64_t> counts(k);
+    int64_t l = 0;
+    for (int c = 0; c < k; ++c) {
+      counts[c] = static_cast<int64_t>(rng.NextBounded(6));
+      l += counts[c];
+    }
+    if (l == 0) {
+      counts[0] = 1;
+      l = 1;
+    }
+    double x2 = ctx.Evaluate(counts, l);
+    double budget = x2 + static_cast<double>(rng.NextBounded(12));
+    int64_t m = solver.MaxSafeExtension(counts, l, x2, budget);
+    ASSERT_GE(m, 0);
+    int64_t check_up_to = std::min<int64_t>(m, 7);  // Exhaustive cost cap.
+    for (int64_t ext = 1; ext <= check_up_to; ++ext) {
+      double worst = MaxExtensionChiSquare(ctx, counts, l, ext);
+      EXPECT_LE(worst, budget + 1e-9)
+          << "iter=" << iter << " ext=" << ext << " m=" << m;
+    }
+  }
+}
+
+TEST(SkipSolverTest, ZeroWhenOverBudget) {
+  ChiSquareContext ctx(seq::MultinomialModel::Uniform(2));
+  SkipSolver solver(ctx);
+  std::vector<int64_t> counts{9, 1};
+  double x2 = ctx.Evaluate(counts, 10);
+  EXPECT_EQ(solver.MaxSafeExtension(counts, 10, x2, x2 - 1.0), 0);
+}
+
+TEST(SkipSolverTest, GrowsWithBudget) {
+  ChiSquareContext ctx(seq::MultinomialModel::Uniform(2));
+  SkipSolver solver(ctx);
+  std::vector<int64_t> counts{5, 5};
+  double x2 = ctx.Evaluate(counts, 10);  // 0: perfectly balanced.
+  int64_t prev = -1;
+  for (double budget : {1.0, 4.0, 16.0, 64.0}) {
+    int64_t m = solver.MaxSafeExtension(counts, 10, x2, budget);
+    EXPECT_GT(m, prev);
+    prev = m;
+  }
+}
+
+TEST(SkipSolverTest, SkipScalesLikeSqrtLForNullCounts) {
+  // Lemma 5's intuition: for balanced counts and budget ~ ln l, the skip
+  // is Θ(sqrt(l · ln l)); check the sqrt scaling across two decades.
+  ChiSquareContext ctx(seq::MultinomialModel::Uniform(2));
+  SkipSolver solver(ctx);
+  auto skip_at = [&](int64_t l) {
+    std::vector<int64_t> counts{l / 2, l / 2};
+    double x2 = ctx.Evaluate(counts, l);
+    return static_cast<double>(
+        solver.MaxSafeExtension(counts, l, x2, std::log(l)));
+  };
+  double s100 = skip_at(100);
+  double s10000 = skip_at(10000);
+  // sqrt scaling with the log factor: ratio should be ~10·sqrt(ln10k/ln100).
+  EXPECT_GT(s10000 / s100, 8.0);
+  EXPECT_LT(s10000 / s100, 25.0);
+}
+
+TEST(PaperSingleCharacterSkipTest, NeverExceedsExactSolver) {
+  // The paper's one-character rule with x≈0 must be no more aggressive
+  // than the exact min-over-characters skip on uniform models (where the
+  // argmax is x-independent).
+  seq::Rng rng(19);
+  ChiSquareContext ctx(seq::MultinomialModel::Uniform(2));
+  SkipSolver solver(ctx);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<int64_t> counts{
+        static_cast<int64_t>(rng.NextBounded(50)),
+        static_cast<int64_t>(rng.NextBounded(50))};
+    int64_t l = counts[0] + counts[1];
+    if (l == 0) continue;
+    double x2 = ctx.Evaluate(counts, l);
+    double budget = x2 + 1.0 + static_cast<double>(rng.NextBounded(20));
+    int64_t exact = solver.MaxSafeExtension(counts, l, x2, budget);
+    int64_t paper = PaperSingleCharacterSkip(ctx, counts, l, x2, budget);
+    EXPECT_LE(paper, exact + 1) << "iter=" << iter;
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sigsub

@@ -1,0 +1,136 @@
+#include "core/length_bounded.h"
+
+#include <tuple>
+
+#include "core/min_length.h"
+#include "core/mss.h"
+#include "gtest/gtest.h"
+#include "seq/generators.h"
+#include "seq/rng.h"
+#include "testing/test_util.h"
+
+namespace sigsub {
+namespace core {
+namespace {
+
+TEST(LengthBoundedTest, ValidatesInput) {
+  seq::Rng rng(1);
+  seq::Sequence s = seq::GenerateNull(2, 20, rng);
+  auto model = seq::MultinomialModel::Uniform(2);
+  EXPECT_TRUE(
+      FindMssLengthBounded(s, model, 0, 5).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      FindMssLengthBounded(s, model, 5, 4).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      FindMssLengthBounded(s, model, 21, 25).status().IsInvalidArgument());
+  seq::Sequence empty(2);
+  EXPECT_TRUE(
+      FindMssLengthBounded(empty, model, 1, 2).status().IsInvalidArgument());
+}
+
+TEST(LengthBoundedTest, FullRangeEqualsPlainMss) {
+  seq::Rng rng(2);
+  seq::Sequence s = seq::GenerateNull(2, 700, rng);
+  auto model = seq::MultinomialModel::Uniform(2);
+  auto bounded = FindMssLengthBounded(s, model, 1, 700);
+  auto plain = FindMss(s, model);
+  ASSERT_TRUE(bounded.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_X2_EQ(bounded->best.chi_square, plain->best.chi_square);
+}
+
+TEST(LengthBoundedTest, MinOnlyEqualsMinLengthVariant) {
+  seq::Rng rng(3);
+  seq::Sequence s = seq::GenerateNull(3, 400, rng);
+  auto model = seq::MultinomialModel::Uniform(3);
+  for (int64_t min_length : {5, 40}) {
+    auto bounded = FindMssLengthBounded(s, model, min_length, 400);
+    auto reference = FindMssMinLength(s, model, min_length);
+    ASSERT_TRUE(bounded.ok());
+    ASSERT_TRUE(reference.ok());
+    EXPECT_X2_EQ(bounded->best.chi_square, reference->best.chi_square);
+  }
+}
+
+TEST(LengthBoundedTest, ResultRespectsBothBounds) {
+  seq::Rng rng(4);
+  seq::Sequence s = seq::GenerateNull(2, 600, rng);
+  auto model = seq::MultinomialModel::Uniform(2);
+  for (auto [lo, hi] : {std::pair<int64_t, int64_t>{2, 9},
+                        {10, 50},
+                        {100, 120},
+                        {599, 600}}) {
+    auto result = FindMssLengthBounded(s, model, lo, hi);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->best.length(), lo);
+    EXPECT_LE(result->best.length(), hi);
+  }
+}
+
+class LengthBoundedEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<int64_t, int64_t, int64_t>> {};
+
+TEST_P(LengthBoundedEquivalence, FastMatchesNaive) {
+  auto [n, min_length, max_length] = GetParam();
+  if (min_length > n || max_length < min_length) GTEST_SKIP();
+  seq::Rng rng(static_cast<uint64_t>(n * 37 + min_length * 5 + max_length));
+  for (int k : {2, 3}) {
+    seq::Sequence s = seq::GenerateNull(k, n, rng);
+    auto model = seq::MultinomialModel::Uniform(k);
+    auto fast = FindMssLengthBounded(s, model, min_length, max_length);
+    auto slow = NaiveFindMssLengthBounded(s, model, min_length, max_length);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    EXPECT_X2_EQ(fast->best.chi_square, slow->best.chi_square)
+        << "n=" << n << " k=" << k << " [" << min_length << ", "
+        << max_length << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LengthBoundedEquivalence,
+    ::testing::Combine(::testing::Values<int64_t>(16, 120, 500),
+                       ::testing::Values<int64_t>(1, 3, 20),
+                       ::testing::Values<int64_t>(4, 30, 200, 500)),
+    [](const ::testing::TestParamInfo<LengthBoundedEquivalence::ParamType>&
+           info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_lo" +
+             std::to_string(std::get<1>(info.param)) + "_hi" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(LengthBoundedTest, WindowCapLimitsWork) {
+  // With a small window cap the scan cost is O(n·w)-bounded even without
+  // skips; verify examined positions stay below that bound.
+  seq::Rng rng(5);
+  seq::Sequence s = seq::GenerateNull(2, 5000, rng);
+  auto model = seq::MultinomialModel::Uniform(2);
+  auto result = FindMssLengthBounded(s, model, 1, 50);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->stats.positions_examined, 5000 * 50);
+}
+
+TEST(LengthBoundedTest, TightWindowFindsLocalBurst) {
+  // A short planted burst is the best substring at window scale even when
+  // a longer, milder regime would dominate unconstrained.
+  seq::Rng rng(6);
+  auto s = seq::GenerateRegimes(2,
+                                {{1000, {0.5, 0.5}},
+                                 {30, {0.02, 0.98}},     // Sharp burst.
+                                 {1000, {0.5, 0.5}},
+                                 {800, {0.38, 0.62}},    // Long mild regime.
+                                 {1000, {0.5, 0.5}}},
+                                rng);
+  ASSERT_TRUE(s.ok());
+  auto model = seq::MultinomialModel::Uniform(2);
+  auto windowed = FindMssLengthBounded(s.value(), model, 1, 60);
+  ASSERT_TRUE(windowed.ok());
+  // The windowed MSS overlaps the sharp burst at [1000, 1030).
+  EXPECT_LT(windowed->best.start, 1030);
+  EXPECT_GT(windowed->best.end, 1000);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sigsub

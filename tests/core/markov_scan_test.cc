@@ -1,0 +1,165 @@
+#include "core/markov_scan.h"
+
+#include <vector>
+
+#include "core/mss.h"
+#include "gtest/gtest.h"
+#include "seq/generators.h"
+#include "seq/rng.h"
+#include "testing/test_util.h"
+
+namespace sigsub {
+namespace core {
+namespace {
+
+// Reference O(k²)-per-substring evaluation used to validate the O(1)
+// incremental update.
+double ReferenceMarkovX2(const seq::Sequence& s, const seq::MarkovModel& m,
+                         int64_t start, int64_t end) {
+  const int k = m.alphabet_size();
+  std::vector<int64_t> pairs(static_cast<size_t>(k) * k, 0);
+  for (int64_t i = start + 1; i < end; ++i) {
+    ++pairs[s[i - 1] * k + s[i]];
+  }
+  auto ctx = MarkovChiSquare::Make(m).value();
+  return ctx.Evaluate(pairs);
+}
+
+TEST(MarkovChiSquareTest, MakeRejectsZeroTransitions) {
+  auto model =
+      seq::MarkovModel::Make(2, {1.0 - 1e-12, 1e-12, 0.5, 0.5}, {0.5, 0.5});
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(MarkovChiSquare::Make(model.value()).ok());
+}
+
+TEST(MarkovChiSquareTest, PerfectTransitionCountsScoreZero) {
+  // Counts exactly proportional to T within each row give X² = 0.
+  auto model = seq::MarkovModel::BiasedBinary(0.8);
+  auto ctx = MarkovChiSquare::Make(model).value();
+  // Row 0: 80 stays, 20 switches; row 1: 40 stays, 10 switches.
+  std::vector<int64_t> pairs{80, 20, 10, 40};
+  EXPECT_NEAR(ctx.Evaluate(pairs), 0.0, 1e-10);
+}
+
+TEST(MarkovChiSquareTest, HandComputedValue) {
+  // Uniform binary transitions (p_same = 0.5); observed row 0: {6, 2},
+  // row 1: {1, 1}. Row 0: E = 4 each -> (2²+2²)/4 = 2. Row 1: 0.
+  auto model = seq::MarkovModel::BiasedBinary(0.5);
+  auto ctx = MarkovChiSquare::Make(model).value();
+  std::vector<int64_t> pairs{6, 2, 1, 1};
+  EXPECT_NEAR(ctx.Evaluate(pairs), 2.0, 1e-12);
+}
+
+TEST(MarkovChiSquareTest, EmptyCountsScoreZero) {
+  auto ctx = MarkovChiSquare::Make(seq::MarkovModel::BiasedBinary(0.5)).value();
+  std::vector<int64_t> pairs{0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(ctx.Evaluate(pairs), 0.0);
+}
+
+TEST(MarkovIncrementalTest, TracksReferenceEvaluation) {
+  seq::Rng rng(71);
+  for (int k : {2, 3}) {
+    seq::MarkovModel model = seq::MarkovModel::PaperFamily(k);
+    seq::Sequence s = seq::GenerateMarkov(model, 300, rng);
+    auto ctx = MarkovChiSquare::Make(model).value();
+    for (int64_t start : {0, 37, 150}) {
+      MarkovChiSquare::Incremental inc(ctx);
+      inc.Reset();
+      for (int64_t end = start + 1; end <= s.size(); ++end) {
+        inc.Extend(s[end - 1]);
+        if ((end - start) % 17 != 0) continue;  // Spot-check cadence.
+        double reference = ReferenceMarkovX2(s, model, start, end);
+        ASSERT_NEAR(inc.chi_square(), reference,
+                    1e-7 * (1.0 + reference))
+            << "k=" << k << " start=" << start << " end=" << end;
+      }
+    }
+  }
+}
+
+TEST(FindMssMarkovTest, ValidatesInput) {
+  auto model = seq::MarkovModel::BiasedBinary(0.6);
+  seq::Sequence tiny = seq::Sequence::FromSymbols(2, {1}).value();
+  EXPECT_TRUE(FindMssMarkov(tiny, model).status().IsInvalidArgument());
+  seq::Sequence s = seq::Sequence::FromSymbols(2, {1, 0, 1, 0}).value();
+  EXPECT_TRUE(FindMssMarkov(s, model, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(FindMssMarkov(s, model, 4).status().IsInvalidArgument());
+  seq::Sequence wrong_k = seq::Sequence::FromSymbols(3, {1, 2, 0}).value();
+  EXPECT_TRUE(FindMssMarkov(wrong_k, model).status().IsInvalidArgument());
+}
+
+TEST(FindMssMarkovTest, MatchesBruteForceOnSmallStrings) {
+  seq::Rng rng(72);
+  auto model = seq::MarkovModel::BiasedBinary(0.7);
+  for (int trial = 0; trial < 10; ++trial) {
+    seq::Sequence s = seq::GenerateMarkov(model, 40, rng);
+    auto fast = FindMssMarkov(s, model);
+    ASSERT_TRUE(fast.ok());
+    // Brute force over all substrings with >= 1 transition.
+    double best = -1.0;
+    for (int64_t i = 0; i < s.size(); ++i) {
+      for (int64_t j = i + 2; j <= s.size(); ++j) {
+        best = std::max(best, ReferenceMarkovX2(s, model, i, j));
+      }
+    }
+    EXPECT_NEAR(fast->best.chi_square, best, 1e-7 * (1.0 + best))
+        << "trial=" << trial;
+  }
+}
+
+TEST(FindMssMarkovTest, DetectsTransitionAnomalyInvisibleToMultinomial) {
+  // Planted stretch where the chain flips symbols almost deterministically:
+  // marginals stay 50/50 (invisible to the multinomial X²), transitions
+  // scream. The Markov MSS must land on the planted window and score far
+  // above the multinomial MSS of the same string.
+  seq::Rng rng(73);
+  seq::Sequence s(2);
+  {
+    seq::Sequence a = seq::GenerateBiasedBinary(0.5, 2000, rng);
+    seq::Sequence b = seq::GenerateBiasedBinary(0.02, 300, rng);  // Flips.
+    seq::Sequence c = seq::GenerateBiasedBinary(0.5, 2000, rng);
+    for (int64_t i = 0; i < a.size(); ++i) s.Append(a[i]);
+    for (int64_t i = 0; i < b.size(); ++i) s.Append(b[i]);
+    for (int64_t i = 0; i < c.size(); ++i) s.Append(c[i]);
+  }
+  auto markov_null = seq::MarkovModel::BiasedBinary(0.5);
+  auto markov_mss = FindMssMarkov(s, markov_null, /*min_transitions=*/16);
+  ASSERT_TRUE(markov_mss.ok());
+  // Overlaps the planted window [2000, 2300).
+  int64_t overlap = std::min<int64_t>(markov_mss->best.end, 2300) -
+                    std::max<int64_t>(markov_mss->best.start, 2000);
+  EXPECT_GT(overlap, 250);
+  EXPECT_GT(markov_mss->best.chi_square, 200.0);
+
+  // The multinomial MSS sees roughly balanced counts everywhere.
+  auto flat = FindMss(s, seq::MultinomialModel::Uniform(2));
+  ASSERT_TRUE(flat.ok());
+  EXPECT_LT(flat->best.chi_square, markov_mss->best.chi_square / 3.0);
+}
+
+TEST(FindMssMarkovTest, NullMarkovStringScoresModerately) {
+  // On a string genuinely drawn from the null Markov model, X²_M max stays
+  // within the extreme-value range (no false blowup).
+  seq::Rng rng(74);
+  auto model = seq::MarkovModel::BiasedBinary(0.7);
+  seq::Sequence s = seq::GenerateMarkov(model, 4000, rng);
+  auto mss = FindMssMarkov(s, model, /*min_transitions=*/8);
+  ASSERT_TRUE(mss.ok());
+  EXPECT_LT(mss->best.chi_square, 60.0);
+  EXPECT_GT(mss->best.chi_square, 2.0);
+}
+
+TEST(FindMssMarkovTest, MinTransitionsRespected) {
+  seq::Rng rng(75);
+  auto model = seq::MarkovModel::BiasedBinary(0.5);
+  seq::Sequence s = seq::GenerateMarkov(model, 500, rng);
+  for (int64_t min_transitions : {1, 5, 50}) {
+    auto mss = FindMssMarkov(s, model, min_transitions);
+    ASSERT_TRUE(mss.ok());
+    EXPECT_GE(mss->best.length() - 1, min_transitions);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sigsub

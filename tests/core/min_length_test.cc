@@ -1,0 +1,117 @@
+#include "core/min_length.h"
+
+#include <tuple>
+
+#include "core/mss.h"
+#include "core/naive.h"
+#include "gtest/gtest.h"
+#include "seq/generators.h"
+#include "seq/rng.h"
+#include "testing/test_util.h"
+
+namespace sigsub {
+namespace core {
+namespace {
+
+TEST(FindMssMinLengthTest, ValidatesInput) {
+  seq::Rng rng(1);
+  seq::Sequence s = seq::GenerateNull(2, 20, rng);
+  auto model = seq::MultinomialModel::Uniform(2);
+  EXPECT_TRUE(FindMssMinLength(s, model, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(FindMssMinLength(s, model, 21).status().IsInvalidArgument());
+  seq::Sequence empty(2);
+  EXPECT_TRUE(FindMssMinLength(empty, model, 1).status().IsInvalidArgument());
+}
+
+TEST(FindMssMinLengthTest, MinLengthOneEqualsMss) {
+  seq::Rng rng(2);
+  seq::Sequence s = seq::GenerateNull(2, 600, rng);
+  auto model = seq::MultinomialModel::Uniform(2);
+  auto constrained = FindMssMinLength(s, model, 1);
+  auto mss = FindMss(s, model);
+  ASSERT_TRUE(constrained.ok());
+  ASSERT_TRUE(mss.ok());
+  EXPECT_X2_EQ(constrained->best.chi_square, mss->best.chi_square);
+}
+
+TEST(FindMssMinLengthTest, FullLengthReturnsWholeString) {
+  seq::Rng rng(3);
+  seq::Sequence s = seq::GenerateNull(2, 100, rng);
+  auto model = seq::MultinomialModel::Uniform(2);
+  auto result = FindMssMinLength(s, model, 100);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best.start, 0);
+  EXPECT_EQ(result->best.end, 100);
+}
+
+TEST(FindMssMinLengthTest, ResultRespectsConstraint) {
+  seq::Rng rng(4);
+  seq::Sequence s = seq::GenerateNull(3, 500, rng);
+  auto model = seq::MultinomialModel::Uniform(3);
+  for (int64_t min_length : {2, 10, 50, 250}) {
+    auto result = FindMssMinLength(s, model, min_length);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->best.length(), min_length);
+  }
+}
+
+TEST(FindMssMinLengthTest, ValueIsMonotoneNonIncreasingInMinLength) {
+  // Raising the length floor can only shrink the candidate set.
+  seq::Rng rng(5);
+  seq::Sequence s = seq::GenerateNull(2, 800, rng);
+  auto model = seq::MultinomialModel::Uniform(2);
+  double prev = 1e300;
+  for (int64_t min_length : {1, 5, 25, 125, 600}) {
+    auto result = FindMssMinLength(s, model, min_length);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->best.chi_square, prev + 1e-9);
+    prev = result->best.chi_square;
+  }
+}
+
+class MinLengthEquivalence
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(MinLengthEquivalence, FastMatchesNaive) {
+  auto [n, min_length] = GetParam();
+  if (min_length > n) GTEST_SKIP();
+  seq::Rng rng(static_cast<uint64_t>(n * 7 + min_length));
+  for (int k : {2, 3}) {
+    seq::Sequence s = seq::GenerateNull(k, n, rng);
+    auto model = seq::MultinomialModel::Uniform(k);
+    auto fast = FindMssMinLength(s, model, min_length);
+    auto slow = NaiveFindMssMinLength(s, model, min_length);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    EXPECT_X2_EQ(fast->best.chi_square, slow->best.chi_square)
+        << "n=" << n << " k=" << k << " min_length=" << min_length;
+    EXPECT_GE(fast->best.length(), min_length);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MinLengthEquivalence,
+    ::testing::Combine(::testing::Values<int64_t>(8, 64, 300),
+                       ::testing::Values<int64_t>(1, 2, 7, 32, 150, 300)),
+    [](const ::testing::TestParamInfo<MinLengthEquivalence::ParamType>&
+           info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_g" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(FindMssMinLengthTest, LargerFloorExaminesFewerPositions) {
+  // Paper Figure 7: iterations decrease as Γ₀ grows.
+  seq::Rng rng(6);
+  seq::Sequence s = seq::GenerateNull(2, 5000, rng);
+  auto model = seq::MultinomialModel::Uniform(2);
+  auto small = FindMssMinLength(s, model, 1);
+  auto large = FindMssMinLength(s, model, 4000);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LT(large->stats.positions_examined,
+            small->stats.positions_examined);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sigsub

@@ -1,0 +1,231 @@
+#include "core/mss.h"
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "core/naive.h"
+#include "gtest/gtest.h"
+#include "seq/alphabet.h"
+#include "seq/generators.h"
+#include "seq/rng.h"
+#include "testing/test_util.h"
+
+namespace sigsub {
+namespace core {
+namespace {
+
+using ::sigsub::testing::Family;
+using ::sigsub::testing::FamilyName;
+using ::sigsub::testing::GenerateFamily;
+using ::sigsub::testing::ScoringModel;
+
+TEST(FindMssTest, ValidatesInput) {
+  seq::Sequence empty(2);
+  auto model = seq::MultinomialModel::Uniform(2);
+  EXPECT_TRUE(FindMss(empty, model).status().IsInvalidArgument());
+
+  seq::Sequence s = seq::Sequence::FromSymbols(3, {0, 1, 2}).value();
+  EXPECT_TRUE(FindMss(s, model).status().IsInvalidArgument());
+}
+
+TEST(FindMssTest, SingleCharacterString) {
+  auto model = seq::MultinomialModel::Make({0.25, 0.75}).value();
+  seq::Sequence s = seq::Sequence::FromSymbols(2, {0}).value();
+  auto result = FindMss(s, model);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best.start, 0);
+  EXPECT_EQ(result->best.end, 1);
+  EXPECT_NEAR(result->best.chi_square, 3.0, 1e-12);  // 1/0.25 − 1.
+}
+
+TEST(FindMssTest, AllSameCharacterStringPicksWholeString) {
+  // For a run of the same character, X² grows linearly with length, so the
+  // MSS is the full string.
+  auto model = seq::MultinomialModel::Uniform(2);
+  seq::Sequence s = seq::Sequence::FromSymbols(2, std::vector<uint8_t>(64, 1))
+                        .value();
+  auto result = FindMss(s, model);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best.start, 0);
+  EXPECT_EQ(result->best.end, 64);
+  EXPECT_NEAR(result->best.chi_square, 64.0, 1e-9);  // l(1/p − 1) = 64.
+}
+
+TEST(FindMssTest, PerfectlyAlternatingString) {
+  // "0101...": the best substring is any single character (X² = 1);
+  // longer windows are more balanced.
+  auto model = seq::MultinomialModel::Uniform(2);
+  std::vector<uint8_t> symbols;
+  for (int i = 0; i < 50; ++i) symbols.push_back(i % 2);
+  seq::Sequence s = seq::Sequence::FromSymbols(2, symbols).value();
+  auto fast = FindMss(s, model);
+  auto slow = NaiveFindMss(s, model);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  EXPECT_X2_EQ(fast->best.chi_square, slow->best.chi_square);
+  EXPECT_NEAR(fast->best.chi_square, 1.0, 1e-9);
+}
+
+TEST(FindMssTest, PlantedAnomalyIsFound) {
+  // Uniform background with a strongly biased window: the MSS must
+  // essentially coincide with the planted window.
+  seq::Rng rng(303);
+  auto planted = seq::GenerateRegimes(
+      2,
+      {{2000, {0.5, 0.5}}, {300, {0.95, 0.05}}, {2000, {0.5, 0.5}}},
+      rng);
+  ASSERT_TRUE(planted.ok());
+  auto model = seq::MultinomialModel::Uniform(2);
+  auto result = FindMss(planted.value(), model);
+  ASSERT_TRUE(result.ok());
+  // Substantial overlap with [2000, 2300).
+  int64_t overlap = std::min<int64_t>(result->best.end, 2300) -
+                    std::max<int64_t>(result->best.start, 2000);
+  EXPECT_GT(overlap, 250);
+  EXPECT_GT(result->best.chi_square, 150.0);
+}
+
+TEST(FindMssTest, StatsAreCoherent) {
+  seq::Rng rng(7);
+  seq::Sequence s = seq::GenerateNull(2, 2000, rng);
+  auto model = seq::MultinomialModel::Uniform(2);
+  auto result = FindMss(s, model);
+  ASSERT_TRUE(result.ok());
+  const ScanStats& st = result->stats;
+  EXPECT_EQ(st.start_positions, 2000);
+  // examined + skipped = total substrings.
+  EXPECT_EQ(st.positions_examined + st.positions_skipped,
+            TrivialScanPositions(2000));
+  // The whole point: far fewer examined than the trivial scan.
+  EXPECT_LT(st.positions_examined, TrivialScanPositions(2000) / 4);
+}
+
+TEST(FindMssTest, KernelAndWrapperAgree) {
+  seq::Rng rng(15);
+  seq::Sequence s = seq::GenerateNull(3, 500, rng);
+  auto model = seq::MultinomialModel::Uniform(3);
+  auto wrapped = FindMss(s, model);
+  ASSERT_TRUE(wrapped.ok());
+  seq::PrefixCounts counts(s);
+  ChiSquareContext ctx(model);
+  MssResult kernel = FindMss(counts, ctx);
+  EXPECT_EQ(kernel.best.start, wrapped->best.start);
+  EXPECT_EQ(kernel.best.end, wrapped->best.end);
+  EXPECT_DOUBLE_EQ(kernel.best.chi_square, wrapped->best.chi_square);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence sweep: the fast algorithm must return the same maximal X² as
+// the exhaustive scan on every (n, k, family) combination.
+// ---------------------------------------------------------------------------
+
+class MssEquivalence
+    : public ::testing::TestWithParam<std::tuple<int64_t, int, Family>> {};
+
+TEST_P(MssEquivalence, FastMatchesNaive) {
+  auto [n, k, family] = GetParam();
+  if (family == Family::kBiased && k != 2) GTEST_SKIP();
+  seq::Rng rng(static_cast<uint64_t>(n * 1000003 + k * 101 +
+                                     static_cast<int>(family)));
+  for (int trial = 0; trial < 3; ++trial) {
+    seq::Sequence s = GenerateFamily(family, k, n, rng);
+    seq::MultinomialModel model = ScoringModel(family, k);
+    auto fast = FindMss(s, model);
+    auto slow = NaiveFindMss(s, model);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    EXPECT_X2_EQ(fast->best.chi_square, slow->best.chi_square)
+        << FamilyName(family) << " n=" << n << " k=" << k
+        << " trial=" << trial << " fast=[" << fast->best.start << ","
+        << fast->best.end << ") slow=[" << slow->best.start << ","
+        << slow->best.end << ")";
+    // The fast scan must never examine more substrings than trivial.
+    EXPECT_LE(fast->stats.positions_examined,
+              slow->stats.positions_examined);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MssEquivalence,
+    ::testing::Combine(::testing::Values<int64_t>(1, 2, 3, 5, 16, 64, 256,
+                                                  777),
+                       ::testing::Values(2, 3, 5, 10),
+                       ::testing::Values(Family::kNull, Family::kGeometric,
+                                         Family::kHarmonic, Family::kMarkov,
+                                         Family::kBiased)),
+    [](const ::testing::TestParamInfo<MssEquivalence::ParamType>& info) {
+      return FamilyName(std::get<2>(info.param)) + "_n" +
+             std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Exhaustive tiny-string check: every binary string of length <= 10.
+TEST(MssExhaustiveTest, AllBinaryStringsUpToLength10) {
+  auto model = seq::MultinomialModel::Uniform(2);
+  for (int64_t n = 1; n <= 10; ++n) {
+    for (uint64_t bits = 0; bits < (1ULL << n); ++bits) {
+      std::vector<uint8_t> symbols(n);
+      for (int64_t i = 0; i < n; ++i) symbols[i] = (bits >> i) & 1;
+      seq::Sequence s = seq::Sequence::FromSymbols(2, symbols).value();
+      auto fast = FindMss(s, model);
+      auto slow = NaiveFindMss(s, model);
+      ASSERT_TRUE(fast.ok());
+      ASSERT_TRUE(slow.ok());
+      ASSERT_NEAR(fast->best.chi_square, slow->best.chi_square, 1e-9)
+          << "n=" << n << " bits=" << bits;
+    }
+  }
+}
+
+// Skewed-model exhaustive check exercises the min-over-characters skip
+// logic where the paper's single-character rule is ambiguous.
+TEST(MssExhaustiveTest, SkewedModelAllBinaryStringsUpToLength9) {
+  auto model = seq::MultinomialModel::Make({0.05, 0.95}).value();
+  for (int64_t n = 1; n <= 9; ++n) {
+    for (uint64_t bits = 0; bits < (1ULL << n); ++bits) {
+      std::vector<uint8_t> symbols(n);
+      for (int64_t i = 0; i < n; ++i) symbols[i] = (bits >> i) & 1;
+      seq::Sequence s = seq::Sequence::FromSymbols(2, symbols).value();
+      auto fast = FindMss(s, model);
+      auto slow = NaiveFindMss(s, model);
+      ASSERT_TRUE(fast.ok());
+      ASSERT_TRUE(slow.ok());
+      ASSERT_NEAR(fast->best.chi_square, slow->best.chi_square,
+                  1e-9 * (1.0 + slow->best.chi_square))
+          << "n=" << n << " bits=" << bits;
+    }
+  }
+}
+
+TEST(MssScalingTest, ExaminedPositionsGrowSubquadratically) {
+  // Empirical reproduction of the paper's headline: ln(iterations) vs
+  // ln(n) slope well below 2 (≈1.5) for null strings.
+  seq::Rng rng(808);
+  auto model = seq::MultinomialModel::Uniform(2);
+  std::vector<double> log_n, log_iter;
+  for (int64_t n : {1000, 2000, 4000, 8000, 16000}) {
+    seq::Sequence s = seq::GenerateNull(2, n, rng);
+    auto result = FindMss(s, model);
+    ASSERT_TRUE(result.ok());
+    log_n.push_back(std::log(static_cast<double>(n)));
+    log_iter.push_back(
+        std::log(static_cast<double>(result->stats.positions_examined)));
+  }
+  // Fit slope.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < log_n.size(); ++i) {
+    sx += log_n[i];
+    sy += log_iter[i];
+    sxx += log_n[i] * log_n[i];
+    sxy += log_n[i] * log_iter[i];
+  }
+  double m = static_cast<double>(log_n.size());
+  double slope = (m * sxy - sx * sy) / (m * sxx - sx * sx);
+  EXPECT_LT(slope, 1.8);
+  EXPECT_GT(slope, 1.1);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sigsub

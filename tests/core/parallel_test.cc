@@ -1,0 +1,101 @@
+#include "core/parallel.h"
+
+#include <tuple>
+
+#include "core/mss.h"
+#include "gtest/gtest.h"
+#include "seq/generators.h"
+#include "seq/rng.h"
+#include "testing/test_util.h"
+
+namespace sigsub {
+namespace core {
+namespace {
+
+TEST(ParallelMssTest, ValidatesInput) {
+  seq::Sequence empty(2);
+  auto model = seq::MultinomialModel::Uniform(2);
+  EXPECT_TRUE(FindMssParallel(empty, model).status().IsInvalidArgument());
+  seq::Sequence s = seq::Sequence::FromSymbols(3, {0, 1, 2}).value();
+  EXPECT_TRUE(FindMssParallel(s, model).status().IsInvalidArgument());
+}
+
+class ParallelEquivalence
+    : public ::testing::TestWithParam<std::tuple<int64_t, int>> {};
+
+TEST_P(ParallelEquivalence, MatchesSequentialValue) {
+  auto [n, threads] = GetParam();
+  seq::Rng rng(static_cast<uint64_t>(n * 3 + threads));
+  for (int k : {2, 4}) {
+    seq::Sequence s = seq::GenerateNull(k, n, rng);
+    auto model = seq::MultinomialModel::Uniform(k);
+    auto parallel = FindMssParallel(s, model, threads);
+    auto sequential = FindMss(s, model);
+    ASSERT_TRUE(parallel.ok());
+    ASSERT_TRUE(sequential.ok());
+    EXPECT_X2_EQ(parallel->best.chi_square, sequential->best.chi_square)
+        << "n=" << n << " k=" << k << " threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelEquivalence,
+    ::testing::Combine(::testing::Values<int64_t>(1, 2, 7, 100, 2000),
+                       ::testing::Values(1, 2, 3, 8)),
+    [](const ::testing::TestParamInfo<ParallelEquivalence::ParamType>&
+           info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ParallelMssTest, MoreThreadsThanStartPositions) {
+  seq::Sequence s = seq::Sequence::FromSymbols(2, {1, 0, 1}).value();
+  auto model = seq::MultinomialModel::Uniform(2);
+  auto result = FindMssParallel(s, model, 64);
+  ASSERT_TRUE(result.ok());
+  auto reference = FindMss(s, model);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_X2_EQ(result->best.chi_square, reference->best.chi_square);
+}
+
+TEST(ParallelMssTest, DefaultThreadCountWorks) {
+  seq::Rng rng(9);
+  seq::Sequence s = seq::GenerateNull(2, 5000, rng);
+  auto model = seq::MultinomialModel::Uniform(2);
+  auto parallel = FindMssParallel(s, model, /*num_threads=*/0);
+  auto sequential = FindMss(s, model);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_TRUE(sequential.ok());
+  EXPECT_X2_EQ(parallel->best.chi_square, sequential->best.chi_square);
+}
+
+TEST(ParallelMssTest, StatsCoverAllStartPositions) {
+  seq::Rng rng(10);
+  seq::Sequence s = seq::GenerateNull(2, 1000, rng);
+  auto model = seq::MultinomialModel::Uniform(2);
+  auto result = FindMssParallel(s, model, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.start_positions, 1000);
+  EXPECT_EQ(result->stats.positions_examined +
+                result->stats.positions_skipped,
+            TrivialScanPositions(1000));
+}
+
+TEST(ParallelMssTest, PlantedAnomalyFoundByEveryThreadCount) {
+  seq::Rng rng(11);
+  auto s = seq::GenerateRegimes(
+      2, {{3000, {0.5, 0.5}}, {200, {0.9, 0.1}}, {3000, {0.5, 0.5}}}, rng);
+  ASSERT_TRUE(s.ok());
+  auto model = seq::MultinomialModel::Uniform(2);
+  for (int threads : {1, 2, 5}) {
+    auto result = FindMssParallel(s.value(), model, threads);
+    ASSERT_TRUE(result.ok());
+    int64_t overlap = std::min<int64_t>(result->best.end, 3200) -
+                      std::max<int64_t>(result->best.start, 3000);
+    EXPECT_GT(overlap, 150) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sigsub

@@ -1,0 +1,123 @@
+#include "core/streaming.h"
+
+#include <optional>
+
+#include "gtest/gtest.h"
+#include "seq/generators.h"
+#include "seq/rng.h"
+#include "stats/count_statistics.h"
+#include "testing/test_util.h"
+
+namespace sigsub {
+namespace core {
+namespace {
+
+TEST(StreamingDetectorTest, MakeValidates) {
+  auto model = seq::MultinomialModel::Uniform(2);
+  StreamingDetector::Options bad_window;
+  bad_window.max_window = 0;
+  EXPECT_TRUE(
+      StreamingDetector::Make(model, bad_window).status().IsInvalidArgument());
+  StreamingDetector::Options bad_alpha;
+  bad_alpha.alpha0 = -1.0;
+  EXPECT_TRUE(
+      StreamingDetector::Make(model, bad_alpha).status().IsInvalidArgument());
+}
+
+TEST(StreamingDetectorTest, ScalesAreDyadicPlusMax) {
+  auto model = seq::MultinomialModel::Uniform(2);
+  StreamingDetector::Options options;
+  options.max_window = 100;
+  auto detector = StreamingDetector::Make(model, options);
+  ASSERT_TRUE(detector.ok());
+  EXPECT_EQ(detector->scales(),
+            (std::vector<int64_t>{1, 2, 4, 8, 16, 32, 64, 100}));
+}
+
+TEST(StreamingDetectorTest, SuffixWindowChiSquareIsExact) {
+  // The alarm's X² must equal the offline statistic of the same window.
+  seq::Rng rng(61);
+  auto model = seq::MultinomialModel::Uniform(2);
+  StreamingDetector::Options options;
+  options.max_window = 64;
+  options.alpha0 = 0.0;  // Alarm on anything positive.
+  auto detector = StreamingDetector::Make(model, options);
+  ASSERT_TRUE(detector.ok());
+  seq::Sequence s = seq::GenerateNull(2, 300, rng);
+  for (int64_t i = 0; i < s.size(); ++i) {
+    auto alarm = detector->Append(s[i]);
+    if (!alarm.has_value()) continue;
+    std::vector<int64_t> counts =
+        s.CountsInRange(alarm->end - alarm->length, alarm->end);
+    double offline = stats::PearsonChiSquare(
+        counts, std::vector<double>{0.5, 0.5});
+    ASSERT_NEAR(alarm->chi_square, offline, 1e-9 * (1.0 + offline))
+        << "i=" << i;
+  }
+}
+
+TEST(StreamingDetectorTest, DetectsPlantedBurstPromptly) {
+  seq::Rng rng(62);
+  auto model = seq::MultinomialModel::Uniform(2);
+  StreamingDetector::Options options;
+  options.max_window = 512;
+  options.alpha0 = 40.0;  // Far above null-stream noise at these scales.
+  auto detector = StreamingDetector::Make(model, options);
+  ASSERT_TRUE(detector.ok());
+
+  auto stream = seq::GenerateRegimes(
+      2, {{5000, {0.5, 0.5}}, {128, {0.05, 0.95}}, {2000, {0.5, 0.5}}}, rng);
+  ASSERT_TRUE(stream.ok());
+  int64_t first_alarm = -1;
+  for (int64_t i = 0; i < stream->size(); ++i) {
+    auto alarm = detector->Append((*stream)[i]);
+    if (alarm.has_value() && first_alarm < 0) first_alarm = alarm->end;
+  }
+  ASSERT_GE(first_alarm, 0) << "burst was never flagged";
+  // Flagged inside or shortly after the planted burst [5000, 5128).
+  EXPECT_GT(first_alarm, 5000);
+  EXPECT_LT(first_alarm, 5200);
+}
+
+TEST(StreamingDetectorTest, QuietOnNullStreamWithCalibratedThreshold) {
+  seq::Rng rng(63);
+  auto model = seq::MultinomialModel::Uniform(2);
+  StreamingDetector::Options options;
+  options.max_window = 256;
+  // Bonferroni across ~n·log(W) tested windows at family alpha 0.1%.
+  double tested = 20000.0 * 9.0;
+  options.alpha0 = stats::ChiSquareThresholdForPValue(0.001 / tested, 2);
+  auto detector = StreamingDetector::Make(model, options);
+  ASSERT_TRUE(detector.ok());
+  seq::Sequence s = seq::GenerateNull(2, 20000, rng);
+  int64_t alarms = 0;
+  for (int64_t i = 0; i < s.size(); ++i) {
+    if (detector->Append(s[i]).has_value()) ++alarms;
+  }
+  EXPECT_EQ(alarms, 0);
+}
+
+TEST(StreamingDetectorTest, PositionCounts) {
+  auto model = seq::MultinomialModel::Uniform(2);
+  auto detector = StreamingDetector::Make(model, {}).value();
+  EXPECT_EQ(detector.position(), 0);
+  detector.Append(0);
+  detector.Append(1);
+  EXPECT_EQ(detector.position(), 2);
+}
+
+TEST(StreamingDetectorTest, WindowOneAlarmsOnEverySymbolAtZeroThreshold) {
+  auto model = seq::MultinomialModel::Make({0.25, 0.75}).value();
+  StreamingDetector::Options options;
+  options.max_window = 1;
+  options.alpha0 = 0.0;
+  auto detector = StreamingDetector::Make(model, options).value();
+  auto alarm = detector.Append(0);
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->length, 1);
+  EXPECT_NEAR(alarm->chi_square, 3.0, 1e-12);  // 1/0.25 − 1.
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sigsub

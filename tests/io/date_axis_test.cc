@@ -1,0 +1,105 @@
+#include "io/date_axis.h"
+
+#include "gtest/gtest.h"
+
+namespace sigsub {
+namespace io {
+namespace {
+
+TEST(DateTest, FormatsLikePaperTables) {
+  Date d{1924, 4, 17};
+  EXPECT_EQ(d.ToString(), "17-04-1924");
+  EXPECT_EQ((Date{2005, 12, 3}).ToString(), "03-12-2005");
+}
+
+TEST(LeapYearTest, GregorianRules) {
+  EXPECT_TRUE(IsLeapYear(2000));
+  EXPECT_TRUE(IsLeapYear(1996));
+  EXPECT_FALSE(IsLeapYear(1900));
+  EXPECT_FALSE(IsLeapYear(2023));
+  EXPECT_TRUE(IsLeapYear(2024));
+}
+
+TEST(DaysInMonthTest, FebruaryAndOthers) {
+  EXPECT_EQ(DaysInMonth(2023, 2), 28);
+  EXPECT_EQ(DaysInMonth(2024, 2), 29);
+  EXPECT_EQ(DaysInMonth(2023, 1), 31);
+  EXPECT_EQ(DaysInMonth(2023, 4), 30);
+  EXPECT_EQ(DaysInMonth(2023, 12), 31);
+}
+
+TEST(AddDaysTest, SimpleAndRollover) {
+  EXPECT_EQ(AddDays(Date{2023, 1, 30}, 0), (Date{2023, 1, 30}));
+  EXPECT_EQ(AddDays(Date{2023, 1, 30}, 2), (Date{2023, 2, 1}));
+  EXPECT_EQ(AddDays(Date{2023, 12, 31}, 1), (Date{2024, 1, 1}));
+  // Across a leap day.
+  EXPECT_EQ(AddDays(Date{2024, 2, 28}, 1), (Date{2024, 2, 29}));
+  EXPECT_EQ(AddDays(Date{2024, 2, 28}, 2), (Date{2024, 3, 1}));
+  // A full year.
+  EXPECT_EQ(AddDays(Date{2023, 3, 1}, 365), (Date{2024, 2, 29}));
+}
+
+TEST(DayOfWeekTest, KnownDates) {
+  // 2000-01-01 was a Saturday (index 5 with Monday=0).
+  EXPECT_EQ(DayOfWeek(Date{2000, 1, 1}), 5);
+  // 2026-06-10 is a Wednesday.
+  EXPECT_EQ(DayOfWeek(Date{2026, 6, 10}), 2);
+  // 1928-10-01 was a Monday.
+  EXPECT_EQ(DayOfWeek(Date{1928, 10, 1}), 0);
+}
+
+TEST(TradingDaysTest, SkipsWeekends) {
+  // Start on a Friday: next trading day is Monday.
+  DateAxis axis = DateAxis::TradingDays(Date{2023, 6, 2}, 3);  // Friday.
+  ASSERT_EQ(axis.size(), 3);
+  EXPECT_EQ(axis.date(0), (Date{2023, 6, 2}));
+  EXPECT_EQ(axis.date(1), (Date{2023, 6, 5}));  // Monday.
+  EXPECT_EQ(axis.date(2), (Date{2023, 6, 6}));
+  for (int64_t i = 0; i < axis.size(); ++i) {
+    EXPECT_LT(DayOfWeek(axis.date(i)), 5);
+  }
+}
+
+TEST(TradingDaysTest, StartOnWeekendAdvances) {
+  DateAxis axis = DateAxis::TradingDays(Date{2023, 6, 3}, 1);  // Saturday.
+  EXPECT_EQ(axis.date(0), (Date{2023, 6, 5}));
+}
+
+TEST(TradingDaysTest, YearlyDensityIsPlausible) {
+  // ~261 weekdays per year.
+  DateAxis axis = DateAxis::TradingDays(Date{2000, 1, 3}, 2610);
+  EXPECT_EQ(axis.date(0).year, 2000);
+  int last_year = axis.date(axis.size() - 1).year;
+  EXPECT_GE(last_year, 2009);
+  EXPECT_LE(last_year, 2010);
+}
+
+TEST(SportsScheduleTest, GamesPerYearWithinSeason) {
+  DateAxis axis = DateAxis::SportsSchedule(1901, 42, 21);
+  ASSERT_EQ(axis.size(), 42);
+  // First season entirely in 1901, between April and October.
+  for (int64_t i = 0; i < 21; ++i) {
+    EXPECT_EQ(axis.date(i).year, 1901);
+    EXPECT_GE(axis.date(i).month, 4);
+    EXPECT_LE(axis.date(i).month, 10);
+  }
+  for (int64_t i = 21; i < 42; ++i) {
+    EXPECT_EQ(axis.date(i).year, 1902);
+  }
+  // Dates are non-decreasing inside a season.
+  for (int64_t i = 1; i < 21; ++i) {
+    EXPECT_LE(axis.LowerBound(axis.date(i - 1)), i);
+  }
+}
+
+TEST(LowerBoundTest, FindsFirstDateNotBefore) {
+  DateAxis axis = DateAxis::TradingDays(Date{2023, 1, 2}, 10);
+  EXPECT_EQ(axis.LowerBound(Date{2023, 1, 2}), 0);
+  EXPECT_EQ(axis.LowerBound(Date{2022, 12, 1}), 0);
+  EXPECT_EQ(axis.LowerBound(Date{2023, 1, 7}), 5);  // Saturday -> Monday 9th.
+  EXPECT_EQ(axis.LowerBound(Date{2024, 1, 1}), axis.size());
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace sigsub

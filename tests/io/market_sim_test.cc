@@ -1,0 +1,114 @@
+#include "io/market_sim.h"
+
+#include <algorithm>
+
+#include "core/mss.h"
+#include "gtest/gtest.h"
+#include "seq/model.h"
+#include "testing/test_util.h"
+
+namespace sigsub {
+namespace io {
+namespace {
+
+TEST(MarketSeriesTest, PaperLengths) {
+  EXPECT_EQ(MarketSeries::DowJones().updown().size(), 20906);
+  EXPECT_EQ(MarketSeries::SP500().updown().size(), 15600);
+  EXPECT_EQ(MarketSeries::Ibm().updown().size(), 12517);
+}
+
+TEST(MarketSeriesTest, StartDatesMatchPaperEras) {
+  EXPECT_EQ(MarketSeries::DowJones().dates().date(0).year, 1928);
+  EXPECT_EQ(MarketSeries::SP500().dates().date(0).year, 1950);
+  EXPECT_EQ(MarketSeries::Ibm().dates().date(0).year, 1962);
+}
+
+TEST(MarketSeriesTest, Deterministic) {
+  MarketSeries a = MarketSeries::SP500();
+  MarketSeries b = MarketSeries::SP500();
+  for (int64_t i = 0; i < a.updown().size(); i += 97) {
+    EXPECT_EQ(a.updown()[i], b.updown()[i]);
+  }
+}
+
+TEST(MarketSeriesTest, EmpiricalUpRateNearBase) {
+  MarketSeries dow = MarketSeries::DowJones();
+  double rate = dow.EmpiricalUpRate();
+  EXPECT_GT(rate, 0.48);
+  EXPECT_LT(rate, 0.56);
+}
+
+TEST(MarketSeriesTest, RegimeUpRatesFollowPlantedProbabilities) {
+  MarketSeries dow = MarketSeries::DowJones();
+  for (const auto& regime : dow.config().regimes) {
+    int64_t ups = dow.UpDaysInRange(regime.start_day,
+                                    regime.start_day + regime.num_days);
+    double rate = static_cast<double>(ups) / regime.num_days;
+    EXPECT_NEAR(rate, regime.up_prob, 0.08) << regime.label;
+  }
+}
+
+TEST(MarketSeriesTest, PriceChangeSignTracksRegimeDirection) {
+  MarketSeries dow = MarketSeries::DowJones();
+  for (const auto& regime : dow.config().regimes) {
+    double change = dow.PriceChangeInRange(
+        regime.start_day, regime.start_day + regime.num_days);
+    if (regime.up_prob > 0.55) {
+      EXPECT_GT(change, 0.0) << regime.label;
+    } else if (regime.up_prob < 0.45) {
+      EXPECT_LT(change, 0.0) << regime.label;
+    }
+  }
+}
+
+TEST(MarketSeriesTest, MssFindsAPlantedRegimeOnSP500) {
+  // The strongest planted S&P regime is the 1973-74 bear market; the MSS
+  // must overlap one of the planted regimes substantially.
+  MarketSeries sp = MarketSeries::SP500();
+  double p = sp.EmpiricalUpRate();
+  auto model = seq::MultinomialModel::Make({1.0 - p, p}).value();
+  auto mss = core::FindMss(sp.updown(), model);
+  ASSERT_TRUE(mss.ok());
+  int64_t best_overlap = 0;
+  for (const auto& regime : sp.config().regimes) {
+    int64_t lo = regime.start_day;
+    int64_t hi = regime.start_day + regime.num_days;
+    int64_t overlap =
+        std::min(mss->best.end, hi) - std::max(mss->best.start, lo);
+    best_overlap = std::max(best_overlap, overlap);
+  }
+  EXPECT_GT(best_overlap, 100);
+}
+
+TEST(MarketSeriesTest, GenerateValidates) {
+  MarketConfig config;
+  config.num_days = -1;
+  EXPECT_TRUE(MarketSeries::Generate(config).status().IsInvalidArgument());
+
+  config.num_days = 100;
+  config.base_up_prob = 0.0;
+  EXPECT_TRUE(MarketSeries::Generate(config).status().IsInvalidArgument());
+
+  config.base_up_prob = 0.5;
+  config.regimes = {{90, 20, 0.8, "overruns"}};
+  EXPECT_TRUE(MarketSeries::Generate(config).status().IsInvalidArgument());
+
+  config.regimes = {{10, 20, 0.8, "a"}, {25, 10, 0.2, "overlaps"}};
+  EXPECT_TRUE(MarketSeries::Generate(config).status().IsInvalidArgument());
+
+  config.regimes = {{10, 20, 0.8, "ok"}};
+  EXPECT_TRUE(MarketSeries::Generate(config).ok());
+}
+
+TEST(MarketSeriesTest, TradingDatesAreWeekdaysAndOrdered) {
+  MarketSeries ibm = MarketSeries::Ibm();
+  const DateAxis& axis = ibm.dates();
+  for (int64_t i = 0; i < axis.size(); i += 251) {
+    EXPECT_LT(DayOfWeek(axis.date(i)), 5);
+  }
+  EXPECT_GE(axis.date(axis.size() - 1).year, 2009);
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace sigsub

@@ -1,0 +1,106 @@
+#include "io/sports_sim.h"
+
+#include <algorithm>
+
+#include "core/mss.h"
+#include "gtest/gtest.h"
+#include "seq/model.h"
+#include "testing/test_util.h"
+
+namespace sigsub {
+namespace io {
+namespace {
+
+TEST(RivalrySeriesTest, DefaultShape) {
+  RivalrySeries series = RivalrySeries::Default();
+  EXPECT_EQ(series.outcomes().size(), 2086);
+  EXPECT_EQ(series.dates().size(), 2086);
+  EXPECT_EQ(series.config().eras.size(), 5u);
+  // Win rate in the vicinity of the paper's 54.27% (eras pull both ways).
+  double rate = series.EmpiricalWinRate();
+  EXPECT_GT(rate, 0.45);
+  EXPECT_LT(rate, 0.65);
+}
+
+TEST(RivalrySeriesTest, DeterministicAcrossCalls) {
+  RivalrySeries a = RivalrySeries::Default();
+  RivalrySeries b = RivalrySeries::Default();
+  ASSERT_EQ(a.outcomes().size(), b.outcomes().size());
+  for (int64_t i = 0; i < a.outcomes().size(); ++i) {
+    EXPECT_EQ(a.outcomes()[i], b.outcomes()[i]);
+  }
+}
+
+TEST(RivalrySeriesTest, PlantedDynastyIsWinRich) {
+  RivalrySeries series = RivalrySeries::Default();
+  // The 1924-1933 era: games ~[489, 693) at win prob 0.76.
+  const PlantedEra* dynasty = nullptr;
+  for (const auto& era : series.config().eras) {
+    if (era.num_games == 204) dynasty = &era;
+  }
+  ASSERT_NE(dynasty, nullptr);
+  int64_t wins = series.WinsInRange(dynasty->start_game,
+                                    dynasty->start_game + dynasty->num_games);
+  double rate = static_cast<double>(wins) / dynasty->num_games;
+  EXPECT_GT(rate, 0.66);
+}
+
+TEST(RivalrySeriesTest, MssRecoversDynastyEra) {
+  RivalrySeries series = RivalrySeries::Default();
+  double p = series.EmpiricalWinRate();
+  auto model = seq::MultinomialModel::Make({1.0 - p, p}).value();
+  auto mss = core::FindMss(series.outcomes(), model);
+  ASSERT_TRUE(mss.ok());
+  const PlantedEra* dynasty = nullptr;
+  for (const auto& era : series.config().eras) {
+    if (era.num_games == 204) dynasty = &era;
+  }
+  ASSERT_NE(dynasty, nullptr);
+  int64_t lo = dynasty->start_game;
+  int64_t hi = dynasty->start_game + dynasty->num_games;
+  int64_t overlap = std::min(mss->best.end, hi) -
+                    std::max(mss->best.start, lo);
+  EXPECT_GT(overlap, dynasty->num_games / 2);
+}
+
+TEST(RivalrySeriesTest, GenerateValidatesEras) {
+  RivalryConfig config;
+  config.num_games = 100;
+  config.eras = {{50, 60, 0.8, "overruns schedule"}};
+  EXPECT_TRUE(
+      RivalrySeries::Generate(config).status().IsInvalidArgument());
+
+  config.eras = {{10, 20, 0.8, "a"}, {15, 10, 0.3, "overlaps a"}};
+  EXPECT_TRUE(
+      RivalrySeries::Generate(config).status().IsInvalidArgument());
+
+  config.eras = {{10, 20, 1.5, "bad prob"}};
+  EXPECT_TRUE(
+      RivalrySeries::Generate(config).status().IsInvalidArgument());
+
+  config.eras = {{10, 20, 0.8, "fine"}};
+  EXPECT_TRUE(RivalrySeries::Generate(config).ok());
+}
+
+TEST(RivalrySeriesTest, GenerateValidatesBaseConfig) {
+  RivalryConfig config;
+  config.num_games = 0;
+  EXPECT_TRUE(
+      RivalrySeries::Generate(config).status().IsInvalidArgument());
+  config.num_games = 10;
+  config.base_win_prob = 1.0;
+  EXPECT_TRUE(
+      RivalrySeries::Generate(config).status().IsInvalidArgument());
+}
+
+TEST(RivalrySeriesTest, DatesSpanACentury) {
+  RivalrySeries series = RivalrySeries::Default();
+  EXPECT_EQ(series.dates().date(0).year, 1901);
+  int last_year = series.dates().date(series.dates().size() - 1).year;
+  EXPECT_GE(last_year, 1999);
+  EXPECT_LE(last_year, 2001);
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace sigsub

@@ -1,0 +1,124 @@
+#include "seq/generators.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace sigsub {
+namespace seq {
+namespace {
+
+TEST(GeneratorsTest, NullStringHasUniformFrequencies) {
+  Rng rng(101);
+  const int k = 4;
+  const int64_t n = 100000;
+  Sequence s = GenerateNull(k, n, rng);
+  ASSERT_EQ(s.size(), n);
+  std::vector<int64_t> counts = s.CountsInRange(0, n);
+  for (int c = 0; c < k; ++c) {
+    EXPECT_NEAR(static_cast<double>(counts[c]) / n, 0.25, 0.01) << c;
+  }
+}
+
+TEST(GeneratorsTest, MultinomialMatchesModelFrequencies) {
+  Rng rng(102);
+  MultinomialModel m = MultinomialModel::Geometric(5);
+  const int64_t n = 200000;
+  Sequence s = GenerateMultinomial(m, n, rng);
+  std::vector<int64_t> counts = s.CountsInRange(0, n);
+  for (int c = 0; c < 5; ++c) {
+    EXPECT_NEAR(static_cast<double>(counts[c]) / n, m.prob(c),
+                0.05 * m.prob(c) + 0.002)
+        << c;
+  }
+}
+
+TEST(GeneratorsTest, DeterministicGivenSeed) {
+  Rng rng1(7);
+  Rng rng2(7);
+  Sequence a = GenerateNull(3, 1000, rng1);
+  Sequence b = GenerateNull(3, 1000, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(GeneratorsTest, ZeroLengthIsEmpty) {
+  Rng rng(1);
+  EXPECT_TRUE(GenerateNull(2, 0, rng).empty());
+  EXPECT_TRUE(GenerateMarkov(MarkovModel::PaperFamily(3), 0, rng).empty());
+}
+
+TEST(GeneratorsTest, MarkovTransitionFrequencies) {
+  Rng rng(103);
+  MarkovModel m = MarkovModel::BiasedBinary(0.8);
+  const int64_t n = 200000;
+  Sequence s = GenerateMarkov(m, n, rng);
+  int64_t same = 0;
+  for (int64_t i = 1; i < n; ++i) {
+    if (s[i] == s[i - 1]) ++same;
+  }
+  EXPECT_NEAR(static_cast<double>(same) / (n - 1), 0.8, 0.01);
+}
+
+TEST(GeneratorsTest, BiasedBinaryHalfIsMemoryless) {
+  Rng rng(104);
+  Sequence s = GenerateBiasedBinary(0.5, 100000, rng);
+  int64_t same = 0;
+  for (int64_t i = 1; i < s.size(); ++i) {
+    if (s[i] == s[i - 1]) ++same;
+  }
+  EXPECT_NEAR(static_cast<double>(same) / (s.size() - 1), 0.5, 0.01);
+}
+
+TEST(GeneratorsTest, PaperMarkovFamilyStationaryFrequencies) {
+  Rng rng(105);
+  MarkovModel m = MarkovModel::PaperFamily(3);
+  const int64_t n = 300000;
+  Sequence s = GenerateMarkov(m, n, rng);
+  std::vector<int64_t> counts = s.CountsInRange(0, n);
+  std::vector<double> pi = m.StationaryDistribution();
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(static_cast<double>(counts[c]) / n, pi[c], 0.01) << c;
+  }
+}
+
+TEST(GeneratorsTest, RegimesProduceRequestedLengths) {
+  Rng rng(106);
+  std::vector<Regime> regimes = {
+      {100, {0.5, 0.5}},
+      {50, {0.9, 0.1}},
+      {200, {0.5, 0.5}},
+  };
+  auto s = GenerateRegimes(2, regimes, rng);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 350);
+  // The middle segment should be visibly 0-heavy.
+  std::vector<int64_t> mid = s->CountsInRange(100, 150);
+  EXPECT_GT(mid[0], 35);
+}
+
+TEST(GeneratorsTest, RegimesValidateProbabilities) {
+  Rng rng(1);
+  EXPECT_TRUE(GenerateRegimes(2, {{10, {0.7, 0.7}}}, rng)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(GenerateRegimes(2, {{10, {0.5, 0.3, 0.2}}}, rng)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(GenerateRegimes(2, {{-5, {0.5, 0.5}}}, rng)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(GenerateRegimes(1, {}, rng).status().IsInvalidArgument());
+}
+
+TEST(GeneratorsTest, RegimesEmptyPlanIsEmptySequence) {
+  Rng rng(2);
+  auto s = GenerateRegimes(2, {}, rng);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->empty());
+}
+
+}  // namespace
+}  // namespace seq
+}  // namespace sigsub

@@ -1,0 +1,156 @@
+#include "seq/model.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "seq/rng.h"
+
+namespace sigsub {
+namespace seq {
+namespace {
+
+TEST(MultinomialModelTest, MakeValidates) {
+  EXPECT_TRUE(MultinomialModel::Make({0.5, 0.5}).ok());
+  EXPECT_TRUE(MultinomialModel::Make({0.5}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      MultinomialModel::Make({0.5, 0.6}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      MultinomialModel::Make({1.0, 0.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      MultinomialModel::Make({-0.2, 1.2}).status().IsInvalidArgument());
+}
+
+TEST(MultinomialModelTest, UniformProbabilities) {
+  MultinomialModel m = MultinomialModel::Uniform(4);
+  EXPECT_EQ(m.alphabet_size(), 4);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(m.prob(i), 0.25);
+}
+
+TEST(MultinomialModelTest, GeometricDecaysByHalves) {
+  MultinomialModel m = MultinomialModel::Geometric(4);
+  // p_i ∝ 2^{-i}: ratios of consecutive probabilities are exactly 2.
+  for (int i = 0; i + 1 < 4; ++i) {
+    EXPECT_NEAR(m.prob(i) / m.prob(i + 1), 2.0, 1e-12);
+  }
+  double sum = 0.0;
+  for (int i = 0; i < 4; ++i) sum += m.prob(i);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(MultinomialModelTest, HarmonicDecay) {
+  MultinomialModel m = MultinomialModel::Harmonic(5);
+  for (int i = 0; i + 1 < 5; ++i) {
+    EXPECT_NEAR(m.prob(i) / m.prob(i + 1),
+                static_cast<double>(i + 2) / (i + 1), 1e-12);
+  }
+}
+
+TEST(MultinomialModelTest, CumulativeEndsAtOne) {
+  MultinomialModel m = MultinomialModel::Harmonic(7);
+  EXPECT_DOUBLE_EQ(m.cumulative().back(), 1.0);
+  for (size_t i = 1; i < m.cumulative().size(); ++i) {
+    EXPECT_GT(m.cumulative()[i], m.cumulative()[i - 1]);
+  }
+}
+
+TEST(MultinomialModelTest, SampleSymbolRespectsBoundaries) {
+  MultinomialModel m = MultinomialModel::Make({0.2, 0.3, 0.5}).value();
+  EXPECT_EQ(m.SampleSymbol(0.0), 0);
+  EXPECT_EQ(m.SampleSymbol(0.1999), 0);
+  EXPECT_EQ(m.SampleSymbol(0.2001), 1);
+  EXPECT_EQ(m.SampleSymbol(0.4999), 1);
+  EXPECT_EQ(m.SampleSymbol(0.5001), 2);
+  EXPECT_EQ(m.SampleSymbol(0.9999), 2);
+}
+
+TEST(MultinomialModelTest, SampledFrequenciesConverge) {
+  MultinomialModel m = MultinomialModel::Make({0.1, 0.2, 0.7}).value();
+  Rng rng(7);
+  std::vector<int64_t> counts(3, 0);
+  const int64_t n = 200000;
+  for (int64_t i = 0; i < n; ++i) ++counts[m.SampleSymbol(rng.NextDouble())];
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, m.prob(i), 0.01) << i;
+  }
+}
+
+TEST(MarkovModelTest, MakeValidates) {
+  // Rows must sum to one.
+  EXPECT_TRUE(MarkovModel::Make(2, {0.5, 0.5, 0.7, 0.7}, {0.5, 0.5})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(MarkovModel::Make(2, {0.5, 0.5, 0.5}, {0.5, 0.5})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(MarkovModel::Make(2, {0.5, 0.5, 0.3, 0.7}, {0.9, 0.2})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      MarkovModel::Make(2, {0.5, 0.5, 0.3, 0.7}, {0.5, 0.5}).ok());
+}
+
+TEST(MarkovModelTest, BiasedBinaryTransitions) {
+  MarkovModel m = MarkovModel::BiasedBinary(0.8);
+  EXPECT_DOUBLE_EQ(m.transition(0, 0), 0.8);
+  EXPECT_DOUBLE_EQ(m.transition(0, 1), 0.2);
+  EXPECT_DOUBLE_EQ(m.transition(1, 1), 0.8);
+  EXPECT_DOUBLE_EQ(m.transition(1, 0), 0.2);
+}
+
+TEST(MarkovModelTest, BiasedBinaryStationaryIsUniform) {
+  MarkovModel m = MarkovModel::BiasedBinary(0.73);
+  std::vector<double> pi = m.StationaryDistribution();
+  ASSERT_EQ(pi.size(), 2u);
+  EXPECT_NEAR(pi[0], 0.5, 1e-10);
+  EXPECT_NEAR(pi[1], 0.5, 1e-10);
+}
+
+TEST(MarkovModelTest, PaperFamilyRowsSumToOne) {
+  for (int k : {2, 3, 5, 10}) {
+    MarkovModel m = MarkovModel::PaperFamily(k);
+    for (int i = 0; i < k; ++i) {
+      double row = 0.0;
+      for (int j = 0; j < k; ++j) row += m.transition(i, j);
+      EXPECT_NEAR(row, 1.0, 1e-12) << "k=" << k << " row=" << i;
+    }
+  }
+}
+
+TEST(MarkovModelTest, PaperFamilySelfTransitionDominates) {
+  // T[i][j] ∝ 2^{-((i-j) mod k)}: staying (d = 0) has the largest weight.
+  MarkovModel m = MarkovModel::PaperFamily(5);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      if (j != i) {
+        EXPECT_GT(m.transition(i, i), m.transition(i, j));
+      }
+    }
+  }
+}
+
+TEST(MarkovModelTest, StationaryIsFixedPoint) {
+  MarkovModel m = MarkovModel::PaperFamily(4);
+  std::vector<double> pi = m.StationaryDistribution();
+  double sum = std::accumulate(pi.begin(), pi.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+  for (int j = 0; j < 4; ++j) {
+    double next = 0.0;
+    for (int i = 0; i < 4; ++i) next += pi[i] * m.transition(i, j);
+    EXPECT_NEAR(next, pi[j], 1e-9) << j;
+  }
+}
+
+TEST(MarkovModelTest, SampleNextRespectsRowBoundaries) {
+  MarkovModel m = MarkovModel::Make(2, {0.9, 0.1, 0.4, 0.6}, {0.5, 0.5})
+                      .value();
+  EXPECT_EQ(m.SampleNext(0, 0.85), 0);
+  EXPECT_EQ(m.SampleNext(0, 0.95), 1);
+  EXPECT_EQ(m.SampleNext(1, 0.35), 0);
+  EXPECT_EQ(m.SampleNext(1, 0.45), 1);
+}
+
+}  // namespace
+}  // namespace seq
+}  // namespace sigsub

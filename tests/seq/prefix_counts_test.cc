@@ -1,0 +1,83 @@
+#include "seq/prefix_counts.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "seq/generators.h"
+#include "seq/rng.h"
+#include "seq/sequence.h"
+
+namespace sigsub {
+namespace seq {
+namespace {
+
+TEST(PrefixCountsTest, SmallHandComputed) {
+  Sequence s = Sequence::FromSymbols(2, {0, 1, 1, 0, 1}).value();
+  PrefixCounts pc(s);
+  EXPECT_EQ(pc.sequence_size(), 5);
+  EXPECT_EQ(pc.alphabet_size(), 2);
+  EXPECT_EQ(pc.PrefixCount(0, 0), 0);
+  EXPECT_EQ(pc.PrefixCount(0, 1), 1);
+  EXPECT_EQ(pc.PrefixCount(1, 3), 2);
+  EXPECT_EQ(pc.PrefixCount(1, 5), 3);
+  EXPECT_EQ(pc.CountInRange(1, 1, 3), 2);
+  EXPECT_EQ(pc.CountInRange(0, 1, 3), 0);
+  EXPECT_EQ(pc.CountInRange(0, 0, 5), 2);
+}
+
+TEST(PrefixCountsTest, FillCountsMatchesDirectCount) {
+  Rng rng(123);
+  for (int k : {2, 4, 7}) {
+    Sequence s = GenerateNull(k, 300, rng);
+    PrefixCounts pc(s);
+    std::vector<int64_t> fast(k);
+    for (int64_t start = 0; start <= s.size(); start += 13) {
+      for (int64_t end = start; end <= s.size(); end += 17) {
+        pc.FillCounts(start, end, fast);
+        std::vector<int64_t> slow = s.CountsInRange(start, end);
+        EXPECT_EQ(fast, slow) << "k=" << k << " [" << start << "," << end
+                              << ")";
+      }
+    }
+  }
+}
+
+TEST(PrefixCountsTest, RowSpansHaveCorrectShape) {
+  Rng rng(5);
+  Sequence s = GenerateNull(3, 50, rng);
+  PrefixCounts pc(s);
+  for (int c = 0; c < 3; ++c) {
+    auto row = pc.Row(c);
+    ASSERT_EQ(row.size(), 51u);
+    EXPECT_EQ(row[0], 0);
+    // Row is non-decreasing and steps by at most 1.
+    for (size_t i = 1; i < row.size(); ++i) {
+      EXPECT_GE(row[i], row[i - 1]);
+      EXPECT_LE(row[i] - row[i - 1], 1);
+    }
+  }
+}
+
+TEST(PrefixCountsTest, TotalCountsSumToLength) {
+  Rng rng(99);
+  Sequence s = GenerateNull(5, 128, rng);
+  PrefixCounts pc(s);
+  for (int64_t pos = 0; pos <= s.size(); ++pos) {
+    int64_t total = 0;
+    for (int c = 0; c < 5; ++c) total += pc.PrefixCount(c, pos);
+    EXPECT_EQ(total, pos);
+  }
+}
+
+TEST(PrefixCountsTest, EmptyRangeIsZero) {
+  Sequence s = Sequence::FromSymbols(2, {1, 0, 1}).value();
+  PrefixCounts pc(s);
+  std::vector<int64_t> counts(2);
+  pc.FillCounts(2, 2, counts);
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[1], 0);
+}
+
+}  // namespace
+}  // namespace seq
+}  // namespace sigsub

@@ -1,0 +1,77 @@
+#include "stats/beta.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "stats/gamma.h"
+
+namespace sigsub {
+namespace stats {
+namespace {
+
+TEST(LogBetaTest, KnownValues) {
+  // B(1,1) = 1; B(2,3) = 1/12; B(0.5,0.5) = pi.
+  EXPECT_NEAR(LogBeta(1.0, 1.0), 0.0, 1e-14);
+  EXPECT_NEAR(LogBeta(2.0, 3.0), std::log(1.0 / 12.0), 1e-12);
+  EXPECT_NEAR(LogBeta(0.5, 0.5), std::log(M_PI), 1e-12);
+}
+
+TEST(LogBetaTest, Symmetric) {
+  EXPECT_NEAR(LogBeta(2.5, 7.0), LogBeta(7.0, 2.5), 1e-13);
+}
+
+TEST(IncompleteBetaTest, Boundaries) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, UniformSpecialCase) {
+  // I_x(1,1) = x.
+  for (double x : {0.0, 0.1, 0.35, 0.5, 0.9, 1.0}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-13);
+  }
+}
+
+TEST(IncompleteBetaTest, PowerSpecialCases) {
+  // I_x(a,1) = x^a, I_x(1,b) = 1 - (1-x)^b.
+  for (double x : {0.05, 0.3, 0.7, 0.95}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(3.0, 1.0, x), std::pow(x, 3.0),
+                1e-12);
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 4.0, x),
+                1.0 - std::pow(1.0 - x, 4.0), 1e-12);
+  }
+}
+
+TEST(IncompleteBetaTest, SymmetryIdentity) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  for (double a : {0.5, 2.0, 6.5}) {
+    for (double b : {1.0, 3.5, 9.0}) {
+      for (double x : {0.1, 0.42, 0.77}) {
+        EXPECT_NEAR(RegularizedIncompleteBeta(a, b, x),
+                    1.0 - RegularizedIncompleteBeta(b, a, 1.0 - x), 1e-11)
+            << "a=" << a << " b=" << b << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(IncompleteBetaTest, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x <= 1.0; x += 0.02) {
+    double v = RegularizedIncompleteBeta(2.5, 4.0, x);
+    EXPECT_GE(v, prev);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    prev = v;
+  }
+}
+
+TEST(IncompleteBetaTest, MedianOfSymmetricBetaIsHalf) {
+  for (double a : {0.5, 1.0, 2.0, 10.0}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(a, a, 0.5), 0.5, 1e-12) << a;
+  }
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace sigsub

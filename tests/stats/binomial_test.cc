@@ -1,0 +1,85 @@
+#include "stats/binomial.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "stats/normal.h"
+
+namespace sigsub {
+namespace stats {
+namespace {
+
+TEST(LogBinomialCoefficientTest, SmallValues) {
+  EXPECT_NEAR(LogBinomialCoefficient(5, 2), std::log(10.0), 1e-12);
+  EXPECT_NEAR(LogBinomialCoefficient(20, 19), std::log(20.0), 1e-12);
+  EXPECT_NEAR(LogBinomialCoefficient(10, 0), 0.0, 1e-12);
+  EXPECT_NEAR(LogBinomialCoefficient(10, 10), 0.0, 1e-12);
+}
+
+TEST(BinomialTest, PmfSumsToOne) {
+  BinomialDistribution d(30, 0.37);
+  double sum = 0.0;
+  for (int64_t y = 0; y <= 30; ++y) sum += d.Pmf(y);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(BinomialTest, PmfKnownValues) {
+  // Fair coin, 20 tosses: P(19 heads) = 20/2^20 (the paper's Section 1
+  // example).
+  BinomialDistribution d(20, 0.5);
+  EXPECT_NEAR(d.Pmf(19), 20.0 / 1048576.0, 1e-15);
+  EXPECT_NEAR(d.Pmf(20), 1.0 / 1048576.0, 1e-15);
+  // P(X >= 19) = 21/2^20 ~= 0.002% — the paper's one-sided p-value.
+  EXPECT_NEAR(d.Sf(18), 21.0 / 1048576.0, 1e-14);
+}
+
+TEST(BinomialTest, CdfMatchesDirectSummation) {
+  BinomialDistribution d(25, 0.3);
+  double cumulative = 0.0;
+  for (int64_t y = 0; y <= 25; ++y) {
+    cumulative += d.Pmf(y);
+    EXPECT_NEAR(d.Cdf(y), cumulative, 1e-11) << "y=" << y;
+    EXPECT_NEAR(d.Sf(y), 1.0 - cumulative, 1e-11) << "y=" << y;
+  }
+}
+
+TEST(BinomialTest, EdgeProbabilities) {
+  BinomialDistribution zero(10, 0.0);
+  EXPECT_DOUBLE_EQ(zero.Pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(zero.Pmf(3), 0.0);
+  BinomialDistribution one(10, 1.0);
+  EXPECT_DOUBLE_EQ(one.Pmf(10), 1.0);
+  EXPECT_DOUBLE_EQ(one.Pmf(9), 0.0);
+}
+
+TEST(BinomialTest, OutOfSupport) {
+  BinomialDistribution d(10, 0.4);
+  EXPECT_DOUBLE_EQ(d.Pmf(-1), 0.0);
+  EXPECT_DOUBLE_EQ(d.Pmf(11), 0.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(-1), 0.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(10), 1.0);
+  EXPECT_DOUBLE_EQ(d.Sf(10), 0.0);
+}
+
+TEST(BinomialTest, MomentsMatchTheory) {
+  BinomialDistribution d(100, 0.2);
+  EXPECT_DOUBLE_EQ(d.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 16.0);
+}
+
+TEST(BinomialTest, NormalApproximationForLargeN) {
+  // Paper Theorem 2: Binomial(n, p) -> Normal(np, np(1-p)). Compare CDFs
+  // at mean ± z·sigma with continuity correction.
+  BinomialDistribution b(10000, 0.3);
+  NormalDistribution normal(b.mean(), std::sqrt(b.variance()));
+  for (double z : {-2.0, -1.0, 0.0, 1.0, 2.0}) {
+    int64_t y = static_cast<int64_t>(b.mean() + z * std::sqrt(b.variance()));
+    double exact = b.Cdf(y);
+    double approx = normal.Cdf(static_cast<double>(y) + 0.5);
+    EXPECT_NEAR(exact, approx, 5e-3) << "z=" << z;
+  }
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace sigsub

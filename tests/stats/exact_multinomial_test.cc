@@ -1,0 +1,115 @@
+#include "stats/exact_multinomial.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "stats/count_statistics.h"
+
+namespace sigsub {
+namespace stats {
+namespace {
+
+TEST(LogMultinomialProbabilityTest, BinomialSpecialCase) {
+  // P({19,1}) for a fair coin = C(20,19)/2^20 = 20/2^20.
+  std::vector<int64_t> counts{19, 1};
+  std::vector<double> probs{0.5, 0.5};
+  EXPECT_NEAR(std::exp(LogMultinomialProbability(counts, probs)),
+              20.0 / 1048576.0, 1e-15);
+}
+
+TEST(LogMultinomialProbabilityTest, TrinomialValue) {
+  // P({1,1,1}) with p = (1/3,1/3,1/3) over l=3: 3!/(1·1·1)·(1/27) = 6/27.
+  std::vector<int64_t> counts{1, 1, 1};
+  std::vector<double> probs{1.0 / 3, 1.0 / 3, 1.0 / 3};
+  EXPECT_NEAR(std::exp(LogMultinomialProbability(counts, probs)), 6.0 / 27.0,
+              1e-13);
+}
+
+TEST(LogMultinomialProbabilityTest, SumsToOneOverAllConfigurations) {
+  // Σ over all compositions of l into k parts of P(β) == 1.
+  std::vector<double> probs{0.2, 0.3, 0.5};
+  const int64_t l = 6;
+  double total = 0.0;
+  for (int64_t a = 0; a <= l; ++a) {
+    for (int64_t b = 0; a + b <= l; ++b) {
+      std::vector<int64_t> counts{a, b, l - a - b};
+      total += std::exp(LogMultinomialProbability(counts, probs));
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ConfigurationCountTest, ClosedForm) {
+  EXPECT_EQ(MultinomialConfigurationCount(10, 1), 1);
+  EXPECT_EQ(MultinomialConfigurationCount(10, 2), 11);
+  EXPECT_EQ(MultinomialConfigurationCount(4, 3), 15);  // C(6,2).
+  EXPECT_EQ(MultinomialConfigurationCount(0, 4), 1);
+}
+
+TEST(ExactPValueTest, PaperCoinExampleTwoSided) {
+  // 19 heads / 1 tail, fair coin. Configurations at least as extreme by X²
+  // are {0,20,1,19} heads: p = (1+1+20+20)/2^20 ≈ 4.0e-5 — twice the
+  // paper's one-sided 0.002% (the X² ordering is two-sided).
+  std::vector<int64_t> observed{19, 1};
+  std::vector<double> probs{0.5, 0.5};
+  auto p = ExactMultinomialPValue(observed, probs);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p.value(), 42.0 / 1048576.0, 1e-12);
+}
+
+TEST(ExactPValueTest, MostLikelyOutcomeHasLargePValue) {
+  std::vector<int64_t> observed{10, 10};
+  std::vector<double> probs{0.5, 0.5};
+  auto p = ExactMultinomialPValue(observed, probs);
+  ASSERT_TRUE(p.ok());
+  // Every outcome is at least as extreme as the most balanced one.
+  EXPECT_NEAR(p.value(), 1.0, 1e-12);
+}
+
+TEST(ExactPValueTest, AgreesWithChiSquareAsymptoticsAtModerateSize) {
+  // With l = 60 the χ²(1) approximation should be within a few 10% of the
+  // exact tail for a moderate deviation.
+  std::vector<int64_t> observed{38, 22};
+  std::vector<double> probs{0.5, 0.5};
+  auto exact = ExactMultinomialPValue(observed, probs);
+  ASSERT_TRUE(exact.ok());
+  double x2 = PearsonChiSquare(observed, probs);
+  double asymptotic = ChiSquarePValue(x2, 2);
+  EXPECT_GT(exact.value(), 0.0);
+  EXPECT_LT(std::fabs(exact.value() - asymptotic) / asymptotic, 0.35);
+}
+
+TEST(ExactPValueTest, ChiSquareApproximationConvergesFromBelow) {
+  // Paper Section 1: the X² statistic converges to χ² from below, so the
+  // asymptotic p-value should (for these balanced-ish binary cases) be
+  // conservative relative to exact enumeration.
+  std::vector<double> probs{0.5, 0.5};
+  for (int64_t heads : {14, 15, 16}) {
+    std::vector<int64_t> observed{heads, 20 - heads};
+    auto exact = ExactMultinomialPValue(observed, probs);
+    ASSERT_TRUE(exact.ok());
+    double x2 = PearsonChiSquare(observed, probs);
+    double asym = ChiSquarePValue(x2, 2);
+    // Exact discrete tail is within a factor ~2 of the asymptotic value.
+    EXPECT_LT(exact.value(), 2.0 * asym + 1e-9) << heads;
+    EXPECT_GT(exact.value(), 0.2 * asym) << heads;
+  }
+}
+
+TEST(ExactPValueTest, RejectsHugeEnumerations) {
+  std::vector<int64_t> observed(6, 200);  // l=1200, k=6: astronomical.
+  std::vector<double> probs(6, 1.0 / 6);
+  auto p = ExactMultinomialPValue(observed, probs);
+  EXPECT_TRUE(p.status().IsInvalidArgument());
+}
+
+TEST(ExactPValueTest, ValidatesInput) {
+  auto p = ExactMultinomialPValue(std::vector<int64_t>{1, 2},
+                                  std::vector<double>{0.7, 0.7});
+  EXPECT_TRUE(p.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace sigsub

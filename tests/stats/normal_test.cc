@@ -1,0 +1,73 @@
+#include "stats/normal.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace sigsub {
+namespace stats {
+namespace {
+
+TEST(StandardNormalTest, KnownCdfValues) {
+  EXPECT_NEAR(StandardNormalCdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(StandardNormalCdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(StandardNormalCdf(-1.0), 0.15865525393145705, 1e-12);
+  EXPECT_NEAR(StandardNormalCdf(1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(StandardNormalCdf(2.5758293035489004), 0.995, 1e-12);
+}
+
+TEST(StandardNormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(StandardNormalQuantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(StandardNormalQuantile(0.975), 1.959963984540054, 1e-8);
+  EXPECT_NEAR(StandardNormalQuantile(0.995), 2.5758293035489004, 1e-8);
+  EXPECT_NEAR(StandardNormalQuantile(0.025), -1.959963984540054, 1e-8);
+}
+
+TEST(StandardNormalTest, QuantileRoundTrip) {
+  for (double p = 0.001; p < 0.999; p += 0.017) {
+    EXPECT_NEAR(StandardNormalCdf(StandardNormalQuantile(p)), p, 1e-10) << p;
+  }
+  // Tails.
+  for (double p : {1e-8, 1e-5, 1.0 - 1e-5, 1.0 - 1e-8}) {
+    EXPECT_NEAR(StandardNormalCdf(StandardNormalQuantile(p)) / p, 1.0, 1e-5)
+        << p;
+  }
+}
+
+TEST(NormalDistributionTest, LocationScale) {
+  NormalDistribution d(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(d.stddev(), 2.0);
+  EXPECT_NEAR(d.Cdf(10.0), 0.5, 1e-14);
+  EXPECT_NEAR(d.Cdf(12.0), StandardNormalCdf(1.0), 1e-14);
+  EXPECT_NEAR(d.Quantile(0.975), 10.0 + 2.0 * 1.959963984540054, 1e-7);
+}
+
+TEST(NormalDistributionTest, PdfPeakAndSymmetry) {
+  NormalDistribution d(3.0, 1.5);
+  EXPECT_NEAR(d.Pdf(3.0), 1.0 / (1.5 * std::sqrt(2.0 * M_PI)), 1e-13);
+  EXPECT_NEAR(d.Pdf(3.0 + 0.7), d.Pdf(3.0 - 0.7), 1e-14);
+}
+
+TEST(NormalDistributionTest, SfComplementsCdf) {
+  NormalDistribution d(0.0, 1.0);
+  for (double x : {-3.0, -0.5, 0.0, 0.5, 3.0}) {
+    EXPECT_NEAR(d.Cdf(x) + d.Sf(x), 1.0, 1e-14) << x;
+  }
+  // Far tail retains relative precision.
+  EXPECT_GT(d.Sf(38.0), 0.0);
+}
+
+TEST(NormalDistributionTest, PdfIntegratesToOne) {
+  NormalDistribution d(1.0, 0.5);
+  double integral = 0.0;
+  const double dx = 1e-3;
+  for (double x = -4.0; x <= 6.0; x += dx) {
+    integral += d.Pdf(x) * dx;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace sigsub

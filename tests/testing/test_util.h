@@ -1,0 +1,99 @@
+#ifndef SIGSUB_TESTS_TESTING_TEST_UTIL_H_
+#define SIGSUB_TESTS_TESTING_TEST_UTIL_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "seq/generators.h"
+#include "seq/model.h"
+#include "seq/rng.h"
+#include "seq/sequence.h"
+
+namespace sigsub {
+namespace testing {
+
+/// Relative/absolute tolerance for comparing X² values produced by
+/// different (equally valid) summation orders.
+inline constexpr double kChiTol = 1e-7;
+
+/// EXPECT that two X² values agree up to accumulated rounding.
+#define EXPECT_X2_EQ(a, b) \
+  EXPECT_NEAR((a), (b), ::sigsub::testing::kChiTol * (1.0 + std::fabs(b)))
+
+#define ASSERT_OK(expr)                                 \
+  do {                                                  \
+    const auto& _st = (expr);                           \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();            \
+  } while (false)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)              \
+  auto _res_##__LINE__ = (rexpr);                     \
+  ASSERT_TRUE(_res_##__LINE__.ok())                   \
+      << _res_##__LINE__.status().ToString();         \
+  lhs = std::move(_res_##__LINE__).value()
+
+/// A named string family used by parameterized equivalence sweeps.
+enum class Family {
+  kNull,       // Uniform multinomial.
+  kGeometric,  // p_i ∝ 2^{-i}.
+  kHarmonic,   // p_i ∝ 1/i.
+  kMarkov,     // Paper's Markov family, scored under a uniform null.
+  kBiased,     // Biased binary RNG (k = 2 only), scored under uniform null.
+};
+
+inline std::string FamilyName(Family family) {
+  switch (family) {
+    case Family::kNull:
+      return "Null";
+    case Family::kGeometric:
+      return "Geometric";
+    case Family::kHarmonic:
+      return "Harmonic";
+    case Family::kMarkov:
+      return "Markov";
+    case Family::kBiased:
+      return "Biased";
+  }
+  return "Unknown";
+}
+
+/// The null model used to *score* strings of the family (the generating
+/// process may differ, e.g. Markov strings scored under a uniform null —
+/// exactly the paper's Section 7.1.2 setup).
+inline seq::MultinomialModel ScoringModel(Family family, int k) {
+  switch (family) {
+    case Family::kGeometric:
+      return seq::MultinomialModel::Geometric(k);
+    case Family::kHarmonic:
+      return seq::MultinomialModel::Harmonic(k);
+    default:
+      return seq::MultinomialModel::Uniform(k);
+  }
+}
+
+/// Generates a string of the family.
+inline seq::Sequence GenerateFamily(Family family, int k, int64_t n,
+                                    seq::Rng& rng) {
+  switch (family) {
+    case Family::kNull:
+      return seq::GenerateNull(k, n, rng);
+    case Family::kGeometric:
+      return seq::GenerateMultinomial(seq::MultinomialModel::Geometric(k), n,
+                                      rng);
+    case Family::kHarmonic:
+      return seq::GenerateMultinomial(seq::MultinomialModel::Harmonic(k), n,
+                                      rng);
+    case Family::kMarkov:
+      return seq::GenerateMarkov(seq::MarkovModel::PaperFamily(k), n, rng);
+    case Family::kBiased:
+      return seq::GenerateBiasedBinary(0.7, n, rng);
+  }
+  return seq::GenerateNull(k, n, rng);
+}
+
+}  // namespace testing
+}  // namespace sigsub
+
+#endif  // SIGSUB_TESTS_TESTING_TEST_UTIL_H_

@@ -1,0 +1,27 @@
+// Command-line front end for the sigsub library. See cli::UsageText().
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && (args[0] == "--help" || args[0] == "-h")) {
+    std::printf("%s", sigsub::cli::UsageText().c_str());
+    return 0;
+  }
+  auto options = sigsub::cli::ParseArgs(args);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n", options.status().message().c_str());
+    return 2;
+  }
+  auto report = sigsub::cli::Run(options.value());
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", report->c_str());
+  return 0;
+}
