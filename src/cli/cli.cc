@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
-#include <set>
 #include <sstream>
 
 #include "common/str_util.h"
@@ -14,6 +13,9 @@
 #include "core/threshold.h"
 #include "core/top_disjoint.h"
 #include "core/top_t.h"
+#include "engine/corpus.h"
+#include "engine/engine.h"
+#include "engine/job.h"
 #include "io/table_writer.h"
 #include "seq/alphabet.h"
 #include "seq/sequence.h"
@@ -24,7 +26,53 @@ namespace cli {
 namespace {
 
 const char* const kCommands[] = {"mss", "topt", "threshold", "minlen",
-                                 "score"};
+                                 "score", "batch"};
+
+/// Flags every command accepts.
+const char* const kCommonFlags[] = {"string", "input", "alphabet", "probs"};
+
+/// Command-specific flags; anything else the user passes is rejected with
+/// an InvalidArgument naming the flag and the command.
+struct CommandFlags {
+  const char* command;
+  std::vector<const char*> flags;
+};
+
+const CommandFlags kCommandFlags[] = {
+    {"mss", {"threads"}},
+    {"topt", {"t", "disjoint", "min-length"}},
+    {"threshold", {"alpha0", "pvalue"}},
+    {"minlen", {"min-length"}},
+    {"score", {"start", "end"}},
+    {"batch",
+     {"job", "format", "column", "csv-header", "threads", "cache", "t",
+      "min-length", "alpha0", "pvalue"}},
+};
+
+Status ValidateFlagsForCommand(const std::string& command,
+                               const std::vector<std::string>& seen_flags) {
+  const CommandFlags* entry = nullptr;
+  for (const CommandFlags& candidate : kCommandFlags) {
+    if (command == candidate.command) entry = &candidate;
+  }
+  for (const std::string& flag : seen_flags) {
+    bool allowed = false;
+    for (const char* common : kCommonFlags) {
+      if (flag == common) allowed = true;
+    }
+    if (entry != nullptr) {
+      for (const char* name : entry->flags) {
+        if (flag == name) allowed = true;
+      }
+    }
+    if (!allowed) {
+      return Status::InvalidArgument(StrCat(
+          "flag --", flag, " is not valid for command ", command, "\n",
+          UsageText()));
+    }
+  }
+  return Status::OK();
+}
 
 Result<double> ParseDouble(const std::string& text, const std::string& flag) {
   char* end = nullptr;
@@ -74,6 +122,142 @@ Result<std::string> LoadInput(const CliOptions& options) {
   return text;
 }
 
+/// Resolves the threshold commands' X² cutoff from --alpha0 / --pvalue
+/// (the p-value takes precedence and prints its derivation banner).
+/// `what` names the failing command in the error.
+Result<double> ResolveAlpha0(const CliOptions& options, int k,
+                             std::ostream& out, const char* what) {
+  double alpha0 = options.alpha0;
+  if (options.pvalue > 0.0) {
+    alpha0 = stats::ChiSquareThresholdForPValue(options.pvalue, k);
+    out << "alpha0 = " << StrFormat("%.4f", alpha0) << " (p-value "
+        << StrFormat("%.3g", options.pvalue) << ")\n";
+  }
+  if (alpha0 < 0.0) {
+    return Status::InvalidArgument(
+        StrCat(what, " needs --alpha0 or --pvalue"));
+  }
+  return alpha0;
+}
+
+/// Executes the `batch` command: load the corpus, fan the selected job
+/// out over every record on the engine, and render one table for the
+/// whole run plus a cache/worker summary line.
+Result<std::string> RunBatch(const CliOptions& options) {
+  Result<engine::Corpus> corpus =
+      options.format == "csv"
+          ? engine::Corpus::FromCsvColumn(options.input_path, options.column,
+                                          options.csv_header,
+                                          options.alphabet)
+          : engine::Corpus::FromLines(options.input_path, options.alphabet);
+  SIGSUB_RETURN_IF_ERROR(corpus.status());
+
+  SIGSUB_ASSIGN_OR_RETURN(engine::JobKind kind,
+                          engine::ParseJobKind(options.job));
+  const int k = corpus->alphabet().size();
+
+  engine::JobParams params;
+  params.t = options.t;
+  params.min_length = options.min_length;
+  std::ostringstream out;
+  if (kind == engine::JobKind::kThreshold) {
+    SIGSUB_ASSIGN_OR_RETURN(
+        params.alpha0, ResolveAlpha0(options, k, out, "batch --job=threshold"));
+    params.max_matches = 0;  // Count + best only; rows stay one-per-record.
+  }
+
+  engine::EngineOptions engine_options;
+  engine_options.num_threads = options.threads;
+  engine_options.cache_capacity = static_cast<size_t>(options.cache);
+  engine::Engine engine(engine_options);
+
+  std::vector<engine::JobSpec> jobs;
+  jobs.reserve(static_cast<size_t>(corpus->size()));
+  for (int64_t i = 0; i < corpus->size(); ++i) {
+    engine::JobSpec spec;
+    spec.kind = kind;
+    spec.sequence_index = i;
+    spec.probs = options.probs;
+    spec.params = params;
+    jobs.push_back(std::move(spec));
+  }
+  SIGSUB_ASSIGN_OR_RETURN(std::vector<engine::JobResult> results,
+                          engine.ExecuteBatch(*corpus, jobs));
+
+  out << "corpus: " << corpus->size() << " records, k = " << k
+      << ", job = " << engine::JobKindToString(kind)
+      << ", threads = " << engine.num_threads() << "\n";
+
+  if (kind == engine::JobKind::kThreshold) {
+    io::TableWriter table(
+        {"record", "n", "matches", "best_start", "best_end", "best_X2"});
+    for (const engine::JobResult& result : results) {
+      const core::Substring& best = result.best;
+      bool any = result.match_count > 0;
+      table.AddRow({std::to_string(
+                        corpus->source_index(result.sequence_index)),
+                    std::to_string(corpus->sequence(result.sequence_index)
+                                       .size()),
+                    std::to_string(result.match_count),
+                    any ? std::to_string(best.start) : std::string("-"),
+                    any ? std::to_string(best.end) : std::string("-"),
+                    any ? StrFormat("%.4f", best.chi_square)
+                        : std::string("-")});
+    }
+    out << table.Render();
+  } else if (kind == engine::JobKind::kTopT ||
+             kind == engine::JobKind::kTopDisjoint) {
+    io::TableWriter table(
+        {"record", "rank", "start", "end", "X2", "p-value"});
+    for (const engine::JobResult& result : results) {
+      if (result.substrings.empty()) {
+        // A record with no qualifying substring still gets a row, so it
+        // cannot be mistaken for an unprocessed record.
+        table.AddRow({std::to_string(
+                          corpus->source_index(result.sequence_index)),
+                      "-", "-", "-", "-", "-"});
+        continue;
+      }
+      for (size_t rank = 0; rank < result.substrings.size(); ++rank) {
+        const core::Substring& sub = result.substrings[rank];
+        table.AddRow({std::to_string(
+                          corpus->source_index(result.sequence_index)),
+                      std::to_string(rank + 1), std::to_string(sub.start),
+                      std::to_string(sub.end),
+                      StrFormat("%.4f", sub.chi_square),
+                      StrFormat("%.4g",
+                                core::SubstringPValue(sub.chi_square, k))});
+      }
+    }
+    out << table.Render();
+  } else {
+    io::TableWriter table(
+        {"record", "n", "start", "end", "length", "X2", "p-value"});
+    for (const engine::JobResult& result : results) {
+      const core::Substring& best = result.best;
+      bool any = best.length() > 0;  // minlen floor can exceed a record.
+      table.AddRow({std::to_string(
+                        corpus->source_index(result.sequence_index)),
+                    std::to_string(corpus->sequence(result.sequence_index)
+                                       .size()),
+                    any ? std::to_string(best.start) : std::string("-"),
+                    any ? std::to_string(best.end) : std::string("-"),
+                    any ? std::to_string(best.length()) : std::string("-"),
+                    any ? StrFormat("%.4f", best.chi_square)
+                        : std::string("-"),
+                    any ? StrFormat("%.4g",
+                                    core::SubstringPValue(best.chi_square, k))
+                        : std::string("-")});
+    }
+    out << table.Render();
+  }
+
+  engine::CacheStats cache_stats = engine.cache_stats();
+  out << "cache: " << cache_stats.hits << " hits, " << cache_stats.misses
+      << " misses (" << engine.cache_size() << " entries)\n";
+  return out.str();
+}
+
 std::string RenderSubstring(const core::Substring& sub, int k,
                             const std::string& text) {
   io::TableWriter table({"start", "end", "length", "X2", "p-value"});
@@ -98,18 +282,29 @@ std::string UsageText() {
       "usage: sigsub_cli <command> [--flag=value ...]\n"
       "\n"
       "commands:\n"
-      "  mss        most significant substring (Problem 1)\n"
+      "  mss        most significant substring (Problem 1); --threads\n"
       "  topt       top-t substrings (Problem 2); --t, --disjoint\n"
       "  threshold  substrings above a threshold (Problem 3); --alpha0 or "
       "--pvalue\n"
       "  minlen     MSS above a length floor (Problem 4); --min-length\n"
       "  score      score one substring; --start, --end\n"
+      "  batch      mine a whole corpus (one record per line, or a CSV\n"
+      "             column with --format=csv); --job=mss|topt|disjoint|\n"
+      "             threshold|minlen, --threads, --cache, plus the job's\n"
+      "             own flags (--t, --min-length, --alpha0, --pvalue)\n"
       "\n"
       "input:\n"
-      "  --string=TEXT | --input=PATH   the string to mine (required)\n"
+      "  --string=TEXT | --input=PATH   the string to mine (required;\n"
+      "                                 batch accepts only --input)\n"
       "  --alphabet=CHARS               default: distinct input characters\n"
       "  --probs=p1,p2,...              default: uniform\n"
-      "  --threads=N                    parallel scan for mss\n";
+      "\n"
+      "batch corpus:\n"
+      "  --format=lines|csv             corpus layout (default lines)\n"
+      "  --column=N --csv-header        CSV column selection\n"
+      "  --threads=N --cache=N          worker threads / cache entries\n"
+      "\n"
+      "flags that a command does not consume are rejected\n";
 }
 
 Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
@@ -126,6 +321,7 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
     return Status::InvalidArgument(
         StrCat("unknown command \"", options.command, "\"\n", UsageText()));
   }
+  std::vector<std::string> seen_flags;
   for (size_t i = 1; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg.rfind("--", 0) != 0) {
@@ -137,6 +333,7 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
     std::string name = body.substr(0, eq);
     std::string value =
         eq == std::string::npos ? std::string() : body.substr(eq + 1);
+    seen_flags.push_back(name);
     if (name == "string") {
       options.input_text = value;
       options.has_input_text = true;
@@ -149,6 +346,10 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
     } else if (name == "t") {
       SIGSUB_ASSIGN_OR_RETURN(options.t, ParseInt(value, "--t"));
     } else if (name == "disjoint") {
+      if (!value.empty()) {
+        return Status::InvalidArgument(
+            "flag --disjoint does not take a value");
+      }
       options.disjoint = true;
     } else if (name == "alpha0") {
       SIGSUB_ASSIGN_OR_RETURN(options.alpha0, ParseDouble(value, "--alpha0"));
@@ -165,10 +366,84 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
       SIGSUB_ASSIGN_OR_RETURN(int64_t threads,
                               ParseInt(value, "--threads"));
       options.threads = static_cast<int>(threads);
+    } else if (name == "job") {
+      options.job = value;
+    } else if (name == "format") {
+      options.format = value;
+    } else if (name == "column") {
+      SIGSUB_ASSIGN_OR_RETURN(options.column, ParseInt(value, "--column"));
+    } else if (name == "csv-header") {
+      if (!value.empty()) {
+        // `--csv-header=false` must not silently enable header skipping.
+        return Status::InvalidArgument(
+            "flag --csv-header does not take a value");
+      }
+      options.csv_header = true;
+    } else if (name == "cache") {
+      SIGSUB_ASSIGN_OR_RETURN(options.cache, ParseInt(value, "--cache"));
     } else {
       return Status::InvalidArgument(
           StrCat("unknown flag --", name, "\n", UsageText()));
     }
+  }
+  SIGSUB_RETURN_IF_ERROR(
+      ValidateFlagsForCommand(options.command, seen_flags));
+  if (options.command == "topt" && !options.disjoint) {
+    for (const std::string& flag : seen_flags) {
+      if (flag == "min-length") {
+        return Status::InvalidArgument(
+            "flag --min-length is only consumed by topt with --disjoint");
+      }
+    }
+  }
+  if (options.command == "batch") {
+    if (options.has_input_text) {
+      return Status::InvalidArgument(
+          "batch mines a corpus file; use --input=PATH, not --string");
+    }
+    if (options.input_path.empty()) {
+      return Status::InvalidArgument("batch requires --input=PATH");
+    }
+    if (options.format != "lines" && options.format != "csv") {
+      return Status::InvalidArgument(StrCat(
+          "--format must be lines or csv, got \"", options.format, "\""));
+    }
+    if (options.format != "csv") {
+      // CSV-shaping flags with a lines corpus would be silently ignored,
+      // which is exactly what per-command flag validation exists to stop.
+      for (const std::string& flag : seen_flags) {
+        if (flag == "column" || flag == "csv-header") {
+          return Status::InvalidArgument(
+              StrCat("flag --", flag, " requires --format=csv"));
+        }
+      }
+    }
+    SIGSUB_ASSIGN_OR_RETURN(engine::JobKind kind,
+                            engine::ParseJobKind(options.job));
+    // Job-parameter flags are only consumed by their own kind; reject the
+    // rest so e.g. `--job=mss --pvalue=0.01` cannot silently do nothing.
+    for (const std::string& flag : seen_flags) {
+      bool relevant = true;
+      if (flag == "t") {
+        relevant = kind == engine::JobKind::kTopT ||
+                   kind == engine::JobKind::kTopDisjoint;
+      } else if (flag == "min-length") {
+        relevant = kind == engine::JobKind::kMinLength ||
+                   kind == engine::JobKind::kTopDisjoint;
+      } else if (flag == "alpha0" || flag == "pvalue") {
+        relevant = kind == engine::JobKind::kThreshold;
+      }
+      if (!relevant) {
+        return Status::InvalidArgument(
+            StrCat("flag --", flag, " is not consumed by --job=",
+                   options.job));
+      }
+    }
+    if (options.cache < 0) {
+      return Status::InvalidArgument(
+          StrCat("--cache must be >= 0, got ", options.cache));
+    }
+    return options;
   }
   if (!options.has_input_text && options.input_path.empty()) {
     return Status::InvalidArgument("one of --string or --input is required");
@@ -180,19 +455,17 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
 }
 
 Result<std::string> Run(const CliOptions& options) {
+  if (options.command == "batch") return RunBatch(options);
   SIGSUB_ASSIGN_OR_RETURN(std::string text, LoadInput(options));
   if (text.empty()) {
     return Status::InvalidArgument("input string is empty");
   }
 
-  // Alphabet: explicit or the sorted distinct characters of the input.
+  // Alphabet: explicit or inferred with the corpus rule, so single-string
+  // and batch runs score the same input under the same alphabet.
   std::string alphabet_chars = options.alphabet;
   if (alphabet_chars.empty()) {
-    std::set<char> distinct(text.begin(), text.end());
-    alphabet_chars.assign(distinct.begin(), distinct.end());
-    if (alphabet_chars.size() < 2) {
-      alphabet_chars += alphabet_chars[0] == '0' ? '1' : '0';
-    }
+    alphabet_chars = engine::Corpus::InferAlphabetChars({text});
   }
   SIGSUB_ASSIGN_OR_RETURN(seq::Alphabet alphabet,
                           seq::Alphabet::FromCharacters(alphabet_chars));
@@ -252,16 +525,8 @@ Result<std::string> Run(const CliOptions& options) {
     }
     out << table.Render();
   } else if (options.command == "threshold") {
-    double alpha0 = options.alpha0;
-    if (options.pvalue > 0.0) {
-      alpha0 = stats::ChiSquareThresholdForPValue(options.pvalue, k);
-      out << "alpha0 = " << StrFormat("%.4f", alpha0) << " (p-value "
-          << StrFormat("%.3g", options.pvalue) << ")\n";
-    }
-    if (alpha0 < 0.0) {
-      return Status::InvalidArgument(
-          "threshold needs --alpha0 or --pvalue");
-    }
+    SIGSUB_ASSIGN_OR_RETURN(double alpha0,
+                            ResolveAlpha0(options, k, out, "threshold"));
     core::ThresholdOptions threshold;
     threshold.max_matches = 1000;
     SIGSUB_ASSIGN_OR_RETURN(

@@ -14,19 +14,30 @@ namespace cli {
 ///
 ///   sigsub_cli <command> [--flag=value ...]
 ///
-/// Commands: mss | topt | threshold | minlen | score.
-/// Flags:
+/// Commands: mss | topt | threshold | minlen | score | batch.
+/// Flags are validated against the selected command: supplying a flag
+/// that the command does not consume is an InvalidArgument error, not a
+/// silent acceptance.
+///
+/// Common flags:
 ///   --string=TEXT        input string literal (exclusive with --input)
-///   --input=PATH         read the input string from a file
+///   --input=PATH         read input from a file (batch: the corpus)
 ///   --alphabet=CHARS     symbol set (default: distinct input characters)
 ///   --probs=p1,p2,...    null-model probabilities (default: uniform)
-///   --t=N                top-t size (topt; default 10)
+/// Per-command flags:
+///   --t=N                top-t size (topt, batch; default 10)
 ///   --disjoint           non-overlapping top-t (topt)
-///   --alpha0=X           threshold (threshold)
+///   --alpha0=X           threshold (threshold, batch)
 ///   --pvalue=P           derive alpha0 from a per-substring p-value
-///   --min-length=N       length floor (minlen; default 1)
+///   --min-length=N       length floor (minlen, topt --disjoint, batch)
 ///   --start=I --end=J    substring to score (score)
-///   --threads=N          parallel MSS scan (mss; default 1)
+///   --threads=N          worker threads (mss, batch; default 1)
+/// Batch-only flags:
+///   --job=KIND           mss|topt|disjoint|threshold|minlen (default mss)
+///   --format=FMT         lines|csv corpus layout (default lines)
+///   --column=N           CSV column holding the records (default 0)
+///   --csv-header         skip the first CSV row
+///   --cache=N            result-cache capacity in entries (default 4096)
 struct CliOptions {
   std::string command;
   std::string input_path;
@@ -42,6 +53,12 @@ struct CliOptions {
   int64_t start = -1;
   int64_t end = -1;
   int threads = 1;
+  // Batch command.
+  std::string job = "mss";
+  std::string format = "lines";
+  int64_t column = 0;
+  bool csv_header = false;
+  int64_t cache = 4096;
 };
 
 /// Usage text for --help / errors.

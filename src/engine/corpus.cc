@@ -1,0 +1,113 @@
+#include "engine/corpus.h"
+
+#include <fstream>
+#include <set>
+#include <utility>
+
+#include "common/str_util.h"
+#include "io/csv.h"
+
+namespace sigsub {
+namespace engine {
+namespace {
+
+std::string StripTrailingCr(std::string line) {
+  while (!line.empty() && line.back() == '\r') line.pop_back();
+  return line;
+}
+
+}  // namespace
+
+Corpus::Corpus(seq::Alphabet alphabet, std::vector<seq::Sequence> sequences,
+               std::vector<std::string> texts,
+               std::vector<int64_t> source_indices)
+    : alphabet_(std::move(alphabet)),
+      sequences_(std::move(sequences)),
+      texts_(std::move(texts)),
+      source_indices_(std::move(source_indices)) {}
+
+Result<Corpus> Corpus::FromStrings(const std::vector<std::string>& records,
+                                   const std::string& alphabet_chars) {
+  std::vector<std::string> texts;
+  std::vector<int64_t> source_indices;
+  texts.reserve(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].empty()) continue;
+    texts.push_back(records[i]);
+    source_indices.push_back(static_cast<int64_t>(i));
+  }
+  if (texts.empty()) {
+    return Status::InvalidArgument("corpus has no non-empty records");
+  }
+  std::string chars =
+      alphabet_chars.empty() ? InferAlphabetChars(texts) : alphabet_chars;
+  SIGSUB_ASSIGN_OR_RETURN(seq::Alphabet alphabet,
+                          seq::Alphabet::FromCharacters(chars));
+  std::vector<seq::Sequence> sequences;
+  sequences.reserve(texts.size());
+  for (size_t i = 0; i < texts.size(); ++i) {
+    auto sequence = seq::Sequence::FromString(alphabet, texts[i]);
+    if (!sequence.ok()) {
+      // Cite the record's position in the caller's input, not the
+      // post-skip index.
+      return Status::InvalidArgument(StrCat("record ", source_indices[i],
+                                            ": ",
+                                            sequence.status().message()));
+    }
+    sequences.push_back(std::move(sequence).value());
+  }
+  return Corpus(std::move(alphabet), std::move(sequences), std::move(texts),
+                std::move(source_indices));
+}
+
+Result<Corpus> Corpus::FromLines(const std::string& path,
+                                 const std::string& alphabet_chars) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError(StrCat("cannot open '", path, "'"));
+  }
+  std::vector<std::string> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    records.push_back(StripTrailingCr(std::move(line)));
+  }
+  return FromStrings(records, alphabet_chars);
+}
+
+Result<Corpus> Corpus::FromCsvColumn(const std::string& path, int64_t column,
+                                     bool has_header,
+                                     const std::string& alphabet_chars) {
+  if (column < 0) {
+    return Status::InvalidArgument(
+        StrCat("CSV column must be >= 0, got ", column));
+  }
+  SIGSUB_ASSIGN_OR_RETURN(auto rows, io::ReadCsvFile(path));
+  std::vector<std::string> records;
+  records.reserve(rows.size());
+  for (size_t r = has_header ? 1 : 0; r < rows.size(); ++r) {
+    // Number records like source_index() does: data rows from 0, the
+    // header excluded — one identifier per record everywhere.
+    size_t record_index = r - (has_header ? 1 : 0);
+    if (rows[r].size() <= static_cast<size_t>(column)) {
+      return Status::InvalidArgument(
+          StrCat("CSV record ", record_index, " has ", rows[r].size(),
+                 " cells; column ", column, " requested"));
+    }
+    records.push_back(rows[r][static_cast<size_t>(column)]);
+  }
+  return FromStrings(records, alphabet_chars);
+}
+
+std::string Corpus::InferAlphabetChars(
+    const std::vector<std::string>& records) {
+  std::set<char> distinct;
+  for (const std::string& record : records) {
+    distinct.insert(record.begin(), record.end());
+  }
+  std::string chars(distinct.begin(), distinct.end());
+  if (chars.size() == 1) chars += chars[0] == '0' ? '1' : '0';
+  return chars;
+}
+
+}  // namespace engine
+}  // namespace sigsub

@@ -1,0 +1,80 @@
+#ifndef SIGSUB_ENGINE_CORPUS_H_
+#define SIGSUB_ENGINE_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "seq/alphabet.h"
+#include "seq/sequence.h"
+
+namespace sigsub {
+namespace engine {
+
+/// A batch of sequences sharing one alphabet — the unit the engine mines
+/// over. Corpora come from in-memory strings, a text file with one record
+/// per line, or one column of a CSV file. Empty records are skipped (a
+/// trailing newline does not create a phantom record); `source_index()`
+/// maps each kept record back to its position in the original input so
+/// reports can cite the user's line/row numbers.
+///
+/// When `alphabet_chars` is empty the alphabet is inferred as the sorted
+/// distinct characters across *all* records, so every record is decodable
+/// and X² values are comparable corpus-wide (padded to two symbols when
+/// the corpus is unary, as X² needs k >= 2).
+class Corpus {
+ public:
+  /// Builds from in-memory records.
+  static Result<Corpus> FromStrings(const std::vector<std::string>& records,
+                                    const std::string& alphabet_chars = "");
+
+  /// Reads `path`, one record per line ('\r' tolerated).
+  static Result<Corpus> FromLines(const std::string& path,
+                                  const std::string& alphabet_chars = "");
+
+  /// Reads column `column` (0-based) of the CSV at `path`; `has_header`
+  /// skips the first row. Rows without the column are an error.
+  static Result<Corpus> FromCsvColumn(const std::string& path, int64_t column,
+                                      bool has_header,
+                                      const std::string& alphabet_chars = "");
+
+  /// The alphabet-inference rule shared by Corpus and the single-string
+  /// CLI path: sorted distinct characters across all records, padded to
+  /// two symbols when unary (X² needs k >= 2). Records must not all be
+  /// empty.
+  static std::string InferAlphabetChars(
+      const std::vector<std::string>& records);
+
+  const seq::Alphabet& alphabet() const { return alphabet_; }
+  int64_t size() const { return static_cast<int64_t>(sequences_.size()); }
+  bool empty() const { return sequences_.empty(); }
+
+  const seq::Sequence& sequence(int64_t index) const {
+    return sequences_[static_cast<size_t>(index)];
+  }
+  /// The record's original text (for reports).
+  const std::string& text(int64_t index) const {
+    return texts_[static_cast<size_t>(index)];
+  }
+  /// 0-based position of the record in the original input (line number
+  /// for FromLines, data-row number for FromCsvColumn, element index for
+  /// FromStrings) — stable even when empty records were skipped.
+  int64_t source_index(int64_t index) const {
+    return source_indices_[static_cast<size_t>(index)];
+  }
+
+ private:
+  Corpus(seq::Alphabet alphabet, std::vector<seq::Sequence> sequences,
+         std::vector<std::string> texts, std::vector<int64_t> source_indices);
+
+  seq::Alphabet alphabet_;
+  std::vector<seq::Sequence> sequences_;
+  std::vector<std::string> texts_;
+  std::vector<int64_t> source_indices_;
+};
+
+}  // namespace engine
+}  // namespace sigsub
+
+#endif  // SIGSUB_ENGINE_CORPUS_H_

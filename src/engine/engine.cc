@@ -1,0 +1,307 @@
+#include "engine/engine.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/str_util.h"
+#include "core/chi_square.h"
+#include "core/min_length.h"
+#include "core/mss.h"
+#include "core/threshold.h"
+#include "core/top_disjoint.h"
+#include "core/top_t.h"
+#include "engine/fingerprint.h"
+#include "seq/prefix_counts.h"
+
+namespace sigsub {
+namespace engine {
+namespace {
+
+/// Per-distinct-sequence state built once per batch and shared by every
+/// job targeting that record.
+struct SequenceState {
+  std::optional<seq::PrefixCounts> counts;
+  uint64_t fingerprint = 0;
+};
+
+/// Per-distinct-model state (keyed by the probability vector).
+struct ModelState {
+  core::ChiSquareContext context;
+  uint64_t fingerprint = 0;
+};
+
+Status ValidateSpec(const Corpus& corpus, const JobSpec& spec,
+                    size_t job_index) {
+  auto fail = [&](const std::string& detail) {
+    return Status::InvalidArgument(
+        StrCat("job ", job_index, " (", JobKindToString(spec.kind),
+               "): ", detail));
+  };
+  if (spec.sequence_index < 0 || spec.sequence_index >= corpus.size()) {
+    return fail(StrCat("sequence index ", spec.sequence_index,
+                       " out of range [0, ", corpus.size(), ")"));
+  }
+  if (!spec.probs.empty() &&
+      static_cast<int>(spec.probs.size()) != corpus.alphabet().size()) {
+    return fail(StrCat("model has ", spec.probs.size(),
+                       " probabilities but the corpus alphabet has ",
+                       corpus.alphabet().size(), " symbols"));
+  }
+  switch (spec.kind) {
+    case JobKind::kTopT:
+    case JobKind::kTopDisjoint:
+      if (spec.params.t < 1) {
+        return fail(StrCat("t must be >= 1, got ", spec.params.t));
+      }
+      if (spec.params.min_length < 1 && spec.kind == JobKind::kTopDisjoint) {
+        return fail(
+            StrCat("min_length must be >= 1, got ", spec.params.min_length));
+      }
+      break;
+    case JobKind::kMinLength:
+      if (spec.params.min_length < 1) {
+        return fail(
+            StrCat("min_length must be >= 1, got ", spec.params.min_length));
+      }
+      break;
+    case JobKind::kThreshold:
+      if (spec.params.alpha0 < 0.0) {
+        return fail(StrCat("alpha0 must be >= 0, got ", spec.params.alpha0));
+      }
+      if (spec.params.max_matches < 0) {
+        return fail(
+            StrCat("max_matches must be >= 0, got ", spec.params.max_matches));
+      }
+      break;
+    case JobKind::kMss:
+      break;
+  }
+  return Status::OK();
+}
+
+/// Runs the job's kernel against prebuilt state. Pure function of its
+/// inputs — safe to call concurrently for distinct jobs.
+CachedResult RunKernel(const JobSpec& spec, const seq::PrefixCounts& counts,
+                       const core::ChiSquareContext& context,
+                       core::ScanStats* stats) {
+  CachedResult out;
+  switch (spec.kind) {
+    case JobKind::kMss: {
+      core::MssResult result = core::FindMss(counts, context);
+      out.best = result.best;
+      out.substrings = {result.best};
+      out.match_count = result.best.length() > 0 ? 1 : 0;
+      *stats = result.stats;
+      break;
+    }
+    case JobKind::kMinLength: {
+      core::MssResult result =
+          core::FindMssMinLength(counts, context, spec.params.min_length);
+      out.best = result.best;
+      out.substrings = {result.best};
+      out.match_count = result.best.length() > 0 ? 1 : 0;
+      *stats = result.stats;
+      break;
+    }
+    case JobKind::kTopT: {
+      core::TopTResult result = core::FindTopT(counts, context, spec.params.t);
+      out.substrings = std::move(result.top);
+      if (!out.substrings.empty()) out.best = out.substrings.front();
+      out.match_count = static_cast<int64_t>(out.substrings.size());
+      *stats = result.stats;
+      break;
+    }
+    case JobKind::kTopDisjoint: {
+      core::TopDisjointOptions options;
+      options.t = spec.params.t;
+      options.min_length = spec.params.min_length;
+      options.min_chi_square = spec.params.min_chi_square;
+      out.substrings = core::FindTopDisjoint(counts, context, options);
+      if (!out.substrings.empty()) out.best = out.substrings.front();
+      out.match_count = static_cast<int64_t>(out.substrings.size());
+      break;
+    }
+    case JobKind::kThreshold: {
+      core::ThresholdOptions options;
+      options.max_matches = spec.params.max_matches;
+      core::ThresholdResult result = core::FindAboveThreshold(
+          counts, context, spec.params.alpha0, options);
+      out.substrings = std::move(result.matches);
+      out.best = result.best;
+      out.match_count = result.match_count;
+      *stats = result.stats;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t FingerprintJobParams(JobKind kind, const JobParams& params) {
+  Fnv1a hasher;
+  hasher.UpdateI64(static_cast<int64_t>(kind));
+  switch (kind) {
+    case JobKind::kMss:
+      break;
+    case JobKind::kTopT:
+      hasher.UpdateI64(params.t);
+      break;
+    case JobKind::kTopDisjoint:
+      hasher.UpdateI64(params.t);
+      hasher.UpdateI64(params.min_length);
+      hasher.UpdateDouble(params.min_chi_square);
+      break;
+    case JobKind::kThreshold:
+      hasher.UpdateDouble(params.alpha0);
+      hasher.UpdateI64(params.max_matches);
+      break;
+    case JobKind::kMinLength:
+      hasher.UpdateI64(params.min_length);
+      break;
+  }
+  return hasher.Digest();
+}
+
+Engine::Engine(EngineOptions options)
+    : cache_(options.cache_capacity), pool_(options.num_threads) {}
+
+Result<std::vector<JobResult>> Engine::ExecuteBatch(
+    const Corpus& corpus, const std::vector<JobSpec>& jobs) {
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    SIGSUB_RETURN_IF_ERROR(ValidateSpec(corpus, jobs[i], i));
+  }
+
+  const int k = corpus.alphabet().size();
+  const std::vector<double> uniform(static_cast<size_t>(k), 1.0 / k);
+
+  // Distinct models across the batch, keyed by the probability vector
+  // (empty probs resolve to uniform). ChiSquareContext::Make re-validates,
+  // catching non-normalized or non-positive vectors that ValidateSpec
+  // cannot judge cheaply.
+  std::map<std::vector<double>, std::unique_ptr<ModelState>> models;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const std::vector<double>& probs =
+        jobs[i].probs.empty() ? uniform : jobs[i].probs;
+    if (models.contains(probs)) continue;
+    auto context = core::ChiSquareContext::Make(probs);
+    if (!context.ok()) {
+      return Status::InvalidArgument(StrCat("job ", i, ": invalid model: ",
+                                            context.status().message()));
+    }
+    models.emplace(probs,
+                   std::make_unique<ModelState>(ModelState{
+                       std::move(context).value(), FingerprintProbs(probs)}));
+  }
+
+  // Fingerprint every referenced record (cheap, O(n)) so the cache can be
+  // consulted before any PrefixCounts exist: a fully-warm batch must not
+  // pay the O(k·n) builds that context reuse is meant to amortize.
+  std::vector<std::unique_ptr<SequenceState>> states(
+      static_cast<size_t>(corpus.size()));
+  for (const JobSpec& spec : jobs) {
+    auto& state = states[static_cast<size_t>(spec.sequence_index)];
+    if (state) continue;
+    state = std::make_unique<SequenceState>();
+    state->fingerprint =
+        FingerprintSequence(corpus.sequence(spec.sequence_index));
+  }
+
+  // Resolve cache hits; group the misses by cache key so identical jobs
+  // (duplicate specs, or distinct records with identical content) run
+  // their kernel exactly once per distinct computation.
+  std::vector<JobResult> results(jobs.size());
+  std::unordered_map<CacheKey, std::vector<size_t>, CacheKeyHash> miss_groups;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const JobSpec& spec = jobs[i];
+    JobResult& result = results[i];
+    result.job_index = static_cast<int64_t>(i);
+    result.sequence_index = spec.sequence_index;
+    result.kind = spec.kind;
+
+    const std::vector<double>& probs =
+        spec.probs.empty() ? uniform : spec.probs;
+    const ModelState& model = *models.at(probs);
+    const CacheKey key{
+        states[static_cast<size_t>(spec.sequence_index)]->fingerprint,
+        model.fingerprint, FingerprintJobParams(spec.kind, spec.params)};
+    if (std::optional<CachedResult> cached = cache_.Lookup(key)) {
+      result.substrings = std::move(cached->substrings);
+      result.best = cached->best;
+      result.match_count = cached->match_count;
+      result.cache_hit = true;
+      continue;
+    }
+    miss_groups[key].push_back(i);
+  }
+
+  // Prefix counts, built concurrently on the pool — only for records
+  // that actually have a kernel to run (one per miss group).
+  std::vector<bool> needs_counts(static_cast<size_t>(corpus.size()), false);
+  for (const auto& [key, job_indices] : miss_groups) {
+    needs_counts[static_cast<size_t>(
+        jobs[job_indices.front()].sequence_index)] = true;
+  }
+  for (int64_t s = 0; s < corpus.size(); ++s) {
+    if (!needs_counts[static_cast<size_t>(s)]) continue;
+    SequenceState* target = states[static_cast<size_t>(s)].get();
+    const seq::Sequence* sequence = &corpus.sequence(s);
+    pool_.Submit([target, sequence] { target->counts.emplace(*sequence); });
+  }
+  pool_.Wait();
+
+  for (const auto& [key, job_indices] : miss_groups) {
+    const JobSpec& spec = jobs[job_indices.front()];
+    const std::vector<double>& probs =
+        spec.probs.empty() ? uniform : spec.probs;
+    const seq::PrefixCounts* counts =
+        &*states[static_cast<size_t>(spec.sequence_index)]->counts;
+    const core::ChiSquareContext* context = &models.at(probs)->context;
+    ResultCache* cache = &cache_;
+    const JobSpec* spec_ptr = &spec;
+    const std::vector<size_t>* indices = &job_indices;
+    std::vector<JobResult>* out = &results;
+    CacheKey key_copy = key;
+    pool_.Submit([spec_ptr, counts, context, cache, key_copy, indices, out] {
+      JobResult* lead = &(*out)[indices->front()];
+      CachedResult computed =
+          RunKernel(*spec_ptr, *counts, *context, &lead->stats);
+      lead->substrings = computed.substrings;
+      lead->best = computed.best;
+      lead->match_count = computed.match_count;
+      // Duplicates are served by the lead's run: payload identical,
+      // flagged as cache hits, no scan stats of their own.
+      for (size_t d = 1; d < indices->size(); ++d) {
+        JobResult* dup = &(*out)[(*indices)[d]];
+        dup->substrings = computed.substrings;
+        dup->best = computed.best;
+        dup->match_count = computed.match_count;
+        dup->cache_hit = true;
+      }
+      cache->Insert(key_copy, std::move(computed));
+    });
+  }
+  pool_.Wait();
+  return results;
+}
+
+Result<std::vector<JobResult>> Engine::ExecuteUniform(const Corpus& corpus,
+                                                      JobKind kind,
+                                                      const JobParams& params) {
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<size_t>(corpus.size()));
+  for (int64_t i = 0; i < corpus.size(); ++i) {
+    JobSpec spec;
+    spec.kind = kind;
+    spec.sequence_index = i;
+    spec.params = params;
+    jobs.push_back(std::move(spec));
+  }
+  return ExecuteBatch(corpus, jobs);
+}
+
+}  // namespace engine
+}  // namespace sigsub

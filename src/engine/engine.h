@@ -1,0 +1,88 @@
+#ifndef SIGSUB_ENGINE_ENGINE_H_
+#define SIGSUB_ENGINE_ENGINE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/corpus.h"
+#include "engine/job.h"
+#include "engine/result_cache.h"
+#include "engine/thread_pool.h"
+
+namespace sigsub {
+namespace engine {
+
+struct EngineOptions {
+  /// Worker threads for batch execution; <= 0 selects the hardware
+  /// concurrency.
+  int num_threads = 1;
+  /// Result-cache capacity in entries; 0 disables caching.
+  size_t cache_capacity = 4096;
+};
+
+/// Concurrent batch-mining engine: executes heterogeneous mining jobs
+/// (all five problem kernels) over a corpus of sequences.
+///
+/// Two things make a batch cheaper than issuing the same jobs as
+/// independent `FindMss`-style calls:
+///
+///   1. Context reuse — `seq::PrefixCounts` (O(k·n) to build, the
+///      dominant fixed cost of a one-shot call) is built once per
+///      distinct corpus record per batch and shared by every job on that
+///      record, and one `core::ChiSquareContext` is shared per distinct
+///      null model. The builds themselves run on the pool.
+///   2. Result caching — completed jobs are stored in an LRU cache keyed
+///      by (sequence FNV-1a fingerprint, model fingerprint, job-kind +
+///      params fingerprint), so repeated queries against hot sequences
+///      are served in O(1) without rescanning. The cache is consulted
+///      before any PrefixCounts are built, so a fully-warm batch skips
+///      the builds too. The cache persists across batches for the
+///      lifetime of the engine.
+///
+/// Results are bit-identical to the direct kernel calls: each job runs
+/// the same sequential kernel with the same summation order, whatever
+/// `num_threads` is — parallelism is across jobs, not within them.
+///
+/// Thread safety: one batch at a time per engine (calls from multiple
+/// threads must be serialized by the caller); the cache itself is
+/// thread-safe.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  /// Validates every spec (sequence index in range, probs compatible
+  /// with the corpus alphabet, kind-specific parameter ranges), then
+  /// executes the batch. `results[i]` corresponds to `jobs[i]`.
+  /// Validation failures name the offending job and fail the whole
+  /// batch before any kernel runs. Jobs with identical cache keys run
+  /// their kernel once; the duplicates receive the same payload and are
+  /// reported as cache hits.
+  Result<std::vector<JobResult>> ExecuteBatch(const Corpus& corpus,
+                                              const std::vector<JobSpec>& jobs);
+
+  /// Convenience: one job of kind `kind` with `params` per corpus record,
+  /// scored under the uniform model.
+  Result<std::vector<JobResult>> ExecuteUniform(const Corpus& corpus,
+                                                JobKind kind,
+                                                const JobParams& params = {});
+
+  int num_threads() const { return pool_.num_threads(); }
+  CacheStats cache_stats() const { return cache_.stats(); }
+  size_t cache_size() const { return cache_.size(); }
+  void ClearCache() { cache_.Clear(); }
+
+ private:
+  ResultCache cache_;
+  ThreadPool pool_;
+};
+
+/// Fingerprint of (kind, kind-relevant params) — the third cache-key
+/// component. Exposed for tests; irrelevant params do not perturb it, so
+/// e.g. two MSS jobs differing only in `t` share a cache entry.
+uint64_t FingerprintJobParams(JobKind kind, const JobParams& params);
+
+}  // namespace engine
+}  // namespace sigsub
+
+#endif  // SIGSUB_ENGINE_ENGINE_H_

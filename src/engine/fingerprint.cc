@@ -1,0 +1,23 @@
+#include "engine/fingerprint.h"
+
+namespace sigsub {
+namespace engine {
+
+uint64_t FingerprintSequence(const seq::Sequence& sequence) {
+  Fnv1a hasher;
+  hasher.UpdateI64(sequence.alphabet_size());
+  hasher.UpdateI64(sequence.size());
+  std::span<const uint8_t> symbols = sequence.symbols();
+  hasher.Update(symbols.data(), symbols.size());
+  return hasher.Digest();
+}
+
+uint64_t FingerprintProbs(std::span<const double> probs) {
+  Fnv1a hasher;
+  hasher.UpdateI64(static_cast<int64_t>(probs.size()));
+  for (double p : probs) hasher.UpdateDouble(p);
+  return hasher.Digest();
+}
+
+}  // namespace engine
+}  // namespace sigsub

@@ -1,0 +1,36 @@
+#include "engine/job.h"
+
+#include "common/str_util.h"
+
+namespace sigsub {
+namespace engine {
+
+std::string_view JobKindToString(JobKind kind) {
+  switch (kind) {
+    case JobKind::kMss:
+      return "mss";
+    case JobKind::kTopT:
+      return "topt";
+    case JobKind::kTopDisjoint:
+      return "disjoint";
+    case JobKind::kThreshold:
+      return "threshold";
+    case JobKind::kMinLength:
+      return "minlen";
+  }
+  return "unknown";
+}
+
+Result<JobKind> ParseJobKind(std::string_view name) {
+  for (JobKind kind :
+       {JobKind::kMss, JobKind::kTopT, JobKind::kTopDisjoint,
+        JobKind::kThreshold, JobKind::kMinLength}) {
+    if (name == JobKindToString(kind)) return kind;
+  }
+  return Status::InvalidArgument(
+      StrCat("unknown job kind \"", std::string(name),
+             "\" (expected mss|topt|disjoint|threshold|minlen)"));
+}
+
+}  // namespace engine
+}  // namespace sigsub

@@ -1,0 +1,77 @@
+#ifndef SIGSUB_ENGINE_JOB_H_
+#define SIGSUB_ENGINE_JOB_H_
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/scan_types.h"
+
+namespace sigsub {
+namespace engine {
+
+/// The five problem kernels the engine can execute. One enumerator per
+/// library entry point:
+///   kMss         -> core::FindMss            (Problem 1)
+///   kTopT        -> core::FindTopT           (Problem 2)
+///   kTopDisjoint -> core::FindTopDisjoint    (library extension)
+///   kThreshold   -> core::FindAboveThreshold (Problem 3)
+///   kMinLength   -> core::FindMssMinLength   (Problem 4)
+enum class JobKind {
+  kMss = 0,
+  kTopT = 1,
+  kTopDisjoint = 2,
+  kThreshold = 3,
+  kMinLength = 4,
+};
+
+/// Stable lowercase name ("mss", "topt", "disjoint", "threshold",
+/// "minlen") — the same vocabulary the CLI uses.
+std::string_view JobKindToString(JobKind kind);
+
+/// Inverse of JobKindToString; InvalidArgument on unknown names.
+Result<JobKind> ParseJobKind(std::string_view name);
+
+/// Kernel parameters. Only the fields relevant to the job's kind are
+/// consulted (and validated); the rest are ignored.
+struct JobParams {
+  int64_t t = 10;              // kTopT, kTopDisjoint: result count.
+  int64_t min_length = 1;      // kMinLength, kTopDisjoint: length floor.
+  double alpha0 = 0.0;         // kThreshold: X² threshold.
+  int64_t max_matches =        // kThreshold: cap on materialized matches.
+      std::numeric_limits<int64_t>::max();
+  double min_chi_square = 0.0;  // kTopDisjoint: score floor.
+};
+
+/// One unit of work for the engine: run `kind` with `params` against
+/// corpus record `sequence_index`, scoring under the multinomial model
+/// `probs` (empty selects the uniform model over the corpus alphabet).
+struct JobSpec {
+  JobKind kind = JobKind::kMss;
+  int64_t sequence_index = 0;
+  std::vector<double> probs;
+  JobParams params;
+};
+
+/// Outcome of one job. `substrings` is ordered best-first for kMss /
+/// kMinLength (single entry, possibly empty when nothing qualifies), rank
+/// order for kTopT / kTopDisjoint, and scan order for kThreshold.
+struct JobResult {
+  int64_t job_index = 0;       // Position in the submitted batch.
+  int64_t sequence_index = 0;  // Echo of the spec.
+  JobKind kind = JobKind::kMss;
+
+  std::vector<core::Substring> substrings;
+  core::Substring best;      // Highest-X² substring (zero-length if none).
+  int64_t match_count = 0;   // kThreshold: exact total above alpha0.
+  core::ScanStats stats;     // Zero for cache hits (no scan ran) and for
+                             // kTopDisjoint (its kernel reports none).
+  bool cache_hit = false;
+};
+
+}  // namespace engine
+}  // namespace sigsub
+
+#endif  // SIGSUB_ENGINE_JOB_H_

@@ -1,0 +1,105 @@
+#ifndef SIGSUB_ENGINE_RESULT_CACHE_H_
+#define SIGSUB_ENGINE_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/scan_types.h"
+#include "engine/job.h"
+
+namespace sigsub {
+namespace engine {
+
+/// Cache key for a mining job: sequence content fingerprint (FNV-1a),
+/// null-model fingerprint, and a fingerprint of (kind, relevant params).
+/// Two jobs with the same key compute bit-identical results, so the cache
+/// can serve repeats without touching the kernels.
+///
+/// The key is the fingerprints alone — the original sequence/model bytes
+/// are not stored, so a 64-bit FNV-1a collision would silently serve the
+/// colliding job's results. FNV-1a is not collision-resistant against
+/// adversarial input; do not expose a shared cache to untrusted corpora
+/// (disable with cache_capacity = 0 in that setting).
+struct CacheKey {
+  uint64_t sequence_fp = 0;
+  uint64_t model_fp = 0;
+  uint64_t job_fp = 0;
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& key) const {
+    // The components are already FNV-1a digests; mix them with distinct
+    // odd multipliers so permuted components do not collide.
+    uint64_t h = key.sequence_fp;
+    h = h * 0x9e3779b97f4a7c15ULL + key.model_fp;
+    h = h * 0xc2b2ae3d27d4eb4fULL + key.job_fp;
+    return static_cast<size_t>(h);
+  }
+};
+
+/// The kernel output stored per cache entry: everything a JobResult needs
+/// except the per-job identity fields.
+struct CachedResult {
+  std::vector<core::Substring> substrings;
+  core::Substring best;
+  int64_t match_count = 0;
+};
+
+/// Monotonic counters; snapshot via ResultCache::stats().
+struct CacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t insertions = 0;
+  int64_t evictions = 0;
+
+  int64_t lookups() const { return hits + misses; }
+};
+
+/// Thread-safe LRU cache of job results, keyed by CacheKey. Sized in
+/// entries; a capacity of 0 disables caching entirely (every Lookup
+/// misses, Insert is a no-op). Values are returned by copy so callers
+/// never hold references into the cache across an eviction.
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+
+  /// Returns the cached value and refreshes its recency, or nullopt.
+  std::optional<CachedResult> Lookup(const CacheKey& key);
+
+  /// Inserts or refreshes `value` under `key`, evicting the least
+  /// recently used entry when full.
+  void Insert(const CacheKey& key, CachedResult value);
+
+  /// Drops every entry (counters are preserved).
+  void Clear();
+
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    CacheKey key;
+    CachedResult value;
+  };
+
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  std::list<Entry> lru_;  // Front = most recently used.
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+      index_;
+  CacheStats stats_;
+};
+
+}  // namespace engine
+}  // namespace sigsub
+
+#endif  // SIGSUB_ENGINE_RESULT_CACHE_H_

@@ -13,6 +13,15 @@
 ///   auto mss = sigsub::core::FindMss(s, model);      // Problem 1
 ///   auto top = sigsub::core::FindTopT(s, model, 10); // Problem 2
 ///   double p = sigsub::core::SubstringPValue(mss->best.chi_square, 2);
+///
+/// Corpus-scale batch mining (engine/): run any mix of the five problem
+/// kernels over many sequences concurrently, with per-sequence context
+/// reuse and an LRU result cache:
+///
+///   auto corpus = sigsub::engine::Corpus::FromLines("corpus.txt");
+///   sigsub::engine::Engine engine({.num_threads = 8});
+///   auto results = engine.ExecuteUniform(*corpus,
+///                                        sigsub::engine::JobKind::kMss);
 
 #include "core/agmm.h"
 #include "core/arlm.h"
@@ -32,6 +41,12 @@
 #include "core/threshold.h"
 #include "core/top_disjoint.h"
 #include "core/top_t.h"
+#include "engine/corpus.h"
+#include "engine/engine.h"
+#include "engine/fingerprint.h"
+#include "engine/job.h"
+#include "engine/result_cache.h"
+#include "engine/thread_pool.h"
 #include "io/csv.h"
 #include "io/date_axis.h"
 #include "io/market_sim.h"

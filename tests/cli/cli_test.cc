@@ -25,7 +25,7 @@ TEST(ParseArgsTest, RequiresInput) {
 TEST(ParseArgsTest, ParsesFlags) {
   auto options = ParseArgs({"topt", "--string=0110", "--t=5", "--disjoint",
                             "--probs=0.25,0.75", "--alphabet=01",
-                            "--min-length=3", "--threads=2"});
+                            "--min-length=3"});
   ASSERT_TRUE(options.ok());
   EXPECT_EQ(options->command, "topt");
   EXPECT_EQ(options->input_text, "0110");
@@ -34,7 +34,78 @@ TEST(ParseArgsTest, ParsesFlags) {
   EXPECT_EQ(options->probs, (std::vector<double>{0.25, 0.75}));
   EXPECT_EQ(options->alphabet, "01");
   EXPECT_EQ(options->min_length, 3);
-  EXPECT_EQ(options->threads, 2);
+}
+
+TEST(ParseArgsTest, ParsesBatchFlags) {
+  auto options = ParseArgs({"batch", "--input=corpus.csv", "--job=topt",
+                            "--format=csv", "--column=2", "--csv-header",
+                            "--threads=4", "--cache=16", "--t=3"});
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options->command, "batch");
+  EXPECT_EQ(options->job, "topt");
+  EXPECT_EQ(options->format, "csv");
+  EXPECT_EQ(options->column, 2);
+  EXPECT_TRUE(options->csv_header);
+  EXPECT_EQ(options->threads, 4);
+  EXPECT_EQ(options->cache, 16);
+  EXPECT_EQ(options->t, 3);
+}
+
+TEST(ParseArgsTest, RejectsFlagInvalidForCommand) {
+  // --threads is consumed by mss and batch only; every other command must
+  // reject it loudly instead of silently ignoring it.
+  auto status = ParseArgs({"topt", "--string=0110", "--threads=2"}).status();
+  ASSERT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("--threads"), std::string::npos);
+  EXPECT_NE(status.message().find("topt"), std::string::npos);
+  EXPECT_TRUE(ParseArgs({"mss", "--string=01", "--t=3"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"score", "--string=01", "--alpha0=1"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"threshold", "--string=01", "--job=mss"})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ParseArgsTest, BatchValidation) {
+  EXPECT_TRUE(
+      ParseArgs({"batch", "--string=0101"}).status().IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"batch"}).status().IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"batch", "--input=x", "--job=bogus"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"batch", "--input=x", "--format=bogus"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"batch", "--input=x", "--cache=-1"})
+                  .status()
+                  .IsInvalidArgument());
+  // CSV-shaping flags only make sense with --format=csv.
+  EXPECT_TRUE(ParseArgs({"batch", "--input=x", "--column=1"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"batch", "--input=x", "--csv-header"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseArgs({"batch", "--input=x", "--format=csv", "--column=1"}).ok());
+  // Job-parameter flags must match the selected --job.
+  EXPECT_TRUE(ParseArgs({"batch", "--input=x", "--job=mss", "--pvalue=0.01"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"batch", "--input=x", "--t=3", "--job=threshold",
+                         "--alpha0=5"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"batch", "--input=x", "--job=disjoint", "--t=3",
+                         "--min-length=4"})
+                  .ok());
+  // topt only consumes --min-length together with --disjoint.
+  EXPECT_TRUE(ParseArgs({"topt", "--string=01", "--min-length=3"})
+                  .status()
+                  .IsInvalidArgument());
 }
 
 TEST(ParseArgsTest, RejectsMalformedValues) {
@@ -161,10 +232,80 @@ TEST(RunTest, ParallelMssMatchesDefault) {
   EXPECT_EQ(table_part(*single), table_part(*multi));
 }
 
+TEST(BatchTest, LinesCorpusRoundTrip) {
+  std::string path = ::testing::TempDir() + "/sigsub_cli_corpus.txt";
+  ASSERT_TRUE(io::WriteTextFile(
+                  path, "0101011111111110101\n0000000000111111\n")
+                  .ok());
+  auto options =
+      ParseArgs({"batch", std::string("--input=") + path, "--threads=2"});
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  auto report = cli::Run(options.value());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // One row per record, and a cache summary.
+  EXPECT_NE(report->find("corpus: 2 records"), std::string::npos);
+  EXPECT_NE(report->find("\n0 "), std::string::npos);
+  EXPECT_NE(report->find("\n1 "), std::string::npos);
+  EXPECT_NE(report->find("cache:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BatchTest, CsvCorpusRoundTrip) {
+  std::string path = ::testing::TempDir() + "/sigsub_cli_corpus.csv";
+  ASSERT_TRUE(
+      io::WriteTextFile(path, "name,series\nr1,0101011111\nr2,0000011111\n")
+          .ok());
+  auto options = ParseArgs({"batch", std::string("--input=") + path,
+                            "--format=csv", "--column=1", "--csv-header",
+                            "--job=minlen", "--min-length=4"});
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  auto report = cli::Run(options.value());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("corpus: 2 records"), std::string::npos);
+  EXPECT_NE(report->find("job = minlen"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BatchTest, MatchesSingleStringCommand) {
+  // The batch engine must report the same MSS window the one-shot `mss`
+  // command reports for the same record.
+  std::string text = "0101011111111110101";
+  std::string path = ::testing::TempDir() + "/sigsub_cli_one.txt";
+  ASSERT_TRUE(io::WriteTextFile(path, text + "\n").ok());
+  auto single =
+      cli::Run(ParseArgs({"mss", std::string("--string=") + text}).value());
+  auto batch =
+      cli::Run(ParseArgs({"batch", std::string("--input=") + path}).value());
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(batch.ok());
+  // The one-shot report prints "5  15  10  10.0000"; the batch table
+  // must contain the same start/end/X² triple.
+  EXPECT_NE(single->find("10.0000"), std::string::npos);
+  EXPECT_NE(batch->find("10.0000"), std::string::npos);
+  EXPECT_NE(batch->find("15"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BatchTest, MissingCorpusIsIOError) {
+  auto options = ParseArgs({"batch", "--input=/no/such/corpus"});
+  ASSERT_TRUE(options.ok());
+  EXPECT_TRUE(cli::Run(options.value()).status().IsIOError());
+}
+
+TEST(BatchTest, ThresholdJobNeedsAlphaOrPValue) {
+  std::string path = ::testing::TempDir() + "/sigsub_cli_thr.txt";
+  ASSERT_TRUE(io::WriteTextFile(path, "0101\n").ok());
+  auto options = ParseArgs(
+      {"batch", std::string("--input=") + path, "--job=threshold"});
+  ASSERT_TRUE(options.ok());
+  EXPECT_TRUE(cli::Run(options.value()).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
 TEST(UsageTest, MentionsAllCommands) {
   std::string usage = UsageText();
   for (const char* command :
-       {"mss", "topt", "threshold", "minlen", "score"}) {
+       {"mss", "topt", "threshold", "minlen", "score", "batch"}) {
     EXPECT_NE(usage.find(command), std::string::npos) << command;
   }
 }

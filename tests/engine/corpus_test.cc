@@ -1,0 +1,103 @@
+#include "engine/corpus.h"
+
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "io/csv.h"
+
+namespace sigsub {
+namespace engine {
+namespace {
+
+TEST(CorpusTest, FromStringsInfersSharedAlphabet) {
+  auto corpus = Corpus::FromStrings({"0101", "2210", "00"});
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  EXPECT_EQ(corpus->size(), 3);
+  // Distinct characters across *all* records: 0, 1, 2.
+  EXPECT_EQ(corpus->alphabet().size(), 3);
+  EXPECT_EQ(corpus->alphabet().characters(), "012");
+  EXPECT_EQ(corpus->sequence(0).size(), 4);
+  EXPECT_EQ(corpus->text(1), "2210");
+}
+
+TEST(CorpusTest, SkipsEmptyRecordsButKeepsSourceIndices) {
+  auto corpus = Corpus::FromStrings({"01", "", "10"});
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->size(), 2);
+  // Reports must cite the caller's record numbers, not post-skip ones.
+  EXPECT_EQ(corpus->source_index(0), 0);
+  EXPECT_EQ(corpus->source_index(1), 2);
+}
+
+TEST(CorpusTest, ErrorsCiteSourceIndices) {
+  auto corpus = Corpus::FromStrings({"01", "", "012"}, "01");
+  ASSERT_FALSE(corpus.ok());
+  // The bad record is element 2 of the input, even though it is the
+  // second non-empty record.
+  EXPECT_NE(corpus.status().message().find("record 2"), std::string::npos);
+}
+
+TEST(CorpusTest, AllEmptyIsError) {
+  EXPECT_TRUE(Corpus::FromStrings({}).status().IsInvalidArgument());
+  EXPECT_TRUE(Corpus::FromStrings({"", ""}).status().IsInvalidArgument());
+}
+
+TEST(CorpusTest, UnaryCorpusPadsAlphabet) {
+  auto corpus = Corpus::FromStrings({"0000", "00"});
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->alphabet().size(), 2);  // X² needs k >= 2.
+}
+
+TEST(CorpusTest, ExplicitAlphabetRejectsForeignSymbols) {
+  auto corpus = Corpus::FromStrings({"0101", "012"}, "01");
+  ASSERT_FALSE(corpus.ok());
+  EXPECT_TRUE(corpus.status().IsInvalidArgument());
+  // The error names the offending record.
+  EXPECT_NE(corpus.status().message().find("record 1"), std::string::npos);
+}
+
+TEST(CorpusTest, FromLinesReadsFileAndStripsCr) {
+  std::string path = ::testing::TempDir() + "/corpus_lines.txt";
+  ASSERT_TRUE(io::WriteTextFile(path, "0101\r\n1100\n\n").ok());
+  auto corpus = Corpus::FromLines(path);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  EXPECT_EQ(corpus->size(), 2);
+  EXPECT_EQ(corpus->text(0), "0101");
+  EXPECT_EQ(corpus->text(1), "1100");
+  std::remove(path.c_str());
+}
+
+TEST(CorpusTest, FromLinesMissingFileIsIOError) {
+  EXPECT_TRUE(Corpus::FromLines("/no/such/corpus").status().IsIOError());
+}
+
+TEST(CorpusTest, FromCsvColumnSelectsAndSkipsHeader) {
+  std::string path = ::testing::TempDir() + "/corpus.csv";
+  ASSERT_TRUE(io::WriteTextFile(
+                  path, "id,series\na,0101\nb,\"11,00\"\n")
+                  .ok());
+  auto corpus = Corpus::FromCsvColumn(path, 1, /*has_header=*/true);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  EXPECT_EQ(corpus->size(), 2);
+  EXPECT_EQ(corpus->text(0), "0101");
+  EXPECT_EQ(corpus->text(1), "11,00");  // Quoted cell round-trips.
+  std::remove(path.c_str());
+}
+
+TEST(CorpusTest, FromCsvColumnValidates) {
+  std::string path = ::testing::TempDir() + "/corpus_bad.csv";
+  ASSERT_TRUE(io::WriteTextFile(path, "a,b\nc\n").ok());
+  // Row 1 has no column 1.
+  EXPECT_TRUE(Corpus::FromCsvColumn(path, 1, false)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Corpus::FromCsvColumn(path, -1, false)
+                  .status()
+                  .IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace sigsub

@@ -1,0 +1,317 @@
+#include "engine/engine.h"
+
+#include <string>
+#include <vector>
+
+#include "core/min_length.h"
+#include "core/mss.h"
+#include "core/threshold.h"
+#include "core/top_disjoint.h"
+#include "core/top_t.h"
+#include "engine/fingerprint.h"
+#include "gtest/gtest.h"
+#include "seq/generators.h"
+#include "seq/model.h"
+#include "seq/rng.h"
+#include "testing/test_util.h"
+
+namespace sigsub {
+namespace engine {
+namespace {
+
+/// A small corpus with planted structure: random binary records plus runs.
+Corpus MakeCorpus() {
+  seq::Rng rng(20120731);
+  std::vector<std::string> records;
+  for (int i = 0; i < 6; ++i) {
+    seq::Sequence s = seq::GenerateNull(2, 400, rng);
+    std::string text = s.ToString(seq::Alphabet::Binary());
+    // Plant a run whose position depends on the record.
+    text.replace(static_cast<size_t>(40 + 30 * i), 25, std::string(25, '1'));
+    records.push_back(text);
+  }
+  auto corpus = Corpus::FromStrings(records, "01");
+  EXPECT_TRUE(corpus.ok());
+  return std::move(corpus).value();
+}
+
+std::vector<JobSpec> MakeMixedJobs(const Corpus& corpus) {
+  std::vector<JobSpec> jobs;
+  for (int64_t i = 0; i < corpus.size(); ++i) {
+    for (JobKind kind :
+         {JobKind::kMss, JobKind::kTopT, JobKind::kTopDisjoint,
+          JobKind::kThreshold, JobKind::kMinLength}) {
+      JobSpec spec;
+      spec.kind = kind;
+      spec.sequence_index = i;
+      spec.params.t = 4;
+      spec.params.min_length = 10;
+      spec.params.alpha0 = 8.0;
+      jobs.push_back(spec);
+    }
+  }
+  return jobs;
+}
+
+TEST(EngineTest, MatchesDirectKernelCallsForAllKinds) {
+  Corpus corpus = MakeCorpus();
+  Engine engine({.num_threads = 2, .cache_capacity = 0});
+  std::vector<JobSpec> jobs = MakeMixedJobs(corpus);
+  ASSERT_OK_AND_ASSIGN(std::vector<JobResult> results,
+                       engine.ExecuteBatch(corpus, jobs));
+  ASSERT_EQ(results.size(), jobs.size());
+
+  seq::MultinomialModel model = seq::MultinomialModel::Uniform(2);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const JobSpec& spec = jobs[i];
+    const JobResult& result = results[i];
+    EXPECT_EQ(result.job_index, static_cast<int64_t>(i));
+    EXPECT_EQ(result.sequence_index, spec.sequence_index);
+    EXPECT_FALSE(result.cache_hit);
+    const seq::Sequence& sequence = corpus.sequence(spec.sequence_index);
+    switch (spec.kind) {
+      case JobKind::kMss: {
+        ASSERT_OK_AND_ASSIGN(core::MssResult direct,
+                             core::FindMss(sequence, model));
+        // Bit-identical, not merely close: same kernel, same order.
+        EXPECT_EQ(result.best.chi_square, direct.best.chi_square);
+        EXPECT_EQ(result.best.start, direct.best.start);
+        EXPECT_EQ(result.best.end, direct.best.end);
+        EXPECT_EQ(result.stats.positions_examined,
+                  direct.stats.positions_examined);
+        break;
+      }
+      case JobKind::kTopT: {
+        ASSERT_OK_AND_ASSIGN(core::TopTResult direct,
+                             core::FindTopT(sequence, model, spec.params.t));
+        ASSERT_EQ(result.substrings.size(), direct.top.size());
+        for (size_t r = 0; r < direct.top.size(); ++r) {
+          EXPECT_EQ(result.substrings[r].chi_square,
+                    direct.top[r].chi_square);
+          EXPECT_EQ(result.substrings[r].start, direct.top[r].start);
+          EXPECT_EQ(result.substrings[r].end, direct.top[r].end);
+        }
+        break;
+      }
+      case JobKind::kTopDisjoint: {
+        core::TopDisjointOptions options;
+        options.t = spec.params.t;
+        options.min_length = spec.params.min_length;
+        ASSERT_OK_AND_ASSIGN(
+            std::vector<core::Substring> direct,
+            core::FindTopDisjoint(sequence, model, options));
+        ASSERT_EQ(result.substrings.size(), direct.size());
+        for (size_t r = 0; r < direct.size(); ++r) {
+          EXPECT_EQ(result.substrings[r].chi_square, direct[r].chi_square);
+        }
+        break;
+      }
+      case JobKind::kThreshold: {
+        ASSERT_OK_AND_ASSIGN(
+            core::ThresholdResult direct,
+            core::FindAboveThreshold(sequence, model, spec.params.alpha0));
+        EXPECT_EQ(result.match_count, direct.match_count);
+        if (direct.match_count > 0) {
+          EXPECT_EQ(result.best.chi_square, direct.best.chi_square);
+        }
+        break;
+      }
+      case JobKind::kMinLength: {
+        ASSERT_OK_AND_ASSIGN(
+            core::MssResult direct,
+            core::FindMssMinLength(sequence, model, spec.params.min_length));
+        EXPECT_EQ(result.best.chi_square, direct.best.chi_square);
+        EXPECT_GE(result.best.length(), spec.params.min_length);
+        break;
+      }
+    }
+  }
+}
+
+TEST(EngineTest, DeterministicAcrossThreadCounts) {
+  Corpus corpus = MakeCorpus();
+  std::vector<JobSpec> jobs = MakeMixedJobs(corpus);
+  Engine one({.num_threads = 1, .cache_capacity = 0});
+  Engine four({.num_threads = 4, .cache_capacity = 0});
+  ASSERT_OK_AND_ASSIGN(std::vector<JobResult> serial,
+                       one.ExecuteBatch(corpus, jobs));
+  ASSERT_OK_AND_ASSIGN(std::vector<JobResult> parallel,
+                       four.ExecuteBatch(corpus, jobs));
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].substrings.size(), parallel[i].substrings.size());
+    for (size_t r = 0; r < serial[i].substrings.size(); ++r) {
+      // Bit-identical X², starts and ends: parallelism is across jobs,
+      // never inside a kernel.
+      EXPECT_EQ(serial[i].substrings[r].chi_square,
+                parallel[i].substrings[r].chi_square);
+      EXPECT_EQ(serial[i].substrings[r].start, parallel[i].substrings[r].start);
+      EXPECT_EQ(serial[i].substrings[r].end, parallel[i].substrings[r].end);
+    }
+    EXPECT_EQ(serial[i].match_count, parallel[i].match_count);
+  }
+}
+
+TEST(EngineTest, CacheHitsOnRepeatedBatch) {
+  Corpus corpus = MakeCorpus();
+  Engine engine({.num_threads = 2, .cache_capacity = 256});
+  std::vector<JobSpec> jobs = MakeMixedJobs(corpus);
+
+  ASSERT_OK_AND_ASSIGN(std::vector<JobResult> cold,
+                       engine.ExecuteBatch(corpus, jobs));
+  CacheStats after_cold = engine.cache_stats();
+  EXPECT_EQ(after_cold.hits, 0);
+  EXPECT_EQ(after_cold.misses, static_cast<int64_t>(jobs.size()));
+  EXPECT_EQ(after_cold.insertions, static_cast<int64_t>(jobs.size()));
+
+  ASSERT_OK_AND_ASSIGN(std::vector<JobResult> warm,
+                       engine.ExecuteBatch(corpus, jobs));
+  CacheStats after_warm = engine.cache_stats();
+  EXPECT_EQ(after_warm.hits, static_cast<int64_t>(jobs.size()));
+  EXPECT_EQ(after_warm.misses, static_cast<int64_t>(jobs.size()));
+
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_FALSE(cold[i].cache_hit);
+    EXPECT_TRUE(warm[i].cache_hit);
+    ASSERT_EQ(warm[i].substrings.size(), cold[i].substrings.size());
+    for (size_t r = 0; r < cold[i].substrings.size(); ++r) {
+      EXPECT_EQ(warm[i].substrings[r].chi_square,
+                cold[i].substrings[r].chi_square);
+    }
+    // Cache hits never rescan.
+    EXPECT_EQ(warm[i].stats.positions_examined, 0);
+  }
+}
+
+TEST(EngineTest, CacheDistinguishesParamsAndModels) {
+  Corpus corpus = MakeCorpus();
+  Engine engine({.num_threads = 1, .cache_capacity = 64});
+
+  JobSpec topt3{JobKind::kTopT, 0, {}, {.t = 3}};
+  JobSpec topt5{JobKind::kTopT, 0, {}, {.t = 5}};
+  JobSpec skewed = topt3;
+  skewed.probs = {0.8, 0.2};
+  ASSERT_OK_AND_ASSIGN(auto first,
+                       engine.ExecuteBatch(corpus, {topt3, topt5, skewed}));
+  EXPECT_EQ(engine.cache_stats().misses, 3);  // All distinct cache keys.
+  ASSERT_OK_AND_ASSIGN(auto second,
+                       engine.ExecuteBatch(corpus, {topt3, topt5, skewed}));
+  EXPECT_EQ(engine.cache_stats().hits, 3);
+  EXPECT_EQ(first[0].substrings.size(), 3u);
+  EXPECT_EQ(first[1].substrings.size(), 5u);
+}
+
+TEST(EngineTest, IrrelevantParamsShareCacheEntries) {
+  // Two MSS jobs differing only in `t` describe the same computation.
+  JobParams a{.t = 3};
+  JobParams b{.t = 99};
+  EXPECT_EQ(FingerprintJobParams(JobKind::kMss, a),
+            FingerprintJobParams(JobKind::kMss, b));
+  EXPECT_NE(FingerprintJobParams(JobKind::kTopT, a),
+            FingerprintJobParams(JobKind::kTopT, b));
+  EXPECT_NE(FingerprintJobParams(JobKind::kMss, a),
+            FingerprintJobParams(JobKind::kMinLength, a));
+}
+
+TEST(EngineTest, ValidatesSpecs) {
+  Corpus corpus = MakeCorpus();
+  Engine engine;
+  {
+    JobSpec spec;
+    spec.sequence_index = corpus.size();  // Out of range.
+    auto result = engine.ExecuteBatch(corpus, {spec});
+    ASSERT_TRUE(result.status().IsInvalidArgument());
+    EXPECT_NE(result.status().message().find("job 0"), std::string::npos);
+  }
+  {
+    JobSpec spec;
+    spec.probs = {0.2, 0.3, 0.5};  // Wrong arity for a binary corpus.
+    EXPECT_TRUE(
+        engine.ExecuteBatch(corpus, {spec}).status().IsInvalidArgument());
+  }
+  {
+    JobSpec spec;
+    spec.probs = {0.9, 0.3};  // Does not sum to 1.
+    EXPECT_TRUE(
+        engine.ExecuteBatch(corpus, {spec}).status().IsInvalidArgument());
+  }
+  {
+    JobSpec spec;
+    spec.kind = JobKind::kTopT;
+    spec.params.t = 0;
+    EXPECT_TRUE(
+        engine.ExecuteBatch(corpus, {spec}).status().IsInvalidArgument());
+  }
+  {
+    JobSpec spec;
+    spec.kind = JobKind::kThreshold;
+    spec.params.alpha0 = -1.0;
+    EXPECT_TRUE(
+        engine.ExecuteBatch(corpus, {spec}).status().IsInvalidArgument());
+  }
+  {
+    JobSpec spec;
+    spec.kind = JobKind::kMinLength;
+    spec.params.min_length = 0;
+    EXPECT_TRUE(
+        engine.ExecuteBatch(corpus, {spec}).status().IsInvalidArgument());
+  }
+}
+
+TEST(EngineTest, DuplicateJobsRunTheirKernelOnce) {
+  // Two records with identical content share a fingerprint, so the same
+  // uniform job on both is one distinct computation.
+  auto corpus = Corpus::FromStrings({"01100111101", "01100111101"});
+  ASSERT_TRUE(corpus.ok());
+  Engine engine({.num_threads = 2, .cache_capacity = 16});
+  ASSERT_OK_AND_ASSIGN(auto results,
+                       engine.ExecuteUniform(*corpus, JobKind::kMss));
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].best.chi_square, results[1].best.chi_square);
+  // Exactly one ran the kernel; its twin was served by that run.
+  EXPECT_EQ((results[0].cache_hit ? 1 : 0) + (results[1].cache_hit ? 1 : 0),
+            1);
+  int64_t examined = results[0].stats.positions_examined +
+                     results[1].stats.positions_examined;
+  EXPECT_GT(examined, 0);
+  EXPECT_EQ(results[0].cache_hit ? results[0].stats.positions_examined
+                                 : results[1].stats.positions_examined,
+            0);
+}
+
+TEST(EngineTest, EmptyBatchIsFine) {
+  Corpus corpus = MakeCorpus();
+  Engine engine;
+  ASSERT_OK_AND_ASSIGN(auto results, engine.ExecuteBatch(corpus, {}));
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(EngineTest, ExecuteUniformCoversEveryRecord) {
+  Corpus corpus = MakeCorpus();
+  Engine engine({.num_threads = 3, .cache_capacity = 16});
+  ASSERT_OK_AND_ASSIGN(auto results,
+                       engine.ExecuteUniform(corpus, JobKind::kMss));
+  ASSERT_EQ(results.size(), static_cast<size_t>(corpus.size()));
+  for (int64_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(results[static_cast<size_t>(i)].sequence_index, i);
+    // Every record has a planted run of 25 ones; the MSS must score high.
+    EXPECT_GT(results[static_cast<size_t>(i)].best.chi_square, 15.0);
+  }
+}
+
+TEST(FingerprintTest, SequenceAndModelFingerprints) {
+  seq::Rng rng(7);
+  seq::Sequence a = seq::GenerateNull(2, 100, rng);
+  seq::Sequence b = seq::GenerateNull(2, 100, rng);
+  EXPECT_NE(FingerprintSequence(a), FingerprintSequence(b));
+  EXPECT_EQ(FingerprintSequence(a), FingerprintSequence(a));
+  std::vector<double> uniform{0.5, 0.5};
+  std::vector<double> uniform_again{0.5, 0.5};
+  std::vector<double> skew{0.6, 0.4};
+  EXPECT_NE(FingerprintProbs(uniform), FingerprintProbs(skew));
+  EXPECT_EQ(FingerprintProbs(uniform), FingerprintProbs(uniform_again));
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace sigsub

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "common/result.h"  // SIGSUB_MACRO_CONCAT_ for ASSERT_OK_AND_ASSIGN.
 #include "seq/generators.h"
 #include "seq/model.h"
 #include "seq/rng.h"
@@ -28,11 +29,14 @@ inline constexpr double kChiTol = 1e-7;
     ASSERT_TRUE(_st.ok()) << _st.ToString();            \
   } while (false)
 
-#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)              \
-  auto _res_##__LINE__ = (rexpr);                     \
-  ASSERT_TRUE(_res_##__LINE__.ok())                   \
-      << _res_##__LINE__.status().ToString();         \
-  lhs = std::move(_res_##__LINE__).value()
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr) \
+  ASSERT_OK_AND_ASSIGN_IMPL_(            \
+      SIGSUB_MACRO_CONCAT_(_res_, __LINE__), lhs, rexpr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                               \
+  ASSERT_TRUE(result.ok()) << result.status().ToString(); \
+  lhs = std::move(result).value()
 
 /// A named string family used by parameterized equivalence sweeps.
 enum class Family {
