@@ -41,6 +41,62 @@ std::string FormatMs(double ms) {
   return StrFormat("%.3fms", ms);
 }
 
+JsonBench::JsonBench(std::string name) : name_(std::move(name)) {}
+
+void JsonBench::AddResult(const std::string& result_name, double ms) {
+  rows_.push_back(Row{result_name, ms, std::nan("")});
+}
+
+void JsonBench::AddResult(const std::string& result_name, double ms,
+                          double speedup) {
+  rows_.push_back(Row{result_name, ms, speedup});
+}
+
+void JsonBench::AddGate(const std::string& gate_name, bool pass) {
+  gates_.emplace_back(gate_name, pass);
+}
+
+bool JsonBench::AllGatesPass() const {
+  for (const auto& [unused, pass] : gates_) {
+    if (!pass) return false;
+  }
+  return true;
+}
+
+bool JsonBench::Write() const { return WriteTo("BENCH_" + name_ + ".json"); }
+
+bool JsonBench::WriteTo(const std::string& path) const {
+  std::string out = "{\n";
+  out += StrCat("  \"bench\": \"", name_, "\",\n");
+  out += StrCat("  \"fast_mode\": ", FastMode() ? "true" : "false", ",\n");
+  out += "  \"results\": [\n";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const Row& row = rows_[i];
+    out += StrCat("    {\"name\": \"", row.name, "\", \"ms\": ",
+                  StrFormat("%.6f", row.ms));
+    if (!std::isnan(row.speedup)) {
+      out += StrCat(", \"speedup\": ", StrFormat("%.4f", row.speedup));
+    }
+    out += i + 1 < rows_.size() ? "},\n" : "}\n";
+  }
+  out += "  ],\n  \"gates\": {\n";
+  for (size_t i = 0; i < gates_.size(); ++i) {
+    out += StrCat("    \"", gates_[i].first, "\": ",
+                  gates_[i].second ? "true" : "false",
+                  i + 1 < gates_.size() ? ",\n" : "\n");
+  }
+  out += "  }\n}\n";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::printf("cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(out.data(), 1, out.size(), file);
+  std::fclose(file);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 double PrintLogLogSlope(const std::string& label,
                         const std::vector<double>& xs,
                         const std::vector<double>& ys) {

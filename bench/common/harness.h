@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/str_util.h"
@@ -33,6 +34,42 @@ std::string FormatMs(double ms);
 double PrintLogLogSlope(const std::string& label,
                         const std::vector<double>& xs,
                         const std::vector<double>& ys);
+
+/// Accumulates benchmark measurements and gate outcomes, then writes them
+/// as one machine-readable JSON file (BENCH_<name>.json) so successive
+/// runs of a bench form a comparable perf trajectory. Results are rows of
+/// {name, ms[, speedup]}; gates are named booleans (bit-identity checks,
+/// perf targets). The file also records whether the run was a
+/// SIGSUB_BENCH_FAST smoke pass, since smoke timings are not comparable
+/// to full-scale ones.
+class JsonBench {
+ public:
+  /// `name` is the suite label: "core" writes BENCH_core.json (in the
+  /// current directory) by default.
+  explicit JsonBench(std::string name);
+
+  void AddResult(const std::string& result_name, double ms);
+  void AddResult(const std::string& result_name, double ms, double speedup);
+  void AddGate(const std::string& gate_name, bool pass);
+
+  /// True iff every recorded gate passed.
+  bool AllGatesPass() const;
+
+  /// Writes BENCH_<name>.json; returns false (after printing the error)
+  /// if the file cannot be written.
+  bool Write() const;
+  bool WriteTo(const std::string& path) const;
+
+ private:
+  struct Row {
+    std::string name;
+    double ms;
+    double speedup;  // NaN when not applicable.
+  };
+  std::string name_;
+  std::vector<Row> rows_;
+  std::vector<std::pair<std::string, bool>> gates_;
+};
 
 }  // namespace bench
 }  // namespace sigsub

@@ -99,7 +99,8 @@ int main() {
   bench::PrintHeader(
       "engine batch — context reuse + result cache vs naive calls",
       "corpus of planted-anomaly strings, k = 4; one job of each kind "
-      "per record");
+      "per record; timings land in BENCH_engine.json");
+  bench::JsonBench json("engine");
 
   const int64_t records = bench::FastMode() ? 8 : 32;
   const int64_t n = bench::FastMode() ? 4000 : 20000;
@@ -158,7 +159,11 @@ int main() {
   }
   std::printf("X² bit-identical to naive calls: %s\n\n",
               mismatches == 0 ? "yes" : "NO — BUG");
-  if (mismatches != 0) return 1;
+  json.AddGate("batch_bit_identical_to_naive", mismatches == 0);
+  if (mismatches != 0) {
+    json.Write();
+    return 1;
+  }
 
   engine::CacheStats stats = serial.cache_stats();
   std::printf("serial engine cache: %lld hits / %lld lookups\n",
@@ -179,6 +184,10 @@ int main() {
       parallel_ms, jobs.size(), naive_ms);
   add("engine warm (cache hits)", warm_ms, jobs.size(), naive_ms);
   std::printf("\n%s", table.Render().c_str());
+  json.AddResult("naive_per_job", naive_ms);
+  json.AddResult("engine_cold_1_thread", cold_ms, naive_ms / cold_ms);
+  json.AddResult("engine_cold_parallel", parallel_ms, naive_ms / parallel_ms);
+  json.AddResult("engine_warm_cache", warm_ms, naive_ms / warm_ms);
 
   // ------------------------------------------------------------------
   // Point-query regime: many cheap parameterized queries per sequence
@@ -216,7 +225,11 @@ int main() {
       "\npoint queries (%zu minlen jobs, floors near n): bit-identical: "
       "%s\n\n",
       point_jobs.size(), point_mismatches == 0 ? "yes" : "NO — BUG");
-  if (point_mismatches != 0) return 1;
+  json.AddGate("point_query_bit_identical", point_mismatches == 0);
+  if (point_mismatches != 0) {
+    json.Write();
+    return 1;
+  }
 
   io::TableWriter point_table({"mode", "time", "jobs/s", "speedup"});
   auto point_add = [&](const std::string& mode, double ms) {
@@ -227,5 +240,70 @@ int main() {
   point_add("naive per-job calls", point_naive_ms);
   point_add("engine cold (context reuse, 1 thread)", point_cold_ms);
   std::printf("%s", point_table.Render().c_str());
-  return 0;
+  json.AddResult("point_naive_per_job", point_naive_ms);
+  json.AddResult("point_engine_cold_1_thread", point_cold_ms,
+                 point_naive_ms / point_cold_ms);
+
+  // ------------------------------------------------------------------
+  // In-record sharding regime: ONE multi-megabyte record, one MSS job —
+  // the case where a per-job engine pins a single worker however many
+  // threads it has. Above the --shard-min threshold the engine splits
+  // the record into strided core::MssShardScan shards across its pool.
+  // Gate: the sharded X² is bit-identical to the sequential kernel's.
+  const int64_t big_n = bench::FastMode() ? 300000 : 4000000;
+  seq::Sequence big = seq::GenerateNull(k, big_n, rng);
+  std::string big_text = big.ToString(alphabet);
+  big_text.replace(static_cast<size_t>(big_n / 2),
+                   static_cast<size_t>(big_n / 100),
+                   std::string(static_cast<size_t>(big_n / 100), 'a'));
+  auto big_corpus = engine::Corpus::FromStrings({big_text},
+                                                alphabet.characters());
+  if (!big_corpus.ok()) {
+    std::printf("corpus error: %s\n",
+                big_corpus.status().ToString().c_str());
+    return 1;
+  }
+  auto direct = core::FindMss(big_corpus->sequence(0), model);
+  engine::Engine pinned({.num_threads = 0,
+                         .cache_capacity = 0,
+                         .shard_min_sequence = 0});
+  engine::Engine shard_engine({.num_threads = 0,
+                               .cache_capacity = 0,
+                               .shard_min_sequence = 1});
+  std::vector<engine::JobResult> pinned_results, shard_results;
+  double pinned_ms = bench::TimeMs([&] {
+    pinned_results =
+        std::move(pinned.ExecuteUniform(*big_corpus, engine::JobKind::kMss))
+            .value();
+  });
+  double shard_ms = bench::TimeMs([&] {
+    shard_results =
+        std::move(
+            shard_engine.ExecuteUniform(*big_corpus, engine::JobKind::kMss))
+            .value();
+  });
+  bool shard_identical =
+      pinned_results[0].best.chi_square == direct->best.chi_square &&
+      shard_results[0].best.chi_square == direct->best.chi_square;
+  std::printf(
+      "\none %lld-symbol record, 1 MSS job (%d workers): sharded X² "
+      "bit-identical: %s\n",
+      static_cast<long long>(big_n), shard_engine.num_threads(),
+      shard_identical ? "yes" : "NO — BUG");
+  json.AddGate("sharded_bit_identical", shard_identical);
+
+  io::TableWriter shard_table({"mode", "time", "speedup"});
+  shard_table.AddRow({"engine, record pins one worker",
+                      bench::FormatMs(pinned_ms), "1.00x"});
+  shard_table.AddRow(
+      {StrCat("engine, in-record sharding (", shard_engine.num_threads(),
+              " shards)"),
+       bench::FormatMs(shard_ms),
+       StrFormat("%.2fx", pinned_ms / shard_ms)});
+  std::printf("%s", shard_table.Render().c_str());
+  json.AddResult("one_record_pinned_worker", pinned_ms);
+  json.AddResult("one_record_sharded", shard_ms, pinned_ms / shard_ms);
+
+  if (!json.Write()) return 1;
+  return json.AllGatesPass() ? 0 : 1;
 }

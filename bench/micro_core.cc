@@ -1,105 +1,232 @@
-// google-benchmark microbenchmarks for the hot kernels: X² evaluation,
-// prefix-count fills, skip solving, and the end-to-end scans.
+// Microbenchmarks for the hot kernels — X² evaluation, prefix-count
+// fills, skip solving, and the end-to-end scans — with two jobs beyond
+// timing:
+//
+//   1. Layout gate: the flat position-major seq::PrefixCounts
+//      (counts[pos·k + c]) must produce bit-identical count vectors and
+//      bit-identical X² values to the previous layout (k separate
+//      row-major vectors), reimplemented here as the reference. The gate
+//      is fatal: a mismatch exits nonzero.
+//   2. Perf trajectory: every timing lands in BENCH_core.json, including
+//      the FillCounts-dominated scan where the flat layout's target is
+//      >= 1.5x over the row-major reference.
 
-#include <benchmark/benchmark.h>
-
+#include <cstdio>
 #include <vector>
 
+#include "common/harness.h"
 #include "core/chain_cover.h"
+#include "io/table_writer.h"
 #include "sigsub.h"
+
+using namespace sigsub;
 
 namespace {
 
-using namespace sigsub;
+/// The pre-refactor PrefixCounts layout, kept verbatim as the gate
+/// reference: k separate rows of n+1 entries, so one FillCounts pays k
+/// strided loads.
+class RowMajorPrefixCounts {
+ public:
+  explicit RowMajorPrefixCounts(const seq::Sequence& sequence)
+      : alphabet_size_(sequence.alphabet_size()), n_(sequence.size()) {
+    counts_.resize(static_cast<size_t>(alphabet_size_));
+    for (int c = 0; c < alphabet_size_; ++c) {
+      counts_[static_cast<size_t>(c)].assign(static_cast<size_t>(n_) + 1, 0);
+    }
+    std::span<const uint8_t> symbols = sequence.symbols();
+    for (int64_t i = 0; i < n_; ++i) {
+      for (int c = 0; c < alphabet_size_; ++c) {
+        counts_[static_cast<size_t>(c)][static_cast<size_t>(i) + 1] =
+            counts_[static_cast<size_t>(c)][static_cast<size_t>(i)];
+      }
+      ++counts_[symbols[i]][static_cast<size_t>(i) + 1];
+    }
+  }
+
+  void FillCounts(int64_t start, int64_t end, std::span<int64_t> out) const {
+    for (int c = 0; c < alphabet_size_; ++c) {
+      out[c] = counts_[static_cast<size_t>(c)][static_cast<size_t>(end)] -
+               counts_[static_cast<size_t>(c)][static_cast<size_t>(start)];
+    }
+  }
+
+ private:
+  int alphabet_size_;
+  int64_t n_;
+  std::vector<std::vector<int64_t>> counts_;
+};
 
 seq::Sequence MakeString(int k, int64_t n) {
   seq::Rng rng(424242 + k + n);
   return seq::GenerateNull(k, n, rng);
 }
 
-void BM_ChiSquareEvaluate(benchmark::State& state) {
-  const int k = static_cast<int>(state.range(0));
-  core::ChiSquareContext ctx(seq::MultinomialModel::Uniform(k));
-  std::vector<int64_t> counts(k, 100);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ctx.Evaluate(counts, 100 * k));
+/// Deterministic (start, end) query stream over [0, n]; xorshift so the
+/// access pattern defeats the prefetcher the way a skip scan does.
+std::vector<std::pair<int64_t, int64_t>> MakeRanges(int64_t n, size_t count) {
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  ranges.reserve(count);
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  for (size_t i = 0; i < count; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    int64_t a = static_cast<int64_t>(state % static_cast<uint64_t>(n + 1));
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    int64_t b = static_cast<int64_t>(state % static_cast<uint64_t>(n + 1));
+    if (a > b) std::swap(a, b);
+    ranges.emplace_back(a, b);
   }
+  return ranges;
 }
-BENCHMARK(BM_ChiSquareEvaluate)->Arg(2)->Arg(5)->Arg(20);
 
-void BM_IncrementalExtend(benchmark::State& state) {
-  const int k = static_cast<int>(state.range(0));
-  core::ChiSquareContext ctx(seq::MultinomialModel::Uniform(k));
-  seq::Sequence s = MakeString(k, 4096);
-  core::ChiSquareContext::Incremental inc(ctx);
-  int64_t i = 0;
-  for (auto _ : state) {
-    if (i == s.size()) {
-      inc.Reset();
-      i = 0;
+/// Bit-identity of the two layouts: every count vector and every X² value
+/// must match exactly — FindMss & friends consume counts only through
+/// FillCounts + Evaluate, so fill identity implies scan identity.
+bool RunLayoutGate() {
+  int64_t mismatches = 0;
+  for (int k : {2, 4, 20}) {
+    seq::Sequence s = MakeString(k, 4096);
+    seq::PrefixCounts flat(s);
+    RowMajorPrefixCounts reference(s);
+    core::ChiSquareContext ctx(seq::MultinomialModel::Uniform(k));
+    std::vector<int64_t> a(k), b(k);
+    for (const auto& [start, end] : MakeRanges(s.size(), 20000)) {
+      flat.FillCounts(start, end, a);
+      reference.FillCounts(start, end, b);
+      if (a != b) ++mismatches;
+      if (ctx.Evaluate(a, end - start) != ctx.Evaluate(b, end - start)) {
+        ++mismatches;
+      }
     }
-    inc.Extend(s[i++]);
-    benchmark::DoNotOptimize(inc.chi_square());
+    // The scan itself, both built from the same sequence, for good
+    // measure (exercises the flat build path end to end).
+    core::MssResult scan = core::FindMss(flat, ctx);
+    core::MssResult again = core::FindMss(seq::PrefixCounts(s), ctx);
+    if (scan.best.chi_square != again.best.chi_square) ++mismatches;
   }
+  std::printf("layout gate (flat vs row-major): %s\n",
+              mismatches == 0 ? "bit-identical" : "MISMATCH — BUG");
+  return mismatches == 0;
 }
-BENCHMARK(BM_IncrementalExtend)->Arg(2)->Arg(20);
-
-void BM_PrefixCountsBuild(benchmark::State& state) {
-  const int64_t n = state.range(0);
-  seq::Sequence s = MakeString(4, n);
-  for (auto _ : state) {
-    seq::PrefixCounts counts(s);
-    benchmark::DoNotOptimize(counts.sequence_size());
-  }
-  state.SetComplexityN(n);
-}
-BENCHMARK(BM_PrefixCountsBuild)->Range(1 << 10, 1 << 16)->Complexity();
-
-void BM_SkipSolver(benchmark::State& state) {
-  const int k = static_cast<int>(state.range(0));
-  core::ChiSquareContext ctx(seq::MultinomialModel::Uniform(k));
-  core::SkipSolver solver(ctx);
-  std::vector<int64_t> counts(k, 50);
-  double x2 = ctx.Evaluate(counts, 50 * k);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        solver.MaxSafeExtension(counts, 50 * k, x2, 25.0));
-  }
-}
-BENCHMARK(BM_SkipSolver)->Arg(2)->Arg(5)->Arg(20);
-
-void BM_FindMss(benchmark::State& state) {
-  const int64_t n = state.range(0);
-  seq::Sequence s = MakeString(2, n);
-  core::ChiSquareContext ctx(seq::MultinomialModel::Uniform(2));
-  seq::PrefixCounts counts(s);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::FindMss(counts, ctx));
-  }
-  state.SetComplexityN(n);
-}
-BENCHMARK(BM_FindMss)->Range(1 << 10, 1 << 16)->Complexity();
-
-void BM_NaiveFindMss(benchmark::State& state) {
-  const int64_t n = state.range(0);
-  seq::Sequence s = MakeString(2, n);
-  core::ChiSquareContext ctx(seq::MultinomialModel::Uniform(2));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::NaiveFindMss(s, ctx));
-  }
-  state.SetComplexityN(n);
-}
-BENCHMARK(BM_NaiveFindMss)->Range(1 << 10, 1 << 13)->Complexity();
-
-void BM_FindTopT(benchmark::State& state) {
-  const int64_t t = state.range(0);
-  seq::Sequence s = MakeString(2, 1 << 14);
-  core::ChiSquareContext ctx(seq::MultinomialModel::Uniform(2));
-  seq::PrefixCounts counts(s);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::FindTopT(counts, ctx, t));
-  }
-}
-BENCHMARK(BM_FindTopT)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
 
 }  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "core microbenchmarks — flat PrefixCounts layout gate + hot kernels",
+      "counts[pos*k + c] vs the former k row-major vectors; timings land "
+      "in BENCH_core.json");
+  bench::JsonBench json("core");
+
+  const bool gate_ok = RunLayoutGate();
+  json.AddGate("layout_bit_identical", gate_ok);
+  if (!gate_ok) {
+    json.Write();
+    return 1;
+  }
+
+  io::TableWriter table({"bench", "time", "speedup"});
+  auto record = [&](const std::string& name, double ms) {
+    table.AddRow({name, bench::FormatMs(ms), "-"});
+    json.AddResult(name, ms);
+  };
+
+  // ---------------------------------------------------------- fill scan
+  // The FillCounts-dominated microbench: a large-alphabet count structure
+  // far bigger than L2, hit with random ranges. The old layout pays k
+  // strided misses per query; the flat layout two contiguous k-wide
+  // loads. Target >= 1.5x.
+  {
+    const int k = 16;
+    const int64_t n = bench::FastMode() ? (1 << 16) : (1 << 19);
+    const size_t queries = bench::FastMode() ? 200000 : 1000000;
+    seq::Sequence s = MakeString(k, n);
+    seq::PrefixCounts flat(s);
+    RowMajorPrefixCounts reference(s);
+    auto ranges = MakeRanges(n, queries);
+    std::vector<int64_t> scratch(k);
+    int64_t sink = 0;
+    auto sweep = [&](auto& counts) {
+      for (const auto& [start, end] : ranges) {
+        counts.FillCounts(start, end, scratch);
+        sink += scratch[0] + scratch[k - 1];
+      }
+    };
+    double row_ms = bench::TimeMs([&] { sweep(reference); });
+    double flat_ms = bench::TimeMs([&] { sweep(flat); });
+    double speedup = row_ms / flat_ms;
+    std::printf("fill scan (k=%d, n=%lld, %zu queries): row-major %s, "
+                "flat %s, %.2fx (sink %lld)\n",
+                k, static_cast<long long>(n), queries,
+                bench::FormatMs(row_ms).c_str(),
+                bench::FormatMs(flat_ms).c_str(), speedup,
+                static_cast<long long>(sink));
+    table.AddRow({"fill_scan_row_major_k16", bench::FormatMs(row_ms), "-"});
+    table.AddRow({"fill_scan_flat_k16", bench::FormatMs(flat_ms),
+                  StrFormat("%.2fx", speedup)});
+    json.AddResult("fill_scan_row_major_k16", row_ms);
+    json.AddResult("fill_scan_flat_k16", flat_ms, speedup);
+    json.AddGate("fill_scan_speedup_target_1_5x", speedup >= 1.5);
+  }
+
+  // ------------------------------------------------------- build + scans
+  {
+    const int64_t n = bench::FastMode() ? (1 << 15) : (1 << 17);
+    seq::Sequence s4 = MakeString(4, n);
+    double build_ms = bench::TimeMs([&] {
+      for (int rep = 0; rep < 8; ++rep) {
+        seq::PrefixCounts counts(s4);
+        if (counts.sequence_size() != n) std::abort();
+      }
+    });
+    record("prefix_build_k4_x8", build_ms);
+
+    seq::Sequence s2 = MakeString(2, n);
+    core::ChiSquareContext ctx2(seq::MultinomialModel::Uniform(2));
+    seq::PrefixCounts counts2(s2);
+    double mss_ms =
+        bench::TimeMs([&] { core::FindMss(counts2, ctx2); });
+    record("find_mss_k2", mss_ms);
+    double topt_ms =
+        bench::TimeMs([&] { core::FindTopT(counts2, ctx2, 100); });
+    record("find_top_t_100_k2", topt_ms);
+    double parallel_ms = bench::TimeMs(
+        [&] { core::FindMssParallel(counts2, ctx2, /*num_threads=*/0); });
+    record("find_mss_parallel_hw", parallel_ms);
+  }
+
+  // ------------------------------------------------------- tight kernels
+  {
+    const int k = 20;
+    core::ChiSquareContext ctx(seq::MultinomialModel::Uniform(k));
+    std::vector<int64_t> counts(k, 100);
+    const int reps = bench::FastMode() ? 2000000 : 20000000;
+    double eval_ms = bench::TimeMs([&] {
+      double acc = 0.0;
+      for (int i = 0; i < reps; ++i) acc += ctx.Evaluate(counts, 100 * k);
+      if (acc < 0.0) std::abort();
+    });
+    record(StrCat("chi_square_evaluate_k20_x", reps), eval_ms);
+
+    core::SkipSolver solver(ctx);
+    std::vector<int64_t> skip_counts(k, 50);
+    double x2 = ctx.Evaluate(skip_counts, 50 * k);
+    const int skip_reps = bench::FastMode() ? 200000 : 2000000;
+    double skip_ms = bench::TimeMs([&] {
+      int64_t acc = 0;
+      for (int i = 0; i < skip_reps; ++i) {
+        acc += solver.MaxSafeExtension(skip_counts, 50 * k, x2, 25.0);
+      }
+      if (acc < 0) std::abort();
+    });
+    record(StrCat("skip_solver_k20_x", skip_reps), skip_ms);
+  }
+
+  std::printf("\n%s", table.Render().c_str());
+  if (!json.Write()) return 1;
+  return json.AllGatesPass() ? 0 : 1;
+}

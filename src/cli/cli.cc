@@ -1,6 +1,8 @@
 #include "cli/cli.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -45,8 +47,8 @@ const CommandFlags kCommandFlags[] = {
     {"minlen", {"min-length"}},
     {"score", {"start", "end"}},
     {"batch",
-     {"job", "format", "column", "csv-header", "threads", "cache", "t",
-      "min-length", "alpha0", "pvalue"}},
+     {"job", "format", "column", "csv-header", "threads", "cache",
+      "shard-min", "t", "min-length", "alpha0", "pvalue"}},
 };
 
 Status ValidateFlagsForCommand(const std::string& command,
@@ -76,20 +78,36 @@ Status ValidateFlagsForCommand(const std::string& command,
 
 Result<double> ParseDouble(const std::string& text, const std::string& flag) {
   char* end = nullptr;
+  errno = 0;
   double value = std::strtod(text.c_str(), &end);
   if (end == text.c_str() || *end != '\0') {
     return Status::InvalidArgument(
         StrCat("flag ", flag, " expects a number, got \"", text, "\""));
+  }
+  // strtod reports overflow via ERANGE (returning ±HUGE_VAL): a silently
+  // saturated threshold is worse than an error. Underflow to a denormal
+  // or zero also sets ERANGE but is a faithful rounding, so only the
+  // overflow case is rejected.
+  if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
+    return Status::InvalidArgument(
+        StrCat("flag ", flag, " value \"", text, "\" overflows a double"));
   }
   return value;
 }
 
 Result<int64_t> ParseInt(const std::string& text, const std::string& flag) {
   char* end = nullptr;
+  errno = 0;
   long long value = std::strtoll(text.c_str(), &end, 10);
   if (end == text.c_str() || *end != '\0') {
     return Status::InvalidArgument(
         StrCat("flag ", flag, " expects an integer, got \"", text, "\""));
+  }
+  // Without this check strtoll silently clamps e.g.
+  // --t=99999999999999999999 to LLONG_MAX.
+  if (errno == ERANGE) {
+    return Status::InvalidArgument(StrCat(
+        "flag ", flag, " value \"", text, "\" is out of the 64-bit range"));
   }
   return static_cast<int64_t>(value);
 }
@@ -169,6 +187,7 @@ Result<std::string> RunBatch(const CliOptions& options) {
   engine::EngineOptions engine_options;
   engine_options.num_threads = options.threads;
   engine_options.cache_capacity = static_cast<size_t>(options.cache);
+  engine_options.shard_min_sequence = options.shard_min;
   engine::Engine engine(engine_options);
 
   std::vector<engine::JobSpec> jobs;
@@ -303,6 +322,9 @@ std::string UsageText() {
       "  --format=lines|csv             corpus layout (default lines)\n"
       "  --column=N --csv-header        CSV column selection\n"
       "  --threads=N --cache=N          worker threads / cache entries\n"
+      "  --shard-min=N                  split an MSS job across workers\n"
+      "                                 when the record has >= N symbols\n"
+      "                                 (default 2^20; 0 disables)\n"
       "\n"
       "flags that a command does not consume are rejected\n";
 }
@@ -381,6 +403,9 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
       options.csv_header = true;
     } else if (name == "cache") {
       SIGSUB_ASSIGN_OR_RETURN(options.cache, ParseInt(value, "--cache"));
+    } else if (name == "shard-min") {
+      SIGSUB_ASSIGN_OR_RETURN(options.shard_min,
+                              ParseInt(value, "--shard-min"));
     } else {
       return Status::InvalidArgument(
           StrCat("unknown flag --", name, "\n", UsageText()));

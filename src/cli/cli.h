@@ -38,6 +38,9 @@ namespace cli {
 ///   --column=N           CSV column holding the records (default 0)
 ///   --csv-header         skip the first CSV row
 ///   --cache=N            result-cache capacity in entries (default 4096)
+///   --shard-min=N        split an MSS job across the worker pool when
+///                        its record has at least N symbols (default
+///                        2^20; 0 disables in-record sharding)
 struct CliOptions {
   std::string command;
   std::string input_path;
@@ -59,6 +62,7 @@ struct CliOptions {
   int64_t column = 0;
   bool csv_header = false;
   int64_t cache = 4096;
+  int64_t shard_min = 1 << 20;
 };
 
 /// Usage text for --help / errors.

@@ -1,9 +1,8 @@
-#include "engine/thread_pool.h"
+#include "common/thread_pool.h"
 
 #include <utility>
 
 namespace sigsub {
-namespace engine {
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) {
@@ -113,5 +112,4 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
   }
 }
 
-}  // namespace engine
 }  // namespace sigsub

@@ -1,0 +1,82 @@
+#ifndef SIGSUB_COMMON_THREAD_POOL_H_
+#define SIGSUB_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sigsub {
+
+/// A fixed-size work-stealing thread pool. Tasks are distributed
+/// round-robin across per-worker deques; each worker services its own
+/// deque LIFO (hot caches) and steals FIFO from its neighbours when it
+/// runs dry, so a handful of long scans cannot strand short jobs behind
+/// them. This is the execution substrate for engine::Engine batches and
+/// for the sharded parallel MSS scan (core::FindMssParallel).
+///
+/// Semantics:
+///   - Submit() may be called from any thread, including pool workers.
+///   - Wait() blocks until every task submitted so far has finished. It
+///     must be called from OUTSIDE the pool's workers: a task calling
+///     Wait() would wait on its own completion and deadlock. Fork-join
+///     inside a task should instead Submit() and let the orchestrating
+///     thread Wait() (how Engine uses it).
+///   - The destructor waits for in-flight tasks, then joins the workers.
+///   - Tasks must not throw (the library is exception-free by design).
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task` for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  /// Total tasks stolen from another worker's deque (instrumentation for
+  /// tests and benchmarks; monotonic).
+  int64_t steal_count() const { return steals_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> queue;
+  };
+
+  void WorkerLoop(size_t worker_index);
+  bool TryRunOneTask(size_t worker_index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Wakes idle workers when work arrives or the pool shuts down.
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+
+  // Signals Wait() when the last outstanding task retires.
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<int64_t> pending_{0};      // Queued, not yet dequeued.
+  std::atomic<int64_t> outstanding_{0};  // Submitted, not yet finished.
+  std::atomic<uint64_t> next_worker_{0};
+  std::atomic<int64_t> steals_{0};
+};
+
+}  // namespace sigsub
+
+#endif  // SIGSUB_COMMON_THREAD_POOL_H_

@@ -1,0 +1,32 @@
+#ifndef SIGSUB_CORE_ATOMIC_MAX_H_
+#define SIGSUB_CORE_ATOMIC_MAX_H_
+
+#include <atomic>
+
+namespace sigsub {
+namespace core {
+
+/// Lock-free monotone maximum over doubles. Shared by every shard of a
+/// parallel MSS scan: a discovery by any shard immediately widens every
+/// other shard's chain-cover skips. X² values are non-negative, so 0.0 is
+/// a neutral initial value.
+class AtomicMax {
+ public:
+  double load() const { return value_.load(std::memory_order_relaxed); }
+
+  void Update(double candidate) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (candidate > current &&
+           !value_.compare_exchange_weak(current, candidate,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+}  // namespace core
+}  // namespace sigsub
+
+#endif  // SIGSUB_CORE_ATOMIC_MAX_H_

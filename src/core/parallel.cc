@@ -1,7 +1,6 @@
 #include "core/parallel.h"
 
 #include <algorithm>
-#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -11,26 +10,57 @@
 
 namespace sigsub {
 namespace core {
-namespace {
 
-/// Lock-free monotone maximum over doubles (all values non-negative here).
-class AtomicMax {
- public:
-  double load() const { return value_.load(std::memory_order_relaxed); }
-
-  void Update(double candidate) {
-    double current = value_.load(std::memory_order_relaxed);
-    while (candidate > current &&
-           !value_.compare_exchange_weak(current, candidate,
-                                         std::memory_order_relaxed)) {
+MssResult MssShardScan(const seq::PrefixCounts& counts,
+                       const ChiSquareContext& context, int shard,
+                       int num_shards, AtomicMax* shared_best) {
+  SIGSUB_CHECK(context.alphabet_size() == counts.alphabet_size());
+  SIGSUB_CHECK(shard >= 0 && shard < num_shards);
+  const int64_t n = counts.sequence_size();
+  MssResult local;
+  local.best = Substring{0, 0, 0.0};
+  SkipSolver solver(context);
+  std::vector<int64_t> scratch(context.alphabet_size());
+  bool found = false;
+  for (int64_t i = n - 1 - shard; i >= 0; i -= num_shards) {
+    ++local.stats.start_positions;
+    int64_t end = i + 1;
+    while (end <= n) {
+      counts.FillCounts(i, end, scratch);
+      int64_t l = end - i;
+      double x2 = context.Evaluate(scratch, l);
+      ++local.stats.positions_examined;
+      if (x2 > local.best.chi_square || !found) {
+        found = true;
+        local.best = Substring{i, end, x2};
+        shared_best->Update(x2);
+      }
+      int64_t skip =
+          solver.MaxSafeExtension(scratch, l, x2, shared_best->load());
+      if (skip > 0) {
+        ++local.stats.skip_events;
+        int64_t last_skipped = std::min(end + skip, n);
+        if (last_skipped > end) {
+          local.stats.positions_skipped += last_skipped - end;
+        }
+      }
+      end += skip + 1;
     }
   }
+  return local;
+}
 
- private:
-  std::atomic<double> value_{0.0};
-};
-
-}  // namespace
+MssResult MergeShardResults(std::span<const MssResult> shards) {
+  SIGSUB_CHECK(!shards.empty());
+  MssResult result = shards[0];
+  for (size_t s = 1; s < shards.size(); ++s) {
+    if (shards[s].best.chi_square > result.best.chi_square) {
+      result.best = shards[s].best;
+    }
+    result.stats.Merge(shards[s].stats);
+  }
+  return result;
+}
 
 MssResult FindMssParallel(const seq::PrefixCounts& counts,
                           const ChiSquareContext& context, int num_threads) {
@@ -44,60 +74,20 @@ MssResult FindMssParallel(const seq::PrefixCounts& counts,
       std::min<int64_t>(num_threads, std::max<int64_t>(1, n)));
 
   AtomicMax shared_best;
-  std::vector<MssResult> per_thread(num_threads);
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-
-  auto scan_strided = [&](int tid) {
-    MssResult& local = per_thread[tid];
-    local.best = Substring{0, 0, 0.0};
-    SkipSolver solver(context);
-    std::vector<int64_t> scratch(context.alphabet_size());
-    bool found = false;
-    for (int64_t i = n - 1 - tid; i >= 0; i -= num_threads) {
-      ++local.stats.start_positions;
-      int64_t end = i + 1;
-      while (end <= n) {
-        counts.FillCounts(i, end, scratch);
-        int64_t l = end - i;
-        double x2 = context.Evaluate(scratch, l);
-        ++local.stats.positions_examined;
-        if (x2 > local.best.chi_square || !found) {
-          found = true;
-          local.best = Substring{i, end, x2};
-          shared_best.Update(x2);
-        }
-        int64_t skip =
-            solver.MaxSafeExtension(scratch, l, x2, shared_best.load());
-        if (skip > 0) {
-          ++local.stats.skip_events;
-          int64_t last_skipped = std::min(end + skip, n);
-          if (last_skipped > end) {
-            local.stats.positions_skipped += last_skipped - end;
-          }
-        }
-        end += skip + 1;
-      }
-    }
-  };
-
   if (num_threads == 1) {
-    scan_strided(0);
-  } else {
-    for (int tid = 0; tid < num_threads; ++tid) {
-      workers.emplace_back(scan_strided, tid);
-    }
-    for (auto& worker : workers) worker.join();
+    return MssShardScan(counts, context, 0, 1, &shared_best);
   }
 
-  MssResult result = per_thread[0];
-  for (int tid = 1; tid < num_threads; ++tid) {
-    if (per_thread[tid].best.chi_square > result.best.chi_square) {
-      result.best = per_thread[tid].best;
-    }
-    result.stats.Merge(per_thread[tid].stats);
+  std::vector<MssResult> per_shard(num_threads);
+  ThreadPool pool(num_threads);
+  for (int shard = 0; shard < num_threads; ++shard) {
+    MssResult* slot = &per_shard[static_cast<size_t>(shard)];
+    pool.Submit([&counts, &context, shard, num_threads, &shared_best, slot] {
+      *slot = MssShardScan(counts, context, shard, num_threads, &shared_best);
+    });
   }
-  return result;
+  pool.Wait();
+  return MergeShardResults(per_shard);
 }
 
 Result<MssResult> FindMssParallel(const seq::Sequence& sequence,

@@ -2,8 +2,11 @@
 #define SIGSUB_CORE_PARALLEL_H_
 
 #include <cstdint>
+#include <span>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/atomic_max.h"
 #include "core/chi_square.h"
 #include "core/scan_types.h"
 #include "seq/model.h"
@@ -29,10 +32,26 @@ Result<MssResult> FindMssParallel(const seq::Sequence& sequence,
                                   const seq::MultinomialModel& model,
                                   int num_threads = 0);
 
-/// Kernel variant (see FindMss).
+/// Kernel variant (see FindMss). Runs the shards on a transient
+/// ThreadPool of `num_threads` workers (inline when num_threads == 1).
 MssResult FindMssParallel(const seq::PrefixCounts& counts,
                           const ChiSquareContext& context,
                           int num_threads = 0);
+
+/// One strided shard of the parallel scan: start positions
+/// n-1-shard, n-1-shard-num_shards, ... with the chain-cover skip bound
+/// read from (and published to) `shared_best`. Exposed so external
+/// executors — engine::Engine splitting one oversized record across its
+/// ThreadPool — can schedule shards themselves; FindMssParallel is the
+/// packaged composition. Pure apart from `shared_best`; shards of one
+/// scan may run concurrently in any order.
+MssResult MssShardScan(const seq::PrefixCounts& counts,
+                       const ChiSquareContext& context, int shard,
+                       int num_shards, AtomicMax* shared_best);
+
+/// Folds per-shard results into the scan result: the highest-X² witness
+/// (first shard wins ties) and summed ScanStats.
+MssResult MergeShardResults(std::span<const MssResult> shards);
 
 }  // namespace core
 }  // namespace sigsub

@@ -10,13 +10,19 @@ namespace core {
 
 StreamingDetector::StreamingDetector(const seq::MultinomialModel& model,
                                      Options options)
-    : context_(model), options_(options), scratch_(model.alphabet_size()) {
+    : context_(model), options_(options) {
   for (int64_t scale = 1; scale < options_.max_window; scale *= 2) {
     scales_.push_back(scale);
   }
   scales_.push_back(options_.max_window);
-  cumulative_.assign(static_cast<size_t>(options_.max_window) + 1,
-                     std::vector<int64_t>(model.alphabet_size(), 0));
+  // One k-wide counter per monitored scale — O(k·log W) memory — plus a
+  // byte ring of the last W+1 symbols so expiring symbols can be
+  // subtracted. The former representation kept W+1 full k-wide
+  // cumulative vectors (O(k·W) before a single symbol arrived) and
+  // copied one per Append.
+  window_counts_.assign(scales_.size(),
+                        std::vector<int64_t>(model.alphabet_size(), 0));
+  recent_.assign(static_cast<size_t>(options_.max_window) + 1, 0);
 }
 
 Result<StreamingDetector> StreamingDetector::Make(
@@ -34,31 +40,44 @@ Result<StreamingDetector> StreamingDetector::Make(
 
 std::optional<StreamingDetector::Alarm> StreamingDetector::Append(
     uint8_t symbol) {
-  SIGSUB_DCHECK(symbol < context_.alphabet_size());
+  // Checked in every build mode: an out-of-range symbol would otherwise
+  // be an out-of-bounds counter write in release builds. Untrusted
+  // streams should use TryAppend, which reports instead of aborting.
+  SIGSUB_CHECK_MSG(symbol < context_.alphabet_size(),
+                   "symbol %d out of range for alphabet size %d",
+                   static_cast<int>(symbol), context_.alphabet_size());
   const int64_t ring = options_.max_window + 1;
-  const std::vector<int64_t>& previous =
-      cumulative_[static_cast<size_t>(position_ % ring)];
+  recent_[static_cast<size_t>(position_ % ring)] = symbol;
   ++position_;
-  std::vector<int64_t>& current =
-      cumulative_[static_cast<size_t>(position_ % ring)];
-  current = previous;
-  ++current[symbol];
 
   std::optional<Alarm> alarm;
-  for (int64_t scale : scales_) {
-    if (scale > position_) break;
-    const std::vector<int64_t>& window_start =
-        cumulative_[static_cast<size_t>((position_ - scale) % ring)];
-    for (size_t c = 0; c < scratch_.size(); ++c) {
-      scratch_[c] = current[c] - window_start[c];
+  for (size_t si = 0; si < scales_.size(); ++si) {
+    const int64_t scale = scales_[si];
+    std::vector<int64_t>& counts = window_counts_[si];
+    ++counts[symbol];
+    if (position_ > scale) {
+      // The symbol that just slid out of this window.
+      --counts[recent_[static_cast<size_t>((position_ - 1 - scale) % ring)]];
+    } else if (scale > position_) {
+      continue;  // Window not yet full; counts keep accumulating.
     }
-    double x2 = context_.Evaluate(scratch_, scale);
+    double x2 = context_.Evaluate(counts, scale);
     if (x2 > options_.alpha0 &&
         (!alarm.has_value() || x2 > alarm->chi_square)) {
       alarm = Alarm{position_, scale, x2};
     }
   }
   return alarm;
+}
+
+Result<std::optional<StreamingDetector::Alarm>> StreamingDetector::TryAppend(
+    uint8_t symbol) {
+  if (symbol >= context_.alphabet_size()) {
+    return Status::InvalidArgument(
+        StrCat("symbol ", static_cast<int>(symbol),
+               " out of range for alphabet size ", context_.alphabet_size()));
+  }
+  return Append(symbol);
 }
 
 }  // namespace core

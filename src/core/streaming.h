@@ -19,7 +19,8 @@ namespace core {
 ///
 /// After each Append the detector evaluates the suffix windows of dyadic
 /// lengths 1, 2, 4, ..., max_window (plus max_window itself), O(k·log W)
-/// work per symbol with O(k·W) memory. Coverage rationale: any anomalous
+/// work per symbol with O(W + k·log W) memory (a byte ring of the last W
+/// symbols plus one k-wide counter per scale). Coverage rationale: any anomalous
 /// interval of length L is contained in the dyadic suffix of length
 /// 2^⌈lg L⌉ evaluated at the interval's last position, which dilutes its
 /// composition by at most a factor ~2 in length — so a planted anomaly
@@ -45,8 +46,14 @@ class StreamingDetector {
                                         Options options);
 
   /// Feeds one symbol; returns the strongest alarming suffix window ending
-  /// here, if any window's X² exceeds alpha0.
+  /// here, if any window's X² exceeds alpha0. Aborts (SIGSUB_CHECK, every
+  /// build mode) if `symbol` is outside the model's alphabet.
   std::optional<Alarm> Append(uint8_t symbol);
+
+  /// Append for untrusted streams: an out-of-range symbol returns
+  /// InvalidArgument (the detector state is unchanged) instead of
+  /// aborting.
+  Result<std::optional<Alarm>> TryAppend(uint8_t symbol);
 
   /// Total symbols consumed.
   int64_t position() const { return position_; }
@@ -60,10 +67,13 @@ class StreamingDetector {
   ChiSquareContext context_;
   Options options_;
   std::vector<int64_t> scales_;
-  // Ring of cumulative counts: cumulative_[t % (W+1)] = counts of the
-  // first t symbols, valid for t in [position_ - W, position_].
-  std::vector<std::vector<int64_t>> cumulative_;
-  std::vector<int64_t> scratch_;
+  // window_counts_[si] = symbol counts of the last min(scales_[si],
+  // position_) symbols, maintained incrementally: O(1) add/expire per
+  // scale per Append, O(k·log W) memory total.
+  std::vector<std::vector<int64_t>> window_counts_;
+  // Ring of the last max_window + 1 symbols, so each window knows which
+  // symbol slides out of it.
+  std::vector<uint8_t> recent_;
   int64_t position_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "core/top_t.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/check.h"
 #include "common/str_util.h"
@@ -24,17 +25,24 @@ TopTCollector::TopTCollector(int64_t t) : t_(t) {
 }
 
 double TopTCollector::budget() const {
-  if (static_cast<int64_t>(heap_.size()) < t_) return 0.0;
+  if (static_cast<int64_t>(heap_.size()) < t_) {
+    return -std::numeric_limits<double>::infinity();
+  }
   return heap_.front().chi_square;
 }
 
 bool TopTCollector::Offer(const Substring& candidate) {
-  if (!(candidate.chi_square > budget())) return false;
-  if (static_cast<int64_t>(heap_.size()) == t_) {
-    std::pop_heap(heap_.begin(), heap_.end(), MinByChiSquare());
-    heap_.pop_back();
+  if (static_cast<int64_t>(heap_.size()) < t_) {
+    // Below capacity every candidate is (so far) among the best t. In
+    // particular X² = 0 substrings are kept, so a perfectly balanced
+    // sequence still yields t results instead of none.
+    heap_.push_back(candidate);
+    std::push_heap(heap_.begin(), heap_.end(), MinByChiSquare());
+    return true;
   }
-  heap_.push_back(candidate);
+  if (!(candidate.chi_square > heap_.front().chi_square)) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), MinByChiSquare());
+  heap_.back() = candidate;
   std::push_heap(heap_.begin(), heap_.end(), MinByChiSquare());
   return true;
 }

@@ -15,11 +15,15 @@ namespace sigsub {
 namespace core {
 
 /// Min-heap of the best t substrings seen so far, mirroring the heap of
-/// Algorithm 2. The paper initializes the heap with t zero entries, so a
-/// substring must score strictly above 0 to enter; consequently fewer than
-/// t substrings may be returned when the string has few positive-X²
-/// substrings. `budget()` is the paper's X²_max_t: the value a new
-/// substring must beat, and the bound handed to the chain-cover skip.
+/// Algorithm 2. While the heap is below capacity every candidate is
+/// accepted regardless of score — on a perfectly balanced sequence
+/// (all X² = 0) the collector still fills up to t entries rather than
+/// returning nothing. Once full, a candidate must score strictly above
+/// the t-th best to displace it. `budget()` is the paper's X²_max_t —
+/// the value a new substring must beat, and the bound handed to the
+/// chain-cover skip; it is -infinity while the heap is filling, which
+/// disables skipping until t candidates have been collected (a skipped
+/// substring could otherwise have been needed to fill the heap).
 class TopTCollector {
  public:
   explicit TopTCollector(int64_t t);
@@ -28,7 +32,8 @@ class TopTCollector {
   int64_t size() const { return static_cast<int64_t>(heap_.size()); }
   double budget() const;
 
-  /// Inserts `candidate` if it beats the budget; returns true if inserted.
+  /// Inserts `candidate` unless the heap is full and the candidate does
+  /// not beat the budget; returns true if inserted.
   bool Offer(const Substring& candidate);
 
   /// Destructively extracts the collected substrings in descending X²

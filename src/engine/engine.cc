@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <optional>
@@ -7,7 +8,9 @@
 #include <utility>
 
 #include "common/str_util.h"
+#include "core/atomic_max.h"
 #include "core/chi_square.h"
+#include "core/parallel.h"
 #include "core/min_length.h"
 #include "core/mss.h"
 #include "core/threshold.h"
@@ -82,6 +85,17 @@ Status ValidateSpec(const Corpus& corpus, const JobSpec& spec,
   return Status::OK();
 }
 
+/// Shapes a best-substring result (kMss and the sharded scan) into the
+/// cached payload — one place, so sharded and unsharded MSS jobs cannot
+/// diverge in result shape.
+CachedResult MssCachedResult(const core::Substring& best) {
+  CachedResult out;
+  out.best = best;
+  out.substrings = {best};
+  out.match_count = best.length() > 0 ? 1 : 0;
+  return out;
+}
+
 /// Runs the job's kernel against prebuilt state. Pure function of its
 /// inputs — safe to call concurrently for distinct jobs.
 CachedResult RunKernel(const JobSpec& spec, const seq::PrefixCounts& counts,
@@ -91,9 +105,7 @@ CachedResult RunKernel(const JobSpec& spec, const seq::PrefixCounts& counts,
   switch (spec.kind) {
     case JobKind::kMss: {
       core::MssResult result = core::FindMss(counts, context);
-      out.best = result.best;
-      out.substrings = {result.best};
-      out.match_count = result.best.length() > 0 ? 1 : 0;
+      out = MssCachedResult(result.best);
       *stats = result.stats;
       break;
     }
@@ -167,7 +179,9 @@ uint64_t FingerprintJobParams(JobKind kind, const JobParams& params) {
 }
 
 Engine::Engine(EngineOptions options)
-    : cache_(options.cache_capacity), pool_(options.num_threads) {}
+    : cache_(options.cache_capacity),
+      pool_(options.num_threads),
+      shard_min_sequence_(options.shard_min_sequence) {}
 
 Result<std::vector<JobResult>> Engine::ExecuteBatch(
     const Corpus& corpus, const std::vector<JobSpec>& jobs) {
@@ -253,6 +267,35 @@ Result<std::vector<JobResult>> Engine::ExecuteBatch(
   }
   pool_.Wait();
 
+  // Publishes a computed payload to the group's JobResults and the cache.
+  // Duplicates are served by the lead's run: payload identical, flagged as
+  // cache hits, no scan stats of their own.
+  auto publish = [&](const std::vector<size_t>& indices, const CacheKey& key,
+                     CachedResult computed) {
+    JobResult& lead = results[indices.front()];
+    lead.substrings = computed.substrings;
+    lead.best = computed.best;
+    lead.match_count = computed.match_count;
+    for (size_t d = 1; d < indices.size(); ++d) {
+      JobResult& dup = results[indices[d]];
+      dup.substrings = computed.substrings;
+      dup.best = computed.best;
+      dup.match_count = computed.match_count;
+      dup.cache_hit = true;
+    }
+    cache_.Insert(key, std::move(computed));
+  };
+
+  // Per sharded group: the shared skip bound and one result slot per
+  // shard, merged on the orchestrating thread after the pool drains.
+  struct ShardedGroup {
+    const CacheKey* key;
+    const std::vector<size_t>* indices;
+    core::AtomicMax shared_best;
+    std::vector<core::MssResult> shards;
+  };
+  std::vector<std::unique_ptr<ShardedGroup>> sharded;
+
   for (const auto& [key, job_indices] : miss_groups) {
     const JobSpec& spec = jobs[job_indices.front()];
     const std::vector<double>& probs =
@@ -260,31 +303,48 @@ Result<std::vector<JobResult>> Engine::ExecuteBatch(
     const seq::PrefixCounts* counts =
         &*states[static_cast<size_t>(spec.sequence_index)]->counts;
     const core::ChiSquareContext* context = &models.at(probs)->context;
-    ResultCache* cache = &cache_;
+
+    // In-record sharding: one oversized MSS record is strided across the
+    // pool instead of pinning a single worker.
+    const int64_t n = counts->sequence_size();
+    int num_shards = static_cast<int>(std::min<int64_t>(
+        pool_.num_threads(), std::max<int64_t>(1, n)));
+    if (spec.kind == JobKind::kMss && shard_min_sequence_ > 0 &&
+        n >= shard_min_sequence_ && num_shards > 1) {
+      auto group = std::make_unique<ShardedGroup>();
+      group->key = &key;
+      group->indices = &job_indices;
+      group->shards.resize(static_cast<size_t>(num_shards));
+      for (int shard = 0; shard < num_shards; ++shard) {
+        ShardedGroup* g = group.get();
+        pool_.Submit([counts, context, shard, num_shards, g] {
+          g->shards[static_cast<size_t>(shard)] = core::MssShardScan(
+              *counts, *context, shard, num_shards, &g->shared_best);
+        });
+      }
+      sharded.push_back(std::move(group));
+      continue;
+    }
+
     const JobSpec* spec_ptr = &spec;
     const std::vector<size_t>* indices = &job_indices;
     std::vector<JobResult>* out = &results;
     CacheKey key_copy = key;
-    pool_.Submit([spec_ptr, counts, context, cache, key_copy, indices, out] {
+    pool_.Submit([spec_ptr, counts, context, key_copy, indices, out,
+                  &publish] {
       JobResult* lead = &(*out)[indices->front()];
       CachedResult computed =
           RunKernel(*spec_ptr, *counts, *context, &lead->stats);
-      lead->substrings = computed.substrings;
-      lead->best = computed.best;
-      lead->match_count = computed.match_count;
-      // Duplicates are served by the lead's run: payload identical,
-      // flagged as cache hits, no scan stats of their own.
-      for (size_t d = 1; d < indices->size(); ++d) {
-        JobResult* dup = &(*out)[(*indices)[d]];
-        dup->substrings = computed.substrings;
-        dup->best = computed.best;
-        dup->match_count = computed.match_count;
-        dup->cache_hit = true;
-      }
-      cache->Insert(key_copy, std::move(computed));
+      publish(*indices, key_copy, std::move(computed));
     });
   }
   pool_.Wait();
+
+  for (const std::unique_ptr<ShardedGroup>& group : sharded) {
+    core::MssResult merged = core::MergeShardResults(group->shards);
+    results[group->indices->front()].stats = merged.stats;
+    publish(*group->indices, *group->key, MssCachedResult(merged.best));
+  }
   return results;
 }
 

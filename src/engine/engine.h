@@ -19,6 +19,14 @@ struct EngineOptions {
   int num_threads = 1;
   /// Result-cache capacity in entries; 0 disables caching.
   size_t cache_capacity = 4096;
+  /// In-record sharding threshold: an MSS job whose record is at least
+  /// this many symbols long is split into strided shards
+  /// (core::MssShardScan) that run concurrently on the pool, so one
+  /// multi-megabyte record cannot pin a single worker. <= 0 disables
+  /// sharding. Sharded jobs return the same X² value as the sequential
+  /// kernel (the witness among tied maxima may differ; see
+  /// core::FindMssParallel).
+  int64_t shard_min_sequence = 1 << 20;
 };
 
 /// Concurrent batch-mining engine: executes heterogeneous mining jobs
@@ -42,7 +50,12 @@ struct EngineOptions {
 ///
 /// Results are bit-identical to the direct kernel calls: each job runs
 /// the same sequential kernel with the same summation order, whatever
-/// `num_threads` is — parallelism is across jobs, not within them.
+/// `num_threads` is — parallelism is across jobs, not within them. The
+/// one exception is an MSS job on a record at least
+/// `shard_min_sequence` symbols long, which is split across the pool
+/// via core::MssShardScan: its X² value is still bit-identical to the
+/// sequential kernel's, but when several substrings tie at the maximum
+/// the reported witness may differ (the parallel-scan contract).
 ///
 /// Thread safety: one batch at a time per engine (calls from multiple
 /// threads must be serialized by the caller); the cache itself is
@@ -75,6 +88,7 @@ class Engine {
  private:
   ResultCache cache_;
   ThreadPool pool_;
+  int64_t shard_min_sequence_;
 };
 
 /// Fingerprint of (kind, kind-relevant params) — the third cache-key

@@ -47,6 +47,15 @@ void ResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();
   index_.clear();
+  // A cleared cache restarts its accounting: stale hit/miss/insertion/
+  // eviction counters would otherwise misreport the hit rate of every
+  // batch that follows the clear.
+  stats_ = CacheStats{};
+}
+
+void ResultCache::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = CacheStats{};
 }
 
 CacheStats ResultCache::stats() const {

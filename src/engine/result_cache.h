@@ -80,8 +80,12 @@ class ResultCache {
   /// recently used entry when full.
   void Insert(const CacheKey& key, CachedResult value);
 
-  /// Drops every entry (counters are preserved).
+  /// Drops every entry and resets the stats counters, so hit rates
+  /// measured after a clear describe only the new cache generation.
   void Clear();
+
+  /// Resets the stats counters without touching the entries.
+  void ResetStats();
 
   CacheStats stats() const;
 

@@ -1,5 +1,7 @@
 #include "seq/prefix_counts.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace sigsub {
@@ -7,16 +9,15 @@ namespace seq {
 
 PrefixCounts::PrefixCounts(const Sequence& sequence)
     : alphabet_size_(sequence.alphabet_size()), n_(sequence.size()) {
-  counts_.resize(alphabet_size_);
-  for (int c = 0; c < alphabet_size_; ++c) {
-    counts_[c].assign(static_cast<size_t>(n_) + 1, 0);
-  }
+  const size_t k = static_cast<size_t>(alphabet_size_);
+  counts_.assign((static_cast<size_t>(n_) + 1) * k, 0);
   std::span<const uint8_t> symbols = sequence.symbols();
+  int64_t* prev = counts_.data();
   for (int64_t i = 0; i < n_; ++i) {
-    for (int c = 0; c < alphabet_size_; ++c) {
-      counts_[c][i + 1] = counts_[c][i];
-    }
-    ++counts_[symbols[i]][i + 1];
+    int64_t* next = prev + k;
+    std::copy(prev, prev + k, next);
+    ++next[symbols[i]];
+    prev = next;
   }
 }
 
@@ -24,8 +25,11 @@ void PrefixCounts::FillCounts(int64_t start, int64_t end,
                               std::span<int64_t> out) const {
   SIGSUB_DCHECK(start >= 0 && start <= end && end <= n_);
   SIGSUB_DCHECK(static_cast<int>(out.size()) == alphabet_size_);
-  for (int c = 0; c < alphabet_size_; ++c) {
-    out[c] = counts_[c][end] - counts_[c][start];
+  const size_t k = static_cast<size_t>(alphabet_size_);
+  const int64_t* hi = counts_.data() + static_cast<size_t>(end) * k;
+  const int64_t* lo = counts_.data() + static_cast<size_t>(start) * k;
+  for (size_t c = 0; c < k; ++c) {
+    out[c] = hi[c] - lo[c];
   }
 }
 

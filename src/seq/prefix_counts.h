@@ -10,12 +10,38 @@
 namespace sigsub {
 namespace seq {
 
-/// The k count arrays of the paper (Section 2): counts_[c][i] is the number
-/// of occurrences of symbol c in S[0, i). Built in O(k·n), answers any
-/// substring count query in O(1) per character, which is what makes each
-/// examined position of the MSS scan O(k) instead of O(length).
+/// The k count arrays of the paper (Section 2): PrefixCount(c, i) is the
+/// number of occurrences of symbol c in S[0, i). Built in O(k·n), answers
+/// any substring count query in O(1) per character, which is what makes
+/// each examined position of the MSS scan O(k) instead of O(length).
+///
+/// Storage is a single flat position-major buffer, counts_[pos * k + c]:
+/// the k counts of one prefix are adjacent, so a FillCounts(start, end)
+/// touches exactly two contiguous k-wide blocks (two cache lines for
+/// k <= 8) and the subtraction loop vectorizes. The former layout — k
+/// separate rows of n+1 entries — cost k strided cache misses per fill.
 class PrefixCounts {
  public:
+  /// Read-only view of one symbol's count row (size n+1), striding the
+  /// position-major buffer by k. Exposed for kernels that walk a single
+  /// symbol's counts (e.g. the AGMM excursion heuristic).
+  class SymbolRow {
+   public:
+    int64_t operator[](int64_t pos) const {
+      return data_[static_cast<size_t>(pos) * stride_];
+    }
+    size_t size() const { return size_; }
+
+   private:
+    friend class PrefixCounts;
+    SymbolRow(const int64_t* data, size_t stride, size_t size)
+        : data_(data), stride_(stride), size_(size) {}
+
+    const int64_t* data_;
+    size_t stride_;
+    size_t size_;
+  };
+
   explicit PrefixCounts(const Sequence& sequence);
 
   int alphabet_size() const { return alphabet_size_; }
@@ -23,24 +49,30 @@ class PrefixCounts {
 
   /// Occurrences of `symbol` in S[0, pos), 0 <= pos <= n.
   int64_t PrefixCount(int symbol, int64_t pos) const {
-    return counts_[symbol][pos];
+    return counts_[static_cast<size_t>(pos) *
+                       static_cast<size_t>(alphabet_size_) +
+                   static_cast<size_t>(symbol)];
   }
 
   /// Occurrences of `symbol` in S[start, end).
   int64_t CountInRange(int symbol, int64_t start, int64_t end) const {
-    return counts_[symbol][end] - counts_[symbol][start];
+    return PrefixCount(symbol, end) - PrefixCount(symbol, start);
   }
 
   /// Fills `out` (size k) with the count vector of S[start, end).
   void FillCounts(int64_t start, int64_t end, std::span<int64_t> out) const;
 
-  /// Row for one symbol (size n+1); exposed for kernels that stride rows.
-  std::span<const int64_t> Row(int symbol) const { return counts_[symbol]; }
+  /// Strided view of one symbol's counts (size n+1).
+  SymbolRow Row(int symbol) const {
+    return SymbolRow(counts_.data() + symbol,
+                     static_cast<size_t>(alphabet_size_),
+                     static_cast<size_t>(n_) + 1);
+  }
 
  private:
   int alphabet_size_;
   int64_t n_;
-  std::vector<std::vector<int64_t>> counts_;  // k rows of n+1 entries.
+  std::vector<int64_t> counts_;  // (n+1) position-major blocks of k.
 };
 
 }  // namespace seq

@@ -121,6 +121,54 @@ TEST(ParseArgsTest, RejectsMalformedValues) {
   EXPECT_TRUE(ParseArgs({"mss", "string=01"}).status().IsInvalidArgument());
 }
 
+TEST(ParseArgsTest, RejectsOutOfRangeIntegers) {
+  // strtoll clamps to LLONG_MAX on overflow; the parser must reject the
+  // flag instead of silently mining with a clamped value.
+  auto status =
+      ParseArgs({"topt", "--string=01", "--t=99999999999999999999"}).status();
+  ASSERT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("--t"), std::string::npos);
+  EXPECT_TRUE(ParseArgs({"topt", "--string=01", "--t=-99999999999999999999"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"batch", "--input=x",
+                         "--cache=123456789012345678901234567890"})
+                  .status()
+                  .IsInvalidArgument());
+  // Values inside the 64-bit range still parse.
+  auto ok = ParseArgs({"topt", "--string=01", "--t=9223372036854775807"});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->t, 9223372036854775807LL);
+}
+
+TEST(ParseArgsTest, RejectsOverflowingAndGarbageDoubles) {
+  EXPECT_TRUE(ParseArgs({"threshold", "--string=01", "--alpha0=1e999"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"threshold", "--string=01", "--alpha0=-1e999"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"threshold", "--string=01", "--alpha0=1.5x"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"threshold", "--string=01", "--alpha0="})
+                  .status()
+                  .IsInvalidArgument());
+  // A denormal underflow is a faithful rounding, not an error.
+  EXPECT_TRUE(ParseArgs({"threshold", "--string=01", "--alpha0=1e-320"}).ok());
+}
+
+TEST(ParseArgsTest, ParsesShardMin) {
+  auto options =
+      ParseArgs({"batch", "--input=x", "--threads=4", "--shard-min=5000"});
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options->shard_min, 5000);
+  // batch-only flag.
+  EXPECT_TRUE(ParseArgs({"mss", "--string=01", "--shard-min=10"})
+                  .status()
+                  .IsInvalidArgument());
+}
+
 TEST(RunTest, MssOnLiteralString) {
   auto options = ParseArgs({"mss", "--string=0101011111111110101"});
   ASSERT_TRUE(options.ok());

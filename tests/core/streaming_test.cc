@@ -97,6 +97,50 @@ TEST(StreamingDetectorTest, QuietOnNullStreamWithCalibratedThreshold) {
   EXPECT_EQ(alarms, 0);
 }
 
+TEST(StreamingDetectorTest, IncrementalCountsMatchBruteForceAtEveryStep) {
+  // Exercises the symbol ring across many wraparounds: at every position
+  // the detector's strongest alarm must match a brute-force evaluation
+  // of every monitored suffix window.
+  seq::Rng rng(64);
+  auto model = seq::MultinomialModel::Make({0.2, 0.3, 0.5}).value();
+  StreamingDetector::Options options;
+  options.max_window = 13;  // Non-dyadic max, small enough to wrap often.
+  options.alpha0 = 0.0;
+  auto detector = StreamingDetector::Make(model, options).value();
+  seq::Sequence s = seq::GenerateNull(3, 400, rng);
+  std::vector<double> probs{0.2, 0.3, 0.5};
+  for (int64_t i = 0; i < s.size(); ++i) {
+    auto alarm = detector.Append(s[i]);
+    std::optional<StreamingDetector::Alarm> expected;
+    for (int64_t scale : detector.scales()) {
+      if (scale > i + 1) break;
+      std::vector<int64_t> counts = s.CountsInRange(i + 1 - scale, i + 1);
+      double x2 = stats::PearsonChiSquare(counts, probs);
+      if (x2 > 0.0 && (!expected.has_value() || x2 > expected->chi_square)) {
+        expected = StreamingDetector::Alarm{i + 1, scale, x2};
+      }
+    }
+    ASSERT_EQ(alarm.has_value(), expected.has_value()) << "i=" << i;
+    if (alarm.has_value()) {
+      EXPECT_EQ(alarm->length, expected->length) << "i=" << i;
+      ASSERT_NEAR(alarm->chi_square, expected->chi_square,
+                  1e-9 * (1.0 + expected->chi_square))
+          << "i=" << i;
+    }
+  }
+}
+
+TEST(StreamingDetectorTest, TryAppendRejectsOutOfRangeSymbol) {
+  auto model = seq::MultinomialModel::Uniform(2);
+  auto detector = StreamingDetector::Make(model, {}).value();
+  auto bad = detector.TryAppend(2);
+  ASSERT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_EQ(detector.position(), 0);  // State untouched by the rejection.
+  auto good = detector.TryAppend(1);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(detector.position(), 1);
+}
+
 TEST(StreamingDetectorTest, PositionCounts) {
   auto model = seq::MultinomialModel::Uniform(2);
   auto detector = StreamingDetector::Make(model, {}).value();

@@ -20,7 +20,7 @@ using ::sigsub::testing::ScoringModel;
 
 TEST(TopTCollectorTest, KeepsBestT) {
   TopTCollector c(3);
-  EXPECT_DOUBLE_EQ(c.budget(), 0.0);
+  EXPECT_LT(c.budget(), 0.0);  // Filling: every candidate is accepted.
   EXPECT_TRUE(c.Offer({0, 1, 5.0}));
   EXPECT_TRUE(c.Offer({1, 2, 3.0}));
   EXPECT_TRUE(c.Offer({2, 3, 8.0}));
@@ -36,13 +36,22 @@ TEST(TopTCollectorTest, KeepsBestT) {
   EXPECT_DOUBLE_EQ(sorted[2].chi_square, 4.0);
 }
 
-TEST(TopTCollectorTest, RejectsNonPositiveWhileFilling) {
-  // Paper initializes the heap with zeros: candidates must beat 0.
+TEST(TopTCollectorTest, AcceptsAnyCandidateWhileBelowCapacity) {
+  // Below capacity every candidate is among the best t seen so far, so
+  // even X² = 0 (a perfectly balanced substring) must be kept. The old
+  // behaviour — rejecting candidates at or below the budget while
+  // filling — returned an empty list on all-zero sequences.
   TopTCollector c(2);
-  EXPECT_FALSE(c.Offer({0, 1, 0.0}));
-  EXPECT_TRUE(c.Offer({0, 1, 0.5}));
+  EXPECT_LT(c.budget(), 0.0);  // Filling: nothing may be skipped.
+  EXPECT_TRUE(c.Offer({0, 1, 0.0}));
+  EXPECT_TRUE(c.Offer({1, 2, 0.0}));
+  EXPECT_DOUBLE_EQ(c.budget(), 0.0);  // Full: now ties are rejected.
+  EXPECT_FALSE(c.Offer({2, 3, 0.0}));
+  EXPECT_TRUE(c.Offer({2, 3, 0.5}));
   auto sorted = c.TakeSortedDescending();
-  EXPECT_EQ(sorted.size(), 1u);
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_DOUBLE_EQ(sorted[0].chi_square, 0.5);
+  EXPECT_DOUBLE_EQ(sorted[1].chi_square, 0.0);
 }
 
 TEST(FindTopTTest, ValidatesInput) {
@@ -91,10 +100,37 @@ TEST(FindTopTTest, TLargerThanSubstringCount) {
   seq::Sequence s = seq::Sequence::FromSymbols(2, {0, 1, 0}).value();
   auto top = FindTopT(s, model, 100);
   ASSERT_TRUE(top.ok());
-  // 6 substrings total, but balanced ones score 0 and are excluded.
-  EXPECT_LE(top->top.size(), 6u);
-  EXPECT_GE(top->top.size(), 3u);
-  for (const auto& sub : top->top) EXPECT_GT(sub.chi_square, 0.0);
+  // All 6 substrings are returned, including the balanced zero-scorers.
+  EXPECT_EQ(top->top.size(), 6u);
+  for (const auto& sub : top->top) EXPECT_GE(sub.chi_square, 0.0);
+}
+
+TEST(FindTopTTest, ReturnsExactlyTOnBalancedSequence) {
+  // Regression: an alternating sequence has many perfectly balanced
+  // (X² = 0) substrings; the heap must still fill to exactly t instead
+  // of excluding candidates that tie the budget while it is filling.
+  auto model = seq::MultinomialModel::Uniform(2);
+  std::vector<uint8_t> symbols;
+  for (int i = 0; i < 24; ++i) symbols.push_back(i % 2);
+  seq::Sequence s = seq::Sequence::FromSymbols(2, symbols).value();
+  for (int64_t t : {1, 5, 50, 200}) {
+    auto fast = FindTopT(s, model, t);
+    auto slow = NaiveFindTopT(s, model, t);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    // 24·25/2 = 300 substrings total, so every t here must be hit exactly.
+    EXPECT_EQ(fast->top.size(), static_cast<size_t>(t)) << "t=" << t;
+    ASSERT_EQ(slow->top.size(), static_cast<size_t>(t)) << "t=" << t;
+    for (size_t i = 0; i < fast->top.size(); ++i) {
+      EXPECT_X2_EQ(fast->top[i].chi_square, slow->top[i].chi_square)
+          << "t=" << t << " rank " << i;
+    }
+  }
+  // Rank 0 is the naive-MSS maximum.
+  auto mss = NaiveFindMss(s, model);
+  ASSERT_TRUE(mss.ok());
+  EXPECT_X2_EQ(FindTopT(s, model, 3)->top[0].chi_square,
+               mss->best.chi_square);
 }
 
 class TopTEquivalence

@@ -152,6 +152,54 @@ TEST(EngineTest, DeterministicAcrossThreadCounts) {
   }
 }
 
+TEST(EngineTest, InRecordShardingIsBitIdenticalAcrossThreadCounts) {
+  // One long record with a planted anomaly, sharded at a low threshold:
+  // the X² value must be bit-identical at 1, 2, and 8 threads (and to
+  // the sequential kernel) — the sharded scan's skips are only ever
+  // taken when safe against the final maximum.
+  seq::Rng rng(20120801);
+  seq::Sequence s = seq::GenerateNull(2, 6000, rng);
+  std::string text = s.ToString(seq::Alphabet::Binary());
+  text.replace(2500, 180, std::string(180, '1'));
+  auto corpus = Corpus::FromStrings({text}, "01");
+  ASSERT_TRUE(corpus.ok());
+
+  ASSERT_OK_AND_ASSIGN(
+      core::MssResult direct,
+      core::FindMss(corpus->sequence(0), seq::MultinomialModel::Uniform(2)));
+
+  for (int threads : {1, 2, 8}) {
+    Engine engine({.num_threads = threads,
+                   .cache_capacity = 0,
+                   .shard_min_sequence = 512});
+    ASSERT_OK_AND_ASSIGN(auto results,
+                         engine.ExecuteUniform(*corpus, JobKind::kMss));
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].best.chi_square, direct.best.chi_square)
+        << "threads=" << threads;
+    ASSERT_EQ(results[0].substrings.size(), 1u);
+    EXPECT_EQ(results[0].substrings[0].chi_square, direct.best.chi_square);
+    // The sharded scan still covers every start position exactly once.
+    EXPECT_EQ(results[0].stats.start_positions, 6000);
+  }
+}
+
+TEST(EngineTest, ShardingThresholdZeroDisables) {
+  Corpus corpus = MakeCorpus();
+  Engine sharded({.num_threads = 4,
+                  .cache_capacity = 0,
+                  .shard_min_sequence = 1});
+  Engine plain({.num_threads = 4,
+                .cache_capacity = 0,
+                .shard_min_sequence = 0});
+  ASSERT_OK_AND_ASSIGN(auto a, sharded.ExecuteUniform(corpus, JobKind::kMss));
+  ASSERT_OK_AND_ASSIGN(auto b, plain.ExecuteUniform(corpus, JobKind::kMss));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].best.chi_square, b[i].best.chi_square) << i;
+  }
+}
+
 TEST(EngineTest, CacheHitsOnRepeatedBatch) {
   Corpus corpus = MakeCorpus();
   Engine engine({.num_threads = 2, .cache_capacity = 256});

@@ -77,17 +77,35 @@ TEST(ResultCacheTest, ZeroCapacityDisables) {
   EXPECT_EQ(cache.stats().misses, 1);
 }
 
-TEST(ResultCacheTest, ClearKeepsCounters) {
+TEST(ResultCacheTest, ClearResetsEntriesAndStats) {
   ResultCache cache(4);
   CacheKey key{1, 1, 1};
   cache.Insert(key, MakeResult(1.0));
   EXPECT_TRUE(cache.Lookup(key).has_value());
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
+  // Counters restart with the new cache generation: the pre-clear hit
+  // and insertion must not leak into post-clear hit rates.
+  CacheStats cleared = cache.stats();
+  EXPECT_EQ(cleared.hits, 0);
+  EXPECT_EQ(cleared.misses, 0);
+  EXPECT_EQ(cleared.insertions, 0);
+  EXPECT_EQ(cleared.evictions, 0);
   EXPECT_FALSE(cache.Lookup(key).has_value());
-  CacheStats stats = cache.stats();
-  EXPECT_EQ(stats.hits, 1);
-  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST(ResultCacheTest, ResetStatsKeepsEntries) {
+  ResultCache cache(4);
+  CacheKey key{2, 2, 2};
+  cache.Insert(key, MakeResult(3.0));
+  EXPECT_TRUE(cache.Lookup(key).has_value());
+  cache.ResetStats();
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().lookups(), 0);
+  // The entry survives and the post-reset hit is counted from zero.
+  EXPECT_TRUE(cache.Lookup(key).has_value());
+  EXPECT_EQ(cache.stats().hits, 1);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "seq/prefix_counts.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -42,18 +43,65 @@ TEST(PrefixCountsTest, FillCountsMatchesDirectCount) {
   }
 }
 
-TEST(PrefixCountsTest, RowSpansHaveCorrectShape) {
+TEST(PrefixCountsTest, RowViewsHaveCorrectShape) {
   Rng rng(5);
   Sequence s = GenerateNull(3, 50, rng);
   PrefixCounts pc(s);
   for (int c = 0; c < 3; ++c) {
-    auto row = pc.Row(c);
+    PrefixCounts::SymbolRow row = pc.Row(c);
     ASSERT_EQ(row.size(), 51u);
     EXPECT_EQ(row[0], 0);
     // Row is non-decreasing and steps by at most 1.
     for (size_t i = 1; i < row.size(); ++i) {
       EXPECT_GE(row[i], row[i - 1]);
       EXPECT_LE(row[i] - row[i - 1], 1);
+    }
+  }
+}
+
+TEST(PrefixCountsTest, RowViewMatchesPrefixCount) {
+  Rng rng(6);
+  Sequence s = GenerateNull(4, 200, rng);
+  PrefixCounts pc(s);
+  for (int c = 0; c < 4; ++c) {
+    PrefixCounts::SymbolRow row = pc.Row(c);
+    for (int64_t pos = 0; pos <= s.size(); ++pos) {
+      ASSERT_EQ(row[pos], pc.PrefixCount(c, pos)) << "c=" << c;
+    }
+  }
+}
+
+// Property test for the flat position-major layout: on random sequences —
+// including the extreme alphabet sizes and the degenerate ranges — every
+// FillCounts answer must agree with a straightforward per-symbol recount of
+// the underlying symbols.
+TEST(PrefixCountsTest, FlatLayoutAgreesWithPerSymbolRecount) {
+  Rng rng(20260729);
+  for (int k : {2, 3, 26}) {
+    for (int64_t n : {int64_t{1}, int64_t{37}, int64_t{512}}) {
+      Sequence s = GenerateNull(k, n, rng);
+      PrefixCounts pc(s);
+      std::vector<int64_t> fast(k);
+      auto recount = [&](int64_t start, int64_t end) {
+        std::vector<int64_t> slow(k, 0);
+        for (int64_t i = start; i < end; ++i) ++slow[s[i]];
+        return slow;
+      };
+      // Random ranges plus the empty and full-sequence ranges.
+      for (int trial = 0; trial < 64; ++trial) {
+        int64_t a = static_cast<int64_t>(rng.NextDouble() * (n + 1));
+        int64_t b = static_cast<int64_t>(rng.NextDouble() * (n + 1));
+        if (a > b) std::swap(a, b);
+        pc.FillCounts(a, b, fast);
+        ASSERT_EQ(fast, recount(a, b)) << "k=" << k << " [" << a << "," << b
+                                       << ")";
+      }
+      for (int64_t pos = 0; pos <= n; ++pos) {
+        pc.FillCounts(pos, pos, fast);
+        ASSERT_EQ(fast, std::vector<int64_t>(k, 0)) << "empty at " << pos;
+      }
+      pc.FillCounts(0, n, fast);
+      ASSERT_EQ(fast, recount(0, n)) << "full range, k=" << k;
     }
   }
 }
