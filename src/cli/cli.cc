@@ -31,7 +31,8 @@ const char* const kCommands[] = {"mss", "topt", "threshold", "minlen",
                                  "score", "batch"};
 
 /// Flags every command accepts.
-const char* const kCommonFlags[] = {"string", "input", "alphabet", "probs"};
+const char* const kCommonFlags[] = {"string", "input", "alphabet", "probs",
+                                    "x2-dispatch"};
 
 /// Command-specific flags; anything else the user passes is rejected with
 /// an InvalidArgument naming the flag and the command.
@@ -188,6 +189,7 @@ Result<std::string> RunBatch(const CliOptions& options) {
   engine_options.num_threads = options.threads;
   engine_options.cache_capacity = static_cast<size_t>(options.cache);
   engine_options.shard_min_sequence = options.shard_min;
+  engine_options.x2_dispatch = options.x2_dispatch;
   engine::Engine engine(engine_options);
 
   std::vector<engine::JobSpec> jobs;
@@ -317,6 +319,9 @@ std::string UsageText() {
       "                                 batch accepts only --input)\n"
       "  --alphabet=CHARS               default: distinct input characters\n"
       "  --probs=p1,p2,...              default: uniform\n"
+      "  --x2-dispatch=auto|scalar|simd fused X2 kernel selection\n"
+      "                                 (scalar = bit-reproducible audit\n"
+      "                                 path; default auto)\n"
       "\n"
       "batch corpus:\n"
       "  --format=lines|csv             corpus layout (default lines)\n"
@@ -388,6 +393,12 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
       SIGSUB_ASSIGN_OR_RETURN(int64_t threads,
                               ParseInt(value, "--threads"));
       options.threads = static_cast<int>(threads);
+    } else if (name == "x2-dispatch") {
+      if (!core::ParseX2Dispatch(value, &options.x2_dispatch)) {
+        return Status::InvalidArgument(
+            StrCat("flag --x2-dispatch expects auto, scalar, or simd, got \"",
+                   value, "\""));
+      }
     } else if (name == "job") {
       options.job = value;
     } else if (name == "format") {
@@ -480,6 +491,12 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
 }
 
 Result<std::string> Run(const CliOptions& options) {
+  // Single-string commands build their ChiSquareContexts inside the core
+  // convenience overloads, so the dispatch knob is applied process-wide
+  // for this invocation (the batch engine additionally pins it in its
+  // EngineOptions). Every Run() sets it, so a later invocation without
+  // the flag restores the auto default.
+  core::SetDefaultX2Dispatch(options.x2_dispatch);
   if (options.command == "batch") return RunBatch(options);
   SIGSUB_ASSIGN_OR_RETURN(std::string text, LoadInput(options));
   if (text.empty()) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/x2_dispatch.h"
 
 namespace sigsub {
 namespace cli {
@@ -24,6 +25,11 @@ namespace cli {
 ///   --input=PATH         read input from a file (batch: the corpus)
 ///   --alphabet=CHARS     symbol set (default: distinct input characters)
 ///   --probs=p1,p2,...    null-model probabilities (default: uniform)
+///   --x2-dispatch=MODE   auto|scalar|simd — fused X² kernel selection.
+///                        `scalar` pins the bit-reproducible path for
+///                        audits; `simd` requests the vector path (falls
+///                        back to scalar when unavailable). Run() applies
+///                        the mode process-wide for the invocation.
 /// Per-command flags:
 ///   --t=N                top-t size (topt, batch; default 10)
 ///   --disjoint           non-overlapping top-t (topt)
@@ -56,6 +62,7 @@ struct CliOptions {
   int64_t start = -1;
   int64_t end = -1;
   int threads = 1;
+  core::X2Dispatch x2_dispatch = core::X2Dispatch::kAuto;
   // Batch command.
   std::string job = "mss";
   std::string format = "lines";

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/str_util.h"
+#include "core/x2_kernel.h"
 
 namespace sigsub {
 namespace core {
@@ -18,13 +19,12 @@ MssResult FindMssAgmm(const seq::Sequence& sequence,
   const int k = context.alphabet_size();
   MssResult result;
   result.best = Substring{0, 0, 0.0};
-  std::vector<int64_t> scratch(k);
+  X2Kernel kernel(context);
   bool found = false;
 
   auto consider = [&](int64_t start, int64_t end) {
     if (start >= end) return;
-    counts.FillCounts(start, end, scratch);
-    double x2 = context.Evaluate(scratch, end - start);
+    double x2 = kernel.EvaluateRange(counts, start, end);
     ++result.stats.positions_examined;
     if (x2 > result.best.chi_square || !found) {
       found = true;

@@ -1,9 +1,11 @@
 #include "core/arlm.h"
 
+#include <span>
 #include <vector>
 
 #include "common/check.h"
 #include "common/str_util.h"
+#include "core/x2_kernel.h"
 
 namespace sigsub {
 namespace core {
@@ -29,19 +31,23 @@ MssResult FindMssArlm(const seq::Sequence& sequence,
   const size_t m = boundaries.size();
   MssResult result;
   result.best = Substring{0, 0, 0.0};
-  std::vector<int64_t> scratch(context.alphabet_size());
+  X2Kernel kernel(context);
+  // Caller-owned X² buffer (see the scratch convention in x2_kernel.h):
+  // sized once for the longest endpoint batch, reused for every start.
+  std::vector<double> x2s(m > 1 ? m - 1 : 0);
   bool found = false;
   for (size_t bi = 0; bi + 1 < m; ++bi) {
     ++result.stats.start_positions;
-    for (size_t bj = bi + 1; bj < m; ++bj) {
-      int64_t start = boundaries[bi];
-      int64_t end = boundaries[bj];
-      counts.FillCounts(start, end, scratch);
-      double x2 = context.Evaluate(scratch, end - start);
-      ++result.stats.positions_examined;
-      if (x2 > result.best.chi_square || !found) {
+    int64_t start = boundaries[bi];
+    // Batched fused evaluation: pin the start block, stream every later
+    // boundary as an endpoint — the EvaluateEnds shape.
+    std::span<const int64_t> ends(boundaries.data() + bi + 1, m - bi - 1);
+    kernel.EvaluateEnds(counts, start, ends, x2s);
+    result.stats.positions_examined += static_cast<int64_t>(ends.size());
+    for (size_t j = 0; j < ends.size(); ++j) {
+      if (x2s[j] > result.best.chi_square || !found) {
         found = true;
-        result.best = Substring{start, end, x2};
+        result.best = Substring{start, ends[j], x2s[j]};
       }
     }
   }

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/str_util.h"
 #include "core/chain_cover.h"
+#include "core/x2_kernel.h"
 
 namespace sigsub {
 namespace core {
@@ -21,17 +22,19 @@ MssResult FindMssBlocked(const seq::Sequence& sequence,
   MssResult result;
   result.best = Substring{0, 0, 0.0};
   SkipSolver solver(context);
-  std::vector<int64_t> scratch(context.alphabet_size());
+  X2Kernel kernel(context);
+  const int k = context.alphabet_size();
   bool found = false;
 
   for (int64_t i = n - 1; i >= 0; --i) {
     ++result.stats.start_positions;
+    const int64_t* lo = counts.BlockAt(i);
     int64_t end = i + 1;
     while (end <= n) {
       // Examine the block's first ending position.
-      counts.FillCounts(i, end, scratch);
+      const int64_t* hi = counts.BlockAt(end);
       int64_t l = end - i;
-      double x2 = context.Evaluate(scratch, l);
+      double x2 = kernel.EvaluateBlocks(lo, hi, l);
       ++result.stats.positions_examined;
       if (x2 > result.best.chi_square || !found) {
         found = true;
@@ -41,16 +44,18 @@ MssResult FindMssBlocked(const seq::Sequence& sequence,
       int64_t m = block_last - end;  // Remaining ends inside the block.
       if (m > 0) {
         int64_t safe =
-            solver.MaxSafeExtension(scratch, l, x2, result.best.chi_square);
+            solver.MaxSafeExtension(lo, hi, l, x2, result.best.chi_square);
         if (safe >= m) {
           // Whole block is dominated: skip it (block granularity only).
           ++result.stats.skip_events;
           result.stats.positions_skipped += m;
         } else {
-          // Evaluate the rest of the block one position at a time.
+          // Evaluate the rest of the block, streaming consecutive
+          // endpoint blocks (each k entries after the previous) against
+          // the pinned start block.
           for (int64_t e = end + 1; e <= block_last; ++e) {
-            counts.FillCounts(i, e, scratch);
-            double x2e = context.Evaluate(scratch, e - i);
+            hi += k;
+            double x2e = kernel.EvaluateBlocks(lo, hi, e - i);
             ++result.stats.positions_examined;
             if (x2e > result.best.chi_square) {
               result.best = Substring{i, e, x2e};

@@ -52,17 +52,24 @@ double SkipSolver::CharacterRoot(int64_t y_c, double p_c, int64_t l,
   return (-2.0 * c) / (b + sq);
 }
 
-int64_t SkipSolver::MaxSafeExtension(std::span<const int64_t> counts,
-                                     int64_t l, double x2_l,
-                                     double budget) const {
+namespace {
+
+/// Shared core of the MaxSafeExtension overloads. `count_at(c)` yields
+/// Y_c however the caller stores it (materialized span, two prefix
+/// blocks, or a 2-D rectangle gather); the skip logic is identical, so
+/// all overloads return identical results for identical counts.
+template <typename CountAt>
+int64_t MaxSafeExtensionImpl(const SkipSolver& solver,
+                             std::span<const double> probs,
+                             const CountAt& count_at, int64_t l, double x2_l,
+                             double budget) {
   SIGSUB_DCHECK(l >= 1);
-  std::span<const double> probs = context_->probs();
-  SIGSUB_DCHECK(counts.size() == probs.size());
   if (x2_l > budget) return 0;
 
   double min_root = std::numeric_limits<double>::infinity();
   for (size_t c = 0; c < probs.size(); ++c) {
-    double root = CharacterRoot(counts[c], probs[c], l, x2_l, budget);
+    double root = solver.CharacterRoot(count_at(c), probs[c], l, x2_l,
+                                       budget);
     if (root < min_root) min_root = root;
   }
   if (!(min_root > 0.0)) return 0;
@@ -76,7 +83,7 @@ int64_t SkipSolver::MaxSafeExtension(std::span<const int64_t> counts,
   // overshoot by one position. Each decrement is at most a rounding step,
   // so this loop runs O(1) times in practice.
   for (size_t c = 0; c < probs.size() && m > 0;) {
-    if (CoverQuadraticAt(counts[c], probs[c], l, x2_l, budget, m) > 0.0L) {
+    if (CoverQuadraticAt(count_at(c), probs[c], l, x2_l, budget, m) > 0.0L) {
       --m;
       c = 0;  // Re-verify all characters at the smaller candidate.
       continue;
@@ -85,6 +92,27 @@ int64_t SkipSolver::MaxSafeExtension(std::span<const int64_t> counts,
   }
   return m;
 }
+
+}  // namespace
+
+int64_t SkipSolver::MaxSafeExtension(std::span<const int64_t> counts,
+                                     int64_t l, double x2_l,
+                                     double budget) const {
+  std::span<const double> probs = context_->probs();
+  SIGSUB_DCHECK(counts.size() == probs.size());
+  return MaxSafeExtensionImpl(
+      *this, probs, [&](size_t c) { return counts[c]; }, l, x2_l, budget);
+}
+
+int64_t SkipSolver::MaxSafeExtension(const int64_t* start_block,
+                                     const int64_t* end_block, int64_t l,
+                                     double x2_l, double budget) const {
+  return MaxSafeExtensionImpl(
+      *this, context_->probs(),
+      [&](size_t c) { return end_block[c] - start_block[c]; }, l, x2_l,
+      budget);
+}
+
 
 int64_t PaperSingleCharacterSkip(const ChiSquareContext& context,
                                  std::span<const int64_t> counts, int64_t l,

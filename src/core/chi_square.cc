@@ -8,21 +8,28 @@
 namespace sigsub {
 namespace core {
 
-ChiSquareContext::ChiSquareContext(std::vector<double> probs)
-    : probs_(std::move(probs)), inv_probs_(probs_.size()) {
+ChiSquareContext::ChiSquareContext(std::vector<double> probs,
+                                   X2Dispatch dispatch)
+    : probs_(std::move(probs)),
+      inv_probs_(probs_.size()),
+      x2_range_fn_(internal::ResolveX2RangeFn(
+          static_cast<int>(probs_.size()), dispatch, &x2_simd_active_)) {
   for (size_t i = 0; i < probs_.size(); ++i) {
     inv_probs_[i] = 1.0 / probs_[i];
   }
 }
 
-ChiSquareContext::ChiSquareContext(const seq::MultinomialModel& model)
+ChiSquareContext::ChiSquareContext(const seq::MultinomialModel& model,
+                                   X2Dispatch dispatch)
     : ChiSquareContext(
-          std::vector<double>(model.probs().begin(), model.probs().end())) {}
+          std::vector<double>(model.probs().begin(), model.probs().end()),
+          dispatch) {}
 
-Result<ChiSquareContext> ChiSquareContext::Make(std::vector<double> probs) {
+Result<ChiSquareContext> ChiSquareContext::Make(std::vector<double> probs,
+                                                X2Dispatch dispatch) {
   SIGSUB_ASSIGN_OR_RETURN(seq::MultinomialModel model,
                           seq::MultinomialModel::Make(std::move(probs)));
-  return ChiSquareContext(model);
+  return ChiSquareContext(model, dispatch);
 }
 
 double ChiSquareContext::Evaluate(std::span<const int64_t> counts,

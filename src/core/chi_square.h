@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/x2_dispatch.h"
 #include "seq/model.h"
 #include "seq/prefix_counts.h"
 
@@ -14,26 +15,40 @@ namespace core {
 
 /// Precomputed evaluation context for the Pearson X² statistic of
 /// substrings under a fixed multinomial null model P. Holds 1/p_i so the
-/// hot loop is multiply-only.
+/// hot loop is multiply-only, and resolves the fused X² range kernel
+/// (fixed-k / SIMD / scalar; see x2_kernel.h) once at build time.
 ///
 /// X²(S[i..j)) = Σ_c Y_c² / (l·p_c) − l,  l = j − i  (paper Eq. 5).
 class ChiSquareContext {
  public:
-  /// Builds from a validated model.
-  explicit ChiSquareContext(const seq::MultinomialModel& model);
+  /// Builds from a validated model. `dispatch` selects the fused-kernel
+  /// implementation (default: follow the process-wide setting).
+  explicit ChiSquareContext(const seq::MultinomialModel& model,
+                            X2Dispatch dispatch = X2Dispatch::kAuto);
 
   /// Builds from raw probabilities (validated).
-  static Result<ChiSquareContext> Make(std::vector<double> probs);
+  static Result<ChiSquareContext> Make(
+      std::vector<double> probs, X2Dispatch dispatch = X2Dispatch::kAuto);
 
   int alphabet_size() const { return static_cast<int>(probs_.size()); }
   std::span<const double> probs() const { return probs_; }
   std::span<const double> inv_probs() const { return inv_probs_; }
 
+  /// The fused X² range kernel resolved at build time. Scanners consume it
+  /// through core::X2Kernel rather than calling it directly.
+  X2RangeFn x2_range_fn() const { return x2_range_fn_; }
+  bool x2_simd_active() const { return x2_simd_active_; }
+
   /// X² of a count vector with total length l = Σ counts. Requires
   /// counts.size() == alphabet_size(). Returns 0 when l == 0.
+  ///
+  /// Reference implementation: together with PrefixCounts::FillCounts this
+  /// is the legacy two-pass evaluation the fused kernel is gated against
+  /// (bench/x2_kernel.cc). Hot paths use core::X2Kernel instead.
   double Evaluate(std::span<const int64_t> counts, int64_t l) const;
 
   /// X² of the substring [start, end) using prefix counts; O(k).
+  /// Reference implementation — see Evaluate.
   double EvaluateRange(const seq::PrefixCounts& counts, int64_t start,
                        int64_t end) const;
 
@@ -71,10 +86,14 @@ class ChiSquareContext {
   };
 
  private:
-  explicit ChiSquareContext(std::vector<double> probs);
+  ChiSquareContext(std::vector<double> probs, X2Dispatch dispatch);
 
   std::vector<double> probs_;
   std::vector<double> inv_probs_;
+  // Initialized before x2_range_fn_ (declaration order): ResolveX2RangeFn
+  // writes it while x2_range_fn_'s initializer runs.
+  bool x2_simd_active_ = false;
+  X2RangeFn x2_range_fn_;
 };
 
 }  // namespace core

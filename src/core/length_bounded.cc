@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/str_util.h"
 #include "core/chain_cover.h"
+#include "core/x2_kernel.h"
 
 namespace sigsub {
 namespace core {
@@ -48,24 +49,25 @@ MssResult FindMssLengthBounded(const seq::PrefixCounts& counts,
   if (n < min_length) return result;
 
   SkipSolver solver(context);
-  std::vector<int64_t> scratch(context.alphabet_size());
+  X2Kernel kernel(context);
   double best = 0.0;
   bool found = false;
   for (int64_t i = n - min_length; i >= 0; --i) {
     ++result.stats.start_positions;
+    const int64_t* lo = counts.BlockAt(i);
     int64_t row_end = std::min(n, i + max_length);
     int64_t end = i + min_length;
     while (end <= row_end) {
-      counts.FillCounts(i, end, scratch);
+      const int64_t* hi = counts.BlockAt(end);
       int64_t l = end - i;
-      double x2 = context.Evaluate(scratch, l);
+      double x2 = kernel.EvaluateBlocks(lo, hi, l);
       ++result.stats.positions_examined;
       if (x2 > best || !found) {
         best = x2;
         found = true;
         result.best = Substring{i, end, x2};
       }
-      int64_t skip = solver.MaxSafeExtension(scratch, l, x2, best);
+      int64_t skip = solver.MaxSafeExtension(lo, hi, l, x2, best);
       if (skip > 0) {
         ++result.stats.skip_events;
         int64_t last_skipped = std::min(end + skip, row_end);

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/str_util.h"
 #include "core/chain_cover.h"
+#include "core/x2_kernel.h"
 
 namespace sigsub {
 namespace core {
@@ -38,28 +39,29 @@ MssResult FindMssInRange(const seq::PrefixCounts& counts,
   if (range_end - range_start < min_length) return result;
 
   SkipSolver solver(context);
-  const int k = context.alphabet_size();
-  std::vector<int64_t> scratch(k);
+  X2Kernel kernel(context);
   double best = 0.0;
   bool found = false;
 
   // Paper Algorithm 1: outer loop over start positions (the paper goes
   // i = n..1; direction does not affect correctness or the analysis), inner
-  // loop over ending positions with chain-cover skips.
+  // loop over ending positions with chain-cover skips. The start block is
+  // pinned per row; each candidate is one fused pass over two blocks.
   for (int64_t i = range_end - min_length; i >= range_start; --i) {
     ++result.stats.start_positions;
+    const int64_t* lo = counts.BlockAt(i);
     int64_t end = i + min_length;
     while (end <= range_end) {
-      counts.FillCounts(i, end, scratch);
+      const int64_t* hi = counts.BlockAt(end);
       int64_t l = end - i;
-      double x2 = context.Evaluate(scratch, l);
+      double x2 = kernel.EvaluateBlocks(lo, hi, l);
       ++result.stats.positions_examined;
       if (x2 > best || !found) {
         best = x2;
         found = true;
         result.best = Substring{i, end, x2};
       }
-      int64_t skip = solver.MaxSafeExtension(scratch, l, x2, best);
+      int64_t skip = solver.MaxSafeExtension(lo, hi, l, x2, best);
       if (skip > 0) {
         ++result.stats.skip_events;
         int64_t last_skipped = std::min(end + skip, range_end);

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/str_util.h"
 #include "core/chain_cover.h"
+#include "core/x2_kernel.h"
 
 namespace sigsub {
 namespace core {
@@ -28,10 +29,14 @@ Mss2dResult FindMss2d(const seq::GridPrefixCounts& counts,
   SIGSUB_CHECK(counts.alphabet_size() == context.alphabet_size());
   const int64_t rows = counts.rows();
   const int64_t cols = counts.cols();
-  const int k = context.alphabet_size();
   Mss2dResult result;
   SkipSolver solver(context);
-  std::vector<int64_t> scratch(k);
+  X2Kernel kernel(context);
+  // Caller-owned count buffer (see the scratch convention in x2_kernel.h):
+  // the 4-lookup-per-symbol rectangle gather runs once per candidate and
+  // feeds both the fused evaluation and the skip solver.
+  std::vector<int64_t> rect_counts(
+      static_cast<size_t>(context.alphabet_size()));
   double best = 0.0;
   bool found = false;
 
@@ -42,9 +47,9 @@ Mss2dResult FindMss2d(const seq::GridPrefixCounts& counts,
       for (int64_t c0 = 0; c0 < cols; ++c0) {
         int64_t c1 = c0 + 1;
         while (c1 <= cols) {
-          counts.FillCounts(r0, r1, c0, c1, scratch);
           int64_t l = height * (c1 - c0);
-          double x2 = context.Evaluate(scratch, l);
+          double x2 =
+              kernel.EvaluateRect(counts, r0, r1, c0, c1, rect_counts);
           ++result.stats.positions_examined;
           if (x2 > best || !found) {
             best = x2;
@@ -55,7 +60,8 @@ Mss2dResult FindMss2d(const seq::GridPrefixCounts& counts,
           // a safe character extension of m licenses floor(m / height)
           // skipped columns (Theorem 1 bounds ALL extensions by <= m
           // characters, in particular the column-structured ones).
-          int64_t safe_chars = solver.MaxSafeExtension(scratch, l, x2, best);
+          int64_t safe_chars =
+              solver.MaxSafeExtension(rect_counts, l, x2, best);
           int64_t col_skip = safe_chars / height;
           if (col_skip > 0) {
             ++result.stats.skip_events;
@@ -87,7 +93,7 @@ Result<Mss2dResult> NaiveFindMss2d(const seq::Grid& grid,
   ChiSquareContext context(model);
   const int64_t rows = grid.rows();
   const int64_t cols = grid.cols();
-  std::vector<int64_t> scratch(context.alphabet_size());
+  X2Kernel kernel(context);
   Mss2dResult result;
   double best = 0.0;
   bool found = false;
@@ -96,9 +102,7 @@ Result<Mss2dResult> NaiveFindMss2d(const seq::Grid& grid,
       ++result.stats.start_positions;
       for (int64_t c0 = 0; c0 < cols; ++c0) {
         for (int64_t c1 = c0 + 1; c1 <= cols; ++c1) {
-          counts.FillCounts(r0, r1, c0, c1, scratch);
-          double x2 =
-              context.Evaluate(scratch, (r1 - r0) * (c1 - c0));
+          double x2 = kernel.EvaluateRect(counts, r0, r1, c0, c1);
           ++result.stats.positions_examined;
           if (x2 > best || !found) {
             best = x2;

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/str_util.h"
 #include "core/chain_cover.h"
+#include "core/x2_kernel.h"
 
 namespace sigsub {
 namespace core {
@@ -20,15 +21,16 @@ MssResult MssShardScan(const seq::PrefixCounts& counts,
   MssResult local;
   local.best = Substring{0, 0, 0.0};
   SkipSolver solver(context);
-  std::vector<int64_t> scratch(context.alphabet_size());
+  X2Kernel kernel(context);
   bool found = false;
   for (int64_t i = n - 1 - shard; i >= 0; i -= num_shards) {
     ++local.stats.start_positions;
+    const int64_t* lo = counts.BlockAt(i);
     int64_t end = i + 1;
     while (end <= n) {
-      counts.FillCounts(i, end, scratch);
+      const int64_t* hi = counts.BlockAt(end);
       int64_t l = end - i;
-      double x2 = context.Evaluate(scratch, l);
+      double x2 = kernel.EvaluateBlocks(lo, hi, l);
       ++local.stats.positions_examined;
       if (x2 > local.best.chi_square || !found) {
         found = true;
@@ -36,7 +38,7 @@ MssResult MssShardScan(const seq::PrefixCounts& counts,
         shared_best->Update(x2);
       }
       int64_t skip =
-          solver.MaxSafeExtension(scratch, l, x2, shared_best->load());
+          solver.MaxSafeExtension(lo, hi, l, x2, shared_best->load());
       if (skip > 0) {
         ++local.stats.skip_events;
         int64_t last_skipped = std::min(end + skip, n);

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/str_util.h"
 #include "core/chain_cover.h"
+#include "core/x2_kernel.h"
 
 namespace sigsub {
 namespace core {
@@ -18,16 +19,17 @@ ThresholdResult FindAboveThreshold(const seq::PrefixCounts& counts,
   const int64_t n = counts.sequence_size();
   ThresholdResult result;
   SkipSolver solver(context);
-  std::vector<int64_t> scratch(context.alphabet_size());
+  X2Kernel kernel(context);
   bool found = false;
 
   for (int64_t i = n - 1; i >= 0; --i) {
     ++result.stats.start_positions;
+    const int64_t* lo = counts.BlockAt(i);
     int64_t end = i + 1;
     while (end <= n) {
-      counts.FillCounts(i, end, scratch);
+      const int64_t* hi = counts.BlockAt(end);
       int64_t l = end - i;
-      double x2 = context.Evaluate(scratch, l);
+      double x2 = kernel.EvaluateBlocks(lo, hi, l);
       ++result.stats.positions_examined;
       if (x2 > alpha0) {
         Substring match{i, end, x2};
@@ -44,7 +46,7 @@ ThresholdResult FindAboveThreshold(const seq::PrefixCounts& counts,
       // The budget stays fixed at alpha0 (paper Algorithm 3). When
       // x2 > alpha0 the solver returns 0 and the scan advances by one —
       // the paper's max(..., 1).
-      int64_t skip = solver.MaxSafeExtension(scratch, l, x2, alpha0);
+      int64_t skip = solver.MaxSafeExtension(lo, hi, l, x2, alpha0);
       if (skip > 0) {
         ++result.stats.skip_events;
         int64_t last_skipped = std::min(end + skip, n);

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/str_util.h"
 #include "core/chain_cover.h"
+#include "core/x2_kernel.h"
 
 namespace sigsub {
 namespace core {
@@ -64,20 +65,21 @@ TopTResult FindTopT(const seq::PrefixCounts& counts,
   TopTResult result;
   TopTCollector collector(t);
   SkipSolver solver(context);
-  std::vector<int64_t> scratch(context.alphabet_size());
+  X2Kernel kernel(context);
 
   for (int64_t i = n - 1; i >= 0; --i) {
     ++result.stats.start_positions;
+    const int64_t* lo = counts.BlockAt(i);
     int64_t end = i + 1;
     while (end <= n) {
-      counts.FillCounts(i, end, scratch);
+      const int64_t* hi = counts.BlockAt(end);
       int64_t l = end - i;
-      double x2 = context.Evaluate(scratch, l);
+      double x2 = kernel.EvaluateBlocks(lo, hi, l);
       ++result.stats.positions_examined;
       collector.Offer(Substring{i, end, x2});
       // Skip against the t-th best value (paper's X²_max_t), re-read after
       // the offer so insertions tighten the budget immediately.
-      int64_t skip = solver.MaxSafeExtension(scratch, l, x2, collector.budget());
+      int64_t skip = solver.MaxSafeExtension(lo, hi, l, x2, collector.budget());
       if (skip > 0) {
         ++result.stats.skip_events;
         int64_t last_skipped = std::min(end + skip, n);

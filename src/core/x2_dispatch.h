@@ -1,0 +1,67 @@
+#ifndef SIGSUB_CORE_X2_DISPATCH_H_
+#define SIGSUB_CORE_X2_DISPATCH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace sigsub {
+namespace core {
+
+/// Which implementation of the fused X² range kernel a ChiSquareContext
+/// resolves at build time (see x2_kernel.h for the kernel itself):
+///
+///   kAuto   — follow the process default (SetDefaultX2Dispatch), which
+///             itself defaults to the fastest available path: AVX2 when the
+///             binary and CPU support it and k >= 4, else the scalar path.
+///   kScalar — the scalar fused path, bit-identical to the legacy
+///             FillCounts + Evaluate pair. Pin this for reproducibility
+///             audits that must match archived X² values bit for bit.
+///   kSimd   — the SIMD path when compiled in and supported by the CPU
+///             (silently falls back to scalar otherwise). X² values can
+///             differ from scalar in the last bits (different summation
+///             order); relative error is <= 1e-12.
+enum class X2Dispatch {
+  kAuto = 0,
+  kScalar = 1,
+  kSimd = 2,
+};
+
+/// Stable lowercase name: "auto", "scalar", "simd".
+const char* X2DispatchName(X2Dispatch dispatch);
+
+/// Inverse of X2DispatchName; returns false on unknown names.
+bool ParseX2Dispatch(std::string_view name, X2Dispatch* out);
+
+/// Process-wide default consulted when a context is built with kAuto.
+/// Intended for entry points (the CLI) that want one knob to govern every
+/// context they create; libraries should pass an explicit dispatch instead.
+void SetDefaultX2Dispatch(X2Dispatch dispatch);
+X2Dispatch DefaultX2Dispatch();
+
+/// True when the SIMD kernel is compiled into this binary AND the CPU
+/// supports it (AVX2 on x86-64).
+bool SimdAvailable();
+
+/// Fused X² range kernel over two position-major k-blocks of prefix
+/// counts: returns sum_c ((hi[c] − lo[c])² · inv_probs[c]) / l − l.
+/// Preconditions: l = end − start >= 1 (callers short-circuit l == 0) and
+/// every count < 2^52 (the AVX2 path converts int64 counts to double with
+/// the 2^52 bias trick; counts are bounded by the sequence length, so this
+/// only excludes petabyte-scale sequences).
+using X2RangeFn = double (*)(const int64_t* lo, const int64_t* hi,
+                             const double* inv_probs, int k, double l);
+
+namespace internal {
+
+/// Resolves the kernel for alphabet size `k` under `dispatch`: fixed-k
+/// specializations for k ∈ {2, 4, 8}, SIMD when requested/available, the
+/// generic scalar loop otherwise. Sets *simd_active to whether the chosen
+/// function is the SIMD path. Defined in x2_kernel.cc.
+X2RangeFn ResolveX2RangeFn(int k, X2Dispatch dispatch, bool* simd_active);
+
+}  // namespace internal
+
+}  // namespace core
+}  // namespace sigsub
+
+#endif  // SIGSUB_CORE_X2_DISPATCH_H_

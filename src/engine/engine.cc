@@ -181,7 +181,8 @@ uint64_t FingerprintJobParams(JobKind kind, const JobParams& params) {
 Engine::Engine(EngineOptions options)
     : cache_(options.cache_capacity),
       pool_(options.num_threads),
-      shard_min_sequence_(options.shard_min_sequence) {}
+      shard_min_sequence_(options.shard_min_sequence),
+      x2_dispatch_(options.x2_dispatch) {}
 
 Result<std::vector<JobResult>> Engine::ExecuteBatch(
     const Corpus& corpus, const std::vector<JobSpec>& jobs) {
@@ -201,7 +202,7 @@ Result<std::vector<JobResult>> Engine::ExecuteBatch(
     const std::vector<double>& probs =
         jobs[i].probs.empty() ? uniform : jobs[i].probs;
     if (models.contains(probs)) continue;
-    auto context = core::ChiSquareContext::Make(probs);
+    auto context = core::ChiSquareContext::Make(probs, x2_dispatch_);
     if (!context.ok()) {
       return Status::InvalidArgument(StrCat("job ", i, ": invalid model: ",
                                             context.status().message()));

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/x2_dispatch.h"
 #include "engine/corpus.h"
 #include "engine/job.h"
 #include "engine/result_cache.h"
@@ -27,6 +28,10 @@ struct EngineOptions {
   /// kernel (the witness among tied maxima may differ; see
   /// core::FindMssParallel).
   int64_t shard_min_sequence = 1 << 20;
+  /// Fused X² kernel implementation for every context this engine builds
+  /// (CLI `--x2-dispatch`). kScalar pins the bit-reproducible scalar path
+  /// for audits; kAuto follows the process default (typically SIMD).
+  core::X2Dispatch x2_dispatch = core::X2Dispatch::kAuto;
 };
 
 /// Concurrent batch-mining engine: executes heterogeneous mining jobs
@@ -89,6 +94,7 @@ class Engine {
   ResultCache cache_;
   ThreadPool pool_;
   int64_t shard_min_sequence_;
+  core::X2Dispatch x2_dispatch_;
 };
 
 /// Fingerprint of (kind, kind-relevant params) — the third cache-key

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/check.h"
 #include "seq/sequence.h"
 
 namespace sigsub {
@@ -49,6 +50,8 @@ class PrefixCounts {
 
   /// Occurrences of `symbol` in S[0, pos), 0 <= pos <= n.
   int64_t PrefixCount(int symbol, int64_t pos) const {
+    SIGSUB_DCHECK(symbol >= 0 && symbol < alphabet_size_);
+    SIGSUB_DCHECK(pos >= 0 && pos <= n_);
     return counts_[static_cast<size_t>(pos) *
                        static_cast<size_t>(alphabet_size_) +
                    static_cast<size_t>(symbol)];
@@ -56,11 +59,26 @@ class PrefixCounts {
 
   /// Occurrences of `symbol` in S[start, end).
   int64_t CountInRange(int symbol, int64_t start, int64_t end) const {
+    SIGSUB_DCHECK(start >= 0 && start <= end && end <= n_);
     return PrefixCount(symbol, end) - PrefixCount(symbol, start);
   }
 
   /// Fills `out` (size k) with the count vector of S[start, end).
+  ///
+  /// Reference/API surface: hot scan loops no longer call this — they read
+  /// the two blocks directly through BlockAt via core::X2Kernel and the
+  /// SkipSolver block overloads, fusing the subtraction into the reduction.
   void FillCounts(int64_t start, int64_t end, std::span<int64_t> out) const;
+
+  /// Raw position-major block: BlockAt(pos)[c] == PrefixCount(c, pos),
+  /// valid for c in [0, k). The count vector of S[start, end) is the
+  /// element-wise difference BlockAt(end) − BlockAt(start); fused kernels
+  /// consume the two pointers without materializing the difference.
+  const int64_t* BlockAt(int64_t pos) const {
+    SIGSUB_DCHECK(pos >= 0 && pos <= n_);
+    return counts_.data() +
+           static_cast<size_t>(pos) * static_cast<size_t>(alphabet_size_);
+  }
 
   /// Strided view of one symbol's counts (size n+1).
   SymbolRow Row(int symbol) const {

@@ -41,6 +41,8 @@
 #include "core/threshold.h"
 #include "core/top_disjoint.h"
 #include "core/top_t.h"
+#include "core/x2_dispatch.h"
+#include "core/x2_kernel.h"
 #include "engine/corpus.h"
 #include "engine/engine.h"
 #include "engine/fingerprint.h"

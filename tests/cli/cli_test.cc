@@ -169,6 +169,43 @@ TEST(ParseArgsTest, ParsesShardMin) {
                   .IsInvalidArgument());
 }
 
+TEST(ParseArgsTest, ParsesX2Dispatch) {
+  // Common flag: every command accepts it.
+  auto scalar = ParseArgs({"mss", "--string=01", "--x2-dispatch=scalar"});
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_EQ(scalar->x2_dispatch, core::X2Dispatch::kScalar);
+  auto simd =
+      ParseArgs({"batch", "--input=x", "--x2-dispatch=simd"});
+  ASSERT_TRUE(simd.ok());
+  EXPECT_EQ(simd->x2_dispatch, core::X2Dispatch::kSimd);
+  auto deflt = ParseArgs({"score", "--string=01", "--start=0", "--end=1"});
+  ASSERT_TRUE(deflt.ok());
+  EXPECT_EQ(deflt->x2_dispatch, core::X2Dispatch::kAuto);
+  // Unknown modes are loud, and name the flag.
+  auto status =
+      ParseArgs({"mss", "--string=01", "--x2-dispatch=avx512"}).status();
+  ASSERT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("--x2-dispatch"), std::string::npos);
+}
+
+TEST(RunTest, X2DispatchModesAgreeOnBestSubstring) {
+  // A reproducibility audit pins --x2-dispatch=scalar; the report must
+  // carry the same best substring the default (auto, possibly SIMD)
+  // dispatch finds.
+  const char* input = "--string=001011111111101001100100";
+  auto auto_report = cli::Run(
+      ParseArgs({"mss", input, "--x2-dispatch=auto"}).value());
+  auto scalar_report = cli::Run(
+      ParseArgs({"mss", input, "--x2-dispatch=scalar"}).value());
+  auto simd_report = cli::Run(
+      ParseArgs({"mss", input, "--x2-dispatch=simd"}).value());
+  ASSERT_TRUE(auto_report.ok());
+  ASSERT_TRUE(scalar_report.ok());
+  ASSERT_TRUE(simd_report.ok());
+  EXPECT_EQ(*auto_report, *scalar_report);
+  EXPECT_EQ(*auto_report, *simd_report);
+}
+
 TEST(RunTest, MssOnLiteralString) {
   auto options = ParseArgs({"mss", "--string=0101011111111110101"});
   ASSERT_TRUE(options.ok());
@@ -295,6 +332,24 @@ TEST(BatchTest, LinesCorpusRoundTrip) {
   EXPECT_NE(report->find("\n0 "), std::string::npos);
   EXPECT_NE(report->find("\n1 "), std::string::npos);
   EXPECT_NE(report->find("cache:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BatchTest, X2DispatchReachesEngine) {
+  // The knob is plumbed through EngineOptions: a scalar-pinned batch and
+  // the default batch must render identical reports on the same corpus.
+  std::string path = ::testing::TempDir() + "/sigsub_cli_dispatch.txt";
+  ASSERT_TRUE(io::WriteTextFile(
+                  path, "0101011111111110101\n0000000000111111\n")
+                  .ok());
+  std::string input = std::string("--input=") + path;
+  auto scalar = cli::Run(
+      ParseArgs({"batch", input, "--x2-dispatch=scalar"}).value());
+  auto auto_mode = cli::Run(
+      ParseArgs({"batch", input, "--x2-dispatch=auto"}).value());
+  ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+  ASSERT_TRUE(auto_mode.ok()) << auto_mode.status().ToString();
+  EXPECT_EQ(*scalar, *auto_mode);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json emitters against the committed perf baseline.
+
+Reads tools/bench_baseline.json (tracked metrics + regression threshold),
+loads each referenced BENCH_<suite>.json from --dir, and fails with a
+readable table when
+
+  * a tracked metric regresses more than the threshold (default 15%)
+    below its committed baseline,
+  * a tracked metric or its BENCH file is missing (an emitter rotted), or
+  * any gate recorded by a tracked BENCH file is false.
+
+Tracked metrics are speedups (two timings from the same run), not absolute
+milliseconds, so they stay comparable across machines and load levels.
+
+Usage: python3 tools/bench_diff.py [--dir DIR] [--baseline PATH]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def find_result(bench, result_name):
+    for row in bench.get("results", []):
+        if row.get("name") == result_name:
+            return row
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--dir", default=".", help="directory holding the BENCH_*.json files"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(os.path.dirname(__file__), "bench_baseline.json"),
+        help="committed baseline file",
+    )
+    args = parser.parse_args()
+
+    baseline = load_json(args.baseline)
+    threshold = float(baseline.get("regression_threshold", 0.15))
+
+    rows = []
+    failures = 0
+    bench_cache = {}
+    for tracked in baseline["tracked"]:
+        file_name = tracked["file"]
+        result_name = tracked["result"]
+        metric = tracked["metric"]
+        base = float(tracked["baseline"])
+        floor = base * (1.0 - threshold)
+        path = os.path.join(args.dir, file_name)
+
+        if file_name not in bench_cache:
+            try:
+                bench_cache[file_name] = load_json(path)
+            except (OSError, json.JSONDecodeError) as error:
+                bench_cache[file_name] = error
+        bench = bench_cache[file_name]
+
+        if isinstance(bench, Exception):
+            rows.append((file_name, result_name, metric, base, "-", "MISSING FILE"))
+            failures += 1
+            continue
+        row = find_result(bench, result_name)
+        if row is None or metric not in row:
+            rows.append((file_name, result_name, metric, base, "-", "MISSING METRIC"))
+            failures += 1
+            continue
+        value = float(row[metric])
+        if value < floor:
+            status = "REGRESSED (>%d%% below baseline)" % round(threshold * 100)
+            failures += 1
+        else:
+            status = "ok"
+        rows.append((file_name, result_name, metric, base, "%.2f" % value, status))
+
+    gate_rows = []
+    for file_name, bench in sorted(bench_cache.items()):
+        if isinstance(bench, Exception):
+            continue
+        for gate_name, passed in bench.get("gates", {}).items():
+            gate_rows.append((file_name, gate_name, passed))
+            if not passed:
+                failures += 1
+
+    headers = ("file", "metric", "kind", "baseline", "value", "status")
+    table = [headers] + [
+        (f, r, m, "%.2f" % b, v, s) for (f, r, m, b, v, s) in rows
+    ]
+    widths = [max(len(str(row[i])) for row in table) for i in range(len(headers))]
+    for index, row in enumerate(table):
+        print("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+        if index == 0:
+            print("  ".join("-" * widths[i] for i in range(len(headers))))
+
+    print()
+    for file_name, gate_name, passed in gate_rows:
+        print("gate %-24s %-36s %s" % (file_name, gate_name, "pass" if passed else "FAIL"))
+
+    if failures:
+        print("\nbench_diff: %d failure(s) against %s" % (failures, args.baseline))
+        return 1
+    print("\nbench_diff: all tracked metrics within %d%% of baseline" % round(threshold * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
