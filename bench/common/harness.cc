@@ -44,12 +44,17 @@ std::string FormatMs(double ms) {
 JsonBench::JsonBench(std::string name) : name_(std::move(name)) {}
 
 void JsonBench::AddResult(const std::string& result_name, double ms) {
-  rows_.push_back(Row{result_name, ms, std::nan("")});
+  rows_.push_back(Row{result_name, "ms", ms, std::nan("")});
 }
 
 void JsonBench::AddResult(const std::string& result_name, double ms,
                           double speedup) {
-  rows_.push_back(Row{result_name, ms, speedup});
+  rows_.push_back(Row{result_name, "ms", ms, speedup});
+}
+
+void JsonBench::AddScalar(const std::string& result_name,
+                          const std::string& key, double value) {
+  rows_.push_back(Row{result_name, key, value, std::nan("")});
 }
 
 void JsonBench::AddGate(const std::string& gate_name, bool pass) {
@@ -72,8 +77,8 @@ bool JsonBench::WriteTo(const std::string& path) const {
   out += "  \"results\": [\n";
   for (size_t i = 0; i < rows_.size(); ++i) {
     const Row& row = rows_[i];
-    out += StrCat("    {\"name\": \"", row.name, "\", \"ms\": ",
-                  StrFormat("%.6f", row.ms));
+    out += StrCat("    {\"name\": \"", row.name, "\", \"", row.key,
+                  "\": ", StrFormat("%.6f", row.value));
     if (!std::isnan(row.speedup)) {
       out += StrCat(", \"speedup\": ", StrFormat("%.4f", row.speedup));
     }

@@ -50,6 +50,10 @@ class JsonBench {
 
   void AddResult(const std::string& result_name, double ms);
   void AddResult(const std::string& result_name, double ms, double speedup);
+  /// A non-timing metric row {name, <key>: value} (e.g. a throughput in
+  /// Msymbols/s), kept alongside the timing rows in "results".
+  void AddScalar(const std::string& result_name, const std::string& key,
+                 double value);
   void AddGate(const std::string& gate_name, bool pass);
 
   /// True iff every recorded gate passed.
@@ -63,7 +67,8 @@ class JsonBench {
  private:
   struct Row {
     std::string name;
-    double ms;
+    std::string key;  // JSON key of `value`: "ms" for timings.
+    double value;
     double speedup;  // NaN when not applicable.
   };
   std::string name_;

@@ -7,17 +7,22 @@
 #include <fstream>
 #include <sstream>
 
+#include <iostream>
+
 #include "common/str_util.h"
 #include "core/min_length.h"
 #include "core/mss.h"
 #include "core/parallel.h"
 #include "core/significance.h"
+#include "core/streaming.h"
 #include "core/threshold.h"
 #include "core/top_disjoint.h"
 #include "core/top_t.h"
+#include "core/x2_dispatch.h"
 #include "engine/corpus.h"
 #include "engine/engine.h"
 #include "engine/job.h"
+#include "engine/stream_manager.h"
 #include "io/table_writer.h"
 #include "seq/alphabet.h"
 #include "seq/sequence.h"
@@ -27,8 +32,8 @@ namespace sigsub {
 namespace cli {
 namespace {
 
-const char* const kCommands[] = {"mss", "topt", "threshold", "minlen",
-                                 "score", "batch"};
+const char* const kCommands[] = {"mss",   "topt",  "threshold", "minlen",
+                                 "score", "batch", "stream"};
 
 /// Flags every command accepts.
 const char* const kCommonFlags[] = {"string", "input", "alphabet", "probs",
@@ -50,6 +55,7 @@ const CommandFlags kCommandFlags[] = {
     {"batch",
      {"job", "format", "column", "csv-header", "threads", "cache",
       "shard-min", "t", "min-length", "alpha0", "pvalue"}},
+    {"stream", {"alpha", "max-window", "chunk"}},
 };
 
 Status ValidateFlagsForCommand(const std::string& command,
@@ -122,6 +128,17 @@ Result<std::vector<double>> ParseProbs(const std::string& text) {
   return probs;
 }
 
+/// Trims trailing newlines/whitespace, which files (and piped stdin)
+/// routinely carry. Shared by file and stdin ingestion so the two can
+/// never diverge.
+void TrimTrailingWhitespace(std::string* text) {
+  while (!text->empty() &&
+         (text->back() == '\n' || text->back() == '\r' ||
+          text->back() == ' ' || text->back() == '\t')) {
+    text->pop_back();
+  }
+}
+
 Result<std::string> LoadInput(const CliOptions& options) {
   if (options.has_input_text) return options.input_text;
   std::ifstream in(options.input_path);
@@ -132,12 +149,7 @@ Result<std::string> LoadInput(const CliOptions& options) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   std::string text = buffer.str();
-  // Trim trailing newlines/whitespace, which files routinely carry.
-  while (!text.empty() &&
-         (text.back() == '\n' || text.back() == '\r' || text.back() == ' ' ||
-          text.back() == '\t')) {
-    text.pop_back();
-  }
+  TrimTrailingWhitespace(&text);
   return text;
 }
 
@@ -279,6 +291,128 @@ Result<std::string> RunBatch(const CliOptions& options) {
   return out.str();
 }
 
+/// The effective fused-kernel selection, reported when the user passed
+/// --x2-dispatch explicitly. A `simd` request on a host without AVX2
+/// would otherwise degrade to scalar silently (x2_dispatch.h documents
+/// the fallback); the report says so in so many words.
+std::string DispatchReport(core::X2Dispatch requested) {
+  const bool simd = core::SimdAvailable();
+  switch (requested) {
+    case core::X2Dispatch::kScalar:
+      return "x2 dispatch: scalar (bit-reproducible)\n";
+    case core::X2Dispatch::kSimd:
+      if (simd) return "x2 dispatch: simd (AVX2 active)\n";
+      return "x2 dispatch: scalar — WARNING: simd requested but AVX2 is "
+             "unavailable on this host; using the scalar kernel\n";
+    case core::X2Dispatch::kAuto:
+      return simd ? "x2 dispatch: auto (simd, AVX2 available)\n"
+                  : "x2 dispatch: auto (scalar; AVX2 unavailable)\n";
+  }
+  return "";
+}
+
+/// Executes the `stream` command: treat the input as one symbol stream,
+/// ingest it in --chunk-sized AppendChunk calls through an
+/// engine::StreamManager, and render the alarm log plus the calibration
+/// summary.
+Result<std::string> RunStream(const CliOptions& options) {
+  std::string text;
+  if (options.input_path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+    TrimTrailingWhitespace(&text);
+  } else {
+    SIGSUB_ASSIGN_OR_RETURN(text, LoadInput(options));
+  }
+  if (text.empty()) {
+    return Status::InvalidArgument("stream input is empty");
+  }
+  if (options.alpha <= 0.0 || options.alpha >= 1.0) {
+    return Status::InvalidArgument(
+        StrCat("--alpha must be in (0, 1), got ", options.alpha));
+  }
+  if (options.max_window < 1) {
+    return Status::InvalidArgument(
+        StrCat("--max-window must be >= 1, got ", options.max_window));
+  }
+  if (options.chunk < 1) {
+    return Status::InvalidArgument(
+        StrCat("--chunk must be >= 1, got ", options.chunk));
+  }
+
+  std::string alphabet_chars = options.alphabet;
+  if (alphabet_chars.empty()) {
+    alphabet_chars = engine::Corpus::InferAlphabetChars({text});
+  }
+  SIGSUB_ASSIGN_OR_RETURN(seq::Alphabet alphabet,
+                          seq::Alphabet::FromCharacters(alphabet_chars));
+  SIGSUB_ASSIGN_OR_RETURN(seq::Sequence sequence,
+                          seq::Sequence::FromString(alphabet, text));
+  std::vector<double> probs = options.probs;
+  if (probs.empty()) {
+    probs.assign(alphabet.size(), 1.0 / alphabet.size());
+  }
+
+  engine::StreamManagerOptions manager_options;
+  manager_options.num_threads = 1;
+  manager_options.max_alarms_per_stream = 1024;
+  manager_options.x2_dispatch = options.x2_dispatch;
+  engine::StreamManager manager(manager_options);
+
+  core::StreamingDetector::Options detector_options;
+  detector_options.alpha = options.alpha;
+  detector_options.max_window = options.max_window;
+  const std::string name =
+      options.has_input_text
+          ? std::string("string")
+          : (options.input_path == "-" ? std::string("stdin")
+                                       : options.input_path);
+  SIGSUB_RETURN_IF_ERROR(manager.CreateStream(name, probs, detector_options));
+
+  std::span<const uint8_t> symbols = sequence.symbols();
+  for (size_t offset = 0; offset < symbols.size();
+       offset += static_cast<size_t>(options.chunk)) {
+    const size_t chunk = std::min(static_cast<size_t>(options.chunk),
+                                  symbols.size() - offset);
+    SIGSUB_RETURN_IF_ERROR(
+        manager.Append(name, symbols.subspan(offset, chunk)).status());
+  }
+  SIGSUB_ASSIGN_OR_RETURN(engine::StreamSnapshot snapshot,
+                          manager.Snapshot(name));
+
+  const int k = alphabet.size();
+  std::ostringstream out;
+  out << "stream \"" << name << "\": n = " << snapshot.position
+      << ", k = " << k << ", chunk = " << options.chunk << "\n";
+  out << "scales:";
+  for (int64_t scale : snapshot.scales) out << " " << scale;
+  out << "\n";
+  out << "per-scale X2 threshold = "
+      << StrFormat("%.4f", snapshot.thresholds.empty()
+                               ? 0.0
+                               : snapshot.thresholds.front())
+      << " (alpha " << StrFormat("%.3g", options.alpha)
+      << ", Sidak over " << snapshot.scales.size() << " scales, chi2(k-1))\n";
+
+  out << "alarms: " << snapshot.alarms_total;
+  if (snapshot.alarms_dropped > 0) {
+    out << " (showing last " << snapshot.recent_alarms.size() << ")";
+  }
+  out << "\n";
+  if (!snapshot.recent_alarms.empty()) {
+    io::TableWriter table({"end", "length", "X2", "p-value"});
+    for (const core::StreamingDetector::Alarm& alarm :
+         snapshot.recent_alarms) {
+      table.AddRow({std::to_string(alarm.end), std::to_string(alarm.length),
+                    StrFormat("%.4f", alarm.chi_square),
+                    StrFormat("%.4g", alarm.p_value)});
+    }
+    out << table.Render();
+  }
+  return out.str();
+}
+
 std::string RenderSubstring(const core::Substring& sub, int k,
                             const std::string& text) {
   io::TableWriter table({"start", "end", "length", "X2", "p-value"});
@@ -313,6 +447,10 @@ std::string UsageText() {
       "             column with --format=csv); --job=mss|topt|disjoint|\n"
       "             threshold|minlen, --threads, --cache, plus the job's\n"
       "             own flags (--t, --min-length, --alpha0, --pvalue)\n"
+      "  stream     online monitoring: ingest the input as one symbol\n"
+      "             stream in chunks and report calibrated suffix-window\n"
+      "             alarms; --alpha, --max-window, --chunk (--input=-\n"
+      "             reads stdin)\n"
       "\n"
       "input:\n"
       "  --string=TEXT | --input=PATH   the string to mine (required;\n"
@@ -399,6 +537,14 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
             StrCat("flag --x2-dispatch expects auto, scalar, or simd, got \"",
                    value, "\""));
       }
+      options.x2_dispatch_explicit = true;
+    } else if (name == "alpha") {
+      SIGSUB_ASSIGN_OR_RETURN(options.alpha, ParseDouble(value, "--alpha"));
+    } else if (name == "max-window") {
+      SIGSUB_ASSIGN_OR_RETURN(options.max_window,
+                              ParseInt(value, "--max-window"));
+    } else if (name == "chunk") {
+      SIGSUB_ASSIGN_OR_RETURN(options.chunk, ParseInt(value, "--chunk"));
     } else if (name == "job") {
       options.job = value;
     } else if (name == "format") {
@@ -497,7 +643,18 @@ Result<std::string> Run(const CliOptions& options) {
   // EngineOptions). Every Run() sets it, so a later invocation without
   // the flag restores the auto default.
   core::SetDefaultX2Dispatch(options.x2_dispatch);
-  if (options.command == "batch") return RunBatch(options);
+  // An explicit --x2-dispatch earns a report of what actually resolved:
+  // `simd` on a host without AVX2 silently degrades to scalar inside the
+  // kernel dispatch, and an audit must be able to see that happened.
+  const std::string banner =
+      options.x2_dispatch_explicit ? DispatchReport(options.x2_dispatch)
+                                   : std::string();
+  auto with_banner = [&banner](Result<std::string> report) {
+    if (!report.ok() || banner.empty()) return report;
+    return Result<std::string>(banner + *report);
+  };
+  if (options.command == "batch") return with_banner(RunBatch(options));
+  if (options.command == "stream") return with_banner(RunStream(options));
   SIGSUB_ASSIGN_OR_RETURN(std::string text, LoadInput(options));
   if (text.empty()) {
     return Status::InvalidArgument("input string is empty");
@@ -590,7 +747,15 @@ Result<std::string> Run(const CliOptions& options) {
     SIGSUB_ASSIGN_OR_RETURN(
         core::MssResult result,
         core::FindMssMinLength(sequence, model, options.min_length));
-    out << RenderSubstring(result.best, k, text);
+    // `best` is only meaningful when a window satisfied the floor; a
+    // floor above n would otherwise render a bogus zero-length row with
+    // X² = 0 and p-value 1.
+    if (result.best.length() == 0) {
+      out << "no substring of length >= " << options.min_length
+          << " exists (n = " << sequence.size() << ")\n";
+    } else {
+      out << RenderSubstring(result.best, k, text);
+    }
   } else if (options.command == "score") {
     if (options.start < 0 || options.end < 0) {
       return Status::InvalidArgument("score needs --start and --end");
@@ -601,7 +766,7 @@ Result<std::string> Run(const CliOptions& options) {
     out << RenderSubstring(scored.substring, k, text);
     out << "G2 = " << StrFormat("%.4f", scored.g2) << "\n";
   }
-  return out.str();
+  return banner + out.str();
 }
 
 }  // namespace cli

@@ -15,21 +15,25 @@ namespace cli {
 ///
 ///   sigsub_cli <command> [--flag=value ...]
 ///
-/// Commands: mss | topt | threshold | minlen | score | batch.
+/// Commands: mss | topt | threshold | minlen | score | batch | stream.
 /// Flags are validated against the selected command: supplying a flag
 /// that the command does not consume is an InvalidArgument error, not a
 /// silent acceptance.
 ///
 /// Common flags:
 ///   --string=TEXT        input string literal (exclusive with --input)
-///   --input=PATH         read input from a file (batch: the corpus)
+///   --input=PATH         read input from a file (batch: the corpus;
+///                        stream: the symbol stream, `-` reads stdin)
 ///   --alphabet=CHARS     symbol set (default: distinct input characters)
 ///   --probs=p1,p2,...    null-model probabilities (default: uniform)
 ///   --x2-dispatch=MODE   auto|scalar|simd — fused X² kernel selection.
 ///                        `scalar` pins the bit-reproducible path for
 ///                        audits; `simd` requests the vector path (falls
-///                        back to scalar when unavailable). Run() applies
-///                        the mode process-wide for the invocation.
+///                        back to scalar when unavailable — the report
+///                        then carries an explicit warning). Run()
+///                        applies the mode process-wide for the
+///                        invocation and, when the flag was passed
+///                        explicitly, reports the effective dispatch.
 /// Per-command flags:
 ///   --t=N                top-t size (topt, batch; default 10)
 ///   --disjoint           non-overlapping top-t (topt)
@@ -47,6 +51,13 @@ namespace cli {
 ///   --shard-min=N        split an MSS job across the worker pool when
 ///                        its record has at least N symbols (default
 ///                        2^20; 0 disables in-record sharding)
+/// Stream-only flags:
+///   --alpha=A            per-position family-wise false-alarm rate,
+///                        converted to per-scale X² thresholds via the
+///                        χ²(k−1) quantile with a Šidák correction
+///                        (default 1e-6)
+///   --max-window=W       longest monitored suffix window (default 4096)
+///   --chunk=N            symbols per AppendChunk call (default 8192)
 struct CliOptions {
   std::string command;
   std::string input_path;
@@ -63,6 +74,9 @@ struct CliOptions {
   int64_t end = -1;
   int threads = 1;
   core::X2Dispatch x2_dispatch = core::X2Dispatch::kAuto;
+  // True when --x2-dispatch was passed explicitly: Run() then reports the
+  // effective dispatch (and warns when a SIMD request fell back).
+  bool x2_dispatch_explicit = false;
   // Batch command.
   std::string job = "mss";
   std::string format = "lines";
@@ -70,6 +84,10 @@ struct CliOptions {
   bool csv_header = false;
   int64_t cache = 4096;
   int64_t shard_min = 1 << 20;
+  // Stream command.
+  double alpha = 1e-6;
+  int64_t max_window = 4096;
+  int64_t chunk = 8192;
 };
 
 /// Usage text for --help / errors.

@@ -66,6 +66,11 @@ X2RangeFn SimdFnForK(int k) {
 
 }  // namespace
 
+const int64_t* X2Kernel::ZeroBlock() {
+  static const int64_t kZeros[kMaxAlphabet] = {};
+  return kZeros;
+}
+
 const char* X2DispatchName(X2Dispatch dispatch) {
   switch (dispatch) {
     case X2Dispatch::kAuto:

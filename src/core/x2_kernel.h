@@ -65,6 +65,19 @@ class X2Kernel {
                static_cast<double>(l));
   }
 
+  /// X² of a raw window-count block (counts[c] = occurrences of symbol c
+  /// in a window of length l) — the streaming-detector entry point, where
+  /// windows are maintained as live counters rather than prefix
+  /// differences. Implemented as EvaluateBlocks against a shared all-zero
+  /// start block, so it runs the same resolved dispatch (fixed-k / AVX2 /
+  /// scalar) as the offline scanners and is bit-identical to the legacy
+  /// ChiSquareContext::Evaluate(counts, l) on the scalar paths. Symbol
+  /// alphabets are byte-coded, so k <= 256 by construction (DCHECKed).
+  double EvaluateCounts(const int64_t* counts, int64_t l) const {
+    SIGSUB_DCHECK(k_ <= kMaxAlphabet);
+    return EvaluateBlocks(ZeroBlock(), counts, l);
+  }
+
   /// X² of S[start, end).
   double EvaluateRange(const seq::PrefixCounts& counts, int64_t start,
                        int64_t end) const {
@@ -139,6 +152,11 @@ class X2Kernel {
   int alphabet_size() const { return k_; }
 
  private:
+  static constexpr int kMaxAlphabet = 256;  // Byte-coded symbols.
+
+  /// Shared k-wide (<= 256) block of zeros backing EvaluateCounts.
+  static const int64_t* ZeroBlock();
+
   const double* inv_probs_;
   int k_;
   // Initialized before fn_ (declaration order): ResolveX2RangeFn writes it

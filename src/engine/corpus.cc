@@ -16,6 +16,17 @@ std::string StripTrailingCr(std::string line) {
   return line;
 }
 
+/// Strips a leading UTF-8 byte-order mark. Editors on Windows routinely
+/// prepend one; left in place it reaches alphabet inference and silently
+/// adds three junk symbols (EF BB BF), shrinking every p_c and skewing
+/// every X² computed over the corpus.
+void StripUtf8Bom(std::string* line) {
+  if (line->size() >= 3 && (*line)[0] == '\xEF' && (*line)[1] == '\xBB' &&
+      (*line)[2] == '\xBF') {
+    line->erase(0, 3);
+  }
+}
+
 }  // namespace
 
 Corpus::Corpus(seq::Alphabet alphabet, std::vector<seq::Sequence> sequences,
@@ -69,6 +80,7 @@ Result<Corpus> Corpus::FromLines(const std::string& path,
   std::vector<std::string> records;
   std::string line;
   while (std::getline(in, line)) {
+    if (records.empty()) StripUtf8Bom(&line);
     records.push_back(StripTrailingCr(std::move(line)));
   }
   return FromStrings(records, alphabet_chars);

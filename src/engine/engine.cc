@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -24,10 +25,19 @@ namespace engine {
 namespace {
 
 /// Per-distinct-sequence state built once per batch and shared by every
-/// job targeting that record.
+/// job targeting that record. The PrefixCounts build is lazy: the first
+/// kernel task that needs the record builds it under `build_once`, so
+/// there is no build-all barrier before any kernel may start — records
+/// with cheap builds begin scanning while large builds are still running.
 struct SequenceState {
+  std::once_flag build_once;
   std::optional<seq::PrefixCounts> counts;
   uint64_t fingerprint = 0;
+
+  const seq::PrefixCounts& CountsFor(const seq::Sequence& sequence) {
+    std::call_once(build_once, [&] { counts.emplace(sequence); });
+    return *counts;
+  }
 };
 
 /// Per-distinct-model state (keyed by the probability vector).
@@ -253,21 +263,6 @@ Result<std::vector<JobResult>> Engine::ExecuteBatch(
     miss_groups[key].push_back(i);
   }
 
-  // Prefix counts, built concurrently on the pool — only for records
-  // that actually have a kernel to run (one per miss group).
-  std::vector<bool> needs_counts(static_cast<size_t>(corpus.size()), false);
-  for (const auto& [key, job_indices] : miss_groups) {
-    needs_counts[static_cast<size_t>(
-        jobs[job_indices.front()].sequence_index)] = true;
-  }
-  for (int64_t s = 0; s < corpus.size(); ++s) {
-    if (!needs_counts[static_cast<size_t>(s)]) continue;
-    SequenceState* target = states[static_cast<size_t>(s)].get();
-    const seq::Sequence* sequence = &corpus.sequence(s);
-    pool_.Submit([target, sequence] { target->counts.emplace(*sequence); });
-  }
-  pool_.Wait();
-
   // Publishes a computed payload to the group's JobResults and the cache.
   // Duplicates are served by the lead's run: payload identical, flagged as
   // cache hits, no scan stats of their own.
@@ -301,13 +296,14 @@ Result<std::vector<JobResult>> Engine::ExecuteBatch(
     const JobSpec& spec = jobs[job_indices.front()];
     const std::vector<double>& probs =
         spec.probs.empty() ? uniform : spec.probs;
-    const seq::PrefixCounts* counts =
-        &*states[static_cast<size_t>(spec.sequence_index)]->counts;
+    SequenceState* state =
+        states[static_cast<size_t>(spec.sequence_index)].get();
+    const seq::Sequence* sequence = &corpus.sequence(spec.sequence_index);
     const core::ChiSquareContext* context = &models.at(probs)->context;
 
     // In-record sharding: one oversized MSS record is strided across the
     // pool instead of pinning a single worker.
-    const int64_t n = counts->sequence_size();
+    const int64_t n = sequence->size();
     int num_shards = static_cast<int>(std::min<int64_t>(
         pool_.num_threads(), std::max<int64_t>(1, n)));
     if (spec.kind == JobKind::kMss && shard_min_sequence_ > 0 &&
@@ -318,9 +314,12 @@ Result<std::vector<JobResult>> Engine::ExecuteBatch(
       group->shards.resize(static_cast<size_t>(num_shards));
       for (int shard = 0; shard < num_shards; ++shard) {
         ShardedGroup* g = group.get();
-        pool_.Submit([counts, context, shard, num_shards, g] {
+        pool_.Submit([state, sequence, context, shard, num_shards, g] {
+          // First shard to arrive builds the record's counts; the rest
+          // block on call_once only until that build finishes.
+          const seq::PrefixCounts& counts = state->CountsFor(*sequence);
           g->shards[static_cast<size_t>(shard)] = core::MssShardScan(
-              *counts, *context, shard, num_shards, &g->shared_best);
+              counts, *context, shard, num_shards, &g->shared_best);
         });
       }
       sharded.push_back(std::move(group));
@@ -331,11 +330,11 @@ Result<std::vector<JobResult>> Engine::ExecuteBatch(
     const std::vector<size_t>* indices = &job_indices;
     std::vector<JobResult>* out = &results;
     CacheKey key_copy = key;
-    pool_.Submit([spec_ptr, counts, context, key_copy, indices, out,
+    pool_.Submit([spec_ptr, state, sequence, context, key_copy, indices, out,
                   &publish] {
       JobResult* lead = &(*out)[indices->front()];
-      CachedResult computed =
-          RunKernel(*spec_ptr, *counts, *context, &lead->stats);
+      CachedResult computed = RunKernel(
+          *spec_ptr, state->CountsFor(*sequence), *context, &lead->stats);
       publish(*indices, key_copy, std::move(computed));
     });
   }

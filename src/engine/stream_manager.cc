@@ -1,0 +1,215 @@
+#include "engine/stream_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace sigsub {
+namespace engine {
+
+StreamManager::StreamManager(StreamManagerOptions options)
+    : options_(options), pool_(options.num_threads) {
+  if (options_.max_alarms_per_stream < 1) options_.max_alarms_per_stream = 1;
+}
+
+Status StreamManager::CreateStream(const std::string& name,
+                                   std::vector<double> probs,
+                                   core::StreamingDetector::Options options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("stream name must not be empty");
+  }
+  std::shared_ptr<const core::ChiSquareContext> context;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (streams_.contains(name)) {
+      return Status::InvalidArgument(
+          StrCat("stream \"", name, "\" already exists"));
+    }
+    auto it = contexts_.find(probs);
+    if (it != contexts_.end()) context = it->second;
+  }
+  if (context == nullptr) {
+    // Built outside the lock (quantile evaluation and validation are not
+    // free); a concurrent CreateStream with the same model at worst
+    // builds one redundant context, and the map keeps whichever landed
+    // first.
+    auto built = core::ChiSquareContext::Make(probs, options_.x2_dispatch);
+    if (!built.ok()) {
+      return Status::InvalidArgument(StrCat("stream \"", name,
+                                            "\": invalid model: ",
+                                            built.status().message()));
+    }
+    context = std::make_shared<const core::ChiSquareContext>(
+        std::move(built).value());
+  }
+  // The manager's dispatch knob governs scoring end to end: it selected
+  // the shared context above, and here it overrides the per-detector
+  // field so the detector's own kernel resolution (which reads only its
+  // options) follows the same request.
+  options.x2_dispatch = options_.x2_dispatch;
+  auto detector = core::StreamingDetector::Make(context, options);
+  if (!detector.ok()) {
+    return Status::InvalidArgument(
+        StrCat("stream \"", name, "\": ", detector.status().message()));
+  }
+  auto stream =
+      std::make_shared<Stream>(name, std::move(detector).value());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (streams_.contains(name)) {
+      return Status::InvalidArgument(
+          StrCat("stream \"", name, "\" already exists"));
+    }
+    contexts_.try_emplace(std::move(probs), std::move(context));
+    streams_.emplace(name, std::move(stream));
+  }
+  streams_created_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+std::shared_ptr<StreamManager::Stream> StreamManager::FindStream(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = streams_.find(name);
+  return it == streams_.end() ? nullptr : it->second;
+}
+
+Result<int64_t> StreamManager::AppendLocked(
+    Stream& stream, std::span<const uint8_t> symbols) {
+  std::lock_guard<std::mutex> lock(stream.mutex);
+  auto alarms = stream.detector.TryAppendChunk(symbols);
+  SIGSUB_RETURN_IF_ERROR(alarms.status());
+  for (const core::StreamingDetector::Alarm& alarm : *alarms) {
+    if (stream.alarms.size() >= options_.max_alarms_per_stream) {
+      stream.alarms.pop_front();
+      ++stream.alarms_dropped;
+    }
+    stream.alarms.push_back(alarm);
+  }
+  symbols_ingested_.fetch_add(static_cast<int64_t>(symbols.size()),
+                              std::memory_order_relaxed);
+  alarms_raised_.fetch_add(static_cast<int64_t>(alarms->size()),
+                           std::memory_order_relaxed);
+  return static_cast<int64_t>(alarms->size());
+}
+
+Result<int64_t> StreamManager::Append(const std::string& name,
+                                      std::span<const uint8_t> symbols) {
+  std::shared_ptr<Stream> stream = FindStream(name);
+  if (stream == nullptr) {
+    return Status::NotFound(StrCat("no stream named \"", name, "\""));
+  }
+  return AppendLocked(*stream, symbols);
+}
+
+Result<int64_t> StreamManager::AppendBatch(
+    const std::vector<StreamAppend>& appends) {
+  // Group by stream up front (resolving every name before any symbol is
+  // ingested), preserving each stream's batch order. Groups live in a
+  // vector ordered by first appearance in the batch, so error reporting
+  // below is deterministic — never dependent on heap-pointer order.
+  struct Group {
+    std::shared_ptr<Stream> stream;
+    std::vector<const StreamAppend*> list;
+    Status status;
+    int64_t alarms = 0;
+  };
+  std::vector<Group> groups;
+  std::map<const Stream*, size_t> group_index;
+  for (const StreamAppend& append : appends) {
+    std::shared_ptr<Stream> stream = FindStream(append.name);
+    if (stream == nullptr) {
+      return Status::NotFound(
+          StrCat("no stream named \"", append.name, "\""));
+    }
+    auto [it, inserted] = group_index.try_emplace(stream.get(), groups.size());
+    if (inserted) {
+      groups.push_back(Group{std::move(stream), {}, Status::OK(), 0});
+    }
+    groups[it->second].list.push_back(&append);
+  }
+
+  // One task per distinct stream; tasks are independent, so the batch
+  // scales with the number of streams touched. Each task stops at that
+  // stream's first error (later appends to it are skipped); the batch
+  // reports the error of the earliest-appearing failed stream.
+  for (Group& group : groups) {
+    Group* g = &group;
+    pool_.Submit([this, g] {
+      for (const StreamAppend* append : g->list) {
+        auto result = AppendLocked(*g->stream, append->symbols);
+        if (!result.ok()) {
+          g->status = result.status();
+          return;
+        }
+        g->alarms += *result;
+      }
+    });
+  }
+  pool_.Wait();
+
+  int64_t total_alarms = 0;
+  for (const Group& group : groups) {
+    SIGSUB_RETURN_IF_ERROR(group.status);
+    total_alarms += group.alarms;
+  }
+  return total_alarms;
+}
+
+Result<StreamSnapshot> StreamManager::Snapshot(
+    const std::string& name) const {
+  std::shared_ptr<Stream> stream = FindStream(name);
+  if (stream == nullptr) {
+    return Status::NotFound(StrCat("no stream named \"", name, "\""));
+  }
+  std::lock_guard<std::mutex> lock(stream->mutex);
+  StreamSnapshot snapshot;
+  snapshot.name = stream->name;
+  snapshot.position = stream->detector.position();
+  snapshot.alarms_total = stream->detector.alarms_raised();
+  snapshot.alarms_dropped = stream->alarms_dropped;
+  snapshot.recent_alarms.assign(stream->alarms.begin(),
+                                stream->alarms.end());
+  snapshot.scales = stream->detector.scales();
+  auto thresholds = stream->detector.scale_thresholds();
+  snapshot.thresholds.assign(thresholds.begin(), thresholds.end());
+  snapshot.chi_squares = stream->detector.CurrentChiSquares();
+  return snapshot;
+}
+
+Status StreamManager::CloseStream(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (streams_.erase(name) == 0) {
+      return Status::NotFound(StrCat("no stream named \"", name, "\""));
+    }
+  }
+  streams_closed_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+std::vector<std::string> StreamManager::StreamNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const auto& [name, unused] : streams_) names.push_back(name);
+  return names;
+}
+
+StreamManagerStats StreamManager::stats() const {
+  StreamManagerStats stats;
+  stats.streams_created = streams_created_.load(std::memory_order_relaxed);
+  stats.streams_closed = streams_closed_.load(std::memory_order_relaxed);
+  stats.symbols_ingested = symbols_ingested_.load(std::memory_order_relaxed);
+  stats.alarms_raised = alarms_raised_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+size_t StreamManager::context_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return contexts_.size();
+}
+
+}  // namespace engine
+}  // namespace sigsub

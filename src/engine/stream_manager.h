@@ -1,0 +1,159 @@
+#ifndef SIGSUB_ENGINE_STREAM_MANAGER_H_
+#define SIGSUB_ENGINE_STREAM_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/streaming.h"
+#include "core/x2_dispatch.h"
+
+namespace sigsub {
+namespace engine {
+
+struct StreamManagerOptions {
+  /// Worker threads for batched ingestion; <= 0 selects the hardware
+  /// concurrency.
+  int num_threads = 1;
+  /// Alarms retained per stream (oldest evicted first); snapshots report
+  /// how many were dropped. Must be >= 1.
+  size_t max_alarms_per_stream = 256;
+  /// Fused X² kernel implementation for every context this manager
+  /// builds, mirroring EngineOptions::x2_dispatch (CLI `--x2-dispatch`).
+  core::X2Dispatch x2_dispatch = core::X2Dispatch::kAuto;
+};
+
+/// Monotonic counters over the manager's lifetime (thread-safe reads).
+struct StreamManagerStats {
+  int64_t streams_created = 0;
+  int64_t streams_closed = 0;
+  int64_t symbols_ingested = 0;
+  int64_t alarms_raised = 0;
+};
+
+/// Point-in-time view of one stream.
+struct StreamSnapshot {
+  std::string name;
+  int64_t position = 0;      // Symbols consumed.
+  int64_t alarms_total = 0;  // Alarms raised over the stream's lifetime.
+  int64_t alarms_dropped = 0;  // Evicted from the bounded log.
+  std::vector<core::StreamingDetector::Alarm> recent_alarms;  // Oldest first.
+  std::vector<int64_t> scales;
+  std::vector<double> thresholds;    // Parallel to scales.
+  std::vector<double> chi_squares;   // Current per-scale X².
+};
+
+/// One named append for AppendBatch.
+struct StreamAppend {
+  std::string name;
+  std::vector<uint8_t> symbols;
+};
+
+/// Many concurrent monitored streams over shared infrastructure — the
+/// online counterpart of engine::Engine. Each stream is a named
+/// core::StreamingDetector with a bounded alarm log; ingestion is chunked
+/// (StreamingDetector::AppendChunk) and batched ingestion fans the
+/// affected streams across the shared common::ThreadPool. Mirroring the
+/// Engine's context-reuse design, one core::ChiSquareContext is built per
+/// distinct null model (keyed by the probability vector, under
+/// StreamManagerOptions::x2_dispatch) and shared by every stream
+/// monitored under that model.
+///
+/// Thread safety: all public methods are safe to call concurrently.
+/// Appends to one stream are serialized by a per-stream mutex; appends to
+/// distinct streams proceed in parallel. AppendBatch applies a batch's
+/// appends to any one stream in batch order.
+class StreamManager {
+ public:
+  explicit StreamManager(StreamManagerOptions options = {});
+
+  /// Creates stream `name` monitored under the multinomial model `probs`
+  /// (validated; must sum to 1). Fails with InvalidArgument if the name
+  /// is already in use or the detector options are invalid. The detector
+  /// options' x2_dispatch field is overridden by
+  /// StreamManagerOptions::x2_dispatch, which governs both the shared
+  /// context and the detector's scoring kernel.
+  Status CreateStream(const std::string& name, std::vector<double> probs,
+                      core::StreamingDetector::Options options = {});
+
+  /// Appends `symbols` to stream `name` synchronously; returns the number
+  /// of alarms the chunk raised. NotFound for unknown streams;
+  /// InvalidArgument (stream unchanged) when a symbol is outside the
+  /// stream's alphabet.
+  Result<int64_t> Append(const std::string& name,
+                         std::span<const uint8_t> symbols);
+
+  /// Batched ingestion: validates every stream name, then fans the
+  /// appends across the worker pool — one task per distinct stream, each
+  /// applying that stream's appends in batch order. Returns the total
+  /// number of alarms raised. On a symbol-range error the remaining
+  /// appends to that stream are skipped (other streams are unaffected)
+  /// and the first error is returned; appends that already completed
+  /// stay applied.
+  Result<int64_t> AppendBatch(const std::vector<StreamAppend>& appends);
+
+  /// Snapshot of one stream's state (position, alarm log tail, per-scale
+  /// X² and thresholds). NotFound for unknown streams.
+  Result<StreamSnapshot> Snapshot(const std::string& name) const;
+
+  /// Removes the stream. NotFound for unknown streams.
+  Status CloseStream(const std::string& name);
+
+  /// Names of all open streams, sorted.
+  std::vector<std::string> StreamNames() const;
+
+  StreamManagerStats stats() const;
+
+  int num_threads() const { return pool_.num_threads(); }
+  /// Distinct null models the manager has built a shared context for.
+  size_t context_count() const;
+
+ private:
+  struct Stream {
+    Stream(std::string stream_name, core::StreamingDetector d)
+        : name(std::move(stream_name)), detector(std::move(d)) {}
+
+    const std::string name;
+    mutable std::mutex mutex;  // Serializes detector access.
+    core::StreamingDetector detector;
+    std::deque<core::StreamingDetector::Alarm> alarms;  // Bounded log.
+    int64_t alarms_dropped = 0;
+  };
+
+  /// Looks up a stream under mutex_; the returned shared_ptr keeps it
+  /// alive even if CloseStream races.
+  std::shared_ptr<Stream> FindStream(const std::string& name) const;
+
+  /// Applies one chunk under the stream's mutex and records its alarms.
+  /// Returns the number of alarms raised.
+  Result<int64_t> AppendLocked(Stream& stream,
+                               std::span<const uint8_t> symbols);
+
+  StreamManagerOptions options_;
+  ThreadPool pool_;
+
+  mutable std::mutex mutex_;  // Guards streams_ and contexts_.
+  std::map<std::string, std::shared_ptr<Stream>> streams_;
+  // One shared evaluation context per distinct model (Engine's
+  // context-reuse design, persisted for the manager's lifetime).
+  std::map<std::vector<double>, std::shared_ptr<const core::ChiSquareContext>>
+      contexts_;
+
+  std::atomic<int64_t> streams_created_{0};
+  std::atomic<int64_t> streams_closed_{0};
+  std::atomic<int64_t> symbols_ingested_{0};
+  std::atomic<int64_t> alarms_raised_{0};
+};
+
+}  // namespace engine
+}  // namespace sigsub
+
+#endif  // SIGSUB_ENGINE_STREAM_MANAGER_H_

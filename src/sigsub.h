@@ -48,6 +48,7 @@
 #include "engine/fingerprint.h"
 #include "engine/job.h"
 #include "engine/result_cache.h"
+#include "engine/stream_manager.h"
 #include "engine/thread_pool.h"
 #include "io/csv.h"
 #include "io/date_axis.h"

@@ -188,10 +188,18 @@ TEST(ParseArgsTest, ParsesX2Dispatch) {
   EXPECT_NE(status.message().find("--x2-dispatch"), std::string::npos);
 }
 
+/// Drops the "x2 dispatch: ..." report line an explicit --x2-dispatch
+/// adds, so dispatch modes can be compared on their mining output alone.
+std::string StripDispatchReport(const std::string& report) {
+  if (report.rfind("x2 dispatch:", 0) != 0) return report;
+  return report.substr(report.find('\n') + 1);
+}
+
 TEST(RunTest, X2DispatchModesAgreeOnBestSubstring) {
   // A reproducibility audit pins --x2-dispatch=scalar; the report must
   // carry the same best substring the default (auto, possibly SIMD)
-  // dispatch finds.
+  // dispatch finds. The dispatch-report banner names the mode, so it is
+  // stripped before comparing.
   const char* input = "--string=001011111111101001100100";
   auto auto_report = cli::Run(
       ParseArgs({"mss", input, "--x2-dispatch=auto"}).value());
@@ -202,8 +210,43 @@ TEST(RunTest, X2DispatchModesAgreeOnBestSubstring) {
   ASSERT_TRUE(auto_report.ok());
   ASSERT_TRUE(scalar_report.ok());
   ASSERT_TRUE(simd_report.ok());
-  EXPECT_EQ(*auto_report, *scalar_report);
-  EXPECT_EQ(*auto_report, *simd_report);
+  EXPECT_EQ(StripDispatchReport(*auto_report),
+            StripDispatchReport(*scalar_report));
+  EXPECT_EQ(StripDispatchReport(*auto_report),
+            StripDispatchReport(*simd_report));
+}
+
+TEST(RunTest, ExplicitDispatchReportsEffectiveKernel) {
+  // --x2-dispatch=simd must never degrade silently: the report either
+  // confirms the SIMD kernel is active or carries the fallback warning,
+  // depending on what this host supports (both wordings covered; which
+  // branch runs follows core::SimdAvailable()).
+  auto simd = cli::Run(
+      ParseArgs({"mss", "--string=0101011111", "--x2-dispatch=simd"})
+          .value());
+  ASSERT_TRUE(simd.ok());
+  if (core::SimdAvailable()) {
+    EXPECT_NE(simd->find("x2 dispatch: simd (AVX2 active)"),
+              std::string::npos)
+        << *simd;
+    EXPECT_EQ(simd->find("WARNING"), std::string::npos) << *simd;
+  } else {
+    EXPECT_NE(simd->find("WARNING: simd requested but AVX2 is unavailable"),
+              std::string::npos)
+        << *simd;
+    EXPECT_NE(simd->find("x2 dispatch: scalar"), std::string::npos) << *simd;
+  }
+  auto scalar = cli::Run(
+      ParseArgs({"mss", "--string=0101011111", "--x2-dispatch=scalar"})
+          .value());
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_NE(scalar->find("x2 dispatch: scalar (bit-reproducible)"),
+            std::string::npos)
+      << *scalar;
+  // Without the explicit flag there is no dispatch banner.
+  auto silent = cli::Run(ParseArgs({"mss", "--string=0101011111"}).value());
+  ASSERT_TRUE(silent.ok());
+  EXPECT_EQ(silent->find("x2 dispatch:"), std::string::npos) << *silent;
 }
 
 TEST(RunTest, MssOnLiteralString) {
@@ -349,7 +392,7 @@ TEST(BatchTest, X2DispatchReachesEngine) {
       ParseArgs({"batch", input, "--x2-dispatch=auto"}).value());
   ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
   ASSERT_TRUE(auto_mode.ok()) << auto_mode.status().ToString();
-  EXPECT_EQ(*scalar, *auto_mode);
+  EXPECT_EQ(StripDispatchReport(*scalar), StripDispatchReport(*auto_mode));
   std::remove(path.c_str());
 }
 
@@ -405,10 +448,137 @@ TEST(BatchTest, ThresholdJobNeedsAlphaOrPValue) {
   std::remove(path.c_str());
 }
 
+TEST(RunTest, MinlenFloorAboveLengthNeverRendersBogusRow) {
+  // `best` is only valid when something qualified. The single-string
+  // path rejects a floor above n outright; the batch engine path returns
+  // an empty result, which its table renders as dashes (see
+  // BatchTest.MinlenFloorAboveRecordRendersDashes). Neither may print a
+  // zero-length substring with X² = 0 and p-value 1 as if it were a
+  // finding.
+  auto report = cli::Run(
+      ParseArgs({"minlen", "--string=0101", "--min-length=10"}).value());
+  ASSERT_TRUE(report.status().IsInvalidArgument());
+  EXPECT_NE(report.status().message().find("min_length"), std::string::npos);
+}
+
+TEST(BatchTest, MinlenFloorAboveRecordRendersDashes) {
+  // The engine path does reach the zero-match case: a floor above one
+  // record's length yields an empty best, which must render as dashes.
+  std::string path = ::testing::TempDir() + "/sigsub_cli_minlen0.txt";
+  ASSERT_TRUE(io::WriteTextFile(path, "0101\n000001111111111111\n").ok());
+  auto report = cli::Run(ParseArgs({"batch", std::string("--input=") + path,
+                                    "--job=minlen", "--min-length=10"})
+                             .value());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Record 0 (n = 4) cannot satisfy the floor: every cell dashed.
+  EXPECT_NE(report->find("0       4   -"), std::string::npos) << *report;
+  // Record 1 (n = 18) reports a real window of length >= 10.
+  EXPECT_NE(report->find("1       18  "), std::string::npos) << *report;
+  EXPECT_NE(report->find("p-value"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BatchTest, ThresholdZeroMatchesRendersDashes) {
+  // A record with no match above the threshold must render "-" cells,
+  // never the (invalid-on-zero-matches) `best` substring.
+  std::string path = ::testing::TempDir() + "/sigsub_cli_thr0.txt";
+  ASSERT_TRUE(io::WriteTextFile(path, "0101\n000001111111111111\n").ok());
+  auto report = cli::Run(ParseArgs({"batch", std::string("--input=") + path,
+                                    "--job=threshold", "--alpha0=9"})
+                             .value());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Record 0 ("0101") has nothing above X² = 9: matches 0, dashes.
+  EXPECT_NE(report->find("0       4   0        -           -         -"),
+            std::string::npos)
+      << *report;
+  // Record 1's planted run does clear it, proving the guard is per-row.
+  EXPECT_NE(report->find("1       18  12       5           18        13.0000"),
+            std::string::npos)
+      << *report;
+  std::remove(path.c_str());
+}
+
+TEST(StreamTest, ParsesStreamFlags) {
+  auto options = ParseArgs({"stream", "--string=0101", "--alpha=0.001",
+                            "--max-window=64", "--chunk=16"});
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  EXPECT_EQ(options->command, "stream");
+  EXPECT_DOUBLE_EQ(options->alpha, 0.001);
+  EXPECT_EQ(options->max_window, 64);
+  EXPECT_EQ(options->chunk, 16);
+  // Stream-only flags are rejected elsewhere; batch flags rejected here.
+  EXPECT_TRUE(ParseArgs({"mss", "--string=01", "--alpha=0.1"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"stream", "--string=01", "--job=mss"})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(StreamTest, FlagsAreValidated) {
+  EXPECT_TRUE(cli::Run(ParseArgs({"stream", "--string=0101", "--alpha=2"})
+                           .value())
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(cli::Run(ParseArgs({"stream", "--string=0101",
+                                  "--max-window=0"})
+                           .value())
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(cli::Run(ParseArgs({"stream", "--string=0101", "--chunk=0"})
+                           .value())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(StreamTest, FlagsBurstAndReportsCalibration) {
+  // A long null prefix then a heavy burst: the calibrated detector must
+  // alarm inside the burst and the report must carry the calibration
+  // summary and the alarm table.
+  std::string text(3000, '0');
+  for (size_t i = 1; i < text.size(); i += 2) text[i] = '1';  // 0101...
+  text += std::string(300, '1');
+  auto report = cli::Run(ParseArgs({"stream", "--string=" + text,
+                                    "--alpha=0.0001", "--max-window=256",
+                                    "--chunk=512"})
+                             .value());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("n = 3300"), std::string::npos) << *report;
+  EXPECT_NE(report->find("scales: 1 2 4 8 16 32 64 128 256"),
+            std::string::npos)
+      << *report;
+  EXPECT_NE(report->find("Sidak over 9 scales"), std::string::npos);
+  EXPECT_NE(report->find("alarms:"), std::string::npos);
+  EXPECT_NE(report->find("p-value"), std::string::npos) << *report;
+}
+
+TEST(StreamTest, QuietNullStreamReportsZeroAlarms) {
+  std::string text;
+  for (int i = 0; i < 1000; ++i) text += (i * 7 % 13) % 2 ? '1' : '0';
+  auto report = cli::Run(
+      ParseArgs({"stream", "--string=" + text, "--max-window=64"}).value());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("alarms: 0"), std::string::npos) << *report;
+}
+
+TEST(StreamTest, ReadsStreamFromFile) {
+  std::string path = ::testing::TempDir() + "/sigsub_cli_stream.txt";
+  std::string text(500, '0');
+  for (size_t i = 1; i < text.size(); i += 2) text[i] = '1';
+  text += std::string(200, '1');
+  ASSERT_TRUE(io::WriteTextFile(path, text + "\n").ok());
+  auto report = cli::Run(ParseArgs({"stream", std::string("--input=") + path,
+                                    "--max-window=128", "--alpha=0.001"})
+                             .value());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("n = 700"), std::string::npos) << *report;
+  std::remove(path.c_str());
+}
+
 TEST(UsageTest, MentionsAllCommands) {
   std::string usage = UsageText();
   for (const char* command :
-       {"mss", "topt", "threshold", "minlen", "score", "batch"}) {
+       {"mss", "topt", "threshold", "minlen", "score", "batch", "stream"}) {
     EXPECT_NE(usage.find(command), std::string::npos) << command;
   }
 }

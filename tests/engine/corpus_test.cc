@@ -72,6 +72,35 @@ TEST(CorpusTest, FromLinesMissingFileIsIOError) {
   EXPECT_TRUE(Corpus::FromLines("/no/such/corpus").status().IsIOError());
 }
 
+TEST(CorpusTest, FromLinesStripsUtf8Bom) {
+  // Editors on Windows routinely prepend a UTF-8 BOM. Left in place it
+  // reaches alphabet inference, silently adding three junk symbols
+  // (EF BB BF) that shrink every p_c and skew every X² on the corpus.
+  std::string path = ::testing::TempDir() + "/corpus_bom.txt";
+  ASSERT_TRUE(io::WriteTextFile(path, "\xEF\xBB\xBF" "0101\n1100\n").ok());
+  auto corpus = Corpus::FromLines(path);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  EXPECT_EQ(corpus->alphabet().characters(), "01");
+  EXPECT_EQ(corpus->text(0), "0101");
+  EXPECT_EQ(corpus->sequence(0).size(), 4);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusTest, FromLinesBomOnlyOnFirstLineIsStripped) {
+  // Only a leading BOM is a byte-order mark; the same bytes later in the
+  // file are (unusual but legitimate) data and must be preserved.
+  std::string path = ::testing::TempDir() + "/corpus_bom_mid.txt";
+  ASSERT_TRUE(io::WriteTextFile(
+                  path, "\xEF\xBB\xBF" "01\n\xEF\xBB\xBF" "10\n")
+                  .ok());
+  auto corpus = Corpus::FromLines(path);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  EXPECT_EQ(corpus->text(0), "01");
+  EXPECT_EQ(corpus->text(1), "\xEF\xBB\xBF" "10");
+  EXPECT_EQ(corpus->alphabet().size(), 5);  // 0, 1, and the three BOM bytes.
+  std::remove(path.c_str());
+}
+
 TEST(CorpusTest, FromCsvColumnSelectsAndSkipsHeader) {
   std::string path = ::testing::TempDir() + "/corpus.csv";
   ASSERT_TRUE(io::WriteTextFile(

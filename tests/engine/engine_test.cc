@@ -347,6 +347,26 @@ TEST(EngineTest, ExecuteUniformCoversEveryRecord) {
   }
 }
 
+TEST(EngineTest, ThresholdJobWithNoMatchesCarriesEmptyBest) {
+  // scan_types.h: ThresholdResult::best is valid iff match_count > 0.
+  // The engine's payload for a matchless threshold job must carry the
+  // explicit empty shape (count 0, no substrings, zero-length best) that
+  // formatting consumers key off — not a stale or garbage substring.
+  auto corpus = Corpus::FromStrings({"0101"}, "01");
+  ASSERT_TRUE(corpus.ok());
+  Engine engine({.num_threads = 1, .cache_capacity = 4});
+  JobParams params;
+  params.alpha0 = 50.0;  // Far above anything a 4-symbol record reaches.
+  ASSERT_OK_AND_ASSIGN(
+      auto results,
+      engine.ExecuteUniform(*corpus, JobKind::kThreshold, params));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].match_count, 0);
+  EXPECT_TRUE(results[0].substrings.empty());
+  EXPECT_EQ(results[0].best.length(), 0);
+  EXPECT_EQ(results[0].best.chi_square, 0.0);
+}
+
 TEST(FingerprintTest, SequenceAndModelFingerprints) {
   seq::Rng rng(7);
   seq::Sequence a = seq::GenerateNull(2, 100, rng);

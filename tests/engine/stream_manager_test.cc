@@ -1,0 +1,246 @@
+#include "engine/stream_manager.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/streaming.h"
+#include "seq/generators.h"
+#include "seq/rng.h"
+#include "testing/test_util.h"
+
+namespace sigsub {
+namespace engine {
+namespace {
+
+std::vector<double> Uniform(int k) {
+  return std::vector<double>(static_cast<size_t>(k), 1.0 / k);
+}
+
+/// A burst-heavy test stream: null background with one strong planted
+/// regime, so calibrated detectors raise a handful of alarms.
+std::vector<uint8_t> BurstStream(uint64_t seed, int64_t null_length,
+                                 int64_t burst_length) {
+  seq::Rng rng(seed);
+  auto stream = seq::GenerateRegimes(
+      2,
+      {{null_length, {0.5, 0.5}},
+       {burst_length, {0.05, 0.95}},
+       {null_length / 2, {0.5, 0.5}}},
+      rng);
+  auto symbols = stream->symbols();
+  return std::vector<uint8_t>(symbols.begin(), symbols.end());
+}
+
+core::StreamingDetector::Options SmallWindow() {
+  core::StreamingDetector::Options options;
+  options.max_window = 128;
+  options.alpha = 1e-5;
+  return options;
+}
+
+TEST(StreamManagerTest, CreateAppendSnapshotCloseRoundTrip) {
+  StreamManager manager;
+  ASSERT_OK(manager.CreateStream("sensor-a", Uniform(2), SmallWindow()));
+  std::vector<uint8_t> stream = BurstStream(1, 2000, 300);
+  auto alarms = manager.Append("sensor-a", stream);
+  ASSERT_OK(alarms.status());
+  EXPECT_GT(*alarms, 0);
+
+  auto snapshot = manager.Snapshot("sensor-a");
+  ASSERT_OK(snapshot.status());
+  EXPECT_EQ(snapshot->name, "sensor-a");
+  EXPECT_EQ(snapshot->position, static_cast<int64_t>(stream.size()));
+  EXPECT_EQ(snapshot->alarms_total, *alarms);
+  EXPECT_EQ(snapshot->alarms_dropped, 0);
+  EXPECT_EQ(static_cast<int64_t>(snapshot->recent_alarms.size()), *alarms);
+  EXPECT_EQ(snapshot->scales.size(), snapshot->thresholds.size());
+  EXPECT_EQ(snapshot->scales.size(), snapshot->chi_squares.size());
+
+  ASSERT_OK(manager.CloseStream("sensor-a"));
+  EXPECT_TRUE(manager.Snapshot("sensor-a").status().IsNotFound());
+  StreamManagerStats stats = manager.stats();
+  EXPECT_EQ(stats.streams_created, 1);
+  EXPECT_EQ(stats.streams_closed, 1);
+  EXPECT_EQ(stats.symbols_ingested, static_cast<int64_t>(stream.size()));
+  EXPECT_EQ(stats.alarms_raised, *alarms);
+}
+
+TEST(StreamManagerTest, ManagerMatchesStandaloneDetector) {
+  // A stream fed through the manager must behave exactly like a
+  // standalone StreamingDetector fed the same chunks.
+  StreamManager manager;
+  auto options = SmallWindow();
+  ASSERT_OK(manager.CreateStream("s", Uniform(2), options));
+  auto model = seq::MultinomialModel::Uniform(2);
+  auto direct = core::StreamingDetector::Make(model, options).value();
+
+  std::vector<uint8_t> stream = BurstStream(2, 3000, 200);
+  int64_t manager_alarms = 0;
+  const size_t chunk = 512;
+  for (size_t offset = 0; offset < stream.size(); offset += chunk) {
+    size_t take = std::min(chunk, stream.size() - offset);
+    std::span<const uint8_t> slice(stream.data() + offset, take);
+    auto result = manager.Append("s", slice);
+    ASSERT_OK(result.status());
+    manager_alarms += *result;
+    direct.AppendChunk(slice);
+  }
+  EXPECT_EQ(manager_alarms, direct.alarms_raised());
+  auto snapshot = manager.Snapshot("s");
+  ASSERT_OK(snapshot.status());
+  EXPECT_EQ(snapshot->chi_squares, direct.CurrentChiSquares());
+}
+
+TEST(StreamManagerTest, ManagerDispatchReachesDetectorScoring) {
+  // StreamManagerOptions::x2_dispatch must govern the detectors' scoring
+  // kernels, not just the shared context build — a SIMD request that the
+  // detector silently re-resolved to scalar would contradict the CLI's
+  // dispatch report. Pin: a manager-created stream scores bit-identically
+  // to a standalone detector built with the same explicit dispatch (on
+  // hosts without AVX2 both sides fall back to scalar together).
+  StreamManagerOptions manager_options;
+  manager_options.x2_dispatch = core::X2Dispatch::kSimd;
+  StreamManager manager(manager_options);
+  auto options = SmallWindow();
+  ASSERT_OK(manager.CreateStream("s", Uniform(2), options));  // kAuto field.
+
+  auto direct_options = options;
+  direct_options.x2_dispatch = core::X2Dispatch::kSimd;
+  auto model = seq::MultinomialModel::Uniform(2);
+  auto direct =
+      core::StreamingDetector::Make(model, direct_options).value();
+
+  std::vector<uint8_t> stream = BurstStream(3, 2000, 250);
+  ASSERT_OK(manager.Append("s", stream).status());
+  direct.AppendChunk(stream);
+  auto snapshot = manager.Snapshot("s");
+  ASSERT_OK(snapshot.status());
+  EXPECT_EQ(snapshot->chi_squares, direct.CurrentChiSquares());
+  EXPECT_EQ(snapshot->alarms_total, direct.alarms_raised());
+}
+
+TEST(StreamManagerTest, ValidatesNamesAndModels) {
+  StreamManager manager;
+  EXPECT_TRUE(manager.CreateStream("", Uniform(2)).IsInvalidArgument());
+  EXPECT_TRUE(manager.CreateStream("bad-model", {0.9, 0.3})
+                  .IsInvalidArgument());
+  core::StreamingDetector::Options bad;
+  bad.max_window = 0;
+  EXPECT_TRUE(manager.CreateStream("bad-options", Uniform(2), bad)
+                  .IsInvalidArgument());
+  ASSERT_OK(manager.CreateStream("s", Uniform(2)));
+  EXPECT_TRUE(manager.CreateStream("s", Uniform(2)).IsInvalidArgument());
+  EXPECT_TRUE(manager.Append("missing", std::vector<uint8_t>{0})
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(manager.CloseStream("missing").IsNotFound());
+  // Out-of-alphabet symbols are rejected without state change.
+  auto rejected = manager.Append("s", std::vector<uint8_t>{0, 5});
+  EXPECT_TRUE(rejected.status().IsInvalidArgument());
+  EXPECT_EQ(manager.Snapshot("s")->position, 0);
+}
+
+TEST(StreamManagerTest, SharesOneContextPerDistinctModel) {
+  StreamManager manager;
+  ASSERT_OK(manager.CreateStream("a", Uniform(2)));
+  ASSERT_OK(manager.CreateStream("b", Uniform(2)));
+  ASSERT_OK(manager.CreateStream("c", {0.25, 0.75}));
+  EXPECT_EQ(manager.context_count(), 2u);
+  EXPECT_EQ(manager.StreamNames(),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StreamManagerTest, AppendBatchFansOutAndPreservesPerStreamOrder) {
+  StreamManagerOptions options;
+  options.num_threads = 4;  // Degrades to fewer workers on small hosts.
+  StreamManager manager(options);
+  const int kStreams = 3;
+  std::vector<std::vector<uint8_t>> streams;
+  for (int s = 0; s < kStreams; ++s) {
+    ASSERT_OK(manager.CreateStream("stream-" + std::to_string(s), Uniform(2),
+                                   SmallWindow()));
+    streams.push_back(BurstStream(10 + static_cast<uint64_t>(s), 2000, 250));
+  }
+
+  // Interleave two chunks per stream in one batch; per-stream order is
+  // first half then second half.
+  std::vector<StreamAppend> batch;
+  for (int half = 0; half < 2; ++half) {
+    for (int s = 0; s < kStreams; ++s) {
+      const std::vector<uint8_t>& all = streams[static_cast<size_t>(s)];
+      size_t mid = all.size() / 2;
+      StreamAppend append;
+      append.name = "stream-" + std::to_string(s);
+      append.symbols.assign(
+          all.begin() + (half == 0 ? 0 : static_cast<int64_t>(mid)),
+          half == 0 ? all.begin() + static_cast<int64_t>(mid) : all.end());
+      batch.push_back(std::move(append));
+    }
+  }
+  auto total = manager.AppendBatch(batch);
+  ASSERT_OK(total.status());
+  EXPECT_GT(*total, 0);
+
+  // Every stream must match a standalone detector fed the same symbols
+  // in order (order scrambling across the batch would change the window
+  // trajectories and the alarm count).
+  auto model = seq::MultinomialModel::Uniform(2);
+  int64_t direct_total = 0;
+  for (int s = 0; s < kStreams; ++s) {
+    auto direct = core::StreamingDetector::Make(model, SmallWindow()).value();
+    direct.AppendChunk(streams[static_cast<size_t>(s)]);
+    auto snapshot = manager.Snapshot("stream-" + std::to_string(s));
+    ASSERT_OK(snapshot.status());
+    EXPECT_EQ(snapshot->position,
+              static_cast<int64_t>(streams[static_cast<size_t>(s)].size()));
+    EXPECT_EQ(snapshot->chi_squares, direct.CurrentChiSquares()) << s;
+    direct_total += direct.alarms_raised();
+  }
+  // Chunk boundaries differ from the one-shot direct ingest, but the
+  // detector is chunk-size invariant, so totals must agree exactly.
+  EXPECT_EQ(*total, direct_total);
+}
+
+TEST(StreamManagerTest, AppendBatchRejectsUnknownStreamUpFront) {
+  StreamManager manager;
+  ASSERT_OK(manager.CreateStream("known", Uniform(2)));
+  std::vector<StreamAppend> batch(2);
+  batch[0].name = "known";
+  batch[0].symbols = {0, 1, 0};
+  batch[1].name = "unknown";
+  batch[1].symbols = {1};
+  EXPECT_TRUE(manager.AppendBatch(batch).status().IsNotFound());
+  // Validation happens before any ingestion.
+  EXPECT_EQ(manager.Snapshot("known")->position, 0);
+}
+
+TEST(StreamManagerTest, BoundedAlarmLogEvictsOldestButKeepsTotals) {
+  StreamManagerOptions options;
+  options.max_alarms_per_stream = 4;
+  StreamManager manager(options);
+  core::StreamingDetector::Options detector_options;
+  detector_options.max_window = 16;
+  detector_options.x2_threshold = 0.0;  // Alarm freely.
+  detector_options.rearm_fraction = 2.0;
+  ASSERT_OK(manager.CreateStream("s", {0.1, 0.9}, detector_options));
+  std::vector<uint8_t> zeros(64, 0);  // Far from the {0.1, 0.9} model.
+  auto alarms = manager.Append("s", zeros);
+  ASSERT_OK(alarms.status());
+  ASSERT_GT(*alarms, 4);
+  auto snapshot = manager.Snapshot("s");
+  ASSERT_OK(snapshot.status());
+  EXPECT_EQ(snapshot->recent_alarms.size(), 4u);
+  EXPECT_EQ(snapshot->alarms_total, *alarms);
+  EXPECT_EQ(snapshot->alarms_dropped, *alarms - 4);
+  // The retained tail is the newest alarms, still in stream order.
+  for (size_t i = 1; i < snapshot->recent_alarms.size(); ++i) {
+    EXPECT_LE(snapshot->recent_alarms[i - 1].end,
+              snapshot->recent_alarms[i].end);
+  }
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace sigsub
