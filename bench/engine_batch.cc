@@ -17,6 +17,7 @@
 // the cold-row speedup isolates context reuse (a multi-thread row shows
 // the additional across-jobs scaling).
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -219,6 +220,104 @@ int main() {
     json.AddResult("engine_parallel_vs_1_thread", parallel_ms, scaling);
     json.AddGate("parallel_speedup_over_1_thread", scaling >= 1.3);
   }
+
+  // ------------------------------------------------------------------
+  // api-layer dispatch overhead. Two measurements:
+  //
+  //   1. The same 40-job batch submitted as legacy JobSpecs (lowered
+  //      internally) and as pre-lowered api::QuerySpecs — identical
+  //      kernels, reported as an informational ratio (a direct ratio
+  //      gate at 2% would need cross-run timing stability better than
+  //      2%, which shared runners do not offer).
+  //   2. The gate: a dispatch-dominated probe — many one-record MSS
+  //      queries over tiny distinct records, so per-query time is
+  //      essentially the query layer itself (validation, canonical-bytes
+  //      fingerprinting, grouping, payload shaping) plus a negligible
+  //      kernel. That per-query dispatch cost must stay under 2% of the
+  //      real batch's per-query time. The two sides differ by orders of
+  //      magnitude, so the gate trips on a structural regression (an
+  //      accidentally O(n) or allocation-heavy dispatch path), not on
+  //      scheduler noise.
+  std::vector<api::QuerySpec> query_specs;
+  query_specs.reserve(jobs.size());
+  for (const engine::JobSpec& spec : jobs) {
+    query_specs.push_back(engine::ToQuerySpec(spec));
+  }
+  engine::Engine jobspec_engine({.num_threads = 1, .cache_capacity = 0});
+  engine::Engine query_engine({.num_threads = 1, .cache_capacity = 0});
+  double jobspec_ms = 1e300, query_ms = 1e300;
+  std::vector<engine::JobResult> jobspec_results;
+  std::vector<api::QueryResult> query_results;
+  for (int rep = 0; rep < 5; ++rep) {
+    jobspec_ms = std::min(jobspec_ms, bench::TimeMs([&] {
+      jobspec_results =
+          std::move(jobspec_engine.ExecuteBatch(*corpus, jobs)).value();
+    }));
+    query_ms = std::min(query_ms, bench::TimeMs([&] {
+      query_results =
+          std::move(query_engine.ExecuteQueries(*corpus, query_specs))
+              .value();
+    }));
+  }
+  int64_t api_mismatches = 0;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (query_results[i].best().chi_square != naive_best[i]) {
+      ++api_mismatches;
+    }
+    if (jobspec_results[i].best.chi_square != naive_best[i]) {
+      ++api_mismatches;
+    }
+  }
+  std::printf(
+      "\napi dispatch: JobSpec path %s, QuerySpec path %s (%.3fx, "
+      "informational; bit-identical: %s)\n",
+      bench::FormatMs(jobspec_ms).c_str(), bench::FormatMs(query_ms).c_str(),
+      query_ms / jobspec_ms, api_mismatches == 0 ? "yes" : "NO — BUG");
+  json.AddResult("api_jobspec_path", jobspec_ms);
+  json.AddResult("api_query_path", query_ms, jobspec_ms / query_ms);
+  json.AddGate("api_dispatch_bit_identical", api_mismatches == 0);
+
+  const int64_t probe_records = 512;
+  std::vector<std::string> probe_texts;
+  probe_texts.reserve(static_cast<size_t>(probe_records));
+  for (int64_t i = 0; i < probe_records; ++i) {
+    seq::Sequence tiny = seq::GenerateNull(k, 16, rng);
+    probe_texts.push_back(tiny.ToString(alphabet));
+  }
+  auto probe_corpus =
+      engine::Corpus::FromStrings(probe_texts, alphabet.characters());
+  if (!probe_corpus.ok()) {
+    std::printf("corpus error: %s\n",
+                probe_corpus.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<api::QuerySpec> probe_specs(
+      static_cast<size_t>(probe_corpus->size()));
+  for (int64_t i = 0; i < probe_corpus->size(); ++i) {
+    probe_specs[static_cast<size_t>(i)].sequence_index = i;
+  }
+  engine::Engine probe_engine({.num_threads = 1, .cache_capacity = 0});
+  double probe_ms = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    probe_ms = std::min(probe_ms, bench::TimeMs([&] {
+      (void)probe_engine.ExecuteQueries(*probe_corpus, probe_specs).value();
+    }));
+  }
+  const double dispatch_per_query_ms =
+      probe_ms / static_cast<double>(probe_records);
+  const double batch_per_query_ms =
+      jobspec_ms / static_cast<double>(jobs.size());
+  const bool overhead_ok =
+      dispatch_per_query_ms <= 0.02 * batch_per_query_ms;
+  std::printf(
+      "api dispatch cost: %.1fus/query (probe of %lld tiny records) vs "
+      "%.2fms/query real batch — %.2f%% (<2%% gate: %s)\n",
+      1000.0 * dispatch_per_query_ms,
+      static_cast<long long>(probe_records), batch_per_query_ms,
+      100.0 * dispatch_per_query_ms / batch_per_query_ms,
+      overhead_ok ? "pass" : "FAIL");
+  json.AddResult("api_dispatch_probe", probe_ms);
+  json.AddGate("api_dispatch_overhead_under_2pct", overhead_ok);
 
   // ------------------------------------------------------------------
   // Point-query regime: many cheap parameterized queries per sequence

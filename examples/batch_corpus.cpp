@@ -1,6 +1,7 @@
-// Batch mining a corpus with engine::Engine: build a small corpus of
-// binary series, fan one MSS job and one top-t job per record across the
-// engine, and show the result cache absorbing a repeated batch.
+// Batch mining a corpus through the query facade: build a small corpus of
+// binary series, fan a heterogeneous set of api::QuerySpecs across the
+// engine (including a kernel the legacy JobSpec surface never reached),
+// and show the result cache absorbing a repeated batch.
 //
 // Build: cmake --build build --target example_batch_corpus
 
@@ -30,36 +31,42 @@ int main() {
 
   engine::Engine engine({.num_threads = 2, .cache_capacity = 64});
 
-  // One MSS and one top-3 job per record, uniform null model.
-  std::vector<engine::JobSpec> jobs;
+  // Per record: the MSS, the top 3 substrings, and the best window of
+  // length 8..32 (lenbound — reachable only through the query layer).
+  std::vector<api::QuerySpec> queries;
   for (int64_t i = 0; i < corpus->size(); ++i) {
-    engine::JobSpec mss;
+    api::QuerySpec mss;
     mss.sequence_index = i;
-    jobs.push_back(mss);
-    engine::JobSpec topt;
-    topt.kind = engine::JobKind::kTopT;
+    queries.push_back(mss);
+    api::QuerySpec topt;
     topt.sequence_index = i;
-    topt.params.t = 3;
-    jobs.push_back(topt);
+    topt.request = api::TopTQuery{3};
+    queries.push_back(topt);
+    api::QuerySpec windowed;
+    windowed.sequence_index = i;
+    windowed.request = api::LengthBoundedQuery{8, 32};
+    queries.push_back(windowed);
   }
 
-  auto results = engine.ExecuteBatch(*corpus, jobs);
+  auto results = engine.ExecuteQueries(*corpus, queries);
   if (!results.ok()) {
     std::printf("batch error: %s\n", results.status().ToString().c_str());
     return 1;
   }
-  for (const engine::JobResult& result : *results) {
-    if (result.kind != engine::JobKind::kMss) continue;
+  for (const api::QueryResult& result : *results) {
+    if (result.kind != api::QueryKind::kMss) continue;
+    const core::Substring& best = result.best();
     std::printf("record %lld: MSS [%lld, %lld) X² = %.2f  p = %.3g\n",
                 static_cast<long long>(result.sequence_index),
-                static_cast<long long>(result.best.start),
-                static_cast<long long>(result.best.end),
-                result.best.chi_square,
-                core::SubstringPValue(result.best.chi_square, 2));
+                static_cast<long long>(best.start),
+                static_cast<long long>(best.end), best.chi_square,
+                core::SubstringPValue(best.chi_square, 2));
   }
 
-  // Replaying the batch hits the cache for every job.
-  (void)engine.ExecuteBatch(*corpus, jobs);
+  // Replaying the batch hits the cache for every query — the key is the
+  // canonical serialization (api::FormatQuery) of each spec, so the same
+  // query re-parsed from text is the same cache entry.
+  (void)engine.ExecuteQueries(*corpus, queries);
   engine::CacheStats stats = engine.cache_stats();
   std::printf("cache: %lld hits / %lld lookups\n",
               static_cast<long long>(stats.hits),

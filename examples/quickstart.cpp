@@ -1,5 +1,6 @@
-// Quickstart: generate a string with a hidden anomaly, find the most
-// significant substring (MSS), and report its significance.
+// Quickstart: generate a string with a hidden anomaly, then mine it
+// through the library's query facade — a typed api::QuerySpec executed on
+// the engine, plus the same query written in its serialized text form.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -24,48 +25,65 @@ int main() {
     return 1;
   }
 
-  // 2. The null model the paper scores against: letters drawn i.i.d. from a
-  //    fixed multinomial distribution (here: a fair coin).
-  seq::MultinomialModel model = seq::MultinomialModel::Uniform(2);
-
-  // 3. Problem 1 — the most significant substring.
-  auto mss = core::FindMss(*sequence, model);
-  if (!mss.ok()) {
-    std::fprintf(stderr, "FindMss failed: %s\n",
-                 mss.status().ToString().c_str());
+  // 2. Wrap it as a one-record corpus — the unit the engine mines over.
+  auto corpus = engine::Corpus::FromStrings(
+      {sequence->ToString(seq::Alphabet::Binary())}, "01");
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "corpus failed: %s\n",
+                 corpus.status().ToString().c_str());
     return 1;
   }
-  std::printf("MSS: [%lld, %lld)  length=%lld  X² = %.2f\n",
-              static_cast<long long>(mss->best.start),
-              static_cast<long long>(mss->best.end),
-              static_cast<long long>(mss->best.length()),
-              mss->best.chi_square);
+  engine::Engine engine;
 
-  // 4. Its p-value under the χ²(k−1) asymptotics.
-  auto scored = core::ScoreResult(*sequence, model, *mss);
-  if (scored.ok()) {
-    std::printf("p-value = %.3g   (G² = %.2f)\n", scored->p_value,
-                scored->g2);
+  // 3. Problem 1 — the most significant substring, as a typed query.
+  //    (ModelSpec::Uniform() is the default null model; an explicit
+  //    multinomial would be api::ModelSpec::Multinomial({0.5, 0.5}).)
+  api::QuerySpec mss;
+  mss.request = api::MssQuery{};
+
+  // 4. Problem 2 — the top 3 substrings, written in the serialized form
+  //    the CLI's `query` command accepts. ParseQuery and the typed
+  //    structs build the exact same spec.
+  auto top3 = api::ParseQuery("topt:seq=0,t=3,model=uniform");
+  if (!top3.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n",
+                 top3.status().ToString().c_str());
+    return 1;
   }
 
-  // 5. How much work the skip-based scan saved versus the trivial O(n²)
+  auto results = engine.ExecuteQueries(*corpus, {mss, *top3});
+  if (!results.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+
+  const core::Substring& best = (*results)[0].best();
+  std::printf("MSS: [%lld, %lld)  length=%lld  X² = %.2f\n",
+              static_cast<long long>(best.start),
+              static_cast<long long>(best.end),
+              static_cast<long long>(best.length()), best.chi_square);
+
+  // 5. Its p-value under the χ²(k−1) asymptotics.
+  std::printf("p-value = %.3g\n", core::SubstringPValue(best.chi_square, 2));
+
+  // 6. How much work the skip-based scan saved versus the trivial O(n²)
   //    algorithm.
   long long trivial =
       static_cast<long long>(core::TrivialScanPositions(sequence->size()));
+  long long examined =
+      static_cast<long long>((*results)[0].stats().positions_examined);
   std::printf("examined %lld of %lld substr ending positions (%.1f%%)\n",
-              static_cast<long long>(mss->stats.positions_examined), trivial,
-              100.0 * static_cast<double>(mss->stats.positions_examined) /
+              examined, trivial,
+              100.0 * static_cast<double>(examined) /
                   static_cast<double>(trivial));
 
-  // 6. Problem 2 — the top 3 substrings by X².
-  auto top = core::FindTopT(*sequence, model, 3);
-  if (top.ok()) {
-    std::printf("top-3 substrings:\n");
-    for (const auto& sub : top->top) {
-      std::printf("  [%lld, %lld)  X² = %.2f\n",
-                  static_cast<long long>(sub.start),
-                  static_cast<long long>(sub.end), sub.chi_square);
-    }
+  std::printf("top-3 substrings (query \"%s\"):\n",
+              api::FormatQuery(*top3).c_str());
+  for (const core::Substring& sub : (*results)[1].substrings()) {
+    std::printf("  [%lld, %lld)  X² = %.2f\n",
+                static_cast<long long>(sub.start),
+                static_cast<long long>(sub.end), sub.chi_square);
   }
   return 0;
 }

@@ -1,0 +1,123 @@
+#include "api/query.h"
+
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace sigsub {
+namespace api {
+
+// QueryKind doubles as the variant index; keep the two in lockstep.
+static_assert(std::is_same_v<std::variant_alternative_t<0, QueryRequest>,
+                             MssQuery>);
+static_assert(std::is_same_v<std::variant_alternative_t<1, QueryRequest>,
+                             TopTQuery>);
+static_assert(std::is_same_v<std::variant_alternative_t<2, QueryRequest>,
+                             TopDisjointQuery>);
+static_assert(std::is_same_v<std::variant_alternative_t<3, QueryRequest>,
+                             ThresholdQuery>);
+static_assert(std::is_same_v<std::variant_alternative_t<4, QueryRequest>,
+                             MinLengthQuery>);
+static_assert(std::is_same_v<std::variant_alternative_t<5, QueryRequest>,
+                             LengthBoundedQuery>);
+static_assert(std::is_same_v<std::variant_alternative_t<6, QueryRequest>,
+                             ArlmQuery>);
+static_assert(std::is_same_v<std::variant_alternative_t<7, QueryRequest>,
+                             AgmmQuery>);
+static_assert(std::is_same_v<std::variant_alternative_t<8, QueryRequest>,
+                             BlockedQuery>);
+
+ModelSpec ModelSpec::Uniform() { return ModelSpec{}; }
+
+ModelSpec ModelSpec::Multinomial(std::vector<double> probs) {
+  ModelSpec spec;
+  spec.kind = ModelKind::kMultinomial;
+  spec.probs = std::move(probs);
+  return spec;
+}
+
+ModelSpec ModelSpec::Markov(std::vector<double> transitions,
+                            std::vector<double> initial) {
+  ModelSpec spec;
+  spec.kind = ModelKind::kMarkov;
+  spec.order = 1;
+  spec.transitions = std::move(transitions);
+  spec.initial = std::move(initial);
+  return spec;
+}
+
+std::string_view QueryKindToString(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kMss:
+      return "mss";
+    case QueryKind::kTopT:
+      return "topt";
+    case QueryKind::kTopDisjoint:
+      return "disjoint";
+    case QueryKind::kThreshold:
+      return "threshold";
+    case QueryKind::kMinLength:
+      return "minlen";
+    case QueryKind::kLengthBounded:
+      return "lenbound";
+    case QueryKind::kArlm:
+      return "arlm";
+    case QueryKind::kAgmm:
+      return "agmm";
+    case QueryKind::kBlocked:
+      return "blocked";
+  }
+  return "unknown";
+}
+
+Result<QueryKind> ParseQueryKind(std::string_view name) {
+  for (QueryKind kind :
+       {QueryKind::kMss, QueryKind::kTopT, QueryKind::kTopDisjoint,
+        QueryKind::kThreshold, QueryKind::kMinLength, QueryKind::kLengthBounded,
+        QueryKind::kArlm, QueryKind::kAgmm, QueryKind::kBlocked}) {
+    if (name == QueryKindToString(kind)) return kind;
+  }
+  return Status::InvalidArgument(
+      StrCat("unknown query kind \"", std::string(name),
+             "\" (expected mss|topt|disjoint|threshold|minlen|lenbound|"
+             "arlm|agmm|blocked)"));
+}
+
+namespace {
+const core::Substring kEmptySubstring{};
+const core::ScanStats kEmptyStats{};
+}  // namespace
+
+const core::Substring& QueryResult::best() const {
+  if (const auto* b = std::get_if<BestPayload>(&payload)) return b->best;
+  if (const auto* r = std::get_if<RankedPayload>(&payload)) {
+    return r->ranked.empty() ? kEmptySubstring : r->ranked.front();
+  }
+  const auto& t = std::get<ThresholdPayload>(payload);
+  return t.match_count > 0 ? t.best : kEmptySubstring;
+}
+
+std::span<const core::Substring> QueryResult::substrings() const {
+  if (const auto* b = std::get_if<BestPayload>(&payload)) {
+    return b->best.length() > 0 ? std::span<const core::Substring>(&b->best, 1)
+                                : std::span<const core::Substring>();
+  }
+  if (const auto* r = std::get_if<RankedPayload>(&payload)) return r->ranked;
+  return std::get<ThresholdPayload>(payload).matches;
+}
+
+const core::ScanStats& QueryResult::stats() const {
+  if (const auto* b = std::get_if<BestPayload>(&payload)) return b->stats;
+  if (const auto* r = std::get_if<RankedPayload>(&payload)) return r->stats;
+  return std::get<ThresholdPayload>(payload).stats;
+}
+
+int64_t QueryResult::match_count() const {
+  if (const auto* t = std::get_if<ThresholdPayload>(&payload)) {
+    return t->match_count;
+  }
+  return static_cast<int64_t>(substrings().size());
+}
+
+}  // namespace api
+}  // namespace sigsub

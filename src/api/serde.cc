@@ -1,0 +1,745 @@
+#include "api/serde.h"
+
+#include <charconv>
+#include <cstdint>
+#include <set>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/fnv1a.h"
+#include "common/str_util.h"
+
+namespace sigsub {
+namespace api {
+namespace {
+
+template <class... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+
+// ------------------------------------------------------------- numbers
+//
+// std::to_chars prints the shortest digit string that round-trips, which
+// is what makes the serialization canonical: equal doubles produce equal
+// bytes, distinct doubles distinct bytes.
+
+std::string FormatI(int64_t value) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, ptr);
+}
+
+std::string FormatF(double value) {
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, ptr);
+}
+
+Result<int64_t> ParseI(std::string_view text, std::string_view what) {
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                   value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument(StrCat("query field ", what,
+                                          " expects an integer, got \"",
+                                          std::string(text), "\""));
+  }
+  return value;
+}
+
+Result<double> ParseF(std::string_view text, std::string_view what) {
+  double value = 0.0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                   value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument(StrCat("query field ", what,
+                                          " expects a number, got \"",
+                                          std::string(text), "\""));
+  }
+  return value;
+}
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' ||
+                           text.back() == '\r' || text.back() == '\n')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::string JoinF(std::span<const double> values, char sep) {
+  std::string out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += sep;
+    out += FormatF(values[i]);
+  }
+  return out;
+}
+
+Result<std::vector<double>> SplitF(std::string_view text, char sep,
+                                   std::string_view what) {
+  std::vector<double> values;
+  while (true) {
+    size_t at = text.find(sep);
+    std::string_view part =
+        at == std::string_view::npos ? text : text.substr(0, at);
+    SIGSUB_ASSIGN_OR_RETURN(double v, ParseF(Trim(part), what));
+    values.push_back(v);
+    if (at == std::string_view::npos) break;
+    text.remove_prefix(at + 1);
+  }
+  return values;
+}
+
+// -------------------------------------------------------------- models
+
+std::string FormatModel(const ModelSpec& model) {
+  switch (model.kind) {
+    case ModelKind::kUniform:
+      return "uniform";
+    case ModelKind::kMultinomial:
+      return StrCat("probs(", JoinF(model.probs, ';'), ")");
+    case ModelKind::kMarkov: {
+      std::string out = StrCat("markov", model.order, "(",
+                               JoinF(model.transitions, ';'));
+      if (!model.initial.empty()) {
+        out += '|';
+        out += JoinF(model.initial, ';');
+      }
+      out += ')';
+      return out;
+    }
+  }
+  return "uniform";
+}
+
+Result<ModelSpec> ParseModel(std::string_view text) {
+  text = Trim(text);
+  if (text == "uniform") return ModelSpec::Uniform();
+  auto inner_of = [&](std::string_view head) -> Result<std::string_view> {
+    if (text.back() != ')') {
+      return Status::InvalidArgument(
+          StrCat("model \"", std::string(text), "\" is missing ')'"));
+    }
+    return text.substr(head.size(), text.size() - head.size() - 1);
+  };
+  if (text.rfind("probs(", 0) == 0) {
+    SIGSUB_ASSIGN_OR_RETURN(std::string_view inner, inner_of("probs("));
+    SIGSUB_ASSIGN_OR_RETURN(std::vector<double> probs,
+                            SplitF(inner, ';', "model.probs"));
+    return ModelSpec::Multinomial(std::move(probs));
+  }
+  if (text.rfind("markov", 0) == 0) {
+    size_t paren = text.find('(');
+    if (paren == std::string_view::npos || text.back() != ')') {
+      return Status::InvalidArgument(
+          StrCat("model \"", std::string(text),
+                 "\" expects markov<order>(t11;...|i1;...)"));
+    }
+    SIGSUB_ASSIGN_OR_RETURN(
+        int64_t order, ParseI(text.substr(6, paren - 6), "model.order"));
+    std::string_view inner = text.substr(paren + 1,
+                                         text.size() - paren - 2);
+    std::string_view transitions_part = inner;
+    std::string_view initial_part;
+    size_t bar = inner.find('|');
+    if (bar != std::string_view::npos) {
+      transitions_part = inner.substr(0, bar);
+      initial_part = inner.substr(bar + 1);
+    }
+    SIGSUB_ASSIGN_OR_RETURN(
+        std::vector<double> transitions,
+        SplitF(transitions_part, ';', "model.transitions"));
+    std::vector<double> initial;
+    if (bar != std::string_view::npos) {
+      SIGSUB_ASSIGN_OR_RETURN(initial,
+                              SplitF(initial_part, ';', "model.initial"));
+    }
+    ModelSpec spec = ModelSpec::Markov(std::move(transitions),
+                                       std::move(initial));
+    spec.order = static_cast<int>(order);
+    return spec;
+  }
+  return Status::InvalidArgument(
+      StrCat("unknown model \"", std::string(text),
+             "\" (expected uniform, probs(...), or markov<order>(...))"));
+}
+
+// ------------------------------------------------- field emission order
+//
+// One list of (key, value) pairs per spec, shared by the compact and JSON
+// writers so the two forms can never disagree on content or order. All
+// values are bare numbers, valid verbatim in both forms; the model is
+// spelled separately per form (FormatModel / FormatModelJson).
+
+std::vector<std::pair<std::string, std::string>> RequestFields(
+    const QueryRequest& request) {
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::visit(
+      Overloaded{
+          [&](const MssQuery&) {},
+          [&](const TopTQuery& q) { fields.emplace_back("t", FormatI(q.t)); },
+          [&](const TopDisjointQuery& q) {
+            fields.emplace_back("t", FormatI(q.t));
+            fields.emplace_back("min_length", FormatI(q.min_length));
+            fields.emplace_back("min_x2", FormatF(q.min_chi_square));
+          },
+          [&](const ThresholdQuery& q) {
+            if (q.alpha0 >= 0.0) {
+              fields.emplace_back("alpha0", FormatF(q.alpha0));
+            }
+            if (q.alpha_p >= 0.0) {
+              fields.emplace_back("alpha_p", FormatF(q.alpha_p));
+            }
+            if (q.max_matches != std::numeric_limits<int64_t>::max()) {
+              fields.emplace_back("max_matches", FormatI(q.max_matches));
+            }
+          },
+          [&](const MinLengthQuery& q) {
+            fields.emplace_back("min_length", FormatI(q.min_length));
+          },
+          [&](const LengthBoundedQuery& q) {
+            fields.emplace_back("min_length", FormatI(q.min_length));
+            fields.emplace_back("max_length", FormatI(q.max_length));
+          },
+          [&](const ArlmQuery&) {},
+          [&](const AgmmQuery&) {},
+          [&](const BlockedQuery& q) {
+            fields.emplace_back("block_size", FormatI(q.block_size));
+          },
+      },
+      request);
+  return fields;
+}
+
+// ------------------------------------------------------- field parsing
+
+QueryRequest DefaultRequestFor(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kMss:
+      return MssQuery{};
+    case QueryKind::kTopT:
+      return TopTQuery{};
+    case QueryKind::kTopDisjoint:
+      return TopDisjointQuery{};
+    case QueryKind::kThreshold:
+      return ThresholdQuery{};
+    case QueryKind::kMinLength:
+      return MinLengthQuery{};
+    case QueryKind::kLengthBounded:
+      return LengthBoundedQuery{};
+    case QueryKind::kArlm:
+      return ArlmQuery{};
+    case QueryKind::kAgmm:
+      return AgmmQuery{};
+    case QueryKind::kBlocked:
+      return BlockedQuery{};
+  }
+  return MssQuery{};
+}
+
+/// Applies one `key=value` field to the request. Unknown keys are an
+/// error that names both the key and the kind.
+Status ApplyField(QueryRequest* request, std::string_view key,
+                  std::string_view value) {
+  auto unknown = [&]() {
+    return Status::InvalidArgument(
+        StrCat("query kind \"",
+               QueryKindToString(
+                   static_cast<QueryKind>(request->index())),
+               "\" has no field \"", std::string(key), "\""));
+  };
+  auto set_i = [&](int64_t* out) -> Status {
+    SIGSUB_ASSIGN_OR_RETURN(*out, ParseI(value, key));
+    return Status::OK();
+  };
+  auto set_f = [&](double* out) -> Status {
+    SIGSUB_ASSIGN_OR_RETURN(*out, ParseF(value, key));
+    return Status::OK();
+  };
+  return std::visit(
+      Overloaded{
+          [&](MssQuery&) { return unknown(); },
+          [&](TopTQuery& q) {
+            if (key == "t") return set_i(&q.t);
+            return unknown();
+          },
+          [&](TopDisjointQuery& q) {
+            if (key == "t") return set_i(&q.t);
+            if (key == "min_length") return set_i(&q.min_length);
+            if (key == "min_x2") return set_f(&q.min_chi_square);
+            return unknown();
+          },
+          [&](ThresholdQuery& q) {
+            if (key == "alpha0") return set_f(&q.alpha0);
+            if (key == "alpha_p") return set_f(&q.alpha_p);
+            if (key == "max_matches") return set_i(&q.max_matches);
+            return unknown();
+          },
+          [&](MinLengthQuery& q) {
+            if (key == "min_length") return set_i(&q.min_length);
+            return unknown();
+          },
+          [&](LengthBoundedQuery& q) {
+            if (key == "min_length") return set_i(&q.min_length);
+            if (key == "max_length") return set_i(&q.max_length);
+            return unknown();
+          },
+          [&](ArlmQuery&) { return unknown(); },
+          [&](AgmmQuery&) { return unknown(); },
+          [&](BlockedQuery& q) {
+            if (key == "block_size") return set_i(&q.block_size);
+            return unknown();
+          },
+      },
+      *request);
+}
+
+// ------------------------------------------------------- compact form
+
+std::string FormatCompact(const QuerySpec& spec, bool include_seq) {
+  std::string out(QueryKindToString(spec.kind()));
+  out += ':';
+  std::vector<std::string> parts;
+  if (include_seq) {
+    parts.push_back(StrCat("seq=", FormatI(spec.sequence_index)));
+  }
+  for (const auto& [key, value] : RequestFields(spec.request)) {
+    parts.push_back(StrCat(key, "=", value));
+  }
+  parts.push_back(StrCat("model=", FormatModel(spec.model)));
+  out += StrJoin(parts, ",");
+  return out;
+}
+
+/// Splits the field body on commas at parenthesis depth 0, so model
+/// payloads like probs(0.5;0.5) survive intact.
+std::vector<std::string_view> SplitFields(std::string_view body) {
+  std::vector<std::string_view> fields;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (body[i] == '(') ++depth;
+    if (body[i] == ')') --depth;
+    if (body[i] == ',' && depth == 0) {
+      fields.push_back(body.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  fields.push_back(body.substr(start));
+  return fields;
+}
+
+Result<QuerySpec> ParseCompact(std::string_view text) {
+  size_t colon = text.find(':');
+  std::string_view kind_name =
+      colon == std::string_view::npos ? text : text.substr(0, colon);
+  SIGSUB_ASSIGN_OR_RETURN(QueryKind kind, ParseQueryKind(Trim(kind_name)));
+  QuerySpec spec;
+  spec.request = DefaultRequestFor(kind);
+  if (colon == std::string_view::npos) return spec;
+
+  std::set<std::string, std::less<>> seen;
+  for (std::string_view field : SplitFields(text.substr(colon + 1))) {
+    field = Trim(field);
+    if (field.empty()) {
+      return Status::InvalidArgument(
+          StrCat("empty field in query \"", std::string(text), "\""));
+    }
+    size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrCat("query field \"", std::string(field),
+                 "\" is missing '='"));
+    }
+    std::string_view key = Trim(field.substr(0, eq));
+    std::string_view value = Trim(field.substr(eq + 1));
+    if (!seen.insert(std::string(key)).second) {
+      return Status::InvalidArgument(
+          StrCat("duplicate query field \"", std::string(key), "\""));
+    }
+    if (key == "seq") {
+      SIGSUB_ASSIGN_OR_RETURN(spec.sequence_index, ParseI(value, "seq"));
+    } else if (key == "model") {
+      SIGSUB_ASSIGN_OR_RETURN(spec.model, ParseModel(value));
+    } else {
+      SIGSUB_RETURN_IF_ERROR(ApplyField(&spec.request, key, value));
+    }
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------- JSON form
+
+void AppendJsonArray(std::string* out, std::span<const double> values) {
+  *out += '[';
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) *out += ',';
+    *out += FormatF(values[i]);
+  }
+  *out += ']';
+}
+
+std::string FormatModelJson(const ModelSpec& model) {
+  switch (model.kind) {
+    case ModelKind::kUniform:
+      return "{\"kind\":\"uniform\"}";
+    case ModelKind::kMultinomial: {
+      std::string out = "{\"kind\":\"multinomial\",\"probs\":";
+      AppendJsonArray(&out, model.probs);
+      out += '}';
+      return out;
+    }
+    case ModelKind::kMarkov: {
+      std::string out = StrCat("{\"kind\":\"markov\",\"order\":",
+                               model.order, ",\"transitions\":");
+      AppendJsonArray(&out, model.transitions);
+      if (!model.initial.empty()) {
+        out += ",\"initial\":";
+        AppendJsonArray(&out, model.initial);
+      }
+      out += '}';
+      return out;
+    }
+  }
+  return "{\"kind\":\"uniform\"}";
+}
+
+/// Minimal JSON value: enough for the query grammar (objects, arrays of
+/// numbers, strings, numbers). Numbers keep their raw spelling so int64
+/// fields parse without a double round-trip.
+struct JsonValue {
+  enum class Type { kString, kNumber, kArray, kObject };
+  Type type = Type::kString;
+  std::string text;  // kString: decoded; kNumber: raw spelling.
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : p_(text.data()),
+                                               end_(text.data() + text.size()) {}
+
+  Result<JsonValue> Parse() {
+    SIGSUB_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipSpace();
+    if (p_ != end_) {
+      return Status::InvalidArgument("trailing bytes after JSON query");
+    }
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  Status Fail(const std::string& what) {
+    return Status::InvalidArgument(StrCat("malformed JSON query: ", what));
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipSpace();
+    if (p_ == end_) return Fail("unexpected end of input");
+    if (*p_ == '{') return ParseObject();
+    if (*p_ == '[') return ParseArray();
+    if (*p_ == '"') return ParseString();
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject() {
+    JsonValue value;
+    value.type = JsonValue::Type::kObject;
+    ++p_;  // '{'
+    SkipSpace();
+    if (p_ != end_ && *p_ == '}') {
+      ++p_;
+      return value;
+    }
+    while (true) {
+      SkipSpace();
+      if (p_ == end_ || *p_ != '"') return Fail("expected object key");
+      SIGSUB_ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      SkipSpace();
+      if (p_ == end_ || *p_ != ':') return Fail("expected ':' after key");
+      ++p_;
+      SIGSUB_ASSIGN_OR_RETURN(JsonValue member, ParseValue());
+      for (const auto& [k, unused] : value.object) {
+        if (k == key.text) {
+          return Fail(StrCat("duplicate key \"", key.text, "\""));
+        }
+      }
+      value.object.emplace_back(std::move(key.text), std::move(member));
+      SkipSpace();
+      if (p_ == end_) return Fail("unterminated object");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        return value;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    JsonValue value;
+    value.type = JsonValue::Type::kArray;
+    ++p_;  // '['
+    SkipSpace();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      return value;
+    }
+    while (true) {
+      SIGSUB_ASSIGN_OR_RETURN(JsonValue element, ParseValue());
+      value.array.push_back(std::move(element));
+      SkipSpace();
+      if (p_ == end_) return Fail("unterminated array");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        return value;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<JsonValue> ParseString() {
+    JsonValue value;
+    value.type = JsonValue::Type::kString;
+    ++p_;  // '"'
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) return Fail("unterminated escape");
+        switch (*p_) {
+          case '"':
+          case '\\':
+          case '/':
+            value.text += *p_;
+            break;
+          case 'n':
+            value.text += '\n';
+            break;
+          case 't':
+            value.text += '\t';
+            break;
+          case 'r':
+            value.text += '\r';
+            break;
+          default:
+            return Fail(StrCat("unsupported escape \\", *p_));
+        }
+        ++p_;
+        continue;
+      }
+      value.text += *p_;
+      ++p_;
+    }
+    if (p_ == end_) return Fail("unterminated string");
+    ++p_;  // closing '"'
+    return value;
+  }
+
+  Result<JsonValue> ParseNumber() {
+    JsonValue value;
+    value.type = JsonValue::Type::kNumber;
+    const char* start = p_;
+    while (p_ != end_ &&
+           (*p_ == '-' || *p_ == '+' || *p_ == '.' || *p_ == 'e' ||
+            *p_ == 'E' || (*p_ >= '0' && *p_ <= '9'))) {
+      ++p_;
+    }
+    if (p_ == start) return Fail(StrCat("unexpected character '", *p_, "'"));
+    value.text.assign(start, p_);
+    // Validate the spelling by round-tripping through from_chars.
+    SIGSUB_RETURN_IF_ERROR(ParseF(value.text, "number").status());
+    return value;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+Result<std::vector<double>> JsonDoubleArray(const JsonValue& value,
+                                            std::string_view what) {
+  if (value.type != JsonValue::Type::kArray) {
+    return Status::InvalidArgument(
+        StrCat("query field ", what, " expects an array of numbers"));
+  }
+  std::vector<double> out;
+  out.reserve(value.array.size());
+  for (const JsonValue& element : value.array) {
+    if (element.type != JsonValue::Type::kNumber) {
+      return Status::InvalidArgument(
+          StrCat("query field ", what, " expects an array of numbers"));
+    }
+    SIGSUB_ASSIGN_OR_RETURN(double v, ParseF(element.text, what));
+    out.push_back(v);
+  }
+  return out;
+}
+
+Result<ModelSpec> ModelFromJson(const JsonValue& value) {
+  if (value.type != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("query field model expects an object");
+  }
+  const JsonValue* kind = value.Find("kind");
+  if (kind == nullptr || kind->type != JsonValue::Type::kString) {
+    return Status::InvalidArgument(
+        "model object needs a string \"kind\" member");
+  }
+  auto check_members = [&](std::initializer_list<std::string_view> allowed)
+      -> Status {
+    for (const auto& [key, unused] : value.object) {
+      bool ok = key == "kind";
+      for (std::string_view name : allowed) ok = ok || key == name;
+      if (!ok) {
+        return Status::InvalidArgument(StrCat(
+            "model kind \"", kind->text, "\" has no field \"", key, "\""));
+      }
+    }
+    return Status::OK();
+  };
+  if (kind->text == "uniform") {
+    SIGSUB_RETURN_IF_ERROR(check_members({}));
+    return ModelSpec::Uniform();
+  }
+  if (kind->text == "multinomial") {
+    SIGSUB_RETURN_IF_ERROR(check_members({"probs"}));
+    const JsonValue* probs = value.Find("probs");
+    if (probs == nullptr) {
+      return Status::InvalidArgument("multinomial model needs \"probs\"");
+    }
+    SIGSUB_ASSIGN_OR_RETURN(std::vector<double> p,
+                            JsonDoubleArray(*probs, "model.probs"));
+    return ModelSpec::Multinomial(std::move(p));
+  }
+  if (kind->text == "markov") {
+    SIGSUB_RETURN_IF_ERROR(check_members({"order", "transitions", "initial"}));
+    const JsonValue* transitions = value.Find("transitions");
+    if (transitions == nullptr) {
+      return Status::InvalidArgument("markov model needs \"transitions\"");
+    }
+    SIGSUB_ASSIGN_OR_RETURN(
+        std::vector<double> t,
+        JsonDoubleArray(*transitions, "model.transitions"));
+    std::vector<double> initial;
+    if (const JsonValue* i = value.Find("initial")) {
+      SIGSUB_ASSIGN_OR_RETURN(initial, JsonDoubleArray(*i, "model.initial"));
+    }
+    ModelSpec spec = ModelSpec::Markov(std::move(t), std::move(initial));
+    if (const JsonValue* order = value.Find("order")) {
+      if (order->type != JsonValue::Type::kNumber) {
+        return Status::InvalidArgument("model.order expects a number");
+      }
+      SIGSUB_ASSIGN_OR_RETURN(int64_t o, ParseI(order->text, "model.order"));
+      spec.order = static_cast<int>(o);
+    }
+    return spec;
+  }
+  return Status::InvalidArgument(
+      StrCat("unknown model kind \"", kind->text,
+             "\" (expected uniform, multinomial, or markov)"));
+}
+
+Result<QuerySpec> ParseJson(std::string_view text) {
+  JsonParser parser(text);
+  SIGSUB_ASSIGN_OR_RETURN(JsonValue root, parser.Parse());
+  if (root.type != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("JSON query must be an object");
+  }
+  const JsonValue* kind_member = root.Find("kind");
+  if (kind_member == nullptr ||
+      kind_member->type != JsonValue::Type::kString) {
+    return Status::InvalidArgument(
+        "JSON query needs a string \"kind\" member");
+  }
+  SIGSUB_ASSIGN_OR_RETURN(QueryKind kind, ParseQueryKind(kind_member->text));
+  QuerySpec spec;
+  spec.request = DefaultRequestFor(kind);
+  for (const auto& [key, value] : root.object) {
+    if (key == "kind") continue;
+    if (key == "seq") {
+      if (value.type != JsonValue::Type::kNumber) {
+        return Status::InvalidArgument("query field seq expects a number");
+      }
+      SIGSUB_ASSIGN_OR_RETURN(spec.sequence_index, ParseI(value.text, "seq"));
+    } else if (key == "model") {
+      SIGSUB_ASSIGN_OR_RETURN(spec.model, ModelFromJson(value));
+    } else {
+      if (value.type != JsonValue::Type::kNumber) {
+        return Status::InvalidArgument(
+            StrCat("query field ", key, " expects a number"));
+      }
+      SIGSUB_RETURN_IF_ERROR(ApplyField(&spec.request, key, value.text));
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+std::string FormatQuery(const QuerySpec& spec) {
+  return FormatCompact(spec, /*include_seq=*/true);
+}
+
+std::string FormatQueryJson(const QuerySpec& spec) {
+  std::string out = StrCat("{\"kind\":\"", QueryKindToString(spec.kind()),
+                           "\",\"seq\":", FormatI(spec.sequence_index));
+  for (const auto& [key, value] : RequestFields(spec.request)) {
+    out += StrCat(",\"", key, "\":", value);
+  }
+  out += ",\"model\":";
+  out += FormatModelJson(spec.model);
+  out += '}';
+  return out;
+}
+
+Result<QuerySpec> ParseQuery(std::string_view text) {
+  std::string_view trimmed = Trim(text);
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  if (trimmed.front() == '{') return ParseJson(trimmed);
+  return ParseCompact(trimmed);
+}
+
+std::string CanonicalQueryKey(const QuerySpec& spec) {
+  return FormatCompact(spec, /*include_seq=*/false);
+}
+
+uint64_t FingerprintQuery(const QuerySpec& spec) {
+  const std::string key = CanonicalQueryKey(spec);
+  Fnv1a hasher;
+  hasher.Update(key.data(), key.size());
+  return hasher.Digest();
+}
+
+}  // namespace api
+}  // namespace sigsub

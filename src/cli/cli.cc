@@ -9,6 +9,8 @@
 
 #include <iostream>
 
+#include "api/query.h"
+#include "api/serde.h"
 #include "common/str_util.h"
 #include "core/min_length.h"
 #include "core/mss.h"
@@ -26,6 +28,7 @@
 #include "io/table_writer.h"
 #include "seq/alphabet.h"
 #include "seq/sequence.h"
+#include "stats/chi_squared.h"
 #include "stats/count_statistics.h"
 
 namespace sigsub {
@@ -33,7 +36,7 @@ namespace cli {
 namespace {
 
 const char* const kCommands[] = {"mss",   "topt",  "threshold", "minlen",
-                                 "score", "batch", "stream"};
+                                 "score", "batch", "query",     "stream"};
 
 /// Flags every command accepts.
 const char* const kCommonFlags[] = {"string", "input", "alphabet", "probs",
@@ -54,7 +57,10 @@ const CommandFlags kCommandFlags[] = {
     {"score", {"start", "end"}},
     {"batch",
      {"job", "format", "column", "csv-header", "threads", "cache",
-      "shard-min", "t", "min-length", "alpha0", "pvalue"}},
+      "shard-min", "t", "min-length", "alpha0", "pvalue", "alpha-p"}},
+    {"query",
+     {"query", "queries-file", "format", "column", "csv-header", "threads",
+      "cache", "shard-min"}},
     {"stream", {"alpha", "max-window", "chunk"}},
 };
 
@@ -171,67 +177,128 @@ Result<double> ResolveAlpha0(const CliOptions& options, int k,
   return alpha0;
 }
 
-/// Executes the `batch` command: load the corpus, fan the selected job
-/// out over every record on the engine, and render one table for the
-/// whole run plus a cache/worker summary line.
-Result<std::string> RunBatch(const CliOptions& options) {
-  Result<engine::Corpus> corpus =
-      options.format == "csv"
-          ? engine::Corpus::FromCsvColumn(options.input_path, options.column,
-                                          options.csv_header,
-                                          options.alphabet)
-          : engine::Corpus::FromLines(options.input_path, options.alphabet);
-  SIGSUB_RETURN_IF_ERROR(corpus.status());
-
-  SIGSUB_ASSIGN_OR_RETURN(engine::JobKind kind,
-                          engine::ParseJobKind(options.job));
-  const int k = corpus->alphabet().size();
-
-  engine::JobParams params;
-  params.t = options.t;
-  params.min_length = options.min_length;
-  std::ostringstream out;
-  if (kind == engine::JobKind::kThreshold) {
-    SIGSUB_ASSIGN_OR_RETURN(
-        params.alpha0, ResolveAlpha0(options, k, out, "batch --job=threshold"));
-    params.max_matches = 0;  // Count + best only; rows stay one-per-record.
+/// Loads the corpus for the corpus-shaped commands (`batch`, `query`):
+/// a lines/CSV file, or (query only) a single --string record.
+Result<engine::Corpus> LoadCorpus(const CliOptions& options) {
+  if (options.has_input_text) {
+    return engine::Corpus::FromStrings({options.input_text},
+                                       options.alphabet);
   }
+  if (options.format == "csv") {
+    return engine::Corpus::FromCsvColumn(options.input_path, options.column,
+                                         options.csv_header,
+                                         options.alphabet);
+  }
+  return engine::Corpus::FromLines(options.input_path, options.alphabet);
+}
 
+engine::EngineOptions EngineOptionsFrom(const CliOptions& options) {
   engine::EngineOptions engine_options;
   engine_options.num_threads = options.threads;
   engine_options.cache_capacity = static_cast<size_t>(options.cache);
   engine_options.shard_min_sequence = options.shard_min;
   engine_options.x2_dispatch = options.x2_dispatch;
-  engine::Engine engine(engine_options);
+  return engine_options;
+}
 
-  std::vector<engine::JobSpec> jobs;
-  jobs.reserve(static_cast<size_t>(corpus->size()));
-  for (int64_t i = 0; i < corpus->size(); ++i) {
-    engine::JobSpec spec;
-    spec.kind = kind;
-    spec.sequence_index = i;
-    spec.probs = options.probs;
-    spec.params = params;
-    jobs.push_back(std::move(spec));
+/// Executes the `batch` command: the job flags are spelled into one
+/// serialized query template, routed through api::ParseQuery (the same
+/// parser the `query` command uses — the flags cannot drift from the
+/// query grammar), replicated per record, and fanned across the engine.
+Result<std::string> RunBatch(const CliOptions& options) {
+  SIGSUB_ASSIGN_OR_RETURN(engine::Corpus corpus, LoadCorpus(options));
+  SIGSUB_ASSIGN_OR_RETURN(engine::JobKind kind,
+                          engine::ParseJobKind(options.job));
+  const int k = corpus.alphabet().size();
+
+  // Range checks the user expressed as flags are reported in flag
+  // vocabulary here; only value-level model validation (normalization,
+  // positivity) is left to the engine's query-layer messages.
+  if (!options.probs.empty() &&
+      static_cast<int>(options.probs.size()) != k) {
+    return Status::InvalidArgument(
+        StrCat("--probs has ", options.probs.size(),
+               " probabilities but the corpus alphabet has ", k,
+               " symbols"));
   }
-  SIGSUB_ASSIGN_OR_RETURN(std::vector<engine::JobResult> results,
-                          engine.ExecuteBatch(*corpus, jobs));
+  if ((kind == engine::JobKind::kTopT ||
+       kind == engine::JobKind::kTopDisjoint) &&
+      options.t < 1) {
+    return Status::InvalidArgument(
+        StrCat("--t must be >= 1, got ", options.t));
+  }
+  if ((kind == engine::JobKind::kMinLength ||
+       kind == engine::JobKind::kTopDisjoint) &&
+      options.min_length < 1) {
+    return Status::InvalidArgument(
+        StrCat("--min-length must be >= 1, got ", options.min_length));
+  }
+  std::ostringstream out;
+  std::string template_text;
+  switch (kind) {
+    case engine::JobKind::kMss:
+      template_text = "mss";
+      break;
+    case engine::JobKind::kTopT:
+      template_text = StrCat("topt:t=", options.t);
+      break;
+    case engine::JobKind::kTopDisjoint:
+      template_text = StrCat("disjoint:t=", options.t,
+                             ",min_length=", options.min_length);
+      break;
+    case engine::JobKind::kThreshold: {
+      // Cutoff precedence: --alpha-p (engine-side χ²(k−1) critical
+      // value) wins over --pvalue/--alpha0 (CLI-side resolution). A
+      // significance level is the principled spelling; a raw X² cutoff
+      // must not silently override it.
+      if (options.alpha_p >= 0.0) {
+        template_text = StrCat("threshold:alpha_p=",
+                               StrFormat("%.17g", options.alpha_p),
+                               ",max_matches=0");
+        break;
+      }
+      SIGSUB_ASSIGN_OR_RETURN(
+          double alpha0,
+          ResolveAlpha0(options, k, out, "batch --job=threshold"));
+      // Count + best only; rows stay one-per-record.
+      template_text = StrCat("threshold:alpha0=",
+                             StrFormat("%.17g", alpha0), ",max_matches=0");
+      break;
+    }
+    case engine::JobKind::kMinLength:
+      template_text = StrCat("minlen:min_length=", options.min_length);
+      break;
+  }
+  SIGSUB_ASSIGN_OR_RETURN(api::QuerySpec query_template,
+                          api::ParseQuery(template_text));
+  if (!options.probs.empty()) {
+    query_template.model = api::ModelSpec::Multinomial(options.probs);
+  }
 
-  out << "corpus: " << corpus->size() << " records, k = " << k
-      << ", job = " << engine::JobKindToString(kind)
+  engine::Engine engine(EngineOptionsFrom(options));
+  std::vector<api::QuerySpec> queries(static_cast<size_t>(corpus.size()),
+                                      query_template);
+  for (int64_t i = 0; i < corpus.size(); ++i) {
+    queries[static_cast<size_t>(i)].sequence_index = i;
+  }
+  SIGSUB_ASSIGN_OR_RETURN(std::vector<api::QueryResult> results,
+                          engine.ExecuteQueries(corpus, queries));
+
+  out << "corpus: " << corpus.size() << " records, k = " << k
+      << ", job = " << api::QueryKindToString(query_template.kind())
       << ", threads = " << engine.num_threads() << "\n";
 
   if (kind == engine::JobKind::kThreshold) {
     io::TableWriter table(
         {"record", "n", "matches", "best_start", "best_end", "best_X2"});
-    for (const engine::JobResult& result : results) {
-      const core::Substring& best = result.best;
-      bool any = result.match_count > 0;
+    for (const api::QueryResult& result : results) {
+      const core::Substring& best = result.best();
+      bool any = result.match_count() > 0;
       table.AddRow({std::to_string(
-                        corpus->source_index(result.sequence_index)),
-                    std::to_string(corpus->sequence(result.sequence_index)
+                        corpus.source_index(result.sequence_index)),
+                    std::to_string(corpus.sequence(result.sequence_index)
                                        .size()),
-                    std::to_string(result.match_count),
+                    std::to_string(result.match_count()),
                     any ? std::to_string(best.start) : std::string("-"),
                     any ? std::to_string(best.end) : std::string("-"),
                     any ? StrFormat("%.4f", best.chi_square)
@@ -242,19 +309,20 @@ Result<std::string> RunBatch(const CliOptions& options) {
              kind == engine::JobKind::kTopDisjoint) {
     io::TableWriter table(
         {"record", "rank", "start", "end", "X2", "p-value"});
-    for (const engine::JobResult& result : results) {
-      if (result.substrings.empty()) {
+    for (const api::QueryResult& result : results) {
+      std::span<const core::Substring> subs = result.substrings();
+      if (subs.empty()) {
         // A record with no qualifying substring still gets a row, so it
         // cannot be mistaken for an unprocessed record.
         table.AddRow({std::to_string(
-                          corpus->source_index(result.sequence_index)),
+                          corpus.source_index(result.sequence_index)),
                       "-", "-", "-", "-", "-"});
         continue;
       }
-      for (size_t rank = 0; rank < result.substrings.size(); ++rank) {
-        const core::Substring& sub = result.substrings[rank];
+      for (size_t rank = 0; rank < subs.size(); ++rank) {
+        const core::Substring& sub = subs[rank];
         table.AddRow({std::to_string(
-                          corpus->source_index(result.sequence_index)),
+                          corpus.source_index(result.sequence_index)),
                       std::to_string(rank + 1), std::to_string(sub.start),
                       std::to_string(sub.end),
                       StrFormat("%.4f", sub.chi_square),
@@ -266,12 +334,12 @@ Result<std::string> RunBatch(const CliOptions& options) {
   } else {
     io::TableWriter table(
         {"record", "n", "start", "end", "length", "X2", "p-value"});
-    for (const engine::JobResult& result : results) {
-      const core::Substring& best = result.best;
+    for (const api::QueryResult& result : results) {
+      const core::Substring& best = result.best();
       bool any = best.length() > 0;  // minlen floor can exceed a record.
       table.AddRow({std::to_string(
-                        corpus->source_index(result.sequence_index)),
-                    std::to_string(corpus->sequence(result.sequence_index)
+                        corpus.source_index(result.sequence_index)),
+                    std::to_string(corpus.sequence(result.sequence_index)
                                        .size()),
                     any ? std::to_string(best.start) : std::string("-"),
                     any ? std::to_string(best.end) : std::string("-"),
@@ -284,6 +352,97 @@ Result<std::string> RunBatch(const CliOptions& options) {
     }
     out << table.Render();
   }
+
+  engine::CacheStats cache_stats = engine.cache_stats();
+  out << "cache: " << cache_stats.hits << " hits, " << cache_stats.misses
+      << " misses (" << engine.cache_size() << " entries)\n";
+  return out.str();
+}
+
+/// Executes the `query` command: collect the serialized queries from
+/// repeatable --query= flags and/or a --queries-file, parse them with
+/// api::ParseQuery, execute the batch natively, and render one table row
+/// per materialized substring.
+Result<std::string> RunQuery(const CliOptions& options) {
+  SIGSUB_ASSIGN_OR_RETURN(engine::Corpus corpus, LoadCorpus(options));
+
+  std::vector<std::string> texts = options.queries;
+  if (!options.queries_file.empty()) {
+    std::ifstream in(options.queries_file);
+    if (!in) {
+      return Status::IOError(
+          StrCat("cannot open '", options.queries_file, "'"));
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      std::string_view trimmed = line;
+      while (!trimmed.empty() && (trimmed.front() == ' ' ||
+                                  trimmed.front() == '\t')) {
+        trimmed.remove_prefix(1);
+      }
+      if (trimmed.empty() || trimmed.front() == '#') continue;
+      texts.emplace_back(trimmed);
+    }
+  }
+  if (texts.empty()) {
+    return Status::InvalidArgument(
+        "query needs at least one --query=SPEC or a non-empty "
+        "--queries-file");
+  }
+
+  std::vector<api::QuerySpec> specs;
+  specs.reserve(texts.size());
+  for (size_t i = 0; i < texts.size(); ++i) {
+    Result<api::QuerySpec> spec = api::ParseQuery(texts[i]);
+    if (!spec.ok()) {
+      return Status::InvalidArgument(StrCat("query ", i, " \"", texts[i],
+                                            "\": ",
+                                            spec.status().message()));
+    }
+    specs.push_back(std::move(spec).value());
+  }
+
+  engine::Engine engine(EngineOptionsFrom(options));
+  SIGSUB_ASSIGN_OR_RETURN(std::vector<api::QueryResult> results,
+                          engine.ExecuteQueries(corpus, specs));
+
+  const int k = corpus.alphabet().size();
+  std::ostringstream out;
+  out << "corpus: " << corpus.size() << " records, k = " << k
+      << ", queries = " << specs.size()
+      << ", threads = " << engine.num_threads() << "\n";
+
+  io::TableWriter table({"query", "kind", "record", "matches", "rank",
+                         "start", "end", "length", "X2", "p-value"});
+  for (size_t i = 0; i < results.size(); ++i) {
+    const api::QueryResult& result = results[i];
+    // Markov-statistic MSS converges to χ²(k(k−1)), not χ²(k−1).
+    const bool markov =
+        specs[i].model.kind == api::ModelKind::kMarkov;
+    const int dof = markov ? k * (k - 1) : k - 1;
+    const stats::ChiSquaredDistribution dist(dof);
+    const std::string query_id = std::to_string(i);
+    const std::string kind_name(api::QueryKindToString(result.kind));
+    const std::string record = std::to_string(
+        corpus.source_index(result.sequence_index));
+    const std::string matches = std::to_string(result.match_count());
+    std::span<const core::Substring> subs = result.substrings();
+    if (subs.empty()) {
+      table.AddRow({query_id, kind_name, record, matches, "-", "-", "-",
+                    "-", "-", "-"});
+      continue;
+    }
+    for (size_t rank = 0; rank < subs.size(); ++rank) {
+      const core::Substring& sub = subs[rank];
+      table.AddRow({query_id, kind_name, record, matches,
+                    std::to_string(rank + 1), std::to_string(sub.start),
+                    std::to_string(sub.end), std::to_string(sub.length()),
+                    StrFormat("%.4f", sub.chi_square),
+                    StrFormat("%.4g", dist.Sf(sub.chi_square))});
+    }
+  }
+  out << table.Render();
 
   engine::CacheStats cache_stats = engine.cache_stats();
   out << "cache: " << cache_stats.hits << " hits, " << cache_stats.misses
@@ -446,7 +605,16 @@ std::string UsageText() {
       "  batch      mine a whole corpus (one record per line, or a CSV\n"
       "             column with --format=csv); --job=mss|topt|disjoint|\n"
       "             threshold|minlen, --threads, --cache, plus the job's\n"
-      "             own flags (--t, --min-length, --alpha0, --pvalue)\n"
+      "             own flags (--t, --min-length, --alpha0, --pvalue,\n"
+      "             --alpha-p; --alpha-p is an engine-side p-value cutoff\n"
+      "             and wins over --alpha0/--pvalue when several are set)\n"
+      "  query      run serialized queries against a corpus: repeatable\n"
+      "             --query=kind:key=val,... (kinds mss|topt|disjoint|\n"
+      "             threshold|minlen|lenbound|arlm|agmm|blocked; JSON\n"
+      "             accepted too) and/or --queries-file=PATH (one per\n"
+      "             line, # comments); corpus from --input or --string;\n"
+      "             models live inside each query (model=uniform|\n"
+      "             probs(p1;p2;...)|markov1(t11;...|i1;...))\n"
       "  stream     online monitoring: ingest the input as one symbol\n"
       "             stream in chunks and report calibrated suffix-window\n"
       "             alarms; --alpha, --max-window, --chunk (--input=-\n"
@@ -520,6 +688,13 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
       SIGSUB_ASSIGN_OR_RETURN(options.alpha0, ParseDouble(value, "--alpha0"));
     } else if (name == "pvalue") {
       SIGSUB_ASSIGN_OR_RETURN(options.pvalue, ParseDouble(value, "--pvalue"));
+    } else if (name == "alpha-p") {
+      SIGSUB_ASSIGN_OR_RETURN(options.alpha_p,
+                              ParseDouble(value, "--alpha-p"));
+    } else if (name == "query") {
+      options.queries.push_back(value);
+    } else if (name == "queries-file") {
+      options.queries_file = value;
     } else if (name == "min-length") {
       SIGSUB_ASSIGN_OR_RETURN(options.min_length,
                               ParseInt(value, "--min-length"));
@@ -578,13 +753,30 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
       }
     }
   }
-  if (options.command == "batch") {
-    if (options.has_input_text) {
+  if (options.command == "batch" || options.command == "query") {
+    if (options.command == "batch" && options.has_input_text) {
       return Status::InvalidArgument(
           "batch mines a corpus file; use --input=PATH, not --string");
     }
-    if (options.input_path.empty()) {
-      return Status::InvalidArgument("batch requires --input=PATH");
+    if (options.input_path.empty() && !options.has_input_text) {
+      return Status::InvalidArgument(
+          StrCat(options.command, " requires --input=PATH",
+                 options.command == "query" ? " (or --string=TEXT)" : ""));
+    }
+    if (options.has_input_text && !options.input_path.empty()) {
+      return Status::InvalidArgument("--string and --input are exclusive");
+    }
+    if (options.has_input_text) {
+      // A --string corpus has no file layout; corpus-shaping flags would
+      // be silently ignored, which the flag-strictness contract forbids.
+      for (const std::string& flag : seen_flags) {
+        if (flag == "format" || flag == "column" || flag == "csv-header") {
+          return Status::InvalidArgument(
+              StrCat("flag --", flag,
+                     " requires --input=PATH (a corpus file), not "
+                     "--string"));
+        }
+      }
     }
     if (options.format != "lines" && options.format != "csv") {
       return Status::InvalidArgument(StrCat(
@@ -600,6 +792,35 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
         }
       }
     }
+    if (options.cache < 0) {
+      return Status::InvalidArgument(
+          StrCat("--cache must be >= 0, got ", options.cache));
+    }
+    // An explicit out-of-range --alpha-p must not be conflated with the
+    // "unset" sentinel (-1.0): --alpha-p=-0.001 silently falling back to
+    // --alpha0 would invert the documented precedence.
+    for (const std::string& flag : seen_flags) {
+      if (flag == "alpha-p" &&
+          (options.alpha_p <= 0.0 || options.alpha_p >= 1.0)) {
+        return Status::InvalidArgument(
+            StrCat("--alpha-p must be in (0, 1), got ", options.alpha_p));
+      }
+    }
+    if (options.command == "query") {
+      if (options.queries.empty() && options.queries_file.empty()) {
+        return Status::InvalidArgument(
+            "query requires --query=SPEC (repeatable) or "
+            "--queries-file=PATH");
+      }
+      if (!options.probs.empty()) {
+        // Each query carries its own model; a corpus-level --probs would
+        // be silently shadowed.
+        return Status::InvalidArgument(
+            "flag --probs is not consumed by query; put "
+            "model=probs(p1;p2;...) inside each query instead");
+      }
+      return options;
+    }
     SIGSUB_ASSIGN_OR_RETURN(engine::JobKind kind,
                             engine::ParseJobKind(options.job));
     // Job-parameter flags are only consumed by their own kind; reject the
@@ -612,7 +833,7 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
       } else if (flag == "min-length") {
         relevant = kind == engine::JobKind::kMinLength ||
                    kind == engine::JobKind::kTopDisjoint;
-      } else if (flag == "alpha0" || flag == "pvalue") {
+      } else if (flag == "alpha0" || flag == "pvalue" || flag == "alpha-p") {
         relevant = kind == engine::JobKind::kThreshold;
       }
       if (!relevant) {
@@ -620,10 +841,6 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
             StrCat("flag --", flag, " is not consumed by --job=",
                    options.job));
       }
-    }
-    if (options.cache < 0) {
-      return Status::InvalidArgument(
-          StrCat("--cache must be >= 0, got ", options.cache));
     }
     return options;
   }
@@ -654,6 +871,7 @@ Result<std::string> Run(const CliOptions& options) {
     return Result<std::string>(banner + *report);
   };
   if (options.command == "batch") return with_banner(RunBatch(options));
+  if (options.command == "query") return with_banner(RunQuery(options));
   if (options.command == "stream") return with_banner(RunStream(options));
   SIGSUB_ASSIGN_OR_RETURN(std::string text, LoadInput(options));
   if (text.empty()) {

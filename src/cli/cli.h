@@ -15,17 +15,19 @@ namespace cli {
 ///
 ///   sigsub_cli <command> [--flag=value ...]
 ///
-/// Commands: mss | topt | threshold | minlen | score | batch | stream.
-/// Flags are validated against the selected command: supplying a flag
-/// that the command does not consume is an InvalidArgument error, not a
-/// silent acceptance.
+/// Commands: mss | topt | threshold | minlen | score | batch | query |
+/// stream. Flags are validated against the selected command: supplying a
+/// flag that the command does not consume is an InvalidArgument error,
+/// not a silent acceptance.
 ///
 /// Common flags:
 ///   --string=TEXT        input string literal (exclusive with --input)
-///   --input=PATH         read input from a file (batch: the corpus;
-///                        stream: the symbol stream, `-` reads stdin)
+///   --input=PATH         read input from a file (batch/query: the
+///                        corpus; stream: the symbol stream, `-` reads
+///                        stdin)
 ///   --alphabet=CHARS     symbol set (default: distinct input characters)
-///   --probs=p1,p2,...    null-model probabilities (default: uniform)
+///   --probs=p1,p2,...    null-model probabilities (default: uniform;
+///                        query: models live inside each query string)
 ///   --x2-dispatch=MODE   auto|scalar|simd — fused X² kernel selection.
 ///                        `scalar` pins the bit-reproducible path for
 ///                        audits; `simd` requests the vector path (falls
@@ -44,6 +46,12 @@ namespace cli {
 ///   --threads=N          worker threads (mss, batch; default 1)
 /// Batch-only flags:
 ///   --job=KIND           mss|topt|disjoint|threshold|minlen (default mss)
+///   --alpha-p=P          threshold jobs: per-substring p-value cutoff,
+///                        converted engine-side via the χ²(k−1) critical
+///                        value. Takes precedence over --alpha0/--pvalue
+///                        when several are set (a significance level wins
+///                        over a raw X² cutoff).
+/// Batch/query corpus flags:
 ///   --format=FMT         lines|csv corpus layout (default lines)
 ///   --column=N           CSV column holding the records (default 0)
 ///   --csv-header         skip the first CSV row
@@ -51,6 +59,12 @@ namespace cli {
 ///   --shard-min=N        split an MSS job across the worker pool when
 ///                        its record has at least N symbols (default
 ///                        2^20; 0 disables in-record sharding)
+/// Query-only flags:
+///   --query=SPEC         one serialized api::QuerySpec (repeatable;
+///                        compact `kind:key=val,...` or JSON — see
+///                        api/serde.h for the grammar)
+///   --queries-file=PATH  one query per line ('#' comments and blank
+///                        lines skipped)
 /// Stream-only flags:
 ///   --alpha=A            per-position family-wise false-alarm rate,
 ///                        converted to per-scale X² thresholds via the
@@ -79,11 +93,15 @@ struct CliOptions {
   bool x2_dispatch_explicit = false;
   // Batch command.
   std::string job = "mss";
+  double alpha_p = -1.0;
   std::string format = "lines";
   int64_t column = 0;
   bool csv_header = false;
   int64_t cache = 4096;
   int64_t shard_min = 1 << 20;
+  // Query command.
+  std::vector<std::string> queries;
+  std::string queries_file;
   // Stream command.
   double alpha = 1e-6;
   int64_t max_window = 4096;

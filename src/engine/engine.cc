@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -8,24 +9,32 @@
 #include <unordered_map>
 #include <utility>
 
+#include "api/serde.h"
 #include "common/str_util.h"
+#include "core/agmm.h"
+#include "core/arlm.h"
 #include "core/atomic_max.h"
+#include "core/blocked_scan.h"
 #include "core/chi_square.h"
-#include "core/parallel.h"
+#include "core/length_bounded.h"
+#include "core/markov_scan.h"
 #include "core/min_length.h"
 #include "core/mss.h"
+#include "core/parallel.h"
 #include "core/threshold.h"
 #include "core/top_disjoint.h"
 #include "core/top_t.h"
 #include "engine/fingerprint.h"
+#include "seq/model.h"
 #include "seq/prefix_counts.h"
+#include "stats/chi_squared.h"
 
 namespace sigsub {
 namespace engine {
 namespace {
 
 /// Per-distinct-sequence state built once per batch and shared by every
-/// job targeting that record. The PrefixCounts build is lazy: the first
+/// query targeting that record. The PrefixCounts build is lazy: the first
 /// kernel task that needs the record builds it under `build_once`, so
 /// there is no build-all barrier before any kernel may start — records
 /// with cheap builds begin scanning while large builds are still running.
@@ -40,64 +49,144 @@ struct SequenceState {
   }
 };
 
-/// Per-distinct-model state (keyed by the probability vector).
-struct ModelState {
-  core::ChiSquareContext context;
-  uint64_t fingerprint = 0;
+/// Everything a query needs resolved before its kernel can run: the
+/// multinomial context (or the Markov model for a Markov-model MSS
+/// query) and the threshold cutoff with any alpha_p already converted.
+/// Built during validation, one entry per query.
+struct QueryPlan {
+  const api::QuerySpec* spec = nullptr;
+  api::QueryKind kind = api::QueryKind::kMss;
+  const core::ChiSquareContext* context = nullptr;  // null for Markov.
+  const seq::MarkovModel* markov = nullptr;
+  double alpha0 = -1.0;  // kThreshold: resolved X² cutoff.
 };
 
-Status ValidateSpec(const Corpus& corpus, const JobSpec& spec,
-                    size_t job_index) {
-  auto fail = [&](const std::string& detail) {
-    return Status::InvalidArgument(
-        StrCat("job ", job_index, " (", JobKindToString(spec.kind),
-               "): ", detail));
+Status QueryError(std::string_view label, size_t index, api::QueryKind kind,
+                  const std::string& detail) {
+  return Status::InvalidArgument(StrCat(label, " ", index, " (",
+                                        api::QueryKindToString(kind),
+                                        "): ", detail));
+}
+
+/// Kind-specific parameter validation; failures name the query field.
+Status ValidateRequest(const api::QuerySpec& spec, int64_t corpus_size) {
+  auto fail = [](const std::string& detail) {
+    return Status::InvalidArgument(detail);
   };
-  if (spec.sequence_index < 0 || spec.sequence_index >= corpus.size()) {
-    return fail(StrCat("sequence index ", spec.sequence_index,
-                       " out of range [0, ", corpus.size(), ")"));
+  if (spec.sequence_index < 0 || spec.sequence_index >= corpus_size) {
+    return fail(StrCat("field seq: index ", spec.sequence_index,
+                       " out of range [0, ", corpus_size, ")"));
   }
-  if (!spec.probs.empty() &&
-      static_cast<int>(spec.probs.size()) != corpus.alphabet().size()) {
-    return fail(StrCat("model has ", spec.probs.size(),
-                       " probabilities but the corpus alphabet has ",
-                       corpus.alphabet().size(), " symbols"));
-  }
-  switch (spec.kind) {
-    case JobKind::kTopT:
-    case JobKind::kTopDisjoint:
-      if (spec.params.t < 1) {
-        return fail(StrCat("t must be >= 1, got ", spec.params.t));
-      }
-      if (spec.params.min_length < 1 && spec.kind == JobKind::kTopDisjoint) {
-        return fail(
-            StrCat("min_length must be >= 1, got ", spec.params.min_length));
-      }
-      break;
-    case JobKind::kMinLength:
-      if (spec.params.min_length < 1) {
-        return fail(
-            StrCat("min_length must be >= 1, got ", spec.params.min_length));
-      }
-      break;
-    case JobKind::kThreshold:
-      if (spec.params.alpha0 < 0.0) {
-        return fail(StrCat("alpha0 must be >= 0, got ", spec.params.alpha0));
-      }
-      if (spec.params.max_matches < 0) {
-        return fail(
-            StrCat("max_matches must be >= 0, got ", spec.params.max_matches));
-      }
-      break;
-    case JobKind::kMss:
-      break;
+  if (const auto* q = std::get_if<api::TopTQuery>(&spec.request)) {
+    if (q->t < 1) return fail(StrCat("field t must be >= 1, got ", q->t));
+  } else if (const auto* q =
+                 std::get_if<api::TopDisjointQuery>(&spec.request)) {
+    if (q->t < 1) return fail(StrCat("field t must be >= 1, got ", q->t));
+    if (q->min_length < 1) {
+      return fail(
+          StrCat("field min_length must be >= 1, got ", q->min_length));
+    }
+    if (std::isnan(q->min_chi_square)) {
+      // Every comparison against NaN is false, which would silently
+      // disable the score floor.
+      return fail("field min_x2 must not be NaN");
+    }
+  } else if (const auto* q = std::get_if<api::ThresholdQuery>(&spec.request)) {
+    // NaN slips through every range comparison (all false), which would
+    // read as "unset" here and as "matches everything/nothing" in the
+    // scan; an infinite alpha0 is equally meaningless as a cutoff.
+    if (std::isnan(q->alpha0) || std::isnan(q->alpha_p)) {
+      return fail("fields alpha0 and alpha_p must not be NaN");
+    }
+    if (q->alpha0 >= 0.0 && !std::isfinite(q->alpha0)) {
+      return fail("field alpha0 must be finite");
+    }
+    if (q->alpha_p < 0.0 && q->alpha0 < 0.0) {
+      return fail(
+          "one of field alpha0 (X² cutoff) or field alpha_p (p-value) "
+          "must be set");
+    }
+    if (q->alpha_p >= 0.0 && (q->alpha_p <= 0.0 || q->alpha_p >= 1.0)) {
+      return fail(
+          StrCat("field alpha_p must be in (0, 1), got ", q->alpha_p));
+    }
+    if (q->max_matches < 0) {
+      return fail(
+          StrCat("field max_matches must be >= 0, got ", q->max_matches));
+    }
+  } else if (const auto* q = std::get_if<api::MinLengthQuery>(&spec.request)) {
+    if (q->min_length < 1) {
+      return fail(
+          StrCat("field min_length must be >= 1, got ", q->min_length));
+    }
+  } else if (const auto* q =
+                 std::get_if<api::LengthBoundedQuery>(&spec.request)) {
+    if (q->min_length < 1) {
+      return fail(
+          StrCat("field min_length must be >= 1, got ", q->min_length));
+    }
+    if (q->max_length != 0 && q->max_length < q->min_length) {
+      return fail(StrCat("field max_length (", q->max_length,
+                         ") must be 0 (unbounded) or >= min_length (",
+                         q->min_length, ")"));
+    }
+  } else if (const auto* q = std::get_if<api::BlockedQuery>(&spec.request)) {
+    if (q->block_size < 1) {
+      return fail(
+          StrCat("field block_size must be >= 1, got ", q->block_size));
+    }
   }
   return Status::OK();
 }
 
-/// Shapes a best-substring result (kMss and the sharded scan) into the
-/// cached payload — one place, so sharded and unsharded MSS jobs cannot
-/// diverge in result shape.
+/// Model validation against the corpus alphabet; failures name the model
+/// field.
+Status ValidateModel(const api::ModelSpec& model, api::QueryKind kind,
+                     int k) {
+  switch (model.kind) {
+    case api::ModelKind::kUniform:
+      return Status::OK();
+    case api::ModelKind::kMultinomial:
+      if (static_cast<int>(model.probs.size()) != k) {
+        return Status::InvalidArgument(
+            StrCat("field model.probs has ", model.probs.size(),
+                   " probabilities but the corpus alphabet has ", k,
+                   " symbols"));
+      }
+      return Status::OK();
+    case api::ModelKind::kMarkov:
+      if (kind != api::QueryKind::kMss) {
+        return Status::InvalidArgument(
+            StrCat("field model: Markov models are executable only via "
+                   "mss queries (the Markov-statistic scan), not ",
+                   api::QueryKindToString(kind)));
+      }
+      if (model.order != 1) {
+        return Status::InvalidArgument(
+            StrCat("field model.order: only order-1 Markov models are "
+                   "supported, got ", model.order));
+      }
+      if (static_cast<int64_t>(model.transitions.size()) !=
+          static_cast<int64_t>(k) * k) {
+        return Status::InvalidArgument(
+            StrCat("field model.transitions has ", model.transitions.size(),
+                   " entries but the corpus alphabet needs ", k, "x", k,
+                   " = ", static_cast<int64_t>(k) * k));
+      }
+      if (!model.initial.empty() &&
+          static_cast<int>(model.initial.size()) != k) {
+        return Status::InvalidArgument(
+            StrCat("field model.initial has ", model.initial.size(),
+                   " entries but the corpus alphabet has ", k, " symbols"));
+      }
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+/// Shapes a best-substring result (the six best-substring kernels and the
+/// sharded scan) into the cached payload — one place, so sharded and
+/// unsharded MSS queries cannot diverge in result shape.
 CachedResult MssCachedResult(const core::Substring& best) {
   CachedResult out;
   out.best = best;
@@ -106,54 +195,107 @@ CachedResult MssCachedResult(const core::Substring& best) {
   return out;
 }
 
-/// Runs the job's kernel against prebuilt state. Pure function of its
-/// inputs — safe to call concurrently for distinct jobs.
-CachedResult RunKernel(const JobSpec& spec, const seq::PrefixCounts& counts,
-                       const core::ChiSquareContext& context,
-                       core::ScanStats* stats) {
+/// Runs the query's kernel against prebuilt state. Pure function of its
+/// inputs — safe to call concurrently for distinct queries. `counts` is
+/// null exactly for Markov-model queries, whose kernel never reads
+/// prefix counts (the caller skips the O(k·n) build entirely).
+CachedResult RunQueryKernel(const QueryPlan& plan,
+                            const seq::Sequence& sequence,
+                            const seq::PrefixCounts* counts_ptr,
+                            core::ScanStats* stats) {
+  const core::ChiSquareContext& context = *plan.context;
   CachedResult out;
-  switch (spec.kind) {
-    case JobKind::kMss: {
+  if (plan.markov != nullptr) {
+    if (sequence.size() < 2) {
+      // No transition to score; the kernel contract needs >= 2 symbols.
+      return MssCachedResult(core::Substring{});
+    }
+    core::MssResult result =
+        core::FindMssMarkov(sequence, *plan.markov).value();
+    *stats = result.stats;
+    return MssCachedResult(result.best);
+  }
+  const seq::PrefixCounts& counts = *counts_ptr;
+  switch (plan.kind) {
+    case api::QueryKind::kMss: {
       core::MssResult result = core::FindMss(counts, context);
       out = MssCachedResult(result.best);
       *stats = result.stats;
       break;
     }
-    case JobKind::kMinLength: {
-      core::MssResult result =
-          core::FindMssMinLength(counts, context, spec.params.min_length);
-      out.best = result.best;
-      out.substrings = {result.best};
-      out.match_count = result.best.length() > 0 ? 1 : 0;
-      *stats = result.stats;
-      break;
-    }
-    case JobKind::kTopT: {
-      core::TopTResult result = core::FindTopT(counts, context, spec.params.t);
+    case api::QueryKind::kTopT: {
+      const auto& q = std::get<api::TopTQuery>(plan.spec->request);
+      core::TopTResult result = core::FindTopT(counts, context, q.t);
       out.substrings = std::move(result.top);
       if (!out.substrings.empty()) out.best = out.substrings.front();
       out.match_count = static_cast<int64_t>(out.substrings.size());
       *stats = result.stats;
       break;
     }
-    case JobKind::kTopDisjoint: {
+    case api::QueryKind::kTopDisjoint: {
+      const auto& q = std::get<api::TopDisjointQuery>(plan.spec->request);
       core::TopDisjointOptions options;
-      options.t = spec.params.t;
-      options.min_length = spec.params.min_length;
-      options.min_chi_square = spec.params.min_chi_square;
+      options.t = q.t;
+      options.min_length = q.min_length;
+      options.min_chi_square = q.min_chi_square;
       out.substrings = core::FindTopDisjoint(counts, context, options);
       if (!out.substrings.empty()) out.best = out.substrings.front();
       out.match_count = static_cast<int64_t>(out.substrings.size());
       break;
     }
-    case JobKind::kThreshold: {
+    case api::QueryKind::kThreshold: {
+      const auto& q = std::get<api::ThresholdQuery>(plan.spec->request);
       core::ThresholdOptions options;
-      options.max_matches = spec.params.max_matches;
-      core::ThresholdResult result = core::FindAboveThreshold(
-          counts, context, spec.params.alpha0, options);
+      options.max_matches = q.max_matches;
+      core::ThresholdResult result =
+          core::FindAboveThreshold(counts, context, plan.alpha0, options);
       out.substrings = std::move(result.matches);
       out.best = result.best;
       out.match_count = result.match_count;
+      *stats = result.stats;
+      break;
+    }
+    case api::QueryKind::kMinLength: {
+      const auto& q = std::get<api::MinLengthQuery>(plan.spec->request);
+      core::MssResult result =
+          core::FindMssMinLength(counts, context, q.min_length);
+      out = MssCachedResult(result.best);
+      *stats = result.stats;
+      break;
+    }
+    case api::QueryKind::kLengthBounded: {
+      const auto& q = std::get<api::LengthBoundedQuery>(plan.spec->request);
+      const int64_t n = sequence.size();
+      const int64_t max_length = q.max_length == 0 ? n : q.max_length;
+      if (n < q.min_length || max_length < q.min_length) {
+        // No substring can satisfy the window; the kernel contract
+        // requires max_length >= min_length.
+        out = MssCachedResult(core::Substring{});
+        break;
+      }
+      core::MssResult result = core::FindMssLengthBounded(
+          counts, context, q.min_length, max_length);
+      out = MssCachedResult(result.best);
+      *stats = result.stats;
+      break;
+    }
+    case api::QueryKind::kArlm: {
+      core::MssResult result = core::FindMssArlm(sequence, counts, context);
+      out = MssCachedResult(result.best);
+      *stats = result.stats;
+      break;
+    }
+    case api::QueryKind::kAgmm: {
+      core::MssResult result = core::FindMssAgmm(sequence, counts, context);
+      out = MssCachedResult(result.best);
+      *stats = result.stats;
+      break;
+    }
+    case api::QueryKind::kBlocked: {
+      const auto& q = std::get<api::BlockedQuery>(plan.spec->request);
+      core::MssResult result =
+          core::FindMssBlocked(sequence, counts, context, q.block_size);
+      out = MssCachedResult(result.best);
       *stats = result.stats;
       break;
     }
@@ -161,32 +303,38 @@ CachedResult RunKernel(const JobSpec& spec, const seq::PrefixCounts& counts,
   return out;
 }
 
-}  // namespace
-
-uint64_t FingerprintJobParams(JobKind kind, const JobParams& params) {
-  Fnv1a hasher;
-  hasher.UpdateI64(static_cast<int64_t>(kind));
+/// Reshapes a cached payload into the kind's QueryResult alternative.
+void FillPayload(api::QueryKind kind, const CachedResult& computed,
+                 const core::ScanStats& stats, api::QueryResult* result) {
   switch (kind) {
-    case JobKind::kMss:
-      break;
-    case JobKind::kTopT:
-      hasher.UpdateI64(params.t);
-      break;
-    case JobKind::kTopDisjoint:
-      hasher.UpdateI64(params.t);
-      hasher.UpdateI64(params.min_length);
-      hasher.UpdateDouble(params.min_chi_square);
-      break;
-    case JobKind::kThreshold:
-      hasher.UpdateDouble(params.alpha0);
-      hasher.UpdateI64(params.max_matches);
-      break;
-    case JobKind::kMinLength:
-      hasher.UpdateI64(params.min_length);
-      break;
+    case api::QueryKind::kTopT:
+    case api::QueryKind::kTopDisjoint: {
+      api::RankedPayload payload;
+      payload.ranked = computed.substrings;
+      payload.stats = stats;
+      result->payload = std::move(payload);
+      return;
+    }
+    case api::QueryKind::kThreshold: {
+      api::ThresholdPayload payload;
+      payload.matches = computed.substrings;
+      payload.match_count = computed.match_count;
+      payload.best = computed.best;
+      payload.stats = stats;
+      result->payload = std::move(payload);
+      return;
+    }
+    default: {
+      api::BestPayload payload;
+      payload.best = computed.best;
+      payload.stats = stats;
+      result->payload = payload;
+      return;
+    }
   }
-  return hasher.Digest();
 }
+
+}  // namespace
 
 Engine::Engine(EngineOptions options)
     : cache_(options.cache_capacity),
@@ -194,32 +342,86 @@ Engine::Engine(EngineOptions options)
       shard_min_sequence_(options.shard_min_sequence),
       x2_dispatch_(options.x2_dispatch) {}
 
-Result<std::vector<JobResult>> Engine::ExecuteBatch(
-    const Corpus& corpus, const std::vector<JobSpec>& jobs) {
-  for (size_t i = 0; i < jobs.size(); ++i) {
-    SIGSUB_RETURN_IF_ERROR(ValidateSpec(corpus, jobs[i], i));
-  }
+Result<std::vector<api::QueryResult>> Engine::ExecuteQueries(
+    const Corpus& corpus, const std::vector<api::QuerySpec>& queries) {
+  return ExecuteQueriesInternal(corpus, queries, "query");
+}
 
+Result<std::vector<api::QueryResult>> Engine::ExecuteQueriesInternal(
+    const Corpus& corpus, const std::vector<api::QuerySpec>& queries,
+    std::string_view label) {
   const int k = corpus.alphabet().size();
-  const std::vector<double> uniform(static_cast<size_t>(k), 1.0 / k);
 
-  // Distinct models across the batch, keyed by the probability vector
-  // (empty probs resolve to uniform). ChiSquareContext::Make re-validates,
-  // catching non-normalized or non-positive vectors that ValidateSpec
-  // cannot judge cheaply.
+  // Validate every query and build its execution plan: distinct
+  // multinomial models resolve to one shared ChiSquareContext each
+  // (ChiSquareContext::Make re-validates values ValidateModel cannot
+  // judge cheaply — normalization, positivity); Markov-model MSS queries
+  // get a seq::MarkovModel. Any failure names the query and field and
+  // fails the batch before a kernel runs.
+  const std::vector<double> uniform(static_cast<size_t>(k), 1.0 / k);
+  struct ModelState {
+    core::ChiSquareContext context;
+  };
   std::map<std::vector<double>, std::unique_ptr<ModelState>> models;
-  for (size_t i = 0; i < jobs.size(); ++i) {
-    const std::vector<double>& probs =
-        jobs[i].probs.empty() ? uniform : jobs[i].probs;
-    if (models.contains(probs)) continue;
-    auto context = core::ChiSquareContext::Make(probs, x2_dispatch_);
-    if (!context.ok()) {
-      return Status::InvalidArgument(StrCat("job ", i, ": invalid model: ",
-                                            context.status().message()));
+  std::vector<std::unique_ptr<seq::MarkovModel>> markov_models;
+  std::vector<QueryPlan> plans(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const api::QuerySpec& spec = queries[i];
+    QueryPlan& plan = plans[i];
+    plan.spec = &spec;
+    plan.kind = spec.kind();
+    auto wrap = [&](const Status& status) {
+      return status.ok() ? status
+                         : QueryError(label, i, plan.kind, status.message());
+    };
+    SIGSUB_RETURN_IF_ERROR(wrap(ValidateRequest(spec, corpus.size())));
+    SIGSUB_RETURN_IF_ERROR(wrap(ValidateModel(spec.model, plan.kind, k)));
+
+    if (spec.model.kind == api::ModelKind::kMarkov) {
+      std::vector<double> initial = spec.model.initial;
+      if (initial.empty()) {
+        initial.assign(static_cast<size_t>(k), 1.0 / k);
+      }
+      auto markov = seq::MarkovModel::Make(k, spec.model.transitions,
+                                           std::move(initial));
+      if (!markov.ok()) {
+        return QueryError(label, i, plan.kind,
+                          StrCat("field model: ", markov.status().message()));
+      }
+      markov_models.push_back(
+          std::make_unique<seq::MarkovModel>(std::move(markov).value()));
+      plan.markov = markov_models.back().get();
     }
-    models.emplace(probs,
-                   std::make_unique<ModelState>(ModelState{
-                       std::move(context).value(), FingerprintProbs(probs)}));
+
+    // Every kernel but the Markov scan consumes a multinomial context;
+    // Markov MSS queries still get the uniform one so the shared
+    // PrefixCounts plumbing stays uniform (the kernel ignores it).
+    const std::vector<double>& probs =
+        spec.model.kind == api::ModelKind::kMultinomial ? spec.model.probs
+                                                        : uniform;
+    auto [it, inserted] = models.try_emplace(probs);
+    if (inserted) {
+      auto context = core::ChiSquareContext::Make(probs, x2_dispatch_);
+      if (!context.ok()) {
+        models.erase(it);
+        return QueryError(
+            label, i, plan.kind,
+            StrCat("field model: ", context.status().message()));
+      }
+      it->second = std::make_unique<ModelState>(
+          ModelState{std::move(context).value()});
+    }
+    plan.context = &it->second->context;
+
+    if (const auto* q = std::get_if<api::ThresholdQuery>(&spec.request)) {
+      // alpha_p converts once per batch, not once per candidate; when
+      // both fields are set the p-value wins (api/query.h documents the
+      // precedence).
+      plan.alpha0 = q->alpha_p >= 0.0
+                        ? stats::ChiSquaredDistribution(k - 1)
+                              .CriticalValue(q->alpha_p)
+                        : q->alpha0;
+    }
   }
 
   // Fingerprint every referenced record (cheap, O(n)) so the cache can be
@@ -227,7 +429,7 @@ Result<std::vector<JobResult>> Engine::ExecuteBatch(
   // pay the O(k·n) builds that context reuse is meant to amortize.
   std::vector<std::unique_ptr<SequenceState>> states(
       static_cast<size_t>(corpus.size()));
-  for (const JobSpec& spec : jobs) {
+  for (const api::QuerySpec& spec : queries) {
     auto& state = states[static_cast<size_t>(spec.sequence_index)];
     if (state) continue;
     state = std::make_unique<SequenceState>();
@@ -235,48 +437,41 @@ Result<std::vector<JobResult>> Engine::ExecuteBatch(
         FingerprintSequence(corpus.sequence(spec.sequence_index));
   }
 
-  // Resolve cache hits; group the misses by cache key so identical jobs
-  // (duplicate specs, or distinct records with identical content) run
-  // their kernel exactly once per distinct computation.
-  std::vector<JobResult> results(jobs.size());
+  // Resolve cache hits; group the misses by cache key so identical
+  // queries (duplicate specs, or distinct records with identical content)
+  // run their kernel exactly once per distinct computation. The query
+  // half of the key is the FNV-1a of the canonical serialization bytes —
+  // the same bytes FormatQuery prints, minus the record index.
+  std::vector<api::QueryResult> results(queries.size());
   std::unordered_map<CacheKey, std::vector<size_t>, CacheKeyHash> miss_groups;
-  for (size_t i = 0; i < jobs.size(); ++i) {
-    const JobSpec& spec = jobs[i];
-    JobResult& result = results[i];
-    result.job_index = static_cast<int64_t>(i);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const api::QuerySpec& spec = queries[i];
+    api::QueryResult& result = results[i];
+    result.query_index = static_cast<int64_t>(i);
     result.sequence_index = spec.sequence_index;
-    result.kind = spec.kind;
+    result.kind = plans[i].kind;
 
-    const std::vector<double>& probs =
-        spec.probs.empty() ? uniform : spec.probs;
-    const ModelState& model = *models.at(probs);
     const CacheKey key{
         states[static_cast<size_t>(spec.sequence_index)]->fingerprint,
-        model.fingerprint, FingerprintJobParams(spec.kind, spec.params)};
+        api::FingerprintQuery(spec)};
     if (std::optional<CachedResult> cached = cache_.Lookup(key)) {
-      result.substrings = std::move(cached->substrings);
-      result.best = cached->best;
-      result.match_count = cached->match_count;
+      FillPayload(result.kind, *cached, core::ScanStats{}, &result);
       result.cache_hit = true;
       continue;
     }
     miss_groups[key].push_back(i);
   }
 
-  // Publishes a computed payload to the group's JobResults and the cache.
-  // Duplicates are served by the lead's run: payload identical, flagged as
-  // cache hits, no scan stats of their own.
+  // Publishes a computed payload to the group's QueryResults and the
+  // cache. Duplicates are served by the lead's run: payload identical,
+  // flagged as cache hits, no scan stats of their own.
   auto publish = [&](const std::vector<size_t>& indices, const CacheKey& key,
-                     CachedResult computed) {
-    JobResult& lead = results[indices.front()];
-    lead.substrings = computed.substrings;
-    lead.best = computed.best;
-    lead.match_count = computed.match_count;
+                     CachedResult computed, const core::ScanStats& stats) {
+    api::QueryResult& lead = results[indices.front()];
+    FillPayload(lead.kind, computed, stats, &lead);
     for (size_t d = 1; d < indices.size(); ++d) {
-      JobResult& dup = results[indices[d]];
-      dup.substrings = computed.substrings;
-      dup.best = computed.best;
-      dup.match_count = computed.match_count;
+      api::QueryResult& dup = results[indices[d]];
+      FillPayload(dup.kind, computed, core::ScanStats{}, &dup);
       dup.cache_hit = true;
     }
     cache_.Insert(key, std::move(computed));
@@ -291,59 +486,113 @@ Result<std::vector<JobResult>> Engine::ExecuteBatch(
     std::vector<core::MssResult> shards;
   };
   std::vector<std::unique_ptr<ShardedGroup>> sharded;
+  // Scan stats of each miss group's lead, written by the kernel task and
+  // published after the pool drains.
+  std::vector<core::ScanStats> group_stats(miss_groups.size());
+  std::vector<std::pair<const CacheKey*, CachedResult>> group_payloads(
+      miss_groups.size());
 
-  for (const auto& [key, job_indices] : miss_groups) {
-    const JobSpec& spec = jobs[job_indices.front()];
-    const std::vector<double>& probs =
-        spec.probs.empty() ? uniform : spec.probs;
+  size_t group_index = 0;
+  for (const auto& [key, query_indices] : miss_groups) {
+    const size_t g = group_index++;
+    const QueryPlan& plan = plans[query_indices.front()];
+    const api::QuerySpec& spec = *plan.spec;
     SequenceState* state =
         states[static_cast<size_t>(spec.sequence_index)].get();
     const seq::Sequence* sequence = &corpus.sequence(spec.sequence_index);
-    const core::ChiSquareContext* context = &models.at(probs)->context;
 
-    // In-record sharding: one oversized MSS record is strided across the
-    // pool instead of pinning a single worker.
+    // In-record sharding: one oversized multinomial MSS record is strided
+    // across the pool instead of pinning a single worker. (Markov MSS has
+    // no sharded kernel; it runs sequentially like every other kind.)
     const int64_t n = sequence->size();
     int num_shards = static_cast<int>(std::min<int64_t>(
         pool_.num_threads(), std::max<int64_t>(1, n)));
-    if (spec.kind == JobKind::kMss && shard_min_sequence_ > 0 &&
-        n >= shard_min_sequence_ && num_shards > 1) {
+    if (plan.kind == api::QueryKind::kMss && plan.markov == nullptr &&
+        shard_min_sequence_ > 0 && n >= shard_min_sequence_ &&
+        num_shards > 1) {
       auto group = std::make_unique<ShardedGroup>();
       group->key = &key;
-      group->indices = &job_indices;
+      group->indices = &query_indices;
       group->shards.resize(static_cast<size_t>(num_shards));
+      const core::ChiSquareContext* context = plan.context;
       for (int shard = 0; shard < num_shards; ++shard) {
-        ShardedGroup* g = group.get();
-        pool_.Submit([state, sequence, context, shard, num_shards, g] {
+        ShardedGroup* gr = group.get();
+        pool_.Submit([state, sequence, context, shard, num_shards, gr] {
           // First shard to arrive builds the record's counts; the rest
           // block on call_once only until that build finishes.
           const seq::PrefixCounts& counts = state->CountsFor(*sequence);
-          g->shards[static_cast<size_t>(shard)] = core::MssShardScan(
-              counts, *context, shard, num_shards, &g->shared_best);
+          gr->shards[static_cast<size_t>(shard)] = core::MssShardScan(
+              counts, *context, shard, num_shards, &gr->shared_best);
         });
       }
       sharded.push_back(std::move(group));
       continue;
     }
 
-    const JobSpec* spec_ptr = &spec;
-    const std::vector<size_t>* indices = &job_indices;
-    std::vector<JobResult>* out = &results;
-    CacheKey key_copy = key;
-    pool_.Submit([spec_ptr, state, sequence, context, key_copy, indices, out,
-                  &publish] {
-      JobResult* lead = &(*out)[indices->front()];
-      CachedResult computed = RunKernel(
-          *spec_ptr, state->CountsFor(*sequence), *context, &lead->stats);
-      publish(*indices, key_copy, std::move(computed));
+    const QueryPlan* plan_ptr = &plan;
+    core::ScanStats* stats = &group_stats[g];
+    CachedResult* payload = &group_payloads[g].second;
+    group_payloads[g].first = &key;
+    pool_.Submit([plan_ptr, state, sequence, stats, payload] {
+      // Markov kernels never read prefix counts; skip the O(k·n) build.
+      const seq::PrefixCounts* counts =
+          plan_ptr->markov == nullptr ? &state->CountsFor(*sequence)
+                                      : nullptr;
+      *payload = RunQueryKernel(*plan_ptr, *sequence, counts, stats);
     });
   }
   pool_.Wait();
 
+  // Publish sequential groups, then merge and publish the sharded ones.
+  group_index = 0;
+  for (const auto& [key, query_indices] : miss_groups) {
+    const size_t g = group_index++;
+    if (group_payloads[g].first == nullptr) continue;  // Sharded group.
+    publish(query_indices, key, std::move(group_payloads[g].second),
+            group_stats[g]);
+  }
   for (const std::unique_ptr<ShardedGroup>& group : sharded) {
     core::MssResult merged = core::MergeShardResults(group->shards);
-    results[group->indices->front()].stats = merged.stats;
-    publish(*group->indices, *group->key, MssCachedResult(merged.best));
+    publish(*group->indices, *group->key, MssCachedResult(merged.best),
+            merged.stats);
+  }
+  return results;
+}
+
+Result<std::vector<JobResult>> Engine::ExecuteBatch(
+    const Corpus& corpus, const std::vector<JobSpec>& jobs) {
+  std::vector<api::QuerySpec> queries;
+  queries.reserve(jobs.size());
+  for (const JobSpec& job : jobs) queries.push_back(ToQuerySpec(job));
+  SIGSUB_ASSIGN_OR_RETURN(std::vector<api::QueryResult> query_results,
+                          ExecuteQueriesInternal(corpus, queries, "job"));
+
+  std::vector<JobResult> results(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const api::QueryResult& from = query_results[i];
+    JobResult& to = results[i];
+    to.job_index = from.query_index;
+    to.sequence_index = from.sequence_index;
+    to.kind = jobs[i].kind;
+    to.cache_hit = from.cache_hit;
+    to.stats = from.stats();
+    if (const auto* best = std::get_if<api::BestPayload>(&from.payload)) {
+      // Legacy shape: always one entry, zero-length when nothing
+      // qualified.
+      to.best = best->best;
+      to.substrings = {best->best};
+      to.match_count = best->best.length() > 0 ? 1 : 0;
+    } else if (const auto* ranked =
+                   std::get_if<api::RankedPayload>(&from.payload)) {
+      to.substrings = ranked->ranked;
+      if (!to.substrings.empty()) to.best = to.substrings.front();
+      to.match_count = static_cast<int64_t>(to.substrings.size());
+    } else {
+      const auto& threshold = std::get<api::ThresholdPayload>(from.payload);
+      to.substrings = threshold.matches;
+      to.best = threshold.best;
+      to.match_count = threshold.match_count;
+    }
   }
   return results;
 }

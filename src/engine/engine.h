@@ -2,8 +2,10 @@
 #define SIGSUB_ENGINE_ENGINE_H_
 
 #include <cstddef>
+#include <string_view>
 #include <vector>
 
+#include "api/query.h"
 #include "common/result.h"
 #include "core/x2_dispatch.h"
 #include "engine/corpus.h"
@@ -20,11 +22,11 @@ struct EngineOptions {
   int num_threads = 1;
   /// Result-cache capacity in entries; 0 disables caching.
   size_t cache_capacity = 4096;
-  /// In-record sharding threshold: an MSS job whose record is at least
+  /// In-record sharding threshold: an MSS query whose record is at least
   /// this many symbols long is split into strided shards
   /// (core::MssShardScan) that run concurrently on the pool, so one
   /// multi-megabyte record cannot pin a single worker. <= 0 disables
-  /// sharding. Sharded jobs return the same X² value as the sequential
+  /// sharding. Sharded queries return the same X² value as the sequential
   /// kernel (the witness among tied maxima may differ; see
   /// core::FindMssParallel).
   int64_t shard_min_sequence = 1 << 20;
@@ -34,29 +36,32 @@ struct EngineOptions {
   core::X2Dispatch x2_dispatch = core::X2Dispatch::kAuto;
 };
 
-/// Concurrent batch-mining engine: executes heterogeneous mining jobs
-/// (all five problem kernels) over a corpus of sequences.
+/// Concurrent batch-mining engine: executes heterogeneous mining queries
+/// (every sequence kernel — mss, topt, disjoint, threshold, minlen,
+/// lenbound, arlm, agmm, blocked; multinomial or Markov null models) over
+/// a corpus of sequences. api::QuerySpec is the native job representation;
+/// the legacy JobSpec surface lowers into it (engine/job.h).
 ///
-/// Two things make a batch cheaper than issuing the same jobs as
+/// Two things make a batch cheaper than issuing the same queries as
 /// independent `FindMss`-style calls:
 ///
 ///   1. Context reuse — `seq::PrefixCounts` (O(k·n) to build, the
 ///      dominant fixed cost of a one-shot call) is built once per
-///      distinct corpus record per batch and shared by every job on that
+///      distinct corpus record per batch and shared by every query on that
 ///      record, and one `core::ChiSquareContext` is shared per distinct
 ///      null model. The builds themselves run on the pool.
-///   2. Result caching — completed jobs are stored in an LRU cache keyed
-///      by (sequence FNV-1a fingerprint, model fingerprint, job-kind +
-///      params fingerprint), so repeated queries against hot sequences
-///      are served in O(1) without rescanning. The cache is consulted
-///      before any PrefixCounts are built, so a fully-warm batch skips
-///      the builds too. The cache persists across batches for the
-///      lifetime of the engine.
+///   2. Result caching — completed queries are stored in an LRU cache
+///      keyed by (sequence FNV-1a fingerprint, FNV-1a of the query's
+///      canonical serialization bytes — api::FingerprintQuery), so
+///      repeated queries against hot sequences are served in O(1) without
+///      rescanning. The cache is consulted before any PrefixCounts are
+///      built, so a fully-warm batch skips the builds too. The cache
+///      persists across batches for the lifetime of the engine.
 ///
-/// Results are bit-identical to the direct kernel calls: each job runs
+/// Results are bit-identical to the direct kernel calls: each query runs
 /// the same sequential kernel with the same summation order, whatever
-/// `num_threads` is — parallelism is across jobs, not within them. The
-/// one exception is an MSS job on a record at least
+/// `num_threads` is — parallelism is across queries, not within them. The
+/// one exception is an MSS query on a record at least
 /// `shard_min_sequence` symbols long, which is split across the pool
 /// via core::MssShardScan: its X² value is still bit-identical to the
 /// sequential kernel's, but when several substrings tie at the maximum
@@ -69,13 +74,18 @@ class Engine {
  public:
   explicit Engine(EngineOptions options = {});
 
-  /// Validates every spec (sequence index in range, probs compatible
-  /// with the corpus alphabet, kind-specific parameter ranges), then
-  /// executes the batch. `results[i]` corresponds to `jobs[i]`.
-  /// Validation failures name the offending job and fail the whole
-  /// batch before any kernel runs. Jobs with identical cache keys run
-  /// their kernel once; the duplicates receive the same payload and are
-  /// reported as cache hits.
+  /// Validates every query (sequence index in range, model compatible
+  /// with the corpus alphabet, kind-specific parameter ranges — failures
+  /// name the offending query and field), then executes the batch.
+  /// `results[i]` corresponds to `queries[i]`. Validation failures fail
+  /// the whole batch before any kernel runs. Queries with identical cache
+  /// keys run their kernel once; the duplicates receive the same payload
+  /// and are reported as cache hits.
+  Result<std::vector<api::QueryResult>> ExecuteQueries(
+      const Corpus& corpus, const std::vector<api::QuerySpec>& queries);
+
+  /// Compatibility shim: lowers each JobSpec into an api::QuerySpec,
+  /// executes them natively, and reshapes the payloads into JobResults.
   Result<std::vector<JobResult>> ExecuteBatch(const Corpus& corpus,
                                               const std::vector<JobSpec>& jobs);
 
@@ -91,16 +101,18 @@ class Engine {
   void ClearCache() { cache_.Clear(); }
 
  private:
+  /// `label` names the unit in validation errors ("query" natively,
+  /// "job" through the JobSpec shim), so legacy callers keep legacy
+  /// wording.
+  Result<std::vector<api::QueryResult>> ExecuteQueriesInternal(
+      const Corpus& corpus, const std::vector<api::QuerySpec>& queries,
+      std::string_view label);
+
   ResultCache cache_;
   ThreadPool pool_;
   int64_t shard_min_sequence_;
   core::X2Dispatch x2_dispatch_;
 };
-
-/// Fingerprint of (kind, kind-relevant params) — the third cache-key
-/// component. Exposed for tests; irrelevant params do not perturb it, so
-/// e.g. two MSS jobs differing only in `t` share a cache entry.
-uint64_t FingerprintJobParams(JobKind kind, const JobParams& params);
 
 }  // namespace engine
 }  // namespace sigsub

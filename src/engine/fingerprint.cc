@@ -12,12 +12,5 @@ uint64_t FingerprintSequence(const seq::Sequence& sequence) {
   return hasher.Digest();
 }
 
-uint64_t FingerprintProbs(std::span<const double> probs) {
-  Fnv1a hasher;
-  hasher.UpdateI64(static_cast<int64_t>(probs.size()));
-  for (double p : probs) hasher.UpdateDouble(p);
-  return hasher.Digest();
-}
-
 }  // namespace engine
 }  // namespace sigsub

@@ -1,60 +1,23 @@
 #ifndef SIGSUB_ENGINE_FINGERPRINT_H_
 #define SIGSUB_ENGINE_FINGERPRINT_H_
 
-#include <bit>
-#include <cstddef>
 #include <cstdint>
-#include <span>
 
+#include "common/fnv1a.h"
 #include "seq/sequence.h"
 
 namespace sigsub {
 namespace engine {
 
-/// Incremental 64-bit FNV-1a hasher. Used to fingerprint sequences, null
-/// models and job parameters for the engine's result cache; not
-/// cryptographic, but stable across runs and platforms (the inputs are
-/// hashed as explicit little-endian byte streams).
-class Fnv1a {
- public:
-  static constexpr uint64_t kOffsetBasis = 14695981039346656037ULL;
-  static constexpr uint64_t kPrime = 1099511628211ULL;
-
-  void Update(const void* data, size_t size) {
-    const auto* bytes = static_cast<const unsigned char*>(data);
-    for (size_t i = 0; i < size; ++i) {
-      state_ ^= bytes[i];
-      state_ *= kPrime;
-    }
-  }
-
-  void UpdateU64(uint64_t value) {
-    for (int i = 0; i < 8; ++i) {
-      state_ ^= static_cast<unsigned char>(value >> (8 * i));
-      state_ *= kPrime;
-    }
-  }
-
-  void UpdateI64(int64_t value) {
-    UpdateU64(static_cast<uint64_t>(value));
-  }
-
-  /// Hashes the exact bit pattern, so fingerprints distinguish any two
-  /// doubles that compare unequal (and conflate +0.0/-0.0 only by design
-  /// of the caller).
-  void UpdateDouble(double value) { UpdateU64(std::bit_cast<uint64_t>(value)); }
-
-  uint64_t Digest() const { return state_; }
-
- private:
-  uint64_t state_ = kOffsetBasis;
-};
+/// The hasher itself lives in common/fnv1a.h so layers below the engine
+/// (notably api/ canonical-query fingerprinting) can share the exact same
+/// byte-stream semantics; this alias preserves the historical name.
+/// (The old per-model FingerprintProbs is gone: model identity now rides
+/// in the canonical query bytes, api::FingerprintQuery.)
+using Fnv1a = ::sigsub::Fnv1a;
 
 /// Fingerprint of a sequence's content: alphabet size, length and symbols.
 uint64_t FingerprintSequence(const seq::Sequence& sequence);
-
-/// Fingerprint of a multinomial null model's probability vector.
-uint64_t FingerprintProbs(std::span<const double> probs);
 
 }  // namespace engine
 }  // namespace sigsub

@@ -32,5 +32,36 @@ Result<JobKind> ParseJobKind(std::string_view name) {
              "\" (expected mss|topt|disjoint|threshold|minlen)"));
 }
 
+api::QuerySpec ToQuerySpec(const JobSpec& spec) {
+  api::QuerySpec query;
+  query.sequence_index = spec.sequence_index;
+  query.model = spec.probs.empty()
+                    ? api::ModelSpec::Uniform()
+                    : api::ModelSpec::Multinomial(spec.probs);
+  switch (spec.kind) {
+    case JobKind::kMss:
+      query.request = api::MssQuery{};
+      break;
+    case JobKind::kTopT:
+      query.request = api::TopTQuery{spec.params.t};
+      break;
+    case JobKind::kTopDisjoint:
+      query.request = api::TopDisjointQuery{spec.params.t,
+                                            spec.params.min_length,
+                                            spec.params.min_chi_square};
+      break;
+    case JobKind::kThreshold:
+      // JobParams::alpha0 was always a raw X² cutoff (never a p-value);
+      // the typed form keeps alpha_p unset.
+      query.request = api::ThresholdQuery{spec.params.alpha0, -1.0,
+                                          spec.params.max_matches};
+      break;
+    case JobKind::kMinLength:
+      query.request = api::MinLengthQuery{spec.params.min_length};
+      break;
+  }
+  return query;
+}
+
 }  // namespace engine
 }  // namespace sigsub

@@ -6,13 +6,20 @@
 #include <string_view>
 #include <vector>
 
+#include "api/query.h"
 #include "common/result.h"
 #include "core/scan_types.h"
 
 namespace sigsub {
 namespace engine {
 
-/// The five problem kernels the engine can execute. One enumerator per
+/// Legacy flat job surface, kept as a thin compatibility shim over the
+/// typed api::QuerySpec representation the engine executes natively
+/// (api/query.h). JobSpec reaches only the five original kernels and
+/// multinomial models; new code should build QuerySpecs (or parse them
+/// with api::ParseQuery) and call Engine::ExecuteQueries.
+///
+/// The five problem kernels this shim can express. One enumerator per
 /// library entry point:
 ///   kMss         -> core::FindMss            (Problem 1)
 ///   kTopT        -> core::FindTopT           (Problem 2)
@@ -54,6 +61,13 @@ struct JobSpec {
   std::vector<double> probs;
   JobParams params;
 };
+
+/// Lowers the flat spec into the typed query representation: kind selects
+/// the request struct, only the kind-relevant JobParams fields are copied
+/// (so two JobSpecs that differ only in irrelevant params lower to equal
+/// QuerySpecs and share a cache entry — structurally, not by special-cased
+/// hashing), and `probs` becomes a ModelSpec (empty = uniform).
+api::QuerySpec ToQuerySpec(const JobSpec& spec);
 
 /// Outcome of one job. `substrings` is ordered best-first for kMss /
 /// kMinLength (single entry, possibly empty when nothing qualifies), rank

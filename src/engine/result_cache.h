@@ -10,36 +10,35 @@
 #include <vector>
 
 #include "core/scan_types.h"
-#include "engine/job.h"
 
 namespace sigsub {
 namespace engine {
 
-/// Cache key for a mining job: sequence content fingerprint (FNV-1a),
-/// null-model fingerprint, and a fingerprint of (kind, relevant params).
-/// Two jobs with the same key compute bit-identical results, so the cache
-/// can serve repeats without touching the kernels.
+/// Cache key for a mining query: sequence content fingerprint (FNV-1a)
+/// plus the FNV-1a digest of the query's canonical serialization bytes
+/// minus the sequence index (api::FingerprintQuery — kind, parameters and
+/// model in one canonical byte stream). Two queries with the same key
+/// compute bit-identical results, so the cache can serve repeats without
+/// touching the kernels.
 ///
-/// The key is the fingerprints alone — the original sequence/model bytes
+/// The key is the fingerprints alone — the original sequence/query bytes
 /// are not stored, so a 64-bit FNV-1a collision would silently serve the
-/// colliding job's results. FNV-1a is not collision-resistant against
+/// colliding query's results. FNV-1a is not collision-resistant against
 /// adversarial input; do not expose a shared cache to untrusted corpora
 /// (disable with cache_capacity = 0 in that setting).
 struct CacheKey {
   uint64_t sequence_fp = 0;
-  uint64_t model_fp = 0;
-  uint64_t job_fp = 0;
+  uint64_t query_fp = 0;
 
   friend bool operator==(const CacheKey&, const CacheKey&) = default;
 };
 
 struct CacheKeyHash {
   size_t operator()(const CacheKey& key) const {
-    // The components are already FNV-1a digests; mix them with distinct
-    // odd multipliers so permuted components do not collide.
+    // The components are already FNV-1a digests; mix them with a distinct
+    // odd multiplier so permuted components do not collide.
     uint64_t h = key.sequence_fp;
-    h = h * 0x9e3779b97f4a7c15ULL + key.model_fp;
-    h = h * 0xc2b2ae3d27d4eb4fULL + key.job_fp;
+    h = h * 0x9e3779b97f4a7c15ULL + key.query_fp;
     return static_cast<size_t>(h);
   }
 };

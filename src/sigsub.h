@@ -14,15 +14,18 @@
 ///   auto top = sigsub::core::FindTopT(s, model, 10); // Problem 2
 ///   double p = sigsub::core::SubstringPValue(mss->best.chi_square, 2);
 ///
-/// Corpus-scale batch mining (engine/): run any mix of the five problem
-/// kernels over many sequences concurrently, with per-sequence context
-/// reuse and an LRU result cache:
+/// Corpus-scale batch mining (engine/ + api/): run any mix of the
+/// sequence kernels over many sequences concurrently, with per-sequence
+/// context reuse and an LRU result cache keyed on canonical query bytes.
+/// api::QuerySpec is the typed (and serializable) query surface:
 ///
 ///   auto corpus = sigsub::engine::Corpus::FromLines("corpus.txt");
 ///   sigsub::engine::Engine engine({.num_threads = 8});
-///   auto results = engine.ExecuteUniform(*corpus,
-///                                        sigsub::engine::JobKind::kMss);
+///   auto spec = sigsub::api::ParseQuery("topt:seq=0,t=5,model=uniform");
+///   auto results = engine.ExecuteQueries(*corpus, {*spec});
 
+#include "api/query.h"
+#include "api/serde.h"
 #include "core/agmm.h"
 #include "core/arlm.h"
 #include "core/blocked_scan.h"
@@ -33,11 +36,11 @@
 #include "core/min_length.h"
 #include "core/mss.h"
 #include "core/mss_2d.h"
-#include "core/parallel.h"
-#include "core/streaming.h"
 #include "core/naive.h"
+#include "core/parallel.h"
 #include "core/scan_types.h"
 #include "core/significance.h"
+#include "core/streaming.h"
 #include "core/threshold.h"
 #include "core/top_disjoint.h"
 #include "core/top_t.h"
@@ -63,7 +66,13 @@
 #include "seq/prefix_counts.h"
 #include "seq/rng.h"
 #include "seq/sequence.h"
+#include "stats/beta.h"
+#include "stats/binomial.h"
 #include "stats/chi_squared.h"
 #include "stats/count_statistics.h"
+#include "stats/descriptive.h"
+#include "stats/exact_multinomial.h"
+#include "stats/gamma.h"
+#include "stats/normal.h"
 
 #endif  // SIGSUB_SIGSUB_H_

@@ -1,0 +1,186 @@
+#include "api/serde.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/query.h"
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace sigsub {
+namespace api {
+namespace {
+
+/// One spec per kernel variant with non-default values, plus model
+/// variants — the round-trip corpus.
+std::vector<QuerySpec> RepresentativeSpecs() {
+  std::vector<QuerySpec> specs;
+  auto add = [&](int64_t seq, ModelSpec model, QueryRequest request) {
+    QuerySpec spec;
+    spec.sequence_index = seq;
+    spec.model = std::move(model);
+    spec.request = std::move(request);
+    specs.push_back(std::move(spec));
+  };
+  add(0, ModelSpec::Uniform(), MssQuery{});
+  add(3, ModelSpec::Multinomial({0.25, 0.75}), MssQuery{});
+  add(1, ModelSpec::Markov({0.9, 0.1, 0.1, 0.9}), MssQuery{});
+  add(0, ModelSpec::Markov({0.9, 0.1, 0.1, 0.9}, {0.3, 0.7}), MssQuery{});
+  add(2, ModelSpec::Uniform(), TopTQuery{7});
+  add(0, ModelSpec::Uniform(), TopDisjointQuery{5, 4, 2.5});
+  add(0, ModelSpec::Uniform(), ThresholdQuery{12.5, -1.0, 100});
+  add(0, ModelSpec::Uniform(), ThresholdQuery{-1.0, 0.001,
+                                              std::numeric_limits<int64_t>::max()});
+  add(0, ModelSpec::Uniform(), ThresholdQuery{3.0, 0.01, 50});
+  add(4, ModelSpec::Uniform(), MinLengthQuery{64});
+  add(0, ModelSpec::Uniform(), LengthBoundedQuery{8, 128});
+  add(0, ModelSpec::Uniform(), LengthBoundedQuery{8, 0});
+  add(0, ModelSpec::Multinomial({0.5, 0.25, 0.25}), ArlmQuery{});
+  add(0, ModelSpec::Uniform(), AgmmQuery{});
+  add(0, ModelSpec::Uniform(), BlockedQuery{32});
+  // Doubles that need shortest-round-trip printing to survive.
+  add(0, ModelSpec::Multinomial({1.0 / 3.0, 2.0 / 3.0}), TopTQuery{2});
+  add(0, ModelSpec::Uniform(), ThresholdQuery{-1.0, 1e-12,
+                                              std::numeric_limits<int64_t>::max()});
+  return specs;
+}
+
+TEST(QuerySerdeTest, CompactRoundTripsEveryKernelVariant) {
+  for (const QuerySpec& spec : RepresentativeSpecs()) {
+    const std::string text = FormatQuery(spec);
+    ASSERT_OK_AND_ASSIGN(QuerySpec parsed, ParseQuery(text));
+    EXPECT_EQ(parsed, spec) << text;
+    // Formatting is canonical: re-serializing the parse is a fixpoint.
+    EXPECT_EQ(FormatQuery(parsed), text);
+  }
+}
+
+TEST(QuerySerdeTest, JsonRoundTripsEveryKernelVariant) {
+  for (const QuerySpec& spec : RepresentativeSpecs()) {
+    const std::string json = FormatQueryJson(spec);
+    ASSERT_OK_AND_ASSIGN(QuerySpec parsed, ParseQuery(json));
+    EXPECT_EQ(parsed, spec) << json;
+    // Both forms describe the same canonical content.
+    EXPECT_EQ(FormatQuery(parsed), FormatQuery(spec));
+  }
+}
+
+TEST(QuerySerdeTest, KnownSpellings) {
+  QuerySpec spec;
+  spec.sequence_index = 2;
+  spec.request = TopTQuery{5};
+  spec.model = ModelSpec::Multinomial({0.25, 0.75});
+  EXPECT_EQ(FormatQuery(spec), "topt:seq=2,t=5,model=probs(0.25;0.75)");
+  EXPECT_EQ(FormatQueryJson(spec),
+            "{\"kind\":\"topt\",\"seq\":2,\"t\":5,"
+            "\"model\":{\"kind\":\"multinomial\",\"probs\":[0.25,0.75]}}");
+  EXPECT_EQ(CanonicalQueryKey(spec), "topt:t=5,model=probs(0.25;0.75)");
+}
+
+TEST(QuerySerdeTest, ParseAcceptsDefaultsAndWhitespace) {
+  ASSERT_OK_AND_ASSIGN(QuerySpec bare, ParseQuery("mss"));
+  EXPECT_EQ(bare, QuerySpec{});
+  ASSERT_OK_AND_ASSIGN(QuerySpec spaced,
+                       ParseQuery("  topt: seq = 1 , t = 3 "));
+  EXPECT_EQ(spaced.sequence_index, 1);
+  EXPECT_EQ(std::get<TopTQuery>(spaced.request).t, 3);
+  // Omitted fields keep their defaults.
+  ASSERT_OK_AND_ASSIGN(QuerySpec partial, ParseQuery("blocked:seq=2"));
+  EXPECT_EQ(std::get<BlockedQuery>(partial.request).block_size, 64);
+}
+
+TEST(QuerySerdeTest, MalformedInputsAreNamedErrors) {
+  struct Case {
+    const char* text;
+    const char* needle;  // Must appear in the error message.
+  };
+  const Case cases[] = {
+      {"", "empty query"},
+      {"bogus:seq=0", "unknown query kind"},
+      {"mss:seq=0,t=3", "no field \"t\""},
+      {"topt:t=abc", "expects an integer"},
+      {"topt:t=3,t=4", "duplicate query field"},
+      {"topt:t", "missing '='"},
+      {"threshold:alpha0=1e", "expects a number"},
+      {"mss:seq=0,model=probs(0.5;x)", "model.probs"},
+      {"mss:seq=0,model=mystery(1)", "unknown model"},
+      {"mss:model=probs(0.5;0.5", "missing ')'"},
+      {"{\"kind\":\"topt\",\"t\":}", "malformed JSON"},
+      {"{\"kind\":\"topt\"", "malformed JSON"},
+      {"{\"seq\":0}", "needs a string \"kind\""},
+      {"{\"kind\":\"topt\",\"t\":3,\"t\":4}", "duplicate key"},
+      {"{\"kind\":\"mss\",\"model\":{\"kind\":\"markov\"}}",
+       "needs \"transitions\""},
+      {"{\"kind\":\"mss\",\"model\":{\"kind\":\"uniform\",\"probs\":[1]}}",
+       "no field \"probs\""},
+  };
+  for (const Case& c : cases) {
+    auto result = ParseQuery(c.text);
+    ASSERT_FALSE(result.ok()) << c.text;
+    EXPECT_TRUE(result.status().IsInvalidArgument()) << c.text;
+    EXPECT_NE(result.status().message().find(c.needle), std::string::npos)
+        << c.text << " -> " << result.status().message();
+  }
+}
+
+TEST(QuerySerdeTest, DistinctCanonicalFormsGetDistinctFingerprints) {
+  // Pins the JobParams→canonical-bytes migration: every pair of distinct
+  // canonical keys must land on distinct cache fingerprints (64-bit
+  // FNV-1a collisions across a small set would indicate a hashing bug,
+  // not bad luck).
+  std::vector<QuerySpec> specs = RepresentativeSpecs();
+  // Parameter tweaks that historically shared a fingerprint under the
+  // flat JobParams hashing when the kind ignored them.
+  {
+    QuerySpec a;
+    a.request = ThresholdQuery{5.0, -1.0, std::numeric_limits<int64_t>::max()};
+    QuerySpec b;
+    b.request = ThresholdQuery{-1.0, 0.5,
+                               std::numeric_limits<int64_t>::max()};
+    specs.push_back(a);
+    specs.push_back(b);  // alpha0=5 vs alpha_p=0.5 must differ.
+  }
+  std::set<std::string> keys;
+  std::set<uint64_t> fingerprints;
+  for (const QuerySpec& spec : specs) {
+    keys.insert(CanonicalQueryKey(spec));
+    fingerprints.insert(FingerprintQuery(spec));
+  }
+  EXPECT_EQ(keys.size(), fingerprints.size());
+
+  // Every parameter perturbs the fingerprint; the sequence index never
+  // does (record identity lives in the sequence fingerprint).
+  QuerySpec base;
+  base.request = TopTQuery{5};
+  QuerySpec other_t = base;
+  other_t.request = TopTQuery{6};
+  QuerySpec other_seq = base;
+  other_seq.sequence_index = 9;
+  EXPECT_NE(FingerprintQuery(base), FingerprintQuery(other_t));
+  EXPECT_EQ(FingerprintQuery(base), FingerprintQuery(other_seq));
+
+  QuerySpec skewed = base;
+  skewed.model = ModelSpec::Multinomial({0.8, 0.2});
+  EXPECT_NE(FingerprintQuery(base), FingerprintQuery(skewed));
+}
+
+TEST(QuerySerdeTest, EveryKindNameParses) {
+  for (QueryKind kind :
+       {QueryKind::kMss, QueryKind::kTopT, QueryKind::kTopDisjoint,
+        QueryKind::kThreshold, QueryKind::kMinLength,
+        QueryKind::kLengthBounded, QueryKind::kArlm, QueryKind::kAgmm,
+        QueryKind::kBlocked}) {
+    ASSERT_OK_AND_ASSIGN(QueryKind parsed,
+                         ParseQueryKind(QueryKindToString(kind)));
+    EXPECT_EQ(parsed, kind);
+    ASSERT_OK_AND_ASSIGN(QuerySpec spec,
+                         ParseQuery(std::string(QueryKindToString(kind))));
+    EXPECT_EQ(spec.kind(), kind);
+  }
+  EXPECT_TRUE(ParseQueryKind("mystery").status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace sigsub

@@ -575,10 +575,188 @@ TEST(StreamTest, ReadsStreamFromFile) {
   std::remove(path.c_str());
 }
 
+TEST(QueryTest, ParsesQueryFlags) {
+  auto options = ParseArgs({"query", "--input=corpus.txt", "--query=mss",
+                            "--query=topt:t=3", "--queries-file=q.txt",
+                            "--threads=2", "--cache=8"});
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  EXPECT_EQ(options->command, "query");
+  EXPECT_EQ(options->queries,
+            (std::vector<std::string>{"mss", "topt:t=3"}));
+  EXPECT_EQ(options->queries_file, "q.txt");
+  // query-only flags are rejected elsewhere.
+  EXPECT_TRUE(ParseArgs({"mss", "--string=01", "--query=mss"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"batch", "--input=x", "--queries-file=q"})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(QueryTest, ValidatesItsFlagSet) {
+  // A corpus and at least one query are required.
+  EXPECT_TRUE(ParseArgs({"query", "--query=mss"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"query", "--input=x"})
+                  .status()
+                  .IsInvalidArgument());
+  // Models live inside the queries; a corpus-level --probs would be
+  // silently shadowed, so it is rejected loudly.
+  auto status = ParseArgs({"query", "--input=x", "--query=mss",
+                           "--probs=0.5,0.5"})
+                    .status();
+  ASSERT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("--probs"), std::string::npos);
+  // Job flags belong to batch.
+  EXPECT_TRUE(ParseArgs({"query", "--input=x", "--query=mss", "--job=mss"})
+                  .status()
+                  .IsInvalidArgument());
+  // Corpus-shaping flags describe a file layout; with --string they
+  // would be silently ignored, so they are rejected loudly.
+  for (const char* flag : {"--format=csv", "--column=1", "--csv-header"}) {
+    auto shaped =
+        ParseArgs({"query", "--string=0101", "--query=mss", flag}).status();
+    ASSERT_TRUE(shaped.IsInvalidArgument()) << flag;
+    EXPECT_NE(shaped.message().find("--string"), std::string::npos) << flag;
+  }
+}
+
+TEST(QueryTest, RunsEveryKernelAgainstAStringCorpus) {
+  auto report = cli::Run(
+      ParseArgs({"query", "--string=0101011111111110101",
+                 "--query=mss", "--query=topt:t=2",
+                 "--query=disjoint:t=2,min_length=3",
+                 "--query=threshold:alpha0=8,max_matches=4",
+                 "--query=minlen:min_length=6",
+                 "--query=lenbound:min_length=4,max_length=8",
+                 "--query=arlm", "--query=agmm",
+                 "--query=blocked:block_size=8"})
+          .value());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  for (const char* kind : {"mss", "topt", "disjoint", "threshold", "minlen",
+                           "lenbound", "arlm", "agmm", "blocked"}) {
+    EXPECT_NE(report->find(kind), std::string::npos) << kind << *report;
+  }
+  // The planted run of ones is the MSS; its X² appears in the table.
+  EXPECT_NE(report->find("10.0000"), std::string::npos) << *report;
+  EXPECT_NE(report->find("cache:"), std::string::npos);
+}
+
+TEST(QueryTest, MatchesSingleStringCommand) {
+  // The query path must report the same MSS window the one-shot `mss`
+  // command reports for the same record.
+  std::string text = "0101011111111110101";
+  auto single =
+      cli::Run(ParseArgs({"mss", std::string("--string=") + text}).value());
+  auto query = cli::Run(ParseArgs({"query", std::string("--string=") + text,
+                                   "--query=mss:seq=0,model=uniform"})
+                            .value());
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_NE(single->find("10.0000"), std::string::npos);
+  EXPECT_NE(query->find("10.0000"), std::string::npos);
+}
+
+TEST(QueryTest, ReadsQueriesFileWithComments) {
+  std::string corpus_path = ::testing::TempDir() + "/sigsub_q_corpus.txt";
+  std::string queries_path = ::testing::TempDir() + "/sigsub_q_list.txt";
+  ASSERT_TRUE(io::WriteTextFile(corpus_path,
+                                "0101011111111110101\n0000000000111111\n")
+                  .ok());
+  ASSERT_TRUE(io::WriteTextFile(queries_path,
+                                "# corpus-wide sweep\n"
+                                "mss:seq=0\n"
+                                "\n"
+                                "  topt:seq=1,t=2\n")
+                  .ok());
+  auto report = cli::Run(
+      ParseArgs({"query", std::string("--input=") + corpus_path,
+                 std::string("--queries-file=") + queries_path})
+          .value());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("queries = 2"), std::string::npos) << *report;
+  std::remove(corpus_path.c_str());
+  std::remove(queries_path.c_str());
+}
+
+TEST(QueryTest, MalformedQueryNamesTheQuery) {
+  auto report = cli::Run(ParseArgs({"query", "--string=0101",
+                                    "--query=mss", "--query=bogus:t=1"})
+                             .value());
+  ASSERT_TRUE(report.status().IsInvalidArgument());
+  EXPECT_NE(report.status().message().find("query 1"), std::string::npos);
+  EXPECT_NE(report.status().message().find("unknown query kind"),
+            std::string::npos);
+}
+
+TEST(QueryTest, OutOfRangeSequenceIndexNamesField) {
+  auto report = cli::Run(
+      ParseArgs({"query", "--string=0101", "--query=mss:seq=7"}).value());
+  ASSERT_TRUE(report.status().IsInvalidArgument());
+  EXPECT_NE(report.status().message().find("field seq"), std::string::npos);
+}
+
+TEST(BatchTest, AlphaPThresholdRunsAndWins) {
+  std::string path = ::testing::TempDir() + "/sigsub_cli_alphap.txt";
+  ASSERT_TRUE(io::WriteTextFile(path, "0101\n000001111111111111\n").ok());
+  // alpha_p = 0.001 -> χ²(1) critical value ≈ 10.83: record 1's planted
+  // run (X² = 13) clears it, record 0 does not.
+  auto report = cli::Run(ParseArgs({"batch", std::string("--input=") + path,
+                                    "--job=threshold", "--alpha-p=0.001"})
+                             .value());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("13.0000"), std::string::npos) << *report;
+  // --alpha-p takes precedence over --alpha0: an alpha0 that would match
+  // everything must not change the result.
+  auto both = cli::Run(ParseArgs({"batch", std::string("--input=") + path,
+                                  "--job=threshold", "--alpha-p=0.001",
+                                  "--alpha0=0"})
+                           .value());
+  ASSERT_TRUE(both.ok()) << both.status().ToString();
+  EXPECT_EQ(*report, *both);
+  // Like the other threshold flags, it is rejected for other jobs.
+  EXPECT_TRUE(ParseArgs({"batch", std::string("--input=") + path,
+                         "--job=mss", "--alpha-p=0.001"})
+                  .status()
+                  .IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(BatchTest, FlagRangeErrorsSpeakFlagVocabulary) {
+  // Batch rides the query layer internally, but errors about values the
+  // user typed as flags must name the flags, not query-grammar fields.
+  std::string path = ::testing::TempDir() + "/sigsub_cli_flagvocab.txt";
+  ASSERT_TRUE(io::WriteTextFile(path, "0101\n").ok());
+  std::string input = std::string("--input=") + path;
+  auto probs = cli::Run(
+      ParseArgs({"batch", input, "--probs=0.3,0.3,0.4"}).value());
+  ASSERT_TRUE(probs.status().IsInvalidArgument());
+  EXPECT_NE(probs.status().message().find("--probs"), std::string::npos)
+      << probs.status().message();
+  auto t = cli::Run(
+      ParseArgs({"batch", input, "--job=topt", "--t=0"}).value());
+  ASSERT_TRUE(t.status().IsInvalidArgument());
+  EXPECT_NE(t.status().message().find("--t"), std::string::npos);
+  // An out-of-range --alpha-p is a parse-time error, and a negative one
+  // must not be conflated with the unset sentinel (which would silently
+  // hand precedence back to --alpha0).
+  for (const char* bad : {"--alpha-p=2", "--alpha-p=-0.001",
+                          "--alpha-p=0"}) {
+    auto alpha_p =
+        ParseArgs({"batch", input, "--job=threshold", bad}).status();
+    ASSERT_TRUE(alpha_p.IsInvalidArgument()) << bad;
+    EXPECT_NE(alpha_p.message().find("--alpha-p"), std::string::npos)
+        << bad;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(UsageTest, MentionsAllCommands) {
   std::string usage = UsageText();
   for (const char* command :
-       {"mss", "topt", "threshold", "minlen", "score", "batch", "stream"}) {
+       {"mss", "topt", "threshold", "minlen", "score", "batch", "query",
+        "stream"}) {
     EXPECT_NE(usage.find(command), std::string::npos) << command;
   }
 }

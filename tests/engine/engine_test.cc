@@ -3,6 +3,12 @@
 #include <string>
 #include <vector>
 
+#include "api/serde.h"
+#include "core/agmm.h"
+#include "core/arlm.h"
+#include "core/blocked_scan.h"
+#include "core/length_bounded.h"
+#include "core/markov_scan.h"
 #include "core/min_length.h"
 #include "core/mss.h"
 #include "core/threshold.h"
@@ -13,6 +19,7 @@
 #include "seq/generators.h"
 #include "seq/model.h"
 #include "seq/rng.h"
+#include "stats/chi_squared.h"
 #include "testing/test_util.h"
 
 namespace sigsub {
@@ -250,15 +257,30 @@ TEST(EngineTest, CacheDistinguishesParamsAndModels) {
 }
 
 TEST(EngineTest, IrrelevantParamsShareCacheEntries) {
-  // Two MSS jobs differing only in `t` describe the same computation.
-  JobParams a{.t = 3};
-  JobParams b{.t = 99};
-  EXPECT_EQ(FingerprintJobParams(JobKind::kMss, a),
-            FingerprintJobParams(JobKind::kMss, b));
-  EXPECT_NE(FingerprintJobParams(JobKind::kTopT, a),
-            FingerprintJobParams(JobKind::kTopT, b));
-  EXPECT_NE(FingerprintJobParams(JobKind::kMss, a),
-            FingerprintJobParams(JobKind::kMinLength, a));
+  // Two MSS jobs differing only in `t` describe the same computation:
+  // the typed lowering drops irrelevant params structurally, so the
+  // canonical-bytes fingerprints coincide.
+  JobSpec mss3{JobKind::kMss, 0, {}, {.t = 3}};
+  JobSpec mss99{JobKind::kMss, 0, {}, {.t = 99}};
+  EXPECT_EQ(ToQuerySpec(mss3), ToQuerySpec(mss99));
+  EXPECT_EQ(api::FingerprintQuery(ToQuerySpec(mss3)),
+            api::FingerprintQuery(ToQuerySpec(mss99)));
+  JobSpec topt3 = mss3;
+  topt3.kind = JobKind::kTopT;
+  JobSpec topt99 = mss99;
+  topt99.kind = JobKind::kTopT;
+  EXPECT_NE(api::FingerprintQuery(ToQuerySpec(topt3)),
+            api::FingerprintQuery(ToQuerySpec(topt99)));
+  JobSpec minlen3 = mss3;
+  minlen3.kind = JobKind::kMinLength;
+  EXPECT_NE(api::FingerprintQuery(ToQuerySpec(mss3)),
+            api::FingerprintQuery(ToQuerySpec(minlen3)));
+  // The record index is deliberately NOT part of the query fingerprint —
+  // content identity comes from the sequence fingerprint.
+  JobSpec other_record = mss3;
+  other_record.sequence_index = 5;
+  EXPECT_EQ(api::FingerprintQuery(ToQuerySpec(mss3)),
+            api::FingerprintQuery(ToQuerySpec(other_record)));
 }
 
 TEST(EngineTest, ValidatesSpecs) {
@@ -367,17 +389,297 @@ TEST(EngineTest, ThresholdJobWithNoMatchesCarriesEmptyBest) {
   EXPECT_EQ(results[0].best.chi_square, 0.0);
 }
 
-TEST(FingerprintTest, SequenceAndModelFingerprints) {
+/// One QuerySpec of every kind with non-default parameters.
+std::vector<api::QuerySpec> MakeAllKindQueries(int64_t sequence_index) {
+  std::vector<api::QuerySpec> queries;
+  auto add = [&](api::QueryRequest request) {
+    api::QuerySpec spec;
+    spec.sequence_index = sequence_index;
+    spec.request = std::move(request);
+    queries.push_back(std::move(spec));
+  };
+  add(api::MssQuery{});
+  add(api::TopTQuery{4});
+  add(api::TopDisjointQuery{3, 5, 0.0});
+  add(api::ThresholdQuery{8.0, -1.0, 1000});
+  add(api::MinLengthQuery{10});
+  add(api::LengthBoundedQuery{5, 40});
+  add(api::ArlmQuery{});
+  add(api::AgmmQuery{});
+  add(api::BlockedQuery{16});
+  return queries;
+}
+
+TEST(QueryEngineTest, EveryKernelMatchesDirectCallBitIdentically) {
+  Corpus corpus = MakeCorpus();
+  Engine engine({.num_threads = 2, .cache_capacity = 0});
+  std::vector<api::QuerySpec> queries;
+  for (int64_t i = 0; i < corpus.size(); ++i) {
+    for (api::QuerySpec& spec : MakeAllKindQueries(i)) {
+      queries.push_back(std::move(spec));
+    }
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<api::QueryResult> results,
+                       engine.ExecuteQueries(corpus, queries));
+  ASSERT_EQ(results.size(), queries.size());
+
+  seq::MultinomialModel model = seq::MultinomialModel::Uniform(2);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const api::QuerySpec& spec = queries[i];
+    const api::QueryResult& result = results[i];
+    EXPECT_EQ(result.query_index, static_cast<int64_t>(i));
+    EXPECT_EQ(result.sequence_index, spec.sequence_index);
+    EXPECT_EQ(result.kind, spec.kind());
+    EXPECT_FALSE(result.cache_hit);
+    const seq::Sequence& sequence = corpus.sequence(spec.sequence_index);
+    switch (spec.kind()) {
+      case api::QueryKind::kMss: {
+        ASSERT_OK_AND_ASSIGN(core::MssResult direct,
+                             core::FindMss(sequence, model));
+        EXPECT_EQ(result.best().chi_square, direct.best.chi_square);
+        EXPECT_EQ(result.best().start, direct.best.start);
+        EXPECT_EQ(result.best().end, direct.best.end);
+        EXPECT_EQ(result.stats().positions_examined,
+                  direct.stats.positions_examined);
+        break;
+      }
+      case api::QueryKind::kTopT: {
+        ASSERT_OK_AND_ASSIGN(core::TopTResult direct,
+                             core::FindTopT(sequence, model, 4));
+        std::span<const core::Substring> subs = result.substrings();
+        ASSERT_EQ(subs.size(), direct.top.size());
+        for (size_t r = 0; r < direct.top.size(); ++r) {
+          EXPECT_EQ(subs[r].chi_square, direct.top[r].chi_square);
+          EXPECT_EQ(subs[r].start, direct.top[r].start);
+          EXPECT_EQ(subs[r].end, direct.top[r].end);
+        }
+        break;
+      }
+      case api::QueryKind::kTopDisjoint: {
+        core::TopDisjointOptions options;
+        options.t = 3;
+        options.min_length = 5;
+        ASSERT_OK_AND_ASSIGN(std::vector<core::Substring> direct,
+                             core::FindTopDisjoint(sequence, model, options));
+        std::span<const core::Substring> subs = result.substrings();
+        ASSERT_EQ(subs.size(), direct.size());
+        for (size_t r = 0; r < direct.size(); ++r) {
+          EXPECT_EQ(subs[r].chi_square, direct[r].chi_square);
+        }
+        break;
+      }
+      case api::QueryKind::kThreshold: {
+        ASSERT_OK_AND_ASSIGN(core::ThresholdResult direct,
+                             core::FindAboveThreshold(sequence, model, 8.0));
+        EXPECT_EQ(result.match_count(), direct.match_count);
+        if (direct.match_count > 0) {
+          EXPECT_EQ(result.best().chi_square, direct.best.chi_square);
+        }
+        break;
+      }
+      case api::QueryKind::kMinLength: {
+        ASSERT_OK_AND_ASSIGN(core::MssResult direct,
+                             core::FindMssMinLength(sequence, model, 10));
+        EXPECT_EQ(result.best().chi_square, direct.best.chi_square);
+        EXPECT_EQ(result.best().start, direct.best.start);
+        EXPECT_EQ(result.best().end, direct.best.end);
+        break;
+      }
+      case api::QueryKind::kLengthBounded: {
+        ASSERT_OK_AND_ASSIGN(
+            core::MssResult direct,
+            core::FindMssLengthBounded(sequence, model, 5, 40));
+        EXPECT_EQ(result.best().chi_square, direct.best.chi_square);
+        EXPECT_EQ(result.best().start, direct.best.start);
+        EXPECT_EQ(result.best().end, direct.best.end);
+        break;
+      }
+      case api::QueryKind::kArlm: {
+        ASSERT_OK_AND_ASSIGN(core::MssResult direct,
+                             core::FindMssArlm(sequence, model));
+        EXPECT_EQ(result.best().chi_square, direct.best.chi_square);
+        EXPECT_EQ(result.best().start, direct.best.start);
+        EXPECT_EQ(result.best().end, direct.best.end);
+        break;
+      }
+      case api::QueryKind::kAgmm: {
+        ASSERT_OK_AND_ASSIGN(core::MssResult direct,
+                             core::FindMssAgmm(sequence, model));
+        EXPECT_EQ(result.best().chi_square, direct.best.chi_square);
+        EXPECT_EQ(result.best().start, direct.best.start);
+        EXPECT_EQ(result.best().end, direct.best.end);
+        break;
+      }
+      case api::QueryKind::kBlocked: {
+        ASSERT_OK_AND_ASSIGN(core::MssResult direct,
+                             core::FindMssBlocked(sequence, model, 16));
+        EXPECT_EQ(result.best().chi_square, direct.best.chi_square);
+        EXPECT_EQ(result.best().start, direct.best.start);
+        EXPECT_EQ(result.best().end, direct.best.end);
+        break;
+      }
+    }
+  }
+}
+
+TEST(QueryEngineTest, MarkovModelMssMatchesDirectCall) {
+  // A Markov ModelSpec on an mss query runs the Markov-statistic scan.
+  Corpus corpus = MakeCorpus();
+  Engine engine({.num_threads = 1, .cache_capacity = 8});
+  api::QuerySpec spec;
+  spec.sequence_index = 0;
+  spec.model = api::ModelSpec::Markov({0.6, 0.4, 0.3, 0.7});
+  ASSERT_OK_AND_ASSIGN(auto results, engine.ExecuteQueries(corpus, {spec}));
+  ASSERT_EQ(results.size(), 1u);
+
+  ASSERT_OK_AND_ASSIGN(seq::MarkovModel model,
+                       seq::MarkovModel::Make(2, {0.6, 0.4, 0.3, 0.7},
+                                              {0.5, 0.5}));
+  ASSERT_OK_AND_ASSIGN(core::MssResult direct,
+                       core::FindMssMarkov(corpus.sequence(0), model));
+  EXPECT_EQ(results[0].best().chi_square, direct.best.chi_square);
+  EXPECT_EQ(results[0].best().start, direct.best.start);
+  EXPECT_EQ(results[0].best().end, direct.best.end);
+
+  // Repeats are cache hits like any other query.
+  ASSERT_OK_AND_ASSIGN(auto warm, engine.ExecuteQueries(corpus, {spec}));
+  EXPECT_TRUE(warm[0].cache_hit);
+  EXPECT_EQ(warm[0].best().chi_square, direct.best.chi_square);
+}
+
+TEST(QueryEngineTest, AlphaPConvertsViaCriticalValue) {
+  // threshold alpha_p must behave exactly like alpha0 = the χ²(k−1)
+  // critical value of that p-value — and win when both fields are set.
+  Corpus corpus = MakeCorpus();
+  Engine engine({.num_threads = 1, .cache_capacity = 0});
+  const double alpha_p = 0.001;
+  const double critical =
+      stats::ChiSquaredDistribution(1).CriticalValue(alpha_p);
+
+  api::QuerySpec by_p;
+  by_p.request = api::ThresholdQuery{-1.0, alpha_p, 1000};
+  api::QuerySpec by_x2;
+  by_x2.request = api::ThresholdQuery{critical, -1.0, 1000};
+  api::QuerySpec both;  // A stale alpha0 must lose to alpha_p.
+  both.request = api::ThresholdQuery{0.0, alpha_p, 1000};
+  ASSERT_OK_AND_ASSIGN(auto results,
+                       engine.ExecuteQueries(corpus, {by_p, by_x2, both}));
+  EXPECT_GT(results[0].match_count(), 0);
+  EXPECT_EQ(results[0].match_count(), results[1].match_count());
+  EXPECT_EQ(results[0].best().chi_square, results[1].best().chi_square);
+  EXPECT_EQ(results[2].match_count(), results[0].match_count());
+}
+
+TEST(QueryEngineTest, ValidationNamesQueryAndField) {
+  Corpus corpus = MakeCorpus();
+  Engine engine;
+  {
+    api::QuerySpec spec;
+    spec.sequence_index = corpus.size();
+    auto status = engine.ExecuteQueries(corpus, {spec}).status();
+    ASSERT_TRUE(status.IsInvalidArgument());
+    EXPECT_NE(status.message().find("query 0"), std::string::npos)
+        << status.message();
+    EXPECT_NE(status.message().find("field seq"), std::string::npos);
+  }
+  {
+    api::QuerySpec spec;
+    spec.request = api::LengthBoundedQuery{10, 5};
+    auto status = engine.ExecuteQueries(corpus, {spec}).status();
+    ASSERT_TRUE(status.IsInvalidArgument());
+    EXPECT_NE(status.message().find("lenbound"), std::string::npos);
+    EXPECT_NE(status.message().find("field max_length"), std::string::npos);
+  }
+  {
+    api::QuerySpec spec;
+    spec.request = api::ThresholdQuery{};  // Neither cutoff set.
+    auto status = engine.ExecuteQueries(corpus, {spec}).status();
+    ASSERT_TRUE(status.IsInvalidArgument());
+    EXPECT_NE(status.message().find("alpha0"), std::string::npos);
+    EXPECT_NE(status.message().find("alpha_p"), std::string::npos);
+  }
+  {
+    api::QuerySpec spec;
+    spec.request = api::ThresholdQuery{-1.0, 2.0,
+                                       std::numeric_limits<int64_t>::max()};
+    auto status = engine.ExecuteQueries(corpus, {spec}).status();
+    ASSERT_TRUE(status.IsInvalidArgument());
+    EXPECT_NE(status.message().find("field alpha_p"), std::string::npos);
+  }
+  {
+    // NaN compares false against everything, so it would otherwise read
+    // as "unset" in validation and disable the cutoff in the scan.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    for (api::ThresholdQuery bad :
+         {api::ThresholdQuery{nan, -1.0, 100},
+          api::ThresholdQuery{-1.0, nan, 100},
+          api::ThresholdQuery{std::numeric_limits<double>::infinity(), -1.0,
+                              100}}) {
+      api::QuerySpec spec;
+      spec.request = bad;
+      auto status = engine.ExecuteQueries(corpus, {spec}).status();
+      ASSERT_TRUE(status.IsInvalidArgument());
+      EXPECT_NE(status.message().find("alpha0"), std::string::npos);
+    }
+    api::QuerySpec spec;
+    spec.request = api::TopDisjointQuery{2, 1, nan};
+    auto status = engine.ExecuteQueries(corpus, {spec}).status();
+    ASSERT_TRUE(status.IsInvalidArgument());
+    EXPECT_NE(status.message().find("field min_x2"), std::string::npos);
+  }
+  {
+    api::QuerySpec spec;
+    spec.request = api::BlockedQuery{0};
+    auto status = engine.ExecuteQueries(corpus, {spec}).status();
+    ASSERT_TRUE(status.IsInvalidArgument());
+    EXPECT_NE(status.message().find("field block_size"), std::string::npos);
+  }
+  {
+    // Markov models only make sense for the mss kernel.
+    api::QuerySpec spec;
+    spec.model = api::ModelSpec::Markov({0.5, 0.5, 0.5, 0.5});
+    spec.request = api::TopTQuery{3};
+    auto status = engine.ExecuteQueries(corpus, {spec}).status();
+    ASSERT_TRUE(status.IsInvalidArgument());
+    EXPECT_NE(status.message().find("field model"), std::string::npos);
+  }
+  {
+    // Markov validation catches bad transition matrices.
+    api::QuerySpec spec;
+    spec.model = api::ModelSpec::Markov({0.5, 0.5, 0.5});  // Not k*k.
+    auto status = engine.ExecuteQueries(corpus, {spec}).status();
+    ASSERT_TRUE(status.IsInvalidArgument());
+    EXPECT_NE(status.message().find("field model.transitions"),
+              std::string::npos);
+  }
+}
+
+TEST(QueryEngineTest, CacheKeysOnCanonicalBytes) {
+  // Two specs with distinct canonical forms are distinct computations;
+  // the same spec resubmitted (even via a different JobSpec spelling) is
+  // a hit.
+  Corpus corpus = MakeCorpus();
+  Engine engine({.num_threads = 1, .cache_capacity = 64});
+  std::vector<api::QuerySpec> queries = MakeAllKindQueries(0);
+  ASSERT_OK_AND_ASSIGN(auto cold, engine.ExecuteQueries(corpus, queries));
+  EXPECT_EQ(engine.cache_stats().misses,
+            static_cast<int64_t>(queries.size()));
+  ASSERT_OK_AND_ASSIGN(auto warm, engine.ExecuteQueries(corpus, queries));
+  EXPECT_EQ(engine.cache_stats().hits, static_cast<int64_t>(queries.size()));
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_FALSE(cold[i].cache_hit);
+    EXPECT_TRUE(warm[i].cache_hit);
+    EXPECT_EQ(warm[i].best().chi_square, cold[i].best().chi_square);
+    EXPECT_EQ(warm[i].stats().positions_examined, 0);
+  }
+}
+
+TEST(FingerprintTest, SequenceFingerprints) {
   seq::Rng rng(7);
   seq::Sequence a = seq::GenerateNull(2, 100, rng);
   seq::Sequence b = seq::GenerateNull(2, 100, rng);
   EXPECT_NE(FingerprintSequence(a), FingerprintSequence(b));
   EXPECT_EQ(FingerprintSequence(a), FingerprintSequence(a));
-  std::vector<double> uniform{0.5, 0.5};
-  std::vector<double> uniform_again{0.5, 0.5};
-  std::vector<double> skew{0.6, 0.4};
-  EXPECT_NE(FingerprintProbs(uniform), FingerprintProbs(skew));
-  EXPECT_EQ(FingerprintProbs(uniform), FingerprintProbs(uniform_again));
 }
 
 }  // namespace
