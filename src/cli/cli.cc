@@ -1,16 +1,21 @@
 #include "cli/cli.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include <iostream>
 
 #include "api/query.h"
 #include "api/serde.h"
+#include "common/posix_io.h"
 #include "common/str_util.h"
 #include "core/min_length.h"
 #include "core/mss.h"
@@ -23,8 +28,11 @@
 #include "core/x2_dispatch.h"
 #include "engine/corpus.h"
 #include "engine/engine.h"
+#include "engine/engine_stats.h"
 #include "engine/job.h"
 #include "engine/stream_manager.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "io/table_writer.h"
 #include "seq/alphabet.h"
 #include "seq/sequence.h"
@@ -36,7 +44,8 @@ namespace cli {
 namespace {
 
 const char* const kCommands[] = {"mss",   "topt",  "threshold", "minlen",
-                                 "score", "batch", "query",     "stream"};
+                                 "score", "batch", "query",     "stream",
+                                 "serve", "client"};
 
 /// Flags every command accepts.
 const char* const kCommonFlags[] = {"string", "input", "alphabet", "probs",
@@ -57,11 +66,17 @@ const CommandFlags kCommandFlags[] = {
     {"score", {"start", "end"}},
     {"batch",
      {"job", "format", "column", "csv-header", "threads", "cache",
-      "shard-min", "t", "min-length", "alpha0", "pvalue", "alpha-p"}},
+      "shard-min", "t", "min-length", "alpha0", "pvalue", "alpha-p",
+      "verbose"}},
     {"query",
      {"query", "queries-file", "format", "column", "csv-header", "threads",
       "cache", "shard-min"}},
     {"stream", {"alpha", "max-window", "chunk"}},
+    {"serve",
+     {"port", "host", "threads", "cache", "shard-min", "max-clients",
+      "max-queue", "max-inflight", "idle-timeout-ms", "max-runtime-ms",
+      "format", "column", "csv-header"}},
+    {"client", {"port", "host", "send", "timeout-ms", "linger-ms"}},
 };
 
 Status ValidateFlagsForCommand(const std::string& command,
@@ -356,6 +371,14 @@ Result<std::string> RunBatch(const CliOptions& options) {
   engine::CacheStats cache_stats = engine.cache_stats();
   out << "cache: " << cache_stats.hits << " hits, " << cache_stats.misses
       << " misses (" << engine.cache_size() << " entries)\n";
+  if (options.verbose) {
+    // The same snapshot + rendering the server's STATS endpoint uses
+    // (engine/engine_stats.h) — one vocabulary for both surfaces.
+    out << "stats: "
+        << engine::FormatEngineStats(
+               engine::CollectEngineStats(&engine, nullptr))
+        << "\n";
+  }
   return out.str();
 }
 
@@ -477,9 +500,11 @@ std::string DispatchReport(core::X2Dispatch requested) {
 Result<std::string> RunStream(const CliOptions& options) {
   std::string text;
   if (options.input_path == "-") {
-    std::ostringstream buffer;
-    buffer << std::cin.rdbuf();
-    text = buffer.str();
+    // Raw read(2) with EINTR retry (posix_io.h), not std::cin.rdbuf(): an
+    // iostream read aborted by a signal mid-pipe silently truncates the
+    // stream, and a truncated symbol stream is a wrong answer, not an
+    // error.
+    SIGSUB_ASSIGN_OR_RETURN(text, ReadFdToEof(0));
     TrimTrailingWhitespace(&text);
   } else {
     SIGSUB_ASSIGN_OR_RETURN(text, LoadInput(options));
@@ -572,6 +597,126 @@ Result<std::string> RunStream(const CliOptions& options) {
   return out.str();
 }
 
+/// The live server behind the `serve` command, latched for the signal
+/// handler. RequestDrain is async-signal-safe (one atomic store + one
+/// pipe write), so the handler may call it directly.
+std::atomic<server::Server*> g_serve_instance{nullptr};
+
+void HandleServeSignal(int /*signum*/) {
+  server::Server* instance = g_serve_instance.load(std::memory_order_acquire);
+  if (instance != nullptr) instance->RequestDrain();
+}
+
+/// Executes the `serve` command: load the corpus, start sigsubd, print
+/// the listening banner immediately (scripts need the ephemeral port
+/// before the daemon exits), then block until a SIGTERM/SIGINT-initiated
+/// drain — or self-drain after --max-runtime-ms. The returned report is
+/// the post-drain counter summary.
+Result<std::string> RunServe(const CliOptions& options) {
+  SIGSUB_ASSIGN_OR_RETURN(engine::Corpus corpus, LoadCorpus(options));
+  server::ServerOptions server_options;
+  server_options.host = options.host;
+  server_options.port = static_cast<int>(options.port);
+  server_options.engine_threads = options.threads;
+  server_options.cache_capacity = static_cast<size_t>(options.cache);
+  server_options.shard_min_sequence = options.shard_min;
+  server_options.x2_dispatch = options.x2_dispatch;
+  server_options.max_connections = static_cast<int>(options.max_clients);
+  server_options.max_queue = static_cast<size_t>(options.max_queue);
+  server_options.max_inflight_per_client =
+      static_cast<int>(options.max_inflight);
+  server_options.idle_timeout_ms = options.idle_timeout_ms;
+
+  server::Server daemon(std::move(corpus), server_options);
+  SIGSUB_RETURN_IF_ERROR(daemon.Start());
+  g_serve_instance.store(&daemon, std::memory_order_release);
+  std::signal(SIGTERM, HandleServeSignal);
+  std::signal(SIGINT, HandleServeSignal);
+  std::cout << "sigsubd listening on " << options.host << ":"
+            << daemon.port() << "\n"
+            << std::flush;
+
+  if (options.max_runtime_ms > 0) {
+    const int64_t deadline = MonotonicMillis() + options.max_runtime_ms;
+    while (!daemon.draining() && MonotonicMillis() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    daemon.RequestDrain();
+  }
+  daemon.Join();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  g_serve_instance.store(nullptr, std::memory_order_release);
+
+  server::ServerStats stats = daemon.stats();
+  return StrCat("sigsubd drained: accepted=", stats.connections_accepted,
+                " admitted=", stats.requests_admitted,
+                " shed_busy=", stats.shed_busy,
+                " shed_quota=", stats.shed_quota,
+                " shed_drain=", stats.shed_drain,
+                " proto_errors=", stats.protocol_errors,
+                " alarms_pushed=", stats.alarms_pushed, "\n");
+}
+
+/// Executes the `client` command: send each protocol line in order,
+/// print its reply (pushed ALARM lines pass through without consuming a
+/// reply slot), then optionally linger for late pushes.
+Result<std::string> RunClient(const CliOptions& options) {
+  std::vector<std::string> commands = options.sends;
+  if (!options.input_path.empty()) {
+    std::string script;
+    if (options.input_path == "-") {
+      SIGSUB_ASSIGN_OR_RETURN(script, ReadFdToEof(0));
+    } else {
+      std::ifstream in(options.input_path);
+      if (!in) {
+        return Status::IOError(
+            StrCat("cannot open '", options.input_path, "'"));
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      script = buffer.str();
+    }
+    for (const std::string& raw : StrSplit(script, '\n')) {
+      std::string line = raw;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty() || line.front() == '#') continue;
+      commands.push_back(std::move(line));
+    }
+  }
+  if (commands.empty()) {
+    return Status::InvalidArgument(
+        "client script is empty: nothing to send");
+  }
+
+  SIGSUB_ASSIGN_OR_RETURN(
+      server::LineClient connection,
+      server::LineClient::Connect(options.host,
+                                  static_cast<int>(options.port),
+                                  options.timeout_ms));
+  std::ostringstream out;
+  for (const std::string& command : commands) {
+    SIGSUB_RETURN_IF_ERROR(connection.SendLine(command));
+    for (;;) {
+      SIGSUB_ASSIGN_OR_RETURN(std::string reply,
+                              connection.ReadLine(options.timeout_ms));
+      out << reply << "\n";
+      if (reply.rfind("ALARM ", 0) != 0) break;
+    }
+  }
+  if (options.linger_ms > 0) {
+    const int64_t deadline = MonotonicMillis() + options.linger_ms;
+    for (;;) {
+      int64_t remaining = deadline - MonotonicMillis();
+      if (remaining <= 0) break;
+      Result<std::string> line = connection.ReadLine(remaining);
+      if (!line.ok()) break;  // Timeout or server-side close ends lingering.
+      out << *line << "\n";
+    }
+  }
+  return out.str();
+}
+
 std::string RenderSubstring(const core::Substring& sub, int k,
                             const std::string& text) {
   io::TableWriter table({"start", "end", "length", "X2", "p-value"});
@@ -619,6 +764,16 @@ std::string UsageText() {
       "             stream in chunks and report calibrated suffix-window\n"
       "             alarms; --alpha, --max-window, --chunk (--input=-\n"
       "             reads stdin)\n"
+      "  serve      run sigsubd, the mining daemon, over the --input\n"
+      "             corpus: newline-delimited QUERY/STREAM.*/STATS\n"
+      "             protocol over TCP; --port (0 = ephemeral), --host,\n"
+      "             --threads, --max-clients, --max-queue, --max-inflight,\n"
+      "             --idle-timeout-ms, --max-runtime-ms (0 = until\n"
+      "             SIGTERM); drains gracefully on SIGTERM/SIGINT\n"
+      "  client     send protocol lines to a running sigsubd and print\n"
+      "             the replies; --host, --port, --send=CMD (repeatable),\n"
+      "             --input=SCRIPT (- reads stdin), --timeout-ms,\n"
+      "             --linger-ms (keep reading pushed ALARM lines)\n"
       "\n"
       "input:\n"
       "  --string=TEXT | --input=PATH   the string to mine (required;\n"
@@ -738,6 +893,39 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
     } else if (name == "shard-min") {
       SIGSUB_ASSIGN_OR_RETURN(options.shard_min,
                               ParseInt(value, "--shard-min"));
+    } else if (name == "verbose") {
+      if (!value.empty()) {
+        return Status::InvalidArgument(
+            "flag --verbose does not take a value");
+      }
+      options.verbose = true;
+    } else if (name == "port") {
+      SIGSUB_ASSIGN_OR_RETURN(options.port, ParseInt(value, "--port"));
+    } else if (name == "host") {
+      options.host = value;
+    } else if (name == "max-clients") {
+      SIGSUB_ASSIGN_OR_RETURN(options.max_clients,
+                              ParseInt(value, "--max-clients"));
+    } else if (name == "max-queue") {
+      SIGSUB_ASSIGN_OR_RETURN(options.max_queue,
+                              ParseInt(value, "--max-queue"));
+    } else if (name == "max-inflight") {
+      SIGSUB_ASSIGN_OR_RETURN(options.max_inflight,
+                              ParseInt(value, "--max-inflight"));
+    } else if (name == "idle-timeout-ms") {
+      SIGSUB_ASSIGN_OR_RETURN(options.idle_timeout_ms,
+                              ParseInt(value, "--idle-timeout-ms"));
+    } else if (name == "max-runtime-ms") {
+      SIGSUB_ASSIGN_OR_RETURN(options.max_runtime_ms,
+                              ParseInt(value, "--max-runtime-ms"));
+    } else if (name == "send") {
+      options.sends.push_back(value);
+    } else if (name == "timeout-ms") {
+      SIGSUB_ASSIGN_OR_RETURN(options.timeout_ms,
+                              ParseInt(value, "--timeout-ms"));
+    } else if (name == "linger-ms") {
+      SIGSUB_ASSIGN_OR_RETURN(options.linger_ms,
+                              ParseInt(value, "--linger-ms"));
     } else {
       return Status::InvalidArgument(
           StrCat("unknown flag --", name, "\n", UsageText()));
@@ -752,6 +940,75 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
             "flag --min-length is only consumed by topt with --disjoint");
       }
     }
+  }
+  if (options.command == "serve") {
+    if (options.has_input_text) {
+      return Status::InvalidArgument(
+          "serve mines a corpus file; use --input=PATH, not --string");
+    }
+    if (options.input_path.empty()) {
+      return Status::InvalidArgument(
+          "serve requires --input=PATH (the corpus the daemon serves)");
+    }
+    if (!options.probs.empty()) {
+      return Status::InvalidArgument(
+          "flag --probs is not consumed by serve; stream models arrive "
+          "with STREAM.CREATE and query models inside each QUERY");
+    }
+    if (options.format != "lines" && options.format != "csv") {
+      return Status::InvalidArgument(StrCat(
+          "--format must be lines or csv, got \"", options.format, "\""));
+    }
+    if (options.format != "csv") {
+      for (const std::string& flag : seen_flags) {
+        if (flag == "column" || flag == "csv-header") {
+          return Status::InvalidArgument(
+              StrCat("flag --", flag, " requires --format=csv"));
+        }
+      }
+    }
+    if (options.port < 0 || options.port > 65535) {
+      return Status::InvalidArgument(
+          StrCat("--port must be in [0, 65535], got ", options.port));
+    }
+    if (options.cache < 0) {
+      return Status::InvalidArgument(
+          StrCat("--cache must be >= 0, got ", options.cache));
+    }
+    if (options.max_clients < 1 || options.max_queue < 1 ||
+        options.max_inflight < 1) {
+      return Status::InvalidArgument(
+          "--max-clients, --max-queue and --max-inflight must be >= 1");
+    }
+    return options;
+  }
+  if (options.command == "client") {
+    for (const std::string& flag : seen_flags) {
+      if (flag == "string" || flag == "alphabet" || flag == "probs" ||
+          flag == "x2-dispatch") {
+        return Status::InvalidArgument(
+            StrCat("flag --", flag, " is not consumed by client"));
+      }
+    }
+    if (options.port < 1 || options.port > 65535) {
+      return Status::InvalidArgument(
+          StrCat("client requires --port in [1, 65535], got ",
+                 options.port));
+    }
+    if (options.sends.empty() && options.input_path.empty()) {
+      return Status::InvalidArgument(
+          "client needs --send=CMD (repeatable) and/or --input=SCRIPT "
+          "(one command per line; - reads stdin)");
+    }
+    if (options.timeout_ms < 1) {
+      return Status::InvalidArgument(
+          StrCat("--timeout-ms must be >= 1, got ", options.timeout_ms));
+    }
+    if (options.linger_ms < 0) {
+      return Status::InvalidArgument(
+          StrCat("--linger-ms must be >= 0, got ", options.linger_ms));
+    }
+    return options;
   }
   if (options.command == "batch" || options.command == "query") {
     if (options.command == "batch" && options.has_input_text) {
@@ -854,6 +1111,10 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
 }
 
 Result<std::string> Run(const CliOptions& options) {
+  // Process-wide: a reader exiting mid-pipe (`sigsub_cli ... | head`)
+  // must surface as an EPIPE write error, not kill the process — and the
+  // serve/client sockets need the same guarantee.
+  IgnoreSigpipe();
   // Single-string commands build their ChiSquareContexts inside the core
   // convenience overloads, so the dispatch knob is applied process-wide
   // for this invocation (the batch engine additionally pins it in its
@@ -873,6 +1134,8 @@ Result<std::string> Run(const CliOptions& options) {
   if (options.command == "batch") return with_banner(RunBatch(options));
   if (options.command == "query") return with_banner(RunQuery(options));
   if (options.command == "stream") return with_banner(RunStream(options));
+  if (options.command == "serve") return with_banner(RunServe(options));
+  if (options.command == "client") return RunClient(options);
   SIGSUB_ASSIGN_OR_RETURN(std::string text, LoadInput(options));
   if (text.empty()) {
     return Status::InvalidArgument("input string is empty");

@@ -16,9 +16,9 @@ namespace cli {
 ///   sigsub_cli <command> [--flag=value ...]
 ///
 /// Commands: mss | topt | threshold | minlen | score | batch | query |
-/// stream. Flags are validated against the selected command: supplying a
-/// flag that the command does not consume is an InvalidArgument error,
-/// not a silent acceptance.
+/// stream | serve | client. Flags are validated against the selected
+/// command: supplying a flag that the command does not consume is an
+/// InvalidArgument error, not a silent acceptance.
 ///
 /// Common flags:
 ///   --string=TEXT        input string literal (exclusive with --input)
@@ -72,6 +72,20 @@ namespace cli {
 ///                        (default 1e-6)
 ///   --max-window=W       longest monitored suffix window (default 4096)
 ///   --chunk=N            symbols per AppendChunk call (default 8192)
+/// Serve-only flags (sigsubd daemon over the --input corpus):
+///   --port=N             listen port (default 0 = ephemeral; the bound
+///                        port is printed on the listening banner)
+///   --host=ADDR          bind address (default 127.0.0.1)
+///   --max-clients=N      connection cap (default 64)
+///   --max-queue=N        admission-queue depth; overflow sheds EBUSY
+///   --max-inflight=N     per-connection in-flight cap (EQUOTA)
+///   --idle-timeout-ms=N  idle-connection harvest (0 disables)
+///   --max-runtime-ms=N   self-drain after N ms (0 = run until SIGTERM)
+/// Client-only flags:
+///   --send=CMD           one protocol line (repeatable, sent in order)
+///   --timeout-ms=N       per-reply read timeout (default 5000)
+///   --linger-ms=N        keep reading pushed ALARM lines this long after
+///                        the last reply (default 0)
 struct CliOptions {
   std::string command;
   std::string input_path;
@@ -106,6 +120,20 @@ struct CliOptions {
   double alpha = 1e-6;
   int64_t max_window = 4096;
   int64_t chunk = 8192;
+  // Batch command: append the shared engine::EngineStats line.
+  bool verbose = false;
+  // Serve command.
+  int64_t port = 0;
+  std::string host = "127.0.0.1";
+  int64_t max_clients = 64;
+  int64_t max_queue = 256;
+  int64_t max_inflight = 32;
+  int64_t idle_timeout_ms = 60000;
+  int64_t max_runtime_ms = 0;
+  // Client command.
+  std::vector<std::string> sends;
+  int64_t timeout_ms = 5000;
+  int64_t linger_ms = 0;
 };
 
 /// Usage text for --help / errors.

@@ -1,0 +1,57 @@
+#include "common/posix_io.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "common/str_util.h"
+
+namespace sigsub {
+
+void IgnoreSigpipe() {
+  // signal() is specified to be idempotent and thread-safe enough for
+  // this use; SIG_IGN survives exec of nothing (we never exec).
+  std::signal(SIGPIPE, SIG_IGN);
+}
+
+Result<std::string> ReadFdToEof(int fd) {
+  std::string out;
+  char buffer[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      out.append(buffer, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return out;  // EOF.
+    if (errno == EINTR) continue;
+    return Status::IOError(
+        StrCat("read(fd=", fd, "): ", std::strerror(errno)));
+  }
+}
+
+Status WriteFdAll(int fd, const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n >= 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(
+        StrCat("write(fd=", fd, "): ", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+int64_t MonotonicMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace sigsub

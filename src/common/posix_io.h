@@ -1,0 +1,36 @@
+#ifndef SIGSUB_COMMON_POSIX_IO_H_
+#define SIGSUB_COMMON_POSIX_IO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace sigsub {
+
+/// EINTR-hardened POSIX I/O shared by the CLI's stdin ingestion and the
+/// sigsubd network front end. Every loop here retries on EINTR: a signal
+/// delivery (SIGTERM during drain, a profiler tick, a child reaping) must
+/// never surface as a spurious short read to callers.
+
+/// Ignores SIGPIPE process-wide (idempotent). Without this, a peer that
+/// closes its socket (or a `sigsub_cli ... | head` pipe) kills the whole
+/// process on the next write; with it, writes fail with EPIPE and flow
+/// through the normal Status error path instead.
+void IgnoreSigpipe();
+
+/// Reads `fd` to EOF, retrying interrupted reads. Used for `--input=-`
+/// stdin ingestion; works on pipes, files, and terminals alike.
+Result<std::string> ReadFdToEof(int fd);
+
+/// Writes all of `data`, retrying interrupted and short writes. IOError
+/// carries errno text on failure (EPIPE when the peer vanished).
+Status WriteFdAll(int fd, const std::string& data);
+
+/// Monotonic milliseconds since an arbitrary epoch (steady clock; immune
+/// to wall-clock jumps). The daemon's timeout arithmetic uses this.
+int64_t MonotonicMillis();
+
+}  // namespace sigsub
+
+#endif  // SIGSUB_COMMON_POSIX_IO_H_

@@ -556,6 +556,9 @@ Result<std::vector<api::QueryResult>> Engine::ExecuteQueriesInternal(
     publish(*group->indices, *group->key, MssCachedResult(merged.best),
             merged.stats);
   }
+  queries_executed_.fetch_add(static_cast<int64_t>(queries.size()),
+                              std::memory_order_relaxed);
+  batches_executed_.fetch_add(1, std::memory_order_relaxed);
   return results;
 }
 

@@ -1,7 +1,9 @@
 #ifndef SIGSUB_ENGINE_ENGINE_H_
 #define SIGSUB_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
@@ -98,7 +100,18 @@ class Engine {
   int num_threads() const { return pool_.num_threads(); }
   CacheStats cache_stats() const { return cache_.stats(); }
   size_t cache_size() const { return cache_.size(); }
+  size_t cache_capacity() const { return cache_.capacity(); }
   void ClearCache() { cache_.Clear(); }
+
+  /// Lifetime execution counters (successful batches only; a batch that
+  /// fails validation counts nothing). Atomic reads — safe from any
+  /// thread, including concurrently with an executing batch.
+  int64_t queries_executed() const {
+    return queries_executed_.load(std::memory_order_relaxed);
+  }
+  int64_t batches_executed() const {
+    return batches_executed_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// `label` names the unit in validation errors ("query" natively,
@@ -112,6 +125,8 @@ class Engine {
   ThreadPool pool_;
   int64_t shard_min_sequence_;
   core::X2Dispatch x2_dispatch_;
+  std::atomic<int64_t> queries_executed_{0};
+  std::atomic<int64_t> batches_executed_{0};
 };
 
 }  // namespace engine

@@ -1,0 +1,45 @@
+#include "engine/engine_stats.h"
+
+#include "common/str_util.h"
+
+namespace sigsub {
+namespace engine {
+
+EngineStats CollectEngineStats(const Engine* engine,
+                               const StreamManager* streams) {
+  EngineStats stats;
+  if (engine != nullptr) {
+    stats.cache = engine->cache_stats();
+    stats.cache_entries = static_cast<int64_t>(engine->cache_size());
+    stats.cache_capacity = static_cast<int64_t>(engine->cache_capacity());
+    stats.queries_executed = engine->queries_executed();
+    stats.batches_executed = engine->batches_executed();
+    stats.num_threads = engine->num_threads();
+  }
+  if (streams != nullptr) {
+    stats.streams = streams->stats();
+    stats.open_streams = static_cast<int64_t>(streams->open_stream_count());
+  }
+  return stats;
+}
+
+std::string FormatEngineStats(const EngineStats& stats) {
+  return StrCat(
+      "queries=", stats.queries_executed,
+      " batches=", stats.batches_executed,
+      " threads=", stats.num_threads,
+      " cache_hits=", stats.cache.hits,
+      " cache_misses=", stats.cache.misses,
+      " cache_insertions=", stats.cache.insertions,
+      " cache_evictions=", stats.cache.evictions,
+      " cache_entries=", stats.cache_entries,
+      " cache_capacity=", stats.cache_capacity,
+      " streams_open=", stats.open_streams,
+      " streams_created=", stats.streams.streams_created,
+      " streams_closed=", stats.streams.streams_closed,
+      " symbols_ingested=", stats.streams.symbols_ingested,
+      " alarms_raised=", stats.streams.alarms_raised);
+}
+
+}  // namespace engine
+}  // namespace sigsub

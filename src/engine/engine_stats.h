@@ -1,0 +1,51 @@
+#ifndef SIGSUB_ENGINE_ENGINE_STATS_H_
+#define SIGSUB_ENGINE_ENGINE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "engine/engine.h"
+#include "engine/result_cache.h"
+#include "engine/stream_manager.h"
+
+namespace sigsub {
+namespace engine {
+
+/// One point-in-time snapshot of the mining engine's operational
+/// counters — the single source of truth shared by the sigsubd STATS
+/// endpoint and the CLI's `batch --verbose` report, so the two can never
+/// drift apart in what they count or how they spell it.
+///
+/// Collection is lock-light by design: every field is either an atomic
+/// read (engine/stream counters) or taken under one short-lived internal
+/// mutex (the cache's stats mutex, the stream map's size); no lock is
+/// held across the whole dump, so a snapshot under full load observes a
+/// near-point-in-time but never blocks the serving path.
+struct EngineStats {
+  // Batch engine (zero when collected without an engine).
+  CacheStats cache;
+  int64_t cache_entries = 0;
+  int64_t cache_capacity = 0;
+  int64_t queries_executed = 0;
+  int64_t batches_executed = 0;
+  int num_threads = 0;
+  // Streaming (zero when collected without a stream manager).
+  StreamManagerStats streams;
+  int64_t open_streams = 0;
+};
+
+/// Snapshots `engine` and/or `streams`; either may be null (the CLI's
+/// batch path has no stream manager, a pure monitoring deployment may
+/// have no batch engine).
+EngineStats CollectEngineStats(const Engine* engine,
+                               const StreamManager* streams);
+
+/// Canonical single-line `key=value key=value ...` rendering, embedded
+/// verbatim in the server's STATS reply and printed by `batch
+/// --verbose`. Stable key names; greppable.
+std::string FormatEngineStats(const EngineStats& stats);
+
+}  // namespace engine
+}  // namespace sigsub
+
+#endif  // SIGSUB_ENGINE_ENGINE_STATS_H_

@@ -75,8 +75,9 @@ std::shared_ptr<StreamManager::Stream> StreamManager::FindStream(
   return it == streams_.end() ? nullptr : it->second;
 }
 
-Result<int64_t> StreamManager::AppendLocked(
-    Stream& stream, std::span<const uint8_t> symbols) {
+Result<std::vector<core::StreamingDetector::Alarm>>
+StreamManager::AppendLocked(Stream& stream,
+                            std::span<const uint8_t> symbols) {
   std::lock_guard<std::mutex> lock(stream.mutex);
   auto alarms = stream.detector.TryAppendChunk(symbols);
   SIGSUB_RETURN_IF_ERROR(alarms.status());
@@ -91,11 +92,19 @@ Result<int64_t> StreamManager::AppendLocked(
                               std::memory_order_relaxed);
   alarms_raised_.fetch_add(static_cast<int64_t>(alarms->size()),
                            std::memory_order_relaxed);
-  return static_cast<int64_t>(alarms->size());
+  return *std::move(alarms);
 }
 
 Result<int64_t> StreamManager::Append(const std::string& name,
                                       std::span<const uint8_t> symbols) {
+  SIGSUB_ASSIGN_OR_RETURN(std::vector<core::StreamingDetector::Alarm> alarms,
+                          AppendCollect(name, symbols));
+  return static_cast<int64_t>(alarms.size());
+}
+
+Result<std::vector<core::StreamingDetector::Alarm>>
+StreamManager::AppendCollect(const std::string& name,
+                             std::span<const uint8_t> symbols) {
   std::shared_ptr<Stream> stream = FindStream(name);
   if (stream == nullptr) {
     return Status::NotFound(StrCat("no stream named \"", name, "\""));
@@ -143,7 +152,7 @@ Result<int64_t> StreamManager::AppendBatch(
           g->status = result.status();
           return;
         }
-        g->alarms += *result;
+        g->alarms += static_cast<int64_t>(result->size());
       }
     });
   }
@@ -204,6 +213,16 @@ StreamManagerStats StreamManager::stats() const {
   stats.symbols_ingested = symbols_ingested_.load(std::memory_order_relaxed);
   stats.alarms_raised = alarms_raised_.load(std::memory_order_relaxed);
   return stats;
+}
+
+bool StreamManager::HasStream(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return streams_.contains(name);
+}
+
+size_t StreamManager::open_stream_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return streams_.size();
 }
 
 size_t StreamManager::context_count() const {

@@ -91,6 +91,12 @@ class StreamManager {
   Result<int64_t> Append(const std::string& name,
                          std::span<const uint8_t> symbols);
 
+  /// Like Append, but returns the alarms themselves (in raise order)
+  /// instead of just their count — the server's ingestion path, which
+  /// pushes each alarm's details to subscribed connections.
+  Result<std::vector<core::StreamingDetector::Alarm>> AppendCollect(
+      const std::string& name, std::span<const uint8_t> symbols);
+
   /// Batched ingestion: validates every stream name, then fans the
   /// appends across the worker pool — one task per distinct stream, each
   /// applying that stream's appends in batch order. Returns the total
@@ -109,6 +115,13 @@ class StreamManager {
 
   /// Names of all open streams, sorted.
   std::vector<std::string> StreamNames() const;
+
+  /// True while stream `name` is open. Cheap (manager mutex only) — the
+  /// server's SUBSCRIBE validation.
+  bool HasStream(const std::string& name) const;
+
+  /// Number of currently open streams.
+  size_t open_stream_count() const;
 
   StreamManagerStats stats() const;
 
@@ -133,9 +146,9 @@ class StreamManager {
   std::shared_ptr<Stream> FindStream(const std::string& name) const;
 
   /// Applies one chunk under the stream's mutex and records its alarms.
-  /// Returns the number of alarms raised.
-  Result<int64_t> AppendLocked(Stream& stream,
-                               std::span<const uint8_t> symbols);
+  /// Returns the alarms raised, in raise order.
+  Result<std::vector<core::StreamingDetector::Alarm>> AppendLocked(
+      Stream& stream, std::span<const uint8_t> symbols);
 
   StreamManagerOptions options_;
   ThreadPool pool_;

@@ -1,0 +1,156 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/posix_io.h"
+#include "common/str_util.h"
+#include "server/protocol.h"
+
+namespace sigsub {
+namespace server {
+
+LineClient::LineClient(LineClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      rbuf_(std::move(other.rbuf_)),
+      eof_(other.eof_) {}
+
+LineClient& LineClient::operator=(LineClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    rbuf_ = std::move(other.rbuf_);
+    eof_ = other.eof_;
+  }
+  return *this;
+}
+
+LineClient::~LineClient() { Close(); }
+
+void LineClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+  eof_ = false;
+}
+
+Result<LineClient> LineClient::Connect(const std::string& host, int port,
+                                       int64_t timeout_ms) {
+  IgnoreSigpipe();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(StrCat("socket: ", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        StrCat("not an IPv4 address: \"", host, "\""));
+  }
+
+  // Non-blocking connect so the timeout is honored even against a
+  // blackholed address, then back to blocking for the send path.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    Status status = Status::IOError(StrCat("connect ", host, ":", port, ": ",
+                                           std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  if (rc < 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int64_t deadline = MonotonicMillis() + timeout_ms;
+    for (;;) {
+      int64_t remaining = deadline - MonotonicMillis();
+      if (remaining <= 0) {
+        ::close(fd);
+        return Status::IOError(
+            StrCat("connect ", host, ":", port, ": timeout after ",
+                   timeout_ms, "ms"));
+      }
+      int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready > 0) break;
+      if (ready < 0) {
+        Status status =
+            Status::IOError(StrCat("poll: ", std::strerror(errno)));
+        ::close(fd);
+        return status;
+      }
+    }
+    int error = 0;
+    socklen_t len = sizeof(error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &len) < 0 ||
+        error != 0) {
+      Status status = Status::IOError(
+          StrCat("connect ", host, ":", port, ": ",
+                 std::strerror(error != 0 ? error : errno)));
+      ::close(fd);
+      return status;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);  // Restore blocking mode.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return LineClient(fd);
+}
+
+Status LineClient::SendLine(std::string_view line) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed.append(line);
+  framed += '\n';
+  return WriteFdAll(fd_, framed);
+}
+
+Result<std::string> LineClient::ReadLine(int64_t timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  const int64_t deadline = MonotonicMillis() + timeout_ms;
+  for (;;) {
+    std::optional<std::string> line = protocol::ExtractLine(&rbuf_);
+    if (line.has_value()) return *std::move(line);
+    if (eof_) return Status::IOError("connection closed");
+
+    int64_t remaining = deadline - MonotonicMillis();
+    if (remaining <= 0) {
+      return Status::IOError(
+          StrCat("timeout after ", timeout_ms, "ms waiting for a line"));
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StrCat("poll: ", std::strerror(errno)));
+    }
+    if (ready == 0) continue;  // Re-checks the deadline above.
+
+    char buffer[1 << 14];
+    ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+    if (n > 0) {
+      rbuf_.append(buffer, static_cast<size_t>(n));
+    } else if (n == 0) {
+      eof_ = true;
+    } else if (errno != EINTR) {
+      return Status::IOError(StrCat("read: ", std::strerror(errno)));
+    }
+  }
+}
+
+}  // namespace server
+}  // namespace sigsub

@@ -1,0 +1,54 @@
+#ifndef SIGSUB_SERVER_CLIENT_H_
+#define SIGSUB_SERVER_CLIENT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace sigsub {
+namespace server {
+
+/// Minimal blocking client for the sigsubd line protocol — the transport
+/// under the CLI `client` command, the server tests, and the loopback
+/// load bench. One TCP connection, '\n'-framed lines, explicit timeouts;
+/// EINTR and partial reads/writes are handled internally.
+///
+/// Not thread-safe; one thread per LineClient.
+class LineClient {
+ public:
+  LineClient() = default;
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+  LineClient(LineClient&& other) noexcept;
+  LineClient& operator=(LineClient&& other) noexcept;
+  ~LineClient();
+
+  /// Connects to host:port; IOError on refusal or after `timeout_ms`.
+  static Result<LineClient> Connect(const std::string& host, int port,
+                                    int64_t timeout_ms = 5000);
+
+  /// Sends `line` plus the terminating '\n'.
+  Status SendLine(std::string_view line);
+
+  /// Next '\n'-terminated line (without the newline; a trailing '\r' is
+  /// stripped). IOError("timeout ...") if none arrives within
+  /// `timeout_ms`; IOError("connection closed") at orderly EOF with no
+  /// buffered line.
+  Result<std::string> ReadLine(int64_t timeout_ms = 5000);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  explicit LineClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string rbuf_;
+  bool eof_ = false;
+};
+
+}  // namespace server
+}  // namespace sigsub
+
+#endif  // SIGSUB_SERVER_CLIENT_H_

@@ -1,0 +1,337 @@
+#include "server/protocol.h"
+
+#include <charconv>
+#include <cstddef>
+
+#include "api/serde.h"
+#include "common/str_util.h"
+
+namespace sigsub {
+namespace server {
+namespace protocol {
+namespace {
+
+// Shortest round-trip number spellings (the serde.cc discipline): equal
+// values produce equal reply bytes, so replies are diffable in tests.
+std::string FormatI(int64_t value) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, ptr);
+}
+
+std::string FormatF(double value) {
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, ptr);
+}
+
+Result<double> ParseF(std::string_view text, std::string_view what) {
+  double value = 0.0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument(StrCat("field ", what,
+                                          " expects a number, got \"",
+                                          std::string(text), "\""));
+  }
+  return value;
+}
+
+Result<int64_t> ParseI(std::string_view text, std::string_view what) {
+  int64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument(StrCat("field ", what,
+                                          " expects an integer, got \"",
+                                          std::string(text), "\""));
+  }
+  return value;
+}
+
+/// Splits on single spaces, skipping runs of them (a shell-ish
+/// tokenizer; payloads that may contain spaces — the QUERY spec — are
+/// taken as rest-of-line before this runs).
+std::vector<std::string_view> Tokenize(std::string_view text) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && text[i] == ' ') ++i;
+    size_t start = i;
+    while (i < text.size() && text[i] != ' ') ++i;
+    if (i > start) tokens.push_back(text.substr(start, i - start));
+  }
+  return tokens;
+}
+
+Status ExpectNoArgs(std::string_view verb, std::string_view rest) {
+  for (char c : rest) {
+    if (c != ' ') {
+      return Status::InvalidArgument(
+          StrCat(verb, " takes no arguments, got \"", std::string(rest),
+                 "\""));
+    }
+  }
+  return Status::OK();
+}
+
+/// `STREAM.CREATE <name> probs=p1;p2;... [alpha=A] [max_window=W]`.
+Result<Request> ParseStreamCreate(std::string_view rest) {
+  std::vector<std::string_view> tokens = Tokenize(rest);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("STREAM.CREATE needs a stream name");
+  }
+  Request request;
+  request.kind = CommandKind::kStreamCreate;
+  request.stream = std::string(tokens[0]);
+  bool saw_probs = false;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    std::string_view token = tokens[i];
+    size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrCat("STREAM.CREATE expects key=value options, got \"",
+                 std::string(token), "\""));
+    }
+    std::string_view key = token.substr(0, eq);
+    std::string_view value = token.substr(eq + 1);
+    if (key == "probs") {
+      for (const std::string& part :
+           StrSplit(std::string(value), ';')) {
+        SIGSUB_ASSIGN_OR_RETURN(double p, ParseF(part, "probs"));
+        request.probs.push_back(p);
+      }
+      saw_probs = true;
+    } else if (key == "alpha") {
+      SIGSUB_ASSIGN_OR_RETURN(request.detector.alpha,
+                              ParseF(value, "alpha"));
+    } else if (key == "max_window") {
+      SIGSUB_ASSIGN_OR_RETURN(request.detector.max_window,
+                              ParseI(value, "max_window"));
+    } else if (key == "rearm") {
+      SIGSUB_ASSIGN_OR_RETURN(request.detector.rearm_fraction,
+                              ParseF(value, "rearm"));
+    } else {
+      return Status::InvalidArgument(
+          StrCat("STREAM.CREATE does not understand option \"",
+                 std::string(key), "\""));
+    }
+  }
+  if (!saw_probs || request.probs.empty()) {
+    return Status::InvalidArgument(
+        "STREAM.CREATE needs probs=p1;p2;... (the stream's null model)");
+  }
+  return request;
+}
+
+Result<Request> ParseOneNameCommand(CommandKind kind, std::string_view verb,
+                                    std::string_view rest) {
+  std::vector<std::string_view> tokens = Tokenize(rest);
+  if (tokens.size() != 1) {
+    return Status::InvalidArgument(
+        StrCat(verb, " expects exactly one stream name"));
+  }
+  Request request;
+  request.kind = kind;
+  request.stream = std::string(tokens[0]);
+  return request;
+}
+
+}  // namespace
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kProto:
+      return "EPROTO";
+    case ErrorCode::kInvalid:
+      return "EINVALID";
+    case ErrorCode::kNotFound:
+      return "ENOTFOUND";
+    case ErrorCode::kBusy:
+      return "EBUSY";
+    case ErrorCode::kQuota:
+      return "EQUOTA";
+    case ErrorCode::kDrain:
+      return "EDRAIN";
+    case ErrorCode::kTimeout:
+      return "ETIMEOUT";
+    case ErrorCode::kTooBig:
+      return "ETOOBIG";
+    case ErrorCode::kInternal:
+      return "EINTERNAL";
+  }
+  return "EINTERNAL";
+}
+
+bool IsRetryable(ErrorCode code) {
+  return code == ErrorCode::kBusy || code == ErrorCode::kDrain;
+}
+
+std::string FormatError(ErrorCode code, std::string_view message) {
+  return StrCat("ERR ", ErrorCodeName(code), " ", message);
+}
+
+ErrorCode ErrorCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kNotFound:
+      return ErrorCode::kNotFound;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return ErrorCode::kInvalid;
+    default:
+      return ErrorCode::kInternal;
+  }
+}
+
+bool IsEngineBound(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kQuery:
+    case CommandKind::kStreamCreate:
+    case CommandKind::kStreamAppend:
+    case CommandKind::kStreamSnapshot:
+    case CommandKind::kStreamClose:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<Request> ParseRequest(std::string_view line) {
+  // Verb = up to the first space; the verb's parser decides what the
+  // rest of the line means (QUERY takes it verbatim — JSON specs may
+  // contain spaces).
+  size_t space = line.find(' ');
+  std::string_view verb = line.substr(0, space);
+  std::string_view rest =
+      space == std::string_view::npos ? std::string_view() :
+                                        line.substr(space + 1);
+  if (verb == "QUERY") {
+    size_t start = 0;
+    while (start < rest.size() && rest[start] == ' ') ++start;
+    if (start == rest.size()) {
+      return Status::InvalidArgument("QUERY needs a serialized query spec");
+    }
+    Request request;
+    request.kind = CommandKind::kQuery;
+    SIGSUB_ASSIGN_OR_RETURN(request.query,
+                            api::ParseQuery(rest.substr(start)));
+    return request;
+  }
+  if (verb == "STREAM.CREATE") return ParseStreamCreate(rest);
+  if (verb == "STREAM.APPEND") {
+    std::vector<std::string_view> tokens = Tokenize(rest);
+    if (tokens.size() != 2) {
+      return Status::InvalidArgument(
+          "STREAM.APPEND expects a stream name and a symbol payload");
+    }
+    Request request;
+    request.kind = CommandKind::kStreamAppend;
+    request.stream = std::string(tokens[0]);
+    SIGSUB_ASSIGN_OR_RETURN(request.symbols, DecodeSymbols(tokens[1]));
+    return request;
+  }
+  if (verb == "STREAM.SNAPSHOT") {
+    return ParseOneNameCommand(CommandKind::kStreamSnapshot,
+                               "STREAM.SNAPSHOT", rest);
+  }
+  if (verb == "STREAM.CLOSE") {
+    return ParseOneNameCommand(CommandKind::kStreamClose, "STREAM.CLOSE",
+                               rest);
+  }
+  if (verb == "SUBSCRIBE") {
+    return ParseOneNameCommand(CommandKind::kSubscribe, "SUBSCRIBE", rest);
+  }
+  if (verb == "UNSUBSCRIBE") {
+    return ParseOneNameCommand(CommandKind::kUnsubscribe, "UNSUBSCRIBE",
+                               rest);
+  }
+  Request request;
+  if (verb == "STATS") {
+    request.kind = CommandKind::kStats;
+  } else if (verb == "HEALTH") {
+    request.kind = CommandKind::kHealth;
+  } else if (verb == "PING") {
+    request.kind = CommandKind::kPing;
+  } else if (verb == "QUIT") {
+    request.kind = CommandKind::kQuit;
+  } else {
+    return Status::InvalidArgument(
+        StrCat("unknown command \"", std::string(verb), "\""));
+  }
+  SIGSUB_RETURN_IF_ERROR(ExpectNoArgs(verb, rest));
+  return request;
+}
+
+std::string FormatQueryResult(const api::QueryResult& result,
+                              size_t max_rows) {
+  std::span<const core::Substring> subs = result.substrings();
+  const size_t rows = std::min(subs.size(), max_rows);
+  std::string out =
+      StrCat("kind=", api::QueryKindToString(result.kind),
+             " seq=", FormatI(result.sequence_index),
+             " cache=", result.cache_hit ? 1 : 0,
+             " matches=", FormatI(result.match_count()), " rows=");
+  for (size_t i = 0; i < rows; ++i) {
+    if (i > 0) out += ';';
+    out += StrCat(FormatI(subs[i].start), ":", FormatI(subs[i].end), ":",
+                  FormatF(subs[i].chi_square));
+  }
+  return out;
+}
+
+std::string FormatAlarm(std::string_view stream,
+                        const core::StreamingDetector::Alarm& alarm) {
+  return StrCat("ALARM stream=", stream, " end=", FormatI(alarm.end),
+                " length=", FormatI(alarm.length),
+                " x2=", FormatF(alarm.chi_square),
+                " p=", FormatF(alarm.p_value));
+}
+
+std::string FormatSnapshot(const engine::StreamSnapshot& snapshot) {
+  return StrCat("stream=", snapshot.name,
+                " position=", FormatI(snapshot.position),
+                " alarms=", FormatI(snapshot.alarms_total),
+                " dropped=", FormatI(snapshot.alarms_dropped),
+                " scales=", FormatI(static_cast<int64_t>(
+                                snapshot.scales.size())));
+}
+
+Result<std::vector<uint8_t>> DecodeSymbols(std::string_view text) {
+  std::vector<uint8_t> symbols;
+  symbols.reserve(text.size());
+  for (char c : text) {
+    if (c >= '0' && c <= '9') {
+      symbols.push_back(static_cast<uint8_t>(c - '0'));
+    } else if (c >= 'a' && c <= 'z') {
+      symbols.push_back(static_cast<uint8_t>(10 + (c - 'a')));
+    } else {
+      return Status::InvalidArgument(
+          StrCat("symbol payload may use '0'-'9' and 'a'-'z' only, got '",
+                 std::string(1, c), "'"));
+    }
+  }
+  return symbols;
+}
+
+std::string EncodeSymbols(const std::vector<uint8_t>& symbols) {
+  std::string out;
+  out.reserve(symbols.size());
+  for (uint8_t s : symbols) {
+    out += s < 10 ? static_cast<char>('0' + s)
+                  : static_cast<char>('a' + (s - 10));
+  }
+  return out;
+}
+
+std::optional<std::string> ExtractLine(std::string* buffer) {
+  size_t newline = buffer->find('\n');
+  if (newline == std::string::npos) return std::nullopt;
+  std::string line = buffer->substr(0, newline);
+  buffer->erase(0, newline + 1);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return line;
+}
+
+}  // namespace protocol
+}  // namespace server
+}  // namespace sigsub

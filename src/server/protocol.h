@@ -1,0 +1,144 @@
+#ifndef SIGSUB_SERVER_PROTOCOL_H_
+#define SIGSUB_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/query.h"
+#include "common/result.h"
+#include "core/streaming.h"
+#include "engine/stream_manager.h"
+
+namespace sigsub {
+namespace server {
+namespace protocol {
+
+/// The sigsubd line protocol: newline-delimited text over TCP. Every
+/// request is one line; every reply is one line, so framing is trivial
+/// for shell scripts, netcat, and load generators alike.
+///
+/// Requests:
+///
+///   QUERY <spec>                 one api::QuerySpec in its canonical
+///                                compact or JSON form (api/serde.h); the
+///                                rest of the line is the spec verbatim
+///   STREAM.CREATE <name> probs=p1;p2;... [alpha=A] [max_window=W]
+///   STREAM.APPEND <name> <symbols>   symbols as one character per
+///                                symbol: '0'-'9' -> 0-9, 'a'-'z' ->
+///                                10-35 (alphabets up to k = 36)
+///   STREAM.SNAPSHOT <name>
+///   STREAM.CLOSE <name>
+///   SUBSCRIBE <name>             push this stream's alarms to this
+///                                connection as they are raised
+///   UNSUBSCRIBE <name>
+///   STATS | HEALTH | PING | QUIT
+///
+/// Replies (one per request, in per-class order — see server.h for the
+/// overtaking rule between control and engine-bound commands):
+///
+///   OK <payload>
+///   ERR <CODE> <message>
+///
+/// Asynchronous pushes to subscribed connections are distinguishable by
+/// their leading token:
+///
+///   ALARM stream=<name> end=<e> length=<l> x2=<v> p=<v>
+///
+/// Error codes and backpressure semantics: EBUSY (admission queue full)
+/// and EDRAIN (server draining) are load-shedding replies — the request
+/// was not executed and SHOULD be retried with exponential backoff.
+/// EQUOTA (per-connection in-flight cap) clears as soon as this
+/// connection's own replies arrive — read them, then retry. ETIMEOUT /
+/// ETOOBIG precede a server-side close. EPROTO / EINVALID / ENOTFOUND
+/// are non-retryable client errors; EINTERNAL is a server-side bug.
+enum class ErrorCode {
+  kProto,     // EPROTO: malformed request line.
+  kInvalid,   // EINVALID: well-formed but semantically invalid.
+  kNotFound,  // ENOTFOUND: unknown stream.
+  kBusy,      // EBUSY: admission queue (or connection slots) full; retry.
+  kQuota,     // EQUOTA: per-connection in-flight cap reached.
+  kDrain,     // EDRAIN: draining; no new work accepted; retry elsewhere.
+  kTimeout,   // ETIMEOUT: idle too long; connection will close.
+  kTooBig,    // ETOOBIG: request line over the size cap; closing.
+  kInternal,  // EINTERNAL: unexpected server-side failure.
+};
+
+/// Wire name of a code ("EBUSY"...).
+std::string_view ErrorCodeName(ErrorCode code);
+
+/// True for the load-shedding codes a well-behaved client retries with
+/// exponential backoff (EBUSY, EDRAIN).
+bool IsRetryable(ErrorCode code);
+
+/// "ERR <CODE> <message>" (no trailing newline).
+std::string FormatError(ErrorCode code, std::string_view message);
+
+/// Maps a library Status onto the wire vocabulary: NotFound ->
+/// ENOTFOUND, InvalidArgument/OutOfRange -> EINVALID, rest -> EINTERNAL.
+ErrorCode ErrorCodeForStatus(const Status& status);
+
+enum class CommandKind {
+  kQuery,
+  kStreamCreate,
+  kStreamAppend,
+  kStreamSnapshot,
+  kStreamClose,
+  kSubscribe,
+  kUnsubscribe,
+  kStats,
+  kHealth,
+  kPing,
+  kQuit,
+};
+
+/// True for the commands that execute on the engine/stream subsystem and
+/// therefore flow through the admission queue (QUERY, STREAM.*); control
+/// commands are answered inline even under saturation.
+bool IsEngineBound(CommandKind kind);
+
+/// One parsed request line.
+struct Request {
+  CommandKind kind = CommandKind::kPing;
+  api::QuerySpec query;                       // kQuery.
+  std::string stream;                         // stream ops + (un)subscribe.
+  std::vector<double> probs;                  // kStreamCreate.
+  core::StreamingDetector::Options detector;  // kStreamCreate (alpha, window).
+  std::vector<uint8_t> symbols;               // kStreamAppend.
+};
+
+/// Parses one request line (no trailing newline). Errors name the
+/// offending piece; the caller wraps them as EPROTO/EINVALID.
+Result<Request> ParseRequest(std::string_view line);
+
+/// Renders a query result as the single-line OK payload:
+///   kind=<kind> seq=<i> cache=<0|1> matches=<m> rows=<s:e:x2;...>
+/// At most `max_rows` substrings are materialized into `rows=` (the
+/// exact total stays in `matches=`); doubles print in shortest
+/// round-trip form so equal results serialize to equal bytes.
+std::string FormatQueryResult(const api::QueryResult& result,
+                              size_t max_rows);
+
+/// "ALARM stream=<name> end=.. length=.. x2=.. p=.." push line.
+std::string FormatAlarm(std::string_view stream,
+                        const core::StreamingDetector::Alarm& alarm);
+
+/// Single-line stream snapshot payload for STREAM.SNAPSHOT.
+std::string FormatSnapshot(const engine::StreamSnapshot& snapshot);
+
+/// Symbol-text codec for STREAM.APPEND payloads ('0'-'9','a'-'z').
+Result<std::vector<uint8_t>> DecodeSymbols(std::string_view text);
+std::string EncodeSymbols(const std::vector<uint8_t>& symbols);
+
+/// Pops one '\n'-terminated line off the front of `buffer` (a trailing
+/// '\r' is dropped, so CRLF clients work); nullopt when no complete line
+/// is buffered yet.
+std::optional<std::string> ExtractLine(std::string* buffer);
+
+}  // namespace protocol
+}  // namespace server
+}  // namespace sigsub
+
+#endif  // SIGSUB_SERVER_PROTOCOL_H_

@@ -23,9 +23,21 @@
 ///   sigsub::engine::Engine engine({.num_threads = 8});
 ///   auto spec = sigsub::api::ParseQuery("topt:seq=0,t=5,model=uniform");
 ///   auto results = engine.ExecuteQueries(*corpus, {*spec});
+///
+/// Serving (server/): sigsubd, a concurrent mining daemon speaking a
+/// newline-delimited protocol over TCP — QUERY lines carry serialized
+/// QuerySpecs, STREAM.*/SUBSCRIBE manage calibrated streaming detectors
+/// with alarms pushed to subscribers, and backpressure is explicit
+/// (EBUSY/EQUOTA/EDRAIN wire codes):
+///
+///   sigsub::server::Server daemon(*corpus);
+///   daemon.Start();   // daemon.port() answers the ephemeral-port case
+///   auto client = sigsub::server::LineClient::Connect("127.0.0.1",
+///                                                     daemon.port());
 
 #include "api/query.h"
 #include "api/serde.h"
+#include "common/posix_io.h"
 #include "core/agmm.h"
 #include "core/arlm.h"
 #include "core/blocked_scan.h"
@@ -48,6 +60,7 @@
 #include "core/x2_kernel.h"
 #include "engine/corpus.h"
 #include "engine/engine.h"
+#include "engine/engine_stats.h"
 #include "engine/fingerprint.h"
 #include "engine/job.h"
 #include "engine/result_cache.h"
@@ -60,6 +73,9 @@
 #include "io/string_codec.h"
 #include "io/table_writer.h"
 #include "seq/alphabet.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
 #include "seq/generators.h"
 #include "seq/grid.h"
 #include "seq/model.h"

@@ -4,7 +4,10 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "common/str_util.h"
+#include "engine/corpus.h"
 #include "io/csv.h"
+#include "server/server.h"
 
 namespace sigsub {
 namespace cli {
@@ -752,11 +755,118 @@ TEST(BatchTest, FlagRangeErrorsSpeakFlagVocabulary) {
   std::remove(path.c_str());
 }
 
+TEST(BatchTest, VerboseAppendsSharedEngineStatsLine) {
+  std::string path = ::testing::TempDir() + "/sigsub_cli_verbose.txt";
+  ASSERT_TRUE(io::WriteTextFile(path, "0101\n0011\n").ok());
+  auto report = cli::Run(
+      ParseArgs({"batch", std::string("--input=") + path, "--verbose"})
+          .value());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // The same engine::FormatEngineStats line the server's STATS endpoint
+  // serves: one snapshot struct, two consumers.
+  EXPECT_NE(report->find("stats: queries=2 batches=1 "), std::string::npos)
+      << *report;
+  EXPECT_NE(report->find("cache_misses=2"), std::string::npos) << *report;
+  EXPECT_NE(report->find("streams_open=0"), std::string::npos) << *report;
+  std::remove(path.c_str());
+}
+
+TEST(ServeTest, ParsesServeFlags) {
+  auto options = ParseArgs(
+      {"serve", "--input=corpus.txt", "--port=9000", "--host=0.0.0.0",
+       "--max-clients=8", "--max-queue=16", "--max-inflight=4",
+       "--idle-timeout-ms=1000", "--max-runtime-ms=250"});
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  EXPECT_EQ(options->command, "serve");
+  EXPECT_EQ(options->port, 9000);
+  EXPECT_EQ(options->host, "0.0.0.0");
+  EXPECT_EQ(options->max_clients, 8);
+  EXPECT_EQ(options->max_queue, 16);
+  EXPECT_EQ(options->max_inflight, 4);
+  EXPECT_EQ(options->idle_timeout_ms, 1000);
+  EXPECT_EQ(options->max_runtime_ms, 250);
+}
+
+TEST(ServeTest, ValidatesItsFlagSet) {
+  // The daemon serves a corpus file; literals and client flags are out.
+  EXPECT_TRUE(ParseArgs({"serve"}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseArgs({"serve", "--string=0101"}).status().IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"serve", "--input=c.txt", "--probs=0.5,0.5"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"serve", "--input=c.txt", "--send=PING"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"serve", "--input=c.txt", "--port=70000"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"serve", "--input=c.txt", "--max-queue=0"})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ClientTest, ParsesClientFlags) {
+  auto options = ParseArgs({"client", "--port=9000", "--send=PING",
+                            "--send=STATS", "--timeout-ms=1000",
+                            "--linger-ms=50"});
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  EXPECT_EQ(options->command, "client");
+  EXPECT_EQ(options->port, 9000);
+  EXPECT_EQ(options->sends,
+            (std::vector<std::string>{"PING", "STATS"}));
+  EXPECT_EQ(options->timeout_ms, 1000);
+  EXPECT_EQ(options->linger_ms, 50);
+}
+
+TEST(ClientTest, ValidatesItsFlagSet) {
+  // A port is mandatory (no ephemeral guessing) and so is something to
+  // send — either --send lines or an --input script.
+  EXPECT_TRUE(
+      ParseArgs({"client", "--send=PING"}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseArgs({"client", "--port=9000"}).status().IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"client", "--port=9000", "--send=PING",
+                         "--string=01"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"client", "--port=0", "--send=PING"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"client", "--port=9000", "--send=PING",
+                         "--x2-dispatch=simd"})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ServeClientTest, LoopbackRoundTripOverEphemeralPort) {
+  // Full CLI-level round trip: a serve instance on an ephemeral port with
+  // a short self-drain budget, driven by the client command.
+  std::string path = ::testing::TempDir() + "/sigsub_cli_serve.txt";
+  ASSERT_TRUE(io::WriteTextFile(path, "01010101\n00110011\n").ok());
+
+  server::Server daemon(
+      engine::Corpus::FromStrings({"01010101", "00110011"}, "01").value());
+  ASSERT_TRUE(daemon.Start().ok());
+
+  auto options = ParseArgs(
+      {"client", StrCat("--port=", daemon.port()), "--send=PING",
+       "--send=QUERY mss:seq=0", "--send=STATS"});
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  auto report = cli::Run(options.value());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("OK pong"), std::string::npos) << *report;
+  EXPECT_NE(report->find("OK kind=mss seq=0 "), std::string::npos)
+      << *report;
+  EXPECT_NE(report->find(" queries=1 "), std::string::npos) << *report;
+  std::remove(path.c_str());
+}
+
 TEST(UsageTest, MentionsAllCommands) {
   std::string usage = UsageText();
   for (const char* command :
        {"mss", "topt", "threshold", "minlen", "score", "batch", "query",
-        "stream"}) {
+        "stream", "serve", "client"}) {
     EXPECT_NE(usage.find(command), std::string::npos) << command;
   }
 }

@@ -14,7 +14,9 @@
 #include "core/threshold.h"
 #include "core/top_disjoint.h"
 #include "core/top_t.h"
+#include "engine/engine_stats.h"
 #include "engine/fingerprint.h"
+#include "engine/stream_manager.h"
 #include "gtest/gtest.h"
 #include "seq/generators.h"
 #include "seq/model.h"
@@ -672,6 +674,49 @@ TEST(QueryEngineTest, CacheKeysOnCanonicalBytes) {
     EXPECT_EQ(warm[i].best().chi_square, cold[i].best().chi_square);
     EXPECT_EQ(warm[i].stats().positions_examined, 0);
   }
+}
+
+TEST(EngineStatsTest, SnapshotAggregatesEngineAndStreams) {
+  Corpus corpus = MakeCorpus();
+  Engine engine({.num_threads = 1, .cache_capacity = 64});
+  std::vector<api::QuerySpec> queries = MakeAllKindQueries(0);
+  ASSERT_OK(engine.ExecuteQueries(corpus, queries).status());
+  ASSERT_OK(engine.ExecuteQueries(corpus, queries).status());
+
+  StreamManager streams;
+  ASSERT_OK(streams.CreateStream("s", {0.5, 0.5}));
+  const std::vector<uint8_t> symbols = {0, 1, 0, 1};
+  ASSERT_OK(streams.Append("s", symbols).status());
+
+  EngineStats stats = CollectEngineStats(&engine, &streams);
+  EXPECT_EQ(stats.queries_executed,
+            static_cast<int64_t>(2 * queries.size()));
+  EXPECT_EQ(stats.batches_executed, 2);
+  EXPECT_EQ(stats.cache.hits, static_cast<int64_t>(queries.size()));
+  EXPECT_EQ(stats.cache.misses, static_cast<int64_t>(queries.size()));
+  EXPECT_EQ(stats.cache_capacity, 64);
+  EXPECT_EQ(stats.open_streams, 1);
+  EXPECT_EQ(stats.streams.streams_created, 1);
+  EXPECT_EQ(stats.streams.symbols_ingested, 4);
+
+  // One formatter feeds both the STATS wire line and `batch --verbose`,
+  // so its shape is contract, not cosmetics.
+  std::string line = FormatEngineStats(stats);
+  for (const char* key :
+       {"queries=", "batches=", "threads=", "cache_hits=", "cache_misses=",
+        "cache_entries=", "cache_capacity=", "streams_open=",
+        "streams_created=", "symbols_ingested=", "alarms_raised="}) {
+    EXPECT_NE(line.find(key), std::string::npos) << key << " in " << line;
+  }
+}
+
+TEST(EngineStatsTest, NullSourcesYieldZeros) {
+  EngineStats stats = CollectEngineStats(nullptr, nullptr);
+  EXPECT_EQ(stats.queries_executed, 0);
+  EXPECT_EQ(stats.batches_executed, 0);
+  EXPECT_EQ(stats.cache.hits, 0);
+  EXPECT_EQ(stats.open_streams, 0);
+  EXPECT_EQ(stats.streams.symbols_ingested, 0);
 }
 
 TEST(FingerprintTest, SequenceFingerprints) {

@@ -1,7 +1,9 @@
 #include "engine/stream_manager.h"
 
+#include <barrier>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -239,6 +241,145 @@ TEST(StreamManagerTest, BoundedAlarmLogEvictsOldestButKeepsTotals) {
     EXPECT_LE(snapshot->recent_alarms[i - 1].end,
               snapshot->recent_alarms[i].end);
   }
+}
+
+TEST(StreamManagerRaceTest, CloseWhileAppendBatchStaysCoherent) {
+  // Deterministic interleaving: a two-party barrier brackets each round,
+  // so the CloseStream lands inside exactly one AppendBatch round — the
+  // race window is pinned, not left to scheduler luck.
+  constexpr int kRounds = 12;
+  constexpr int kCloseRound = 5;
+  constexpr int64_t kChunk = 256;
+
+  StreamManager manager;
+  const std::vector<std::string> names = {"a", "b", "victim", "d"};
+  for (const auto& name : names) {
+    ASSERT_OK(manager.CreateStream(name, Uniform(2), SmallWindow()));
+  }
+  std::vector<uint8_t> data = BurstStream(7, 2000, 300);
+  data.resize(static_cast<size_t>(kRounds * kChunk), 0);
+
+  std::barrier sync(2);
+  std::vector<Status> round_status(kRounds, Status::OK());
+
+  std::thread appender([&] {
+    std::vector<std::string> targets = names;
+    for (int round = 0; round < kRounds; ++round) {
+      sync.arrive_and_wait();
+      std::vector<StreamAppend> batch;
+      for (const auto& name : targets) {
+        StreamAppend append;
+        append.name = name;
+        append.symbols.assign(
+            data.begin() + static_cast<int64_t>(round) * kChunk,
+            data.begin() + static_cast<int64_t>(round + 1) * kChunk);
+        batch.push_back(std::move(append));
+      }
+      round_status[static_cast<size_t>(round)] =
+          manager.AppendBatch(batch).status();
+      sync.arrive_and_wait();
+      // Once the victim is gone, stop addressing it (a real producer
+      // reacts to NotFound the same way).
+      if (!manager.HasStream("victim")) {
+        targets = {"a", "b", "d"};
+      }
+    }
+  });
+  std::thread closer([&] {
+    for (int round = 0; round < kRounds; ++round) {
+      sync.arrive_and_wait();
+      if (round == kCloseRound) ASSERT_OK(manager.CloseStream("victim"));
+      sync.arrive_and_wait();
+    }
+  });
+  appender.join();
+  closer.join();
+
+  // Every round before the close succeeded; the close round itself is
+  // allowed either outcome (append-first or close-first), but nothing
+  // else: ok or NotFound, never a crash or partial write.
+  for (int round = 0; round < kRounds; ++round) {
+    const Status& status = round_status[static_cast<size_t>(round)];
+    if (round < kCloseRound) {
+      EXPECT_TRUE(status.ok()) << round << ": " << status.message();
+    } else {
+      EXPECT_TRUE(status.ok() || status.IsNotFound())
+          << round << ": " << status.message();
+    }
+  }
+
+  // AppendBatch validates names before ingesting anything, so each
+  // surviving stream holds exactly its successful rounds' symbols.
+  int64_t ok_rounds = 0;
+  for (const auto& status : round_status) ok_rounds += status.ok() ? 1 : 0;
+  for (const std::string name : {"a", "b", "d"}) {
+    auto snapshot = manager.Snapshot(name);
+    ASSERT_OK(snapshot.status());
+    EXPECT_EQ(snapshot->position, ok_rounds * kChunk) << name;
+  }
+  EXPECT_FALSE(manager.HasStream("victim"));
+  EXPECT_EQ(manager.open_stream_count(), 3u);
+}
+
+TEST(StreamManagerRaceTest, SnapshotUnderAppendSeesAtomicChunks) {
+  constexpr int kRounds = 16;
+  constexpr int64_t kChunk = 128;
+
+  StreamManager manager;
+  ASSERT_OK(manager.CreateStream("s", Uniform(2), SmallWindow()));
+  std::vector<uint8_t> data = BurstStream(11, 1200, 200);
+  data.resize(static_cast<size_t>(kRounds * kChunk), 0);
+
+  // Each round, the append and the snapshot race inside the same
+  // barrier-delimited window; the snapshot must observe either the
+  // pre-append or the post-append state, never a torn middle.
+  std::barrier sync(2);
+  std::vector<StreamSnapshot> snapshots(kRounds);
+
+  std::thread appender([&] {
+    for (int round = 0; round < kRounds; ++round) {
+      sync.arrive_and_wait();
+      auto alarms = manager.AppendCollect(
+          "s", std::vector<uint8_t>(
+                   data.begin() + static_cast<int64_t>(round) * kChunk,
+                   data.begin() + static_cast<int64_t>(round + 1) * kChunk));
+      ASSERT_OK(alarms.status());
+      sync.arrive_and_wait();
+    }
+  });
+  std::thread snapshotter([&] {
+    for (int round = 0; round < kRounds; ++round) {
+      sync.arrive_and_wait();
+      auto snapshot = manager.Snapshot("s");
+      ASSERT_OK(snapshot.status());
+      snapshots[static_cast<size_t>(round)] = *std::move(snapshot);
+      sync.arrive_and_wait();
+    }
+  });
+  appender.join();
+  snapshotter.join();
+
+  int64_t last_position = 0;
+  int64_t last_alarms = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    const StreamSnapshot& snapshot = snapshots[static_cast<size_t>(round)];
+    // Chunk-atomic: the position is always a whole number of chunks, at
+    // least the rounds already completed and at most the one in flight.
+    EXPECT_EQ(snapshot.position % kChunk, 0) << round;
+    EXPECT_GE(snapshot.position, static_cast<int64_t>(round) * kChunk);
+    EXPECT_LE(snapshot.position, static_cast<int64_t>(round + 1) * kChunk);
+    EXPECT_GE(snapshot.position, last_position) << round;
+    EXPECT_GE(snapshot.alarms_total, last_alarms) << round;
+    // The per-scale vectors are parallel views of one detector state.
+    EXPECT_EQ(snapshot.scales.size(), snapshot.thresholds.size()) << round;
+    EXPECT_EQ(snapshot.scales.size(), snapshot.chi_squares.size()) << round;
+    last_position = snapshot.position;
+    last_alarms = snapshot.alarms_total;
+  }
+  // The racing snapshots may trail the writer; a quiescent one may not.
+  auto final_snapshot = manager.Snapshot("s");
+  ASSERT_OK(final_snapshot.status());
+  EXPECT_EQ(final_snapshot->position, static_cast<int64_t>(kRounds) * kChunk);
 }
 
 }  // namespace

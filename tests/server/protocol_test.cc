@@ -1,0 +1,214 @@
+#include "server/protocol.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "api/query.h"
+#include "api/serde.h"
+#include "testing/test_util.h"
+
+namespace sigsub {
+namespace server {
+namespace protocol {
+namespace {
+
+TEST(ProtocolErrorTest, CodeNamesAndRetryability) {
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kProto), "EPROTO");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kInvalid), "EINVALID");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kNotFound), "ENOTFOUND");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kBusy), "EBUSY");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kQuota), "EQUOTA");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kDrain), "EDRAIN");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kTimeout), "ETIMEOUT");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kTooBig), "ETOOBIG");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kInternal), "EINTERNAL");
+
+  // Exactly the load-shedding codes are retryable: backoff-and-retry on
+  // EBUSY/EDRAIN, never on client mistakes.
+  EXPECT_TRUE(IsRetryable(ErrorCode::kBusy));
+  EXPECT_TRUE(IsRetryable(ErrorCode::kDrain));
+  EXPECT_FALSE(IsRetryable(ErrorCode::kProto));
+  EXPECT_FALSE(IsRetryable(ErrorCode::kInvalid));
+  EXPECT_FALSE(IsRetryable(ErrorCode::kQuota));
+  EXPECT_FALSE(IsRetryable(ErrorCode::kTimeout));
+}
+
+TEST(ProtocolErrorTest, FormatErrorAndStatusMapping) {
+  EXPECT_EQ(FormatError(ErrorCode::kBusy, "queue full"),
+            "ERR EBUSY queue full");
+  EXPECT_EQ(ErrorCodeForStatus(Status::NotFound("x")), ErrorCode::kNotFound);
+  EXPECT_EQ(ErrorCodeForStatus(Status::InvalidArgument("x")),
+            ErrorCode::kInvalid);
+  EXPECT_EQ(ErrorCodeForStatus(Status::OutOfRange("x")), ErrorCode::kInvalid);
+  EXPECT_EQ(ErrorCodeForStatus(Status::Internal("x")), ErrorCode::kInternal);
+  EXPECT_EQ(ErrorCodeForStatus(Status::IOError("x")), ErrorCode::kInternal);
+}
+
+TEST(ProtocolParseTest, QueryTakesRestOfLineVerbatim) {
+  ASSERT_OK_AND_ASSIGN(Request request,
+                       ParseRequest("QUERY topt:seq=2,t=5"));
+  EXPECT_EQ(request.kind, CommandKind::kQuery);
+  EXPECT_EQ(request.query.kind(), api::QueryKind::kTopT);
+  EXPECT_EQ(request.query.sequence_index, 2);
+
+  // JSON specs contain spaces; the QUERY payload must survive them.
+  ASSERT_OK_AND_ASSIGN(
+      Request json_request,
+      ParseRequest("QUERY {\"kind\": \"mss\", \"seq\": 1}"));
+  EXPECT_EQ(json_request.kind, CommandKind::kQuery);
+  EXPECT_EQ(json_request.query.kind(), api::QueryKind::kMss);
+  EXPECT_EQ(json_request.query.sequence_index, 1);
+
+  EXPECT_FALSE(ParseRequest("QUERY").ok());
+  EXPECT_FALSE(ParseRequest("QUERY   ").ok());
+  EXPECT_FALSE(ParseRequest("QUERY nonsense:").ok());
+}
+
+TEST(ProtocolParseTest, StreamCreateOptionsAndValidation) {
+  ASSERT_OK_AND_ASSIGN(
+      Request request,
+      ParseRequest(
+          "STREAM.CREATE s1 probs=0.25;0.75 alpha=0.001 max_window=64"));
+  EXPECT_EQ(request.kind, CommandKind::kStreamCreate);
+  EXPECT_EQ(request.stream, "s1");
+  ASSERT_EQ(request.probs.size(), 2u);
+  EXPECT_DOUBLE_EQ(request.probs[0], 0.25);
+  EXPECT_DOUBLE_EQ(request.probs[1], 0.75);
+  EXPECT_DOUBLE_EQ(request.detector.alpha, 0.001);
+  EXPECT_EQ(request.detector.max_window, 64);
+
+  EXPECT_FALSE(ParseRequest("STREAM.CREATE").ok());
+  EXPECT_FALSE(ParseRequest("STREAM.CREATE s1").ok());  // probs required.
+  EXPECT_FALSE(ParseRequest("STREAM.CREATE s1 probs=").ok());
+  EXPECT_FALSE(ParseRequest("STREAM.CREATE s1 probs=0.5;0.5 bogus=1").ok());
+  EXPECT_FALSE(
+      ParseRequest("STREAM.CREATE s1 probs=0.5;0.5 alpha=zero").ok());
+}
+
+TEST(ProtocolParseTest, StreamAppendDecodesSymbols) {
+  ASSERT_OK_AND_ASSIGN(Request request,
+                       ParseRequest("STREAM.APPEND s1 0110"));
+  EXPECT_EQ(request.kind, CommandKind::kStreamAppend);
+  EXPECT_EQ(request.stream, "s1");
+  EXPECT_EQ(request.symbols, (std::vector<uint8_t>{0, 1, 1, 0}));
+
+  EXPECT_FALSE(ParseRequest("STREAM.APPEND s1").ok());
+  EXPECT_FALSE(ParseRequest("STREAM.APPEND s1 01 23").ok());
+  EXPECT_FALSE(ParseRequest("STREAM.APPEND s1 01X0").ok());
+}
+
+TEST(ProtocolParseTest, OneNameAndBareCommands) {
+  for (const auto& [line, kind] :
+       std::vector<std::pair<std::string, CommandKind>>{
+           {"STREAM.SNAPSHOT s", CommandKind::kStreamSnapshot},
+           {"STREAM.CLOSE s", CommandKind::kStreamClose},
+           {"SUBSCRIBE s", CommandKind::kSubscribe},
+           {"UNSUBSCRIBE s", CommandKind::kUnsubscribe}}) {
+    ASSERT_OK_AND_ASSIGN(Request request, ParseRequest(line));
+    EXPECT_EQ(request.kind, kind) << line;
+    EXPECT_EQ(request.stream, "s") << line;
+    EXPECT_FALSE(ParseRequest(line + " extra").ok()) << line;
+  }
+  for (const auto& [line, kind] :
+       std::vector<std::pair<std::string, CommandKind>>{
+           {"STATS", CommandKind::kStats},
+           {"HEALTH", CommandKind::kHealth},
+           {"PING", CommandKind::kPing},
+           {"QUIT", CommandKind::kQuit}}) {
+    ASSERT_OK_AND_ASSIGN(Request request, ParseRequest(line));
+    EXPECT_EQ(request.kind, kind) << line;
+    EXPECT_FALSE(ParseRequest(line + " extra").ok()) << line;
+  }
+  EXPECT_FALSE(ParseRequest("FROB").ok());
+  EXPECT_FALSE(ParseRequest("ping").ok());  // Verbs are case-sensitive.
+}
+
+TEST(ProtocolParseTest, EngineBoundClassification) {
+  EXPECT_TRUE(IsEngineBound(CommandKind::kQuery));
+  EXPECT_TRUE(IsEngineBound(CommandKind::kStreamCreate));
+  EXPECT_TRUE(IsEngineBound(CommandKind::kStreamAppend));
+  EXPECT_TRUE(IsEngineBound(CommandKind::kStreamSnapshot));
+  EXPECT_TRUE(IsEngineBound(CommandKind::kStreamClose));
+  EXPECT_FALSE(IsEngineBound(CommandKind::kSubscribe));
+  EXPECT_FALSE(IsEngineBound(CommandKind::kUnsubscribe));
+  EXPECT_FALSE(IsEngineBound(CommandKind::kStats));
+  EXPECT_FALSE(IsEngineBound(CommandKind::kHealth));
+  EXPECT_FALSE(IsEngineBound(CommandKind::kPing));
+  EXPECT_FALSE(IsEngineBound(CommandKind::kQuit));
+}
+
+TEST(ProtocolFormatTest, QueryResultRowsAndCap) {
+  api::QueryResult result;
+  result.kind = api::QueryKind::kTopT;
+  result.sequence_index = 3;
+  result.cache_hit = true;
+  api::RankedPayload payload;
+  payload.ranked = {{0, 4, 12.5}, {6, 8, 3.25}, {1, 2, 1.0}};
+  result.payload = payload;
+
+  EXPECT_EQ(FormatQueryResult(result, 64),
+            "kind=topt seq=3 cache=1 matches=3 rows=0:4:12.5;6:8:3.25;1:2:1");
+  // max_rows truncates the materialized rows but matches= keeps the
+  // exact total — the client can tell truncation from absence.
+  EXPECT_EQ(FormatQueryResult(result, 1),
+            "kind=topt seq=3 cache=1 matches=3 rows=0:4:12.5");
+
+  api::QueryResult empty;
+  empty.kind = api::QueryKind::kMss;
+  empty.payload = api::BestPayload{};
+  EXPECT_EQ(FormatQueryResult(empty, 64),
+            "kind=mss seq=0 cache=0 matches=0 rows=");
+}
+
+TEST(ProtocolFormatTest, AlarmLine) {
+  core::StreamingDetector::Alarm alarm;
+  alarm.end = 1000;
+  alarm.length = 64;
+  alarm.chi_square = 42.5;
+  alarm.p_value = 1e-9;
+  EXPECT_EQ(FormatAlarm("sensor", alarm),
+            "ALARM stream=sensor end=1000 length=64 x2=42.5 p=1e-09");
+}
+
+TEST(ProtocolFormatTest, SnapshotLine) {
+  engine::StreamSnapshot snapshot;
+  snapshot.name = "s1";
+  snapshot.position = 4096;
+  snapshot.alarms_total = 7;
+  snapshot.alarms_dropped = 2;
+  snapshot.scales = {8, 16, 32};
+  EXPECT_EQ(FormatSnapshot(snapshot),
+            "stream=s1 position=4096 alarms=7 dropped=2 scales=3");
+}
+
+TEST(ProtocolCodecTest, SymbolRoundTrip) {
+  std::vector<uint8_t> symbols;
+  for (uint8_t s = 0; s < 36; ++s) symbols.push_back(s);
+  std::string text = EncodeSymbols(symbols);
+  EXPECT_EQ(text, "0123456789abcdefghijklmnopqrstuvwxyz");
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> decoded, DecodeSymbols(text));
+  EXPECT_EQ(decoded, symbols);
+
+  EXPECT_FALSE(DecodeSymbols("01A").ok());
+  EXPECT_FALSE(DecodeSymbols("0 1").ok());
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> empty, DecodeSymbols(""));
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(ProtocolCodecTest, ExtractLineFraming) {
+  std::string buffer = "first\r\nsecond\npartial";
+  auto line = ExtractLine(&buffer);
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "first");  // CRLF tolerated.
+  line = ExtractLine(&buffer);
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "second");
+  EXPECT_FALSE(ExtractLine(&buffer).has_value());
+  EXPECT_EQ(buffer, "partial");  // Incomplete tail stays buffered.
+}
+
+}  // namespace
+}  // namespace protocol
+}  // namespace server
+}  // namespace sigsub

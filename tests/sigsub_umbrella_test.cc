@@ -70,6 +70,29 @@ TEST(UmbrellaTest, EverySubsystemIsReachable) {
   EXPECT_EQ(cache.capacity(), 2u);
   engine::StreamManager manager({.num_threads = 1});
   EXPECT_TRUE(manager.StreamNames().empty());
+  engine::EngineStats stats = engine::CollectEngineStats(&engine, &manager);
+  EXPECT_EQ(stats.batches_executed, 1);
+
+  // common/posix_io.h + server/ — the daemon, its client, its protocol.
+  IgnoreSigpipe();
+  EXPECT_GE(MonotonicMillis(), 0);
+  EXPECT_EQ(server::protocol::ErrorCodeName(
+                server::protocol::ErrorCode::kBusy),
+            "EBUSY");
+  EXPECT_TRUE(
+      server::protocol::IsEngineBound(server::protocol::CommandKind::kQuery));
+  server::ServerOptions server_options;
+  EXPECT_EQ(server_options.host, "127.0.0.1");
+  server::Server daemon(*corpus, server_options);
+  ASSERT_TRUE(daemon.Start().ok());
+  auto client =
+      server::LineClient::Connect("127.0.0.1", daemon.port(), 2000);
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(client->SendLine("PING").ok());
+  auto pong = client->ReadLine(2000);
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(*pong, "OK pong");
+  EXPECT_EQ(daemon.stats().connections_accepted, 1);
 
   // io/ — csv, dates, codecs, tables, simulators.
   EXPECT_EQ(io::ParseCsvLine("a,b").size(), 2u);
