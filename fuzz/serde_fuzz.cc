@@ -1,0 +1,46 @@
+// libFuzzer harness for api::ParseQuery — the query deserializer behind
+// both the CLI's --query= flags and the daemon's QUERY command. Takes
+// arbitrary bytes in either accepted form (compact text or JSON; a
+// leading '{' selects JSON) and checks the serde contract on everything
+// the parser accepts:
+//
+//   ParseQuery(FormatQuery(q)) == q           (text round trip)
+//   ParseQuery(FormatQueryJson(q)) == q       (JSON round trip)
+//   FormatQuery is a fixpoint                 (canonical form is stable)
+//   equal specs => equal fingerprints         (cache identity)
+//
+// Built behind -DSIGSUB_FUZZERS=ON: with clang this links libFuzzer
+// (-fsanitize=fuzzer); elsewhere fuzz/standalone_driver.cc replays the
+// committed corpus (fuzz/corpus/serde) as a ctest regression.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "api/serde.h"
+#include "common/check.h"
+
+namespace api = sigsub::api;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  auto parsed = api::ParseQuery(input);
+  if (!parsed.ok()) return 0;
+
+  const std::string canonical = api::FormatQuery(*parsed);
+  auto from_text = api::ParseQuery(canonical);
+  SIGSUB_CHECK(from_text.ok());
+  SIGSUB_CHECK(*from_text == *parsed);
+  SIGSUB_CHECK(api::FormatQuery(*from_text) == canonical);
+
+  auto from_json = api::ParseQuery(api::FormatQueryJson(*parsed));
+  SIGSUB_CHECK(from_json.ok());
+  SIGSUB_CHECK(*from_json == *parsed);
+
+  SIGSUB_CHECK(api::FingerprintQuery(*from_text) ==
+               api::FingerprintQuery(*parsed));
+  SIGSUB_CHECK(api::CanonicalQueryKey(*from_json) ==
+               api::CanonicalQueryKey(*parsed));
+  return 0;
+}

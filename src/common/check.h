@@ -29,13 +29,23 @@
     }                                                                      \
   } while (false)
 
-/// Debug-only check; compiled out in NDEBUG builds (hot paths).
+/// Debug-only checks; compiled out in NDEBUG builds (hot paths). The
+/// NDEBUG expansion still mentions the condition inside an unevaluated
+/// sizeof, so it is type-checked and every variable it names counts as
+/// used — release builds neither execute the check nor emit
+/// -Wunused-variable for state that exists only to be checked.
 #ifdef NDEBUG
-#define SIGSUB_DCHECK(cond) \
-  do {                      \
+#define SIGSUB_DCHECK(cond)          \
+  do {                               \
+    (void)sizeof((cond) ? 1 : 0);    \
+  } while (false)
+#define SIGSUB_DCHECK_MSG(cond, ...) \
+  do {                               \
+    (void)sizeof((cond) ? 1 : 0);    \
   } while (false)
 #else
 #define SIGSUB_DCHECK(cond) SIGSUB_CHECK(cond)
+#define SIGSUB_DCHECK_MSG(cond, ...) SIGSUB_CHECK_MSG(cond, __VA_ARGS__)
 #endif
 
 #endif  // SIGSUB_COMMON_CHECK_H_

@@ -1,0 +1,78 @@
+#ifndef SIGSUB_COMMON_MUTEX_H_
+#define SIGSUB_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace sigsub {
+
+/// Annotated mutual-exclusion wrappers. These are the only place in the
+/// library where the raw standard-library primitives appear
+/// (tools/lint.py enforces that); everything else declares a
+/// `common::Mutex`, marks the state it protects `SIGSUB_GUARDED_BY` it,
+/// and lets clang's -Wthread-safety prove the discipline at compile time.
+///
+/// The wrappers are deliberately minimal — Lock/Unlock/TryLock, a scoped
+/// MutexLock, and a CondVar whose Wait REQUIRES the mutex. Condition
+/// waits are written as explicit `while (!condition) cv.Wait(mu);` loops
+/// at the call site rather than predicate lambdas: the analysis sees the
+/// guarded reads in the frame that holds the lock, so the loop form is
+/// provably clean where a lambda predicate would not be.
+class SIGSUB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SIGSUB_ACQUIRE() { mu_.lock(); }
+  void Unlock() SIGSUB_RELEASE() { mu_.unlock(); }
+  bool TryLock() SIGSUB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock. `MutexLock lock(mu_);` — the annotated replacement for
+/// std::lock_guard everywhere outside common/.
+class SIGSUB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SIGSUB_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() SIGSUB_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to a common::Mutex at each Wait. Spurious
+/// wakeups are possible (as with the underlying std primitive): always
+/// re-test the condition in a while loop around Wait.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified (or spuriously
+  /// woken), and reacquires `mu` before returning.
+  void Wait(Mutex& mu) SIGSUB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // The caller still owns the reacquired mutex.
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace sigsub
+
+#endif  // SIGSUB_COMMON_MUTEX_H_

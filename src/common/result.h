@@ -31,7 +31,12 @@ class Result {
   Result& operator=(Result&&) = default;
 
   bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+
+  // Ref-qualified so `SomeCall().status()` on a temporary Result yields an
+  // owning Status instead of a reference into the dying temporary (caught
+  // as a stack-use-after-scope by ASan before the qualifiers existed).
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
 
   const T& value() const& {
     SIGSUB_CHECK(ok());

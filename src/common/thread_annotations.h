@@ -1,0 +1,73 @@
+#ifndef SIGSUB_COMMON_THREAD_ANNOTATIONS_H_
+#define SIGSUB_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis attribute macros. Under clang the
+/// annotations make the locking discipline machine-checked at compile
+/// time (CI builds src/ with -Wthread-safety and promotes the group to
+/// errors); under every other compiler they expand to nothing, so the
+/// annotated code stays portable.
+///
+/// Usage rules for new code (see README "Static analysis"):
+///   * every shared member is either std::atomic or GUARDED_BY a
+///     common::Mutex member declared in the same class;
+///   * private helpers that expect a lock held take REQUIRES(mutex_),
+///     public entry points that take the lock themselves are EXCLUDES;
+///   * raw std::mutex / std::lock_guard never appear outside
+///     common/mutex.h — tools/lint.py enforces this.
+#if defined(__clang__) && (!defined(SWIG))
+#define SIGSUB_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define SIGSUB_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op
+#endif
+
+#define SIGSUB_CAPABILITY(x) \
+  SIGSUB_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+#define SIGSUB_SCOPED_CAPABILITY \
+  SIGSUB_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+#define SIGSUB_GUARDED_BY(x) SIGSUB_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+#define SIGSUB_PT_GUARDED_BY(x) \
+  SIGSUB_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+#define SIGSUB_ACQUIRED_BEFORE(...) \
+  SIGSUB_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+
+#define SIGSUB_ACQUIRED_AFTER(...) \
+  SIGSUB_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+#define SIGSUB_REQUIRES(...) \
+  SIGSUB_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+#define SIGSUB_REQUIRES_SHARED(...) \
+  SIGSUB_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+#define SIGSUB_ACQUIRE(...) \
+  SIGSUB_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+#define SIGSUB_ACQUIRE_SHARED(...) \
+  SIGSUB_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
+#define SIGSUB_RELEASE(...) \
+  SIGSUB_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+#define SIGSUB_RELEASE_SHARED(...) \
+  SIGSUB_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+
+#define SIGSUB_TRY_ACQUIRE(...) \
+  SIGSUB_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+#define SIGSUB_EXCLUDES(...) \
+  SIGSUB_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+#define SIGSUB_ASSERT_CAPABILITY(x) \
+  SIGSUB_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+#define SIGSUB_RETURN_CAPABILITY(x) \
+  SIGSUB_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+#define SIGSUB_NO_THREAD_SAFETY_ANALYSIS \
+  SIGSUB_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // SIGSUB_COMMON_THREAD_ANNOTATIONS_H_

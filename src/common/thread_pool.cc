@@ -23,10 +23,10 @@ ThreadPool::ThreadPool(int num_threads) {
 ThreadPool::~ThreadPool() {
   Wait();
   {
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
     stop_.store(true, std::memory_order_release);
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (std::thread& thread : threads_) thread.join();
 }
 
@@ -35,16 +35,16 @@ void ThreadPool::Submit(std::function<void()> task) {
       next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size());
   outstanding_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(workers_[index]->mutex);
+    MutexLock lock(workers_[index]->mutex);
     workers_[index]->queue.push_back(std::move(task));
   }
   {
     // Held while publishing `pending_` so a worker between its predicate
     // check and its sleep cannot miss this wakeup.
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
     pending_.fetch_add(1, std::memory_order_release);
   }
-  wake_cv_.notify_one();
+  wake_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
@@ -56,10 +56,10 @@ void ThreadPool::Wait() {
            TryRunOneTask(i)) {
     }
   }
-  std::unique_lock<std::mutex> lock(done_mutex_);
-  done_cv_.wait(lock, [this] {
-    return outstanding_.load(std::memory_order_acquire) == 0;
-  });
+  MutexLock lock(done_mutex_);
+  while (outstanding_.load(std::memory_order_acquire) != 0) {
+    done_cv_.Wait(done_mutex_);
+  }
 }
 
 bool ThreadPool::TryRunOneTask(size_t worker_index) {
@@ -67,7 +67,7 @@ bool ThreadPool::TryRunOneTask(size_t worker_index) {
   // Own deque first (LIFO: the task most likely to be cache-hot)...
   {
     Worker& own = *workers_[worker_index];
-    std::lock_guard<std::mutex> lock(own.mutex);
+    MutexLock lock(own.mutex);
     if (!own.queue.empty()) {
       task = std::move(own.queue.back());
       own.queue.pop_back();
@@ -78,7 +78,7 @@ bool ThreadPool::TryRunOneTask(size_t worker_index) {
     for (size_t offset = 1; offset < workers_.size() && !task; ++offset) {
       Worker& victim =
           *workers_[(worker_index + offset) % workers_.size()];
-      std::lock_guard<std::mutex> lock(victim.mutex);
+      MutexLock lock(victim.mutex);
       if (!victim.queue.empty()) {
         task = std::move(victim.queue.front());
         victim.queue.pop_front();
@@ -91,8 +91,8 @@ bool ThreadPool::TryRunOneTask(size_t worker_index) {
   pending_.fetch_sub(1, std::memory_order_release);
   task();
   if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard<std::mutex> lock(done_mutex_);
-    done_cv_.notify_all();
+    MutexLock lock(done_mutex_);
+    done_cv_.NotifyAll();
   }
   return true;
 }
@@ -100,14 +100,16 @@ bool ThreadPool::TryRunOneTask(size_t worker_index) {
 void ThreadPool::WorkerLoop(size_t worker_index) {
   for (;;) {
     if (TryRunOneTask(worker_index)) continue;
-    std::unique_lock<std::mutex> lock(wake_mutex_);
-    wake_cv_.wait(lock, [this] {
-      return stop_.load(std::memory_order_acquire) ||
-             pending_.load(std::memory_order_acquire) > 0;
-    });
-    if (stop_.load(std::memory_order_acquire) &&
-        pending_.load(std::memory_order_acquire) == 0) {
-      return;
+    {
+      MutexLock lock(wake_mutex_);
+      while (!stop_.load(std::memory_order_acquire) &&
+             pending_.load(std::memory_order_acquire) <= 0) {
+        wake_cv_.Wait(wake_mutex_);
+      }
+      if (stop_.load(std::memory_order_acquire) &&
+          pending_.load(std::memory_order_acquire) == 0) {
+        return;
+      }
     }
   }
 }

@@ -2,14 +2,15 @@
 #define SIGSUB_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace sigsub {
 
@@ -52,8 +53,8 @@ class ThreadPool {
 
  private:
   struct Worker {
-    std::mutex mutex;
-    std::deque<std::function<void()>> queue;
+    Mutex mutex;
+    std::deque<std::function<void()>> queue SIGSUB_GUARDED_BY(mutex);
   };
 
   void WorkerLoop(size_t worker_index);
@@ -62,13 +63,16 @@ class ThreadPool {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
-  // Wakes idle workers when work arrives or the pool shuts down.
-  std::mutex wake_mutex_;
-  std::condition_variable wake_cv_;
+  // Wakes idle workers when work arrives or the pool shuts down. Guards
+  // no data of its own: the predicate state (`stop_`, `pending_`) is
+  // atomic, and Submit holds it only to publish `pending_` without
+  // racing a worker between its predicate check and its sleep.
+  Mutex wake_mutex_;
+  CondVar wake_cv_;
 
   // Signals Wait() when the last outstanding task retires.
-  std::mutex done_mutex_;
-  std::condition_variable done_cv_;
+  Mutex done_mutex_;
+  CondVar done_cv_;
 
   std::atomic<bool> stop_{false};
   std::atomic<int64_t> pending_{0};      // Queued, not yet dequeued.

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "api/serde.h"
+#include "common/check.h"
 #include "common/str_util.h"
 #include "core/agmm.h"
 #include "core/arlm.h"
@@ -350,6 +351,20 @@ Result<std::vector<api::QueryResult>> Engine::ExecuteQueries(
 Result<std::vector<api::QueryResult>> Engine::ExecuteQueriesInternal(
     const Corpus& corpus, const std::vector<api::QuerySpec>& queries,
     std::string_view label) {
+  // One batch at a time per engine (the header's thread-safety contract);
+  // a second concurrent batch would share per-batch plan state. Debug
+  // builds catch the misuse at the entry point instead of as a race.
+  struct BatchGuard {
+    std::atomic<bool>& flag;
+    explicit BatchGuard(std::atomic<bool>& f) : flag(f) {
+      const bool was_active = f.exchange(true, std::memory_order_acq_rel);
+      SIGSUB_DCHECK_MSG(!was_active,
+                        "Engine::ExecuteQueries is not reentrant; "
+                        "serialize batches from concurrent callers");
+    }
+    ~BatchGuard() { flag.store(false, std::memory_order_release); }
+  } batch_guard(batch_active_);
+
   const int k = corpus.alphabet().size();
 
   // Validate every query and build its execution plan: distinct

@@ -127,6 +127,11 @@ class Engine {
   core::X2Dispatch x2_dispatch_;
   std::atomic<int64_t> queries_executed_{0};
   std::atomic<int64_t> batches_executed_{0};
+  // Debug enforcement of the one-batch-at-a-time contract above: set for
+  // the duration of ExecuteQueriesInternal, SIGSUB_DCHECKed against
+  // reentry. Atomic (not GUARDED_BY a mutex) because the contract is
+  // exactly that there is no concurrent batch to exclude.
+  std::atomic<bool> batch_active_{false};
 };
 
 }  // namespace engine

@@ -8,12 +8,12 @@ namespace engine {
 ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {}
 
 size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return lru_.size();
 }
 
 std::optional<CachedResult> ResultCache::Lookup(const CacheKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -26,7 +26,7 @@ std::optional<CachedResult> ResultCache::Lookup(const CacheKey& key) {
 
 void ResultCache::Insert(const CacheKey& key, CachedResult value) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->value = std::move(value);
@@ -44,7 +44,7 @@ void ResultCache::Insert(const CacheKey& key, CachedResult value) {
 }
 
 void ResultCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   lru_.clear();
   index_.clear();
   // A cleared cache restarts its accounting: stale hit/miss/insertion/
@@ -54,12 +54,12 @@ void ResultCache::Clear() {
 }
 
 void ResultCache::ResetStats() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   stats_ = CacheStats{};
 }
 
 CacheStats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -4,11 +4,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/scan_types.h"
 
 namespace sigsub {
@@ -94,12 +95,13 @@ class ResultCache {
     CachedResult value;
   };
 
-  mutable std::mutex mutex_;
-  size_t capacity_;
-  std::list<Entry> lru_;  // Front = most recently used.
+  mutable Mutex mutex_;
+  const size_t capacity_;  // Immutable after construction; read lock-free.
+  // Front = most recently used.
+  std::list<Entry> lru_ SIGSUB_GUARDED_BY(mutex_);
   std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
-      index_;
-  CacheStats stats_;
+      index_ SIGSUB_GUARDED_BY(mutex_);
+  CacheStats stats_ SIGSUB_GUARDED_BY(mutex_);
 };
 
 }  // namespace engine

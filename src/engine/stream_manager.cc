@@ -21,7 +21,7 @@ Status StreamManager::CreateStream(const std::string& name,
   }
   std::shared_ptr<const core::ChiSquareContext> context;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (streams_.contains(name)) {
       return Status::InvalidArgument(
           StrCat("stream \"", name, "\" already exists"));
@@ -56,7 +56,7 @@ Status StreamManager::CreateStream(const std::string& name,
   auto stream =
       std::make_shared<Stream>(name, std::move(detector).value());
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (streams_.contains(name)) {
       return Status::InvalidArgument(
           StrCat("stream \"", name, "\" already exists"));
@@ -70,7 +70,7 @@ Status StreamManager::CreateStream(const std::string& name,
 
 std::shared_ptr<StreamManager::Stream> StreamManager::FindStream(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = streams_.find(name);
   return it == streams_.end() ? nullptr : it->second;
 }
@@ -78,7 +78,7 @@ std::shared_ptr<StreamManager::Stream> StreamManager::FindStream(
 Result<std::vector<core::StreamingDetector::Alarm>>
 StreamManager::AppendLocked(Stream& stream,
                             std::span<const uint8_t> symbols) {
-  std::lock_guard<std::mutex> lock(stream.mutex);
+  MutexLock lock(stream.mutex);
   auto alarms = stream.detector.TryAppendChunk(symbols);
   SIGSUB_RETURN_IF_ERROR(alarms.status());
   for (const core::StreamingDetector::Alarm& alarm : *alarms) {
@@ -172,7 +172,7 @@ Result<StreamSnapshot> StreamManager::Snapshot(
   if (stream == nullptr) {
     return Status::NotFound(StrCat("no stream named \"", name, "\""));
   }
-  std::lock_guard<std::mutex> lock(stream->mutex);
+  MutexLock lock(stream->mutex);
   StreamSnapshot snapshot;
   snapshot.name = stream->name;
   snapshot.position = stream->detector.position();
@@ -189,7 +189,7 @@ Result<StreamSnapshot> StreamManager::Snapshot(
 
 Status StreamManager::CloseStream(const std::string& name) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (streams_.erase(name) == 0) {
       return Status::NotFound(StrCat("no stream named \"", name, "\""));
     }
@@ -199,7 +199,7 @@ Status StreamManager::CloseStream(const std::string& name) {
 }
 
 std::vector<std::string> StreamManager::StreamNames() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(streams_.size());
   for (const auto& [name, unused] : streams_) names.push_back(name);
@@ -216,17 +216,17 @@ StreamManagerStats StreamManager::stats() const {
 }
 
 bool StreamManager::HasStream(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return streams_.contains(name);
 }
 
 size_t StreamManager::open_stream_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return streams_.size();
 }
 
 size_t StreamManager::context_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return contexts_.size();
 }
 

@@ -6,12 +6,13 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/streaming.h"
 #include "core/x2_dispatch.h"
@@ -135,30 +136,34 @@ class StreamManager {
         : name(std::move(stream_name)), detector(std::move(d)) {}
 
     const std::string name;
-    mutable std::mutex mutex;  // Serializes detector access.
-    core::StreamingDetector detector;
-    std::deque<core::StreamingDetector::Alarm> alarms;  // Bounded log.
-    int64_t alarms_dropped = 0;
+    mutable Mutex mutex;  // Serializes detector access.
+    core::StreamingDetector detector SIGSUB_GUARDED_BY(mutex);
+    // Bounded log.
+    std::deque<core::StreamingDetector::Alarm> alarms SIGSUB_GUARDED_BY(mutex);
+    int64_t alarms_dropped SIGSUB_GUARDED_BY(mutex) = 0;
   };
 
   /// Looks up a stream under mutex_; the returned shared_ptr keeps it
   /// alive even if CloseStream races.
-  std::shared_ptr<Stream> FindStream(const std::string& name) const;
+  std::shared_ptr<Stream> FindStream(const std::string& name) const
+      SIGSUB_EXCLUDES(mutex_);
 
-  /// Applies one chunk under the stream's mutex and records its alarms.
+  /// Takes the stream's mutex, applies one chunk, and records its alarms.
   /// Returns the alarms raised, in raise order.
   Result<std::vector<core::StreamingDetector::Alarm>> AppendLocked(
-      Stream& stream, std::span<const uint8_t> symbols);
+      Stream& stream, std::span<const uint8_t> symbols)
+      SIGSUB_EXCLUDES(stream.mutex);
 
   StreamManagerOptions options_;
   ThreadPool pool_;
 
-  mutable std::mutex mutex_;  // Guards streams_ and contexts_.
-  std::map<std::string, std::shared_ptr<Stream>> streams_;
+  mutable Mutex mutex_;  // Guards streams_ and contexts_.
+  std::map<std::string, std::shared_ptr<Stream>> streams_
+      SIGSUB_GUARDED_BY(mutex_);
   // One shared evaluation context per distinct model (Engine's
   // context-reuse design, persisted for the manager's lifetime).
   std::map<std::vector<double>, std::shared_ptr<const core::ChiSquareContext>>
-      contexts_;
+      contexts_ SIGSUB_GUARDED_BY(mutex_);
 
   std::atomic<int64_t> streams_created_{0};
   std::atomic<int64_t> streams_closed_{0};

@@ -196,28 +196,30 @@ ServerStats Server::stats() const {
 void Server::ExecutorLoop() {
   for (;;) {
     std::vector<Work> slice;
-    {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] {
-        return stop_executor_.load(std::memory_order_acquire) ||
-               !queue_.empty();
-      });
-      if (queue_.empty()) return;  // stop requested, nothing admitted left.
-      if (options_.executor_hook) {
-        // Test seam: runs unlocked so a blocking hook freezes execution
-        // without freezing admission — saturation tests become
-        // deterministic.
-        lock.unlock();
-        options_.executor_hook();
-        lock.lock();
-      }
-      size_t take = std::min(queue_.size(), options_.batch_max);
-      slice.reserve(take);
-      for (size_t i = 0; i < take; ++i) {
-        slice.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
+    queue_mutex_.Lock();
+    while (!stop_executor_.load(std::memory_order_acquire) &&
+           queue_.empty()) {
+      queue_cv_.Wait(queue_mutex_);
     }
+    if (queue_.empty()) {  // stop requested, nothing admitted left.
+      queue_mutex_.Unlock();
+      return;
+    }
+    if (options_.executor_hook) {
+      // Test seam: runs unlocked so a blocking hook freezes execution
+      // without freezing admission — saturation tests become
+      // deterministic.
+      queue_mutex_.Unlock();
+      options_.executor_hook();
+      queue_mutex_.Lock();
+    }
+    size_t take = std::min(queue_.size(), options_.batch_max);
+    slice.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      slice.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    queue_mutex_.Unlock();
     ExecuteSlice(std::move(slice));
   }
 }
@@ -334,7 +336,7 @@ void Server::ExecuteSlice(std::vector<Work> slice) {
 
 void Server::PostOutbound(std::vector<Outbound> lines) {
   {
-    std::lock_guard<std::mutex> lock(response_mutex_);
+    MutexLock lock(response_mutex_);
     for (Outbound& line : lines) responses_.push_back(std::move(line));
   }
   Wakeup();
@@ -442,7 +444,7 @@ void Server::IoLoop() {
   // Drained (or out of budget): shut the executor down — the queue is
   // empty on the graceful path, so no admitted request is abandoned.
   stop_executor_.store(true, std::memory_order_release);
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   std::vector<uint64_t> remaining;
   for (const auto& [id, conn] : connections_) remaining.push_back(id);
   for (uint64_t id : remaining) {
@@ -583,7 +585,7 @@ void Server::HandleLine(Connection& conn, const std::string& line,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     if (queue_.size() >= options_.max_queue) {
       shed_busy_.fetch_add(1, std::memory_order_relaxed);
       QueueReply(conn, protocol::FormatError(
@@ -596,7 +598,7 @@ void Server::HandleLine(Connection& conn, const std::string& line,
   ++conn.inflight;
   inflight_total_.fetch_add(1, std::memory_order_relaxed);
   requests_admitted_.fetch_add(1, std::memory_order_relaxed);
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
 }
 
 void Server::HandleControl(Connection& conn,
@@ -646,7 +648,7 @@ void Server::HandleControl(Connection& conn,
 std::string Server::StatsReplyPayload() const {
   size_t queue_depth;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     queue_depth = queue_.size();
   }
   ServerStats s = stats();
@@ -696,7 +698,7 @@ void Server::FlushWrites(Connection& conn) {
 void Server::DrainResponseQueue() {
   std::vector<Outbound> batch;
   {
-    std::lock_guard<std::mutex> lock(response_mutex_);
+    MutexLock lock(response_mutex_);
     batch.swap(responses_);
   }
   for (Outbound& out : batch) {
@@ -764,11 +766,11 @@ void Server::HarvestIdle(int64_t now_ms) {
 bool Server::DrainComplete() const {
   if (inflight_total_.load(std::memory_order_acquire) != 0) return false;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     if (!queue_.empty()) return false;
   }
   {
-    std::lock_guard<std::mutex> lock(response_mutex_);
+    MutexLock lock(response_mutex_);
     if (!responses_.empty()) return false;
   }
   for (const auto& [id, conn] : connections_) {

@@ -2,19 +2,19 @@
 #define SIGSUB_SERVER_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/x2_dispatch.h"
 #include "engine/corpus.h"
 #include "engine/engine.h"
@@ -163,7 +163,7 @@ class Server {
   };
 
   void IoLoop();
-  void ExecutorLoop();
+  void ExecutorLoop() SIGSUB_EXCLUDES(queue_mutex_);
 
   /// Executes one slice of admitted work: all QUERYs as one engine batch
   /// (falling back to per-query execution if the batch fails validation),
@@ -173,23 +173,26 @@ class Server {
   // --- I/O-thread-only helpers -------------------------------------------
   void AcceptPending(int64_t now_ms);
   void ReadFromConnection(Connection& conn, int64_t now_ms);
-  void HandleLine(Connection& conn, const std::string& line, int64_t now_ms);
+  void HandleLine(Connection& conn, const std::string& line, int64_t now_ms)
+      SIGSUB_EXCLUDES(queue_mutex_);
   void HandleControl(Connection& conn, const protocol::Request& request);
-  std::string StatsReplyPayload() const;
+  std::string StatsReplyPayload() const SIGSUB_EXCLUDES(queue_mutex_);
   /// Appends `line` + '\n' to the connection's write buffer and flushes
   /// what the socket will take. Returns false when this killed the
   /// connection (write error, or backlog over max_write_buffer) — the
   /// caller's reference is dead then.
   bool QueueReply(Connection& conn, std::string line);
   void FlushWrites(Connection& conn);
-  void DrainResponseQueue();
+  void DrainResponseQueue() SIGSUB_EXCLUDES(response_mutex_);
   void CloseConnection(uint64_t conn_id);
   void HarvestIdle(int64_t now_ms);
   /// True when every connection's write buffer is empty and nothing is in
   /// flight — the drain-completion condition.
-  bool DrainComplete() const;
+  bool DrainComplete() const
+      SIGSUB_EXCLUDES(queue_mutex_, response_mutex_);
 
-  void PostOutbound(std::vector<Outbound> lines);
+  void PostOutbound(std::vector<Outbound> lines)
+      SIGSUB_EXCLUDES(response_mutex_);
   void Wakeup();
 
   engine::Corpus corpus_;
@@ -207,14 +210,14 @@ class Server {
   std::atomic<int64_t> inflight_total_{0};
 
   // Admission queue: I/O thread pushes, executor pops slices.
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<Work> queue_;
+  mutable Mutex queue_mutex_;
+  CondVar queue_cv_;
+  std::deque<Work> queue_ SIGSUB_GUARDED_BY(queue_mutex_);
 
   // Response queue: executor pushes, I/O thread drains (after a wakeup
   // byte). Connection state itself is touched only by the I/O thread.
-  mutable std::mutex response_mutex_;
-  std::vector<Outbound> responses_;
+  mutable Mutex response_mutex_;
+  std::vector<Outbound> responses_ SIGSUB_GUARDED_BY(response_mutex_);
 
   // I/O-thread-only state (no locks; never touched elsewhere).
   std::map<uint64_t, std::unique_ptr<Connection>> connections_;

@@ -37,6 +37,8 @@
 
 #include "api/query.h"
 #include "api/serde.h"
+#include "common/check.h"
+#include "common/mutex.h"
 #include "common/posix_io.h"
 #include "core/agmm.h"
 #include "core/arlm.h"

@@ -60,7 +60,9 @@ double LogGamma(double x) {
   int sign = 0;
   return ::lgamma_r(x, &sign);
 #else
-  return std::lgamma(x);
+  // Non-glibc fallback without the _r variant; signgam races are
+  // tolerated there because we never read it.
+  return std::lgamma(x);  // sigsub-lint: allow(unsafe-call)
 #endif
 }
 

@@ -1,5 +1,8 @@
 #include "api/serde.h"
 
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <set>
 #include <string>
 #include <vector>
@@ -179,6 +182,85 @@ TEST(QuerySerdeTest, EveryKindNameParses) {
     EXPECT_EQ(spec.kind(), kind);
   }
   EXPECT_TRUE(ParseQueryKind("mystery").status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------
+// Malformed-input regressions mirroring fuzz/serde_fuzz.cc: any byte
+// string is either rejected with a status or accepted with all four
+// serde invariants holding (text round trip, JSON round trip, canonical
+// fixpoint, fingerprint agreement) — never a crash.
+
+void CheckSerdeInvariants(const std::string& input,
+                          const std::string& label) {
+  auto parsed = ParseQuery(input);
+  if (!parsed.ok()) return;
+  const std::string canonical = FormatQuery(*parsed);
+  auto from_text = ParseQuery(canonical);
+  ASSERT_TRUE(from_text.ok()) << label;
+  EXPECT_EQ(*from_text, *parsed) << label;
+  EXPECT_EQ(FormatQuery(*from_text), canonical) << label;
+  auto from_json = ParseQuery(FormatQueryJson(*parsed));
+  ASSERT_TRUE(from_json.ok()) << label;
+  EXPECT_EQ(*from_json, *parsed) << label;
+  EXPECT_EQ(FingerprintQuery(*from_text), FingerprintQuery(*parsed))
+      << label;
+}
+
+TEST(QuerySerdeMalformedTest, TruncatedSpellingsAreRejectedNotFatal) {
+  for (const char* input :
+       {"", " ", "mss model=", "topt t=", "threshold x2=",
+        "mss model=multinomial(", "mss model=multinomial(0.5;",
+        "{", "{\"kind\"", "{\"kind\":", "{\"kind\":\"mss\"",
+        "{\"kind\":\"mss\",\"model\":{", "minlen l="}) {
+    CheckSerdeInvariants(input, input);
+  }
+}
+
+TEST(QuerySerdeMalformedTest, OverlongFieldsAreRejectedNotFatal) {
+  std::string many_probs = "mss model=multinomial(";
+  for (int i = 0; i < 2000; ++i) many_probs += "0.0005;";
+  many_probs.back() = ')';
+  CheckSerdeInvariants(many_probs, "2000 probs");
+  CheckSerdeInvariants("topt t=" + std::string(400, '9'), "huge t");
+  CheckSerdeInvariants(
+      "threshold x2=1e" + std::string(64, '9'), "huge exponent");
+  CheckSerdeInvariants(std::string(1 << 16, 'm'), "64KiB of m");
+}
+
+TEST(QuerySerdeMalformedTest, NonUtf8BytesAreRejectedNotFatal) {
+  const std::string raw{"mss \xff\xfe model=\x80uniform\x00()", 24};
+  CheckSerdeInvariants(raw, "embedded non-UTF-8");
+  EXPECT_FALSE(ParseQuery(raw).ok());
+}
+
+TEST(QuerySerdeMalformedTest, NestedParenAbuseTerminates) {
+  std::string bomb = "mss model=";
+  for (int i = 0; i < 128; ++i) bomb += "markov(";
+  CheckSerdeInvariants(bomb, "unclosed markov nest");
+  EXPECT_FALSE(ParseQuery(bomb).ok());
+  std::string json_bomb = "{\"model\":";
+  for (int i = 0; i < 128; ++i) json_bomb += "{\"model\":";
+  CheckSerdeInvariants(json_bomb, "unclosed JSON nest");
+  EXPECT_FALSE(ParseQuery(json_bomb).ok());
+}
+
+// Replays every committed fuzz seed input through the serde invariants,
+// so the corpus gates every build, not just fuzzer builds.
+TEST(QuerySerdeMalformedTest, FuzzSeedCorpusReplays) {
+  const std::filesystem::path dir =
+      std::filesystem::path(SIGSUB_FUZZ_CORPUS_DIR) / "serde";
+  ASSERT_TRUE(std::filesystem::is_directory(dir))
+      << "missing corpus dir " << dir;
+  int replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::string input{std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>()};
+    CheckSerdeInvariants(input, entry.path().string());
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 20) << "corpus unexpectedly small in " << dir;
 }
 
 }  // namespace

@@ -1,0 +1,68 @@
+#include "common/check.h"
+
+#include "gtest/gtest.h"
+
+namespace sigsub {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  SIGSUB_CHECK(1 + 1 == 2);
+  SIGSUB_CHECK_MSG(2 < 3, "math still works: %d", 42);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(SIGSUB_CHECK(false), "SIGSUB_CHECK failed");
+  EXPECT_DEATH(SIGSUB_CHECK_MSG(false, "context %s", "payload"),
+               "context payload");
+}
+
+TEST(CheckTest, PassingDchecksAreSilent) {
+  SIGSUB_DCHECK(1 + 1 == 2);
+  SIGSUB_DCHECK_MSG(2 < 3, "still fine: %d", 7);
+}
+
+TEST(CheckTest, DcheckConditionIsNotEvaluatedInRelease) {
+  // The NDEBUG expansion must still *type-check* the condition (so
+  // variables referenced only in checks count as used) without
+  // *evaluating* it. In debug builds the condition runs and passes.
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  SIGSUB_DCHECK(count());
+  SIGSUB_DCHECK_MSG(count(), "evaluated %d times", evaluations);
+#ifdef NDEBUG
+  EXPECT_EQ(evaluations, 0);
+#else
+  EXPECT_EQ(evaluations, 2);
+#endif
+}
+
+TEST(CheckTest, DcheckUsesItsOperandsInRelease) {
+  // A variable that exists only to be checked must not trip
+  // -Wunused-variable (or -Wunused-but-set-variable) when NDEBUG
+  // compiles the check away; the build itself is the assertion (-Wall
+  // -Wextra on the test tree).
+  const bool invariant_holds = true;
+  SIGSUB_DCHECK(invariant_holds);
+  bool updated = false;
+  updated = true;
+  SIGSUB_DCHECK_MSG(updated, "flag should be set");
+}
+
+#ifndef NDEBUG
+TEST(CheckDeathTest, FailingDcheckAbortsInDebug) {
+  EXPECT_DEATH(SIGSUB_DCHECK(false), "SIGSUB_CHECK failed");
+  EXPECT_DEATH(SIGSUB_DCHECK_MSG(false, "debug %s", "details"),
+               "debug details");
+}
+#else
+TEST(CheckTest, FailingDcheckIsANoOpInRelease) {
+  SIGSUB_DCHECK(false);
+  SIGSUB_DCHECK_MSG(false, "never printed");
+}
+#endif
+
+}  // namespace
+}  // namespace sigsub

@@ -1,0 +1,105 @@
+#include "common/mutex.h"
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace sigsub {
+namespace {
+
+TEST(MutexTest, LockUnlockRoundTrip) {
+  Mutex mu;
+  mu.Lock();
+  mu.Unlock();
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, TryLockFailsWhileHeld) {
+  Mutex mu;
+  mu.Lock();
+  std::atomic<bool> acquired{true};
+  // try_lock from the owning thread is UB on std::mutex; probe from a
+  // second thread, where contention is the defined answer.
+  std::thread prober([&] { acquired.store(mu.TryLock()); });
+  prober.join();
+  EXPECT_FALSE(acquired.load());
+  mu.Unlock();
+}
+
+TEST(MutexTest, MutexLockExcludesConcurrentIncrements) {
+  // Hammer one counter from several threads; with MutexLock the result is
+  // exact. Under the CI sanitizer matrix this is also a TSan probe on the
+  // wrapper itself.
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10000;
+  Mutex mu;
+  int64_t counter = 0;  // Protected by mu (a local, so not annotatable).
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  MutexLock lock(mu);
+  EXPECT_EQ(counter, int64_t{kThreads} * kIncrements);
+}
+
+TEST(CondVarTest, WaitWakesOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;  // Protected by mu.
+
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+}
+
+TEST(CondVarTest, ProducerConsumerHandshake) {
+  // A bounded single-slot queue: the canonical two-condition pattern the
+  // wrapper has to support (Wait reacquires the mutex before returning).
+  Mutex mu;
+  CondVar item_ready;
+  CondVar slot_free;
+  std::deque<int> slot;  // Protected by mu.
+  constexpr int kItems = 1000;
+
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      MutexLock lock(mu);
+      while (!slot.empty()) slot_free.Wait(mu);
+      slot.push_back(i);
+      item_ready.NotifyOne();
+    }
+  });
+
+  int64_t sum = 0;
+  for (int i = 0; i < kItems; ++i) {
+    MutexLock lock(mu);
+    while (slot.empty()) item_ready.Wait(mu);
+    sum += slot.front();
+    slot.pop_front();
+    slot_free.NotifyOne();
+  }
+  producer.join();
+  EXPECT_EQ(sum, int64_t{kItems} * (kItems - 1) / 2);
+}
+
+}  // namespace
+}  // namespace sigsub

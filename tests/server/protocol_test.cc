@@ -1,5 +1,8 @@
 #include "server/protocol.h"
 
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -206,6 +209,84 @@ TEST(ProtocolCodecTest, ExtractLineFraming) {
   EXPECT_EQ(*line, "second");
   EXPECT_FALSE(ExtractLine(&buffer).has_value());
   EXPECT_EQ(buffer, "partial");  // Incomplete tail stays buffered.
+}
+
+// ---------------------------------------------------------------------
+// Malformed-input regressions. These mirror the invariants the fuzz
+// harness (fuzz/protocol_fuzz.cc) checks: any byte string must be either
+// rejected with a status or accepted and round-trippable — never a crash.
+
+TEST(ProtocolMalformedTest, TruncatedCommandsAreRejectedNotFatal) {
+  for (const char* line :
+       {"QUERY", "QUERY ", "STREAM.CREATE", "STREAM.APPEND",
+        "STREAM.APPEND s", "STREAM.SNAPSHOT", "STREAM.CLOSE", "SUBSCRIBE",
+        "STREAM.CREATE s", "QUERY kind=", "QUERY kind=mss model="}) {
+    auto parsed = ParseRequest(line);
+    EXPECT_FALSE(parsed.ok()) << "accepted truncated line: " << line;
+  }
+}
+
+TEST(ProtocolMalformedTest, OverlongFieldsAreRejectedNotFatal) {
+  // A kilobytes-long stream name or symbol payload may be accepted (the
+  // protocol does not impose a length cap at parse level) but must never
+  // crash or truncate silently.
+  const std::string long_name(4096, 'a');
+  auto named = ParseRequest("STREAM.APPEND " + long_name + " 0101");
+  if (named.ok()) {
+    EXPECT_EQ(named->stream, long_name);
+  }
+  const std::string long_symbols(1 << 16, '0');
+  auto append = ParseRequest("STREAM.APPEND s " + long_symbols);
+  if (append.ok()) {
+    EXPECT_EQ(append->symbols.size(), long_symbols.size());
+  }
+  EXPECT_FALSE(ParseRequest(std::string(1 << 16, 'Q')).ok());
+}
+
+TEST(ProtocolMalformedTest, NonUtf8BytesAreRejectedNotFatal) {
+  const std::string raw{"\xff\xfe\x80\x01QUERY mss\x00trailer", 21};
+  EXPECT_FALSE(ParseRequest(raw).ok());
+  std::string buffer = raw + "\n";
+  auto line = ExtractLine(&buffer);
+  ASSERT_TRUE(line.has_value());
+  EXPECT_FALSE(ParseRequest(*line).ok());
+}
+
+TEST(ProtocolMalformedTest, NestedParenAbuseTerminates) {
+  std::string bomb = "QUERY markov(";
+  for (int i = 0; i < 64; ++i) bomb += "markov(";
+  EXPECT_FALSE(ParseRequest(bomb).ok());
+  EXPECT_FALSE(ParseRequest("QUERY mss model=markov(0.5;0.5").ok());
+}
+
+// Replays every committed fuzz seed input through the same framing +
+// parse + round-trip pipeline as the harness. Keeping this inside the
+// unit suite means the corpus gates every build, not just fuzzer builds.
+TEST(ProtocolMalformedTest, FuzzSeedCorpusReplays) {
+  const std::filesystem::path dir =
+      std::filesystem::path(SIGSUB_FUZZ_CORPUS_DIR) / "protocol";
+  ASSERT_TRUE(std::filesystem::is_directory(dir))
+      << "missing corpus dir " << dir;
+  int replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::string input{std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>()};
+    std::string buffer = input;
+    while (auto line = ExtractLine(&buffer)) {
+      (void)ParseRequest(*line);
+    }
+    auto parsed = ParseRequest(input);
+    if (parsed.ok() && parsed->kind == CommandKind::kQuery) {
+      auto reparsed =
+          api::ParseQuery(api::FormatQuery(parsed->query));
+      ASSERT_TRUE(reparsed.ok()) << entry.path();
+      EXPECT_EQ(*reparsed, parsed->query) << entry.path();
+    }
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 20) << "corpus unexpectedly small in " << dir;
 }
 
 }  // namespace

@@ -11,11 +11,18 @@ namespace sigsub {
 namespace {
 
 TEST(UmbrellaTest, EverySubsystemIsReachable) {
-  // common/ — the error model.
+  // common/ — the error model, checks, annotated locking.
   EXPECT_TRUE(Status::OK().ok());
   Fnv1a hasher;
   hasher.UpdateI64(42);
   EXPECT_NE(hasher.Digest(), 0u);
+  SIGSUB_CHECK(true);
+  SIGSUB_DCHECK_MSG(true, "umbrella reaches check.h");
+  Mutex mutex;
+  {
+    MutexLock lock(mutex);
+  }
+  CondVar().NotifyAll();
 
   // seq/ — alphabets, sequences, models, generators, grids.
   seq::Alphabet alphabet = seq::Alphabet::Binary();
