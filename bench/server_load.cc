@@ -26,9 +26,13 @@
 // got its reply (the zero-dropped-in-flight drain contract), with
 // post-drain sends refused.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -266,6 +270,91 @@ int main() {
              drain_ok_replies == stats.requests_admitted - admitted_before &&
              drain_shed_replies == stats.shed_drain;
 
+  // --- restart recovery: journal replay throughput after a crash. ------
+  // Builds a journal-only state directory (what a SIGKILL leaves behind:
+  // no fresh snapshot) holding kStreams live streams with appended
+  // history, then times StateStore::Open replaying it into a fresh
+  // StreamManager. The gate is bit-identical recovery against the
+  // manager that produced the journal.
+  const int kStreams = fast ? 16 : 64;
+  const int kChunksPerStream = 4;
+  const int kChunkSymbols = 256;
+  double recovery_ms = 0.0;
+  bool recovery_identical = false;
+  int64_t recovered_records = 0;
+  {
+    char tmpl[] = "/tmp/sigsub_bench_recovery_XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      std::printf("FATAL: mkdtemp failed\n");
+      return 1;
+    }
+    const std::string state_dir = tmpl;
+    engine::StreamManager original;
+    {
+      persist::RecoveryStats cold;
+      auto store = persist::StateStore::Open(
+          state_dir, {.fsync_policy = persist::FsyncPolicy::kNone},
+          &original, nullptr, &cold);
+      if (!store.ok()) {
+        std::printf("FATAL: state store open failed\n");
+        return 1;
+      }
+      core::StreamingDetector::Options detector_options;
+      detector_options.max_window = 128;
+      detector_options.alpha = 1e-5;
+      seq::Rng rng(11);
+      for (int s = 0; s < kStreams; ++s) {
+        const std::string name = StrCat("s", s);
+        (void)store->RecordCreate(name, {0.5, 0.5}, detector_options);
+        (void)original.CreateStream(name, {0.5, 0.5}, detector_options);
+        for (int c = 0; c < kChunksPerStream; ++c) {
+          std::vector<uint8_t> chunk;
+          chunk.reserve(kChunkSymbols);
+          for (int j = 0; j < kChunkSymbols; ++j) {
+            chunk.push_back(rng.NextDouble() < 0.5 ? 0 : 1);
+          }
+          (void)store->RecordAppend(name, chunk);
+          (void)original.Append(name, chunk);
+        }
+      }
+    }
+
+    engine::StreamManager recovered;
+    persist::RecoveryStats recovery;
+    recovery_ms = bench::TimeMs([&] {
+      auto store = persist::StateStore::Open(
+          state_dir, {.fsync_policy = persist::FsyncPolicy::kNone},
+          &recovered, nullptr, &recovery);
+      if (!store.ok()) recovery_ms = -1.0;
+    });
+    recovered_records = recovery.journal_records_applied;
+
+    // Bit-identical: every exported field of every stream must match.
+    auto exported = original.ExportStreams();
+    auto replayed = recovered.ExportStreams();
+    recovery_identical =
+        recovery_ms >= 0.0 && replayed.size() == exported.size();
+    for (size_t i = 0; recovery_identical && i < exported.size(); ++i) {
+      recovery_identical =
+          replayed[i].name == exported[i].name &&
+          replayed[i].probs == exported[i].probs &&
+          replayed[i].state.position == exported[i].state.position &&
+          replayed[i].state.counts == exported[i].state.counts &&
+          replayed[i].state.recent == exported[i].state.recent &&
+          replayed[i].state.in_alarm == exported[i].state.in_alarm &&
+          replayed[i].state.alarms_raised == exported[i].state.alarms_raised;
+    }
+
+    ::unlink(persist::StateStore::JournalPath(state_dir).c_str());
+    ::unlink(persist::StateStore::SnapshotPath(state_dir).c_str());
+    ::unlink(persist::StateStore::CachePath(state_dir).c_str());
+    ::rmdir(state_dir.c_str());
+  }
+  const double recovery_streams_per_sec =
+      recovery_ms > 0.0
+          ? static_cast<double>(kStreams) / (recovery_ms / 1000.0)
+          : 0.0;
+
   io::TableWriter table({"phase", "time", "qps", "notes"});
   table.AddRow({"sync", bench::FormatMs(sync_ms),
                 StrFormat("%.0f", sync_qps),
@@ -277,6 +366,10 @@ int main() {
                 StrFormat("%.0f", static_cast<double>(expected_replies) /
                                       (concurrent_ms / 1000.0)),
                 StrCat(errors.load(), " errors")});
+  table.AddRow({"restart recovery", bench::FormatMs(recovery_ms),
+                StrFormat("%.0f streams/s", recovery_streams_per_sec),
+                StrCat(kStreams, " streams, ", recovered_records,
+                       " journal records")});
   std::printf("%s", table.Render().c_str());
   std::printf("\nserver counters: admitted=%lld shed_busy=%lld "
               "shed_quota=%lld shed_drain=%lld proto_errors=%lld\n",
@@ -293,6 +386,9 @@ int main() {
   json.AddResult("server_pipelined", pipe_ms, pipeline_speedup);
   json.AddScalar("server_pipelined_qps", "qps", pipe_qps);
   json.AddResult("server_concurrent_8_clients", concurrent_ms);
+  json.AddResult("server_restart_recovery", recovery_ms);
+  json.AddScalar("server_recovery_streams_per_sec", "streams_per_sec",
+                 recovery_streams_per_sec);
 
   // Gates. The pipelining floor is deliberately modest (1.2x): the win
   // comes from eliminating per-request wait states and batching slices,
@@ -301,6 +397,7 @@ int main() {
   json.AddGate("pipelining_speedup_1_2x", pipeline_speedup >= 1.2);
   json.AddGate("concurrent_zero_errors", concurrent_ok);
   json.AddGate("drain_no_drops", drain_ok);
+  json.AddGate("recovery_bit_identical", recovery_identical);
   std::printf("pipelining speedup %.2fx (floor 1.2x: %s); concurrent "
               "errors %lld; drain drops: %s\n",
               pipeline_speedup, pipeline_speedup >= 1.2 ? "pass" : "FAIL",

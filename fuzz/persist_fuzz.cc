@@ -1,0 +1,72 @@
+// libFuzzer harness for the persist layer's decoders — everything the
+// daemon reads back from disk at startup. State files outlive the
+// process that wrote them (crashes, partial writes, bit rot, files from
+// other builds or other tools entirely), so ParseJournal, DecodeSnapshot,
+// DecodeResultCache and DecodeJournalRecord must treat their input as
+// untrusted: never crash, never allocate from a lying length field, and
+// whatever they do accept must re-encode to bytes they accept again.
+//
+// Built behind -DSIGSUB_FUZZERS=ON: with clang this links libFuzzer
+// (-fsanitize=fuzzer); elsewhere fuzz/standalone_driver.cc replays the
+// committed corpus (fuzz/corpus/persist) as a ctest regression.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/check.h"
+#include "persist/cache_store.h"
+#include "persist/format.h"
+#include "persist/journal.h"
+#include "persist/snapshot.h"
+
+namespace persist = sigsub::persist;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::span<const uint8_t> input(data, size);
+
+  // Journal replay: arbitrary bytes either fail by name or yield a
+  // record prefix whose re-encoding parses back to the same count.
+  if (auto replay = persist::ParseJournal(input); replay.ok()) {
+    std::string reencoded =
+        persist::EncodeFileHeader(persist::FileKind::kJournal);
+    for (const persist::JournalRecord& record : replay->records) {
+      persist::AppendFrame(&reencoded,
+                           persist::EncodeJournalRecord(record));
+    }
+    auto reparsed = persist::ParseJournal(persist::BytesOf(reencoded));
+    SIGSUB_CHECK(reparsed.ok());
+    SIGSUB_CHECK(reparsed->records.size() == replay->records.size());
+    SIGSUB_CHECK(reparsed->truncated_bytes == 0);
+  }
+
+  // A bare record body (the per-frame payload inside the journal).
+  if (auto record = persist::DecodeJournalRecord(input); record.ok()) {
+    auto round = persist::DecodeJournalRecord(
+        persist::BytesOf(persist::EncodeJournalRecord(*record)));
+    SIGSUB_CHECK(round.ok());
+    SIGSUB_CHECK(round->op == record->op);
+    SIGSUB_CHECK(round->stream == record->stream);
+    SIGSUB_CHECK(round->symbols == record->symbols);
+  }
+
+  // Snapshot and cache files share the header/frame machinery but carry
+  // different payload schemas; both must reject damage by name.
+  if (auto snapshot = persist::DecodeSnapshot(input); snapshot.ok()) {
+    auto round = persist::DecodeSnapshot(
+        persist::BytesOf(persist::EncodeSnapshot(*snapshot)));
+    SIGSUB_CHECK(round.ok());
+    SIGSUB_CHECK(round->streams.size() == snapshot->streams.size());
+    SIGSUB_CHECK(round->last_lsn == snapshot->last_lsn);
+  }
+
+  if (auto cache = persist::DecodeResultCache(input); cache.ok()) {
+    auto round = persist::DecodeResultCache(
+        persist::BytesOf(persist::EncodeResultCache(*cache)));
+    SIGSUB_CHECK(round.ok());
+    SIGSUB_CHECK(round->size() == cache->size());
+  }
+
+  return 0;
+}

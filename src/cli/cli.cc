@@ -15,6 +15,7 @@
 
 #include "api/query.h"
 #include "api/serde.h"
+#include "common/fault_injection.h"
 #include "common/posix_io.h"
 #include "common/str_util.h"
 #include "core/min_length.h"
@@ -31,6 +32,7 @@
 #include "engine/engine_stats.h"
 #include "engine/job.h"
 #include "engine/stream_manager.h"
+#include "persist/journal.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "io/table_writer.h"
@@ -75,8 +77,11 @@ const CommandFlags kCommandFlags[] = {
     {"serve",
      {"port", "host", "threads", "cache", "shard-min", "max-clients",
       "max-queue", "max-inflight", "idle-timeout-ms", "max-runtime-ms",
-      "format", "column", "csv-header"}},
-    {"client", {"port", "host", "send", "timeout-ms", "linger-ms"}},
+      "format", "column", "csv-header", "state-dir", "fsync",
+      "snapshot-interval-ms"}},
+    {"client",
+     {"port", "host", "send", "timeout-ms", "linger-ms", "retries",
+      "backoff-ms"}},
 };
 
 Status ValidateFlagsForCommand(const std::string& command,
@@ -626,6 +631,10 @@ Result<std::string> RunServe(const CliOptions& options) {
   server_options.max_inflight_per_client =
       static_cast<int>(options.max_inflight);
   server_options.idle_timeout_ms = options.idle_timeout_ms;
+  server_options.state_dir = options.state_dir;
+  SIGSUB_ASSIGN_OR_RETURN(server_options.fsync_policy,
+                          persist::ParseFsyncPolicy(options.fsync));
+  server_options.snapshot_interval_ms = options.snapshot_interval_ms;
 
   server::Server daemon(std::move(corpus), server_options);
   SIGSUB_RETURN_IF_ERROR(daemon.Start());
@@ -635,6 +644,20 @@ Result<std::string> RunServe(const CliOptions& options) {
   std::cout << "sigsubd listening on " << options.host << ":"
             << daemon.port() << "\n"
             << std::flush;
+  if (!options.state_dir.empty()) {
+    // The recovery line is part of the startup banner: operators (and
+    // the crash-recovery tests) read it to confirm replay happened.
+    const persist::RecoveryStats& r = daemon.recovery();
+    std::cout << "sigsubd recovered: snapshot="
+              << (r.snapshot_loaded ? 1 : 0) << " streams="
+              << r.streams_restored << " journal_applied="
+              << r.journal_records_applied << " journal_skipped="
+              << r.journal_records_skipped << " journal_failed="
+              << r.journal_records_failed << " truncated_bytes="
+              << r.journal_bytes_truncated << " cache_entries="
+              << r.cache_entries_loaded << "\n"
+              << std::flush;
+  }
 
   if (options.max_runtime_ms > 0) {
     const int64_t deadline = MonotonicMillis() + options.max_runtime_ms;
@@ -689,11 +712,14 @@ Result<std::string> RunClient(const CliOptions& options) {
         "client script is empty: nothing to send");
   }
 
+  server::RetryPolicy retry;
+  retry.retries = static_cast<int>(options.retries);
+  retry.backoff_ms = options.backoff_ms;
+  retry.timeout_ms = options.timeout_ms;
   SIGSUB_ASSIGN_OR_RETURN(
       server::LineClient connection,
-      server::LineClient::Connect(options.host,
-                                  static_cast<int>(options.port),
-                                  options.timeout_ms));
+      server::LineClient::ConnectWithRetry(
+          options.host, static_cast<int>(options.port), retry));
   std::ostringstream out;
   for (const std::string& command : commands) {
     SIGSUB_RETURN_IF_ERROR(connection.SendLine(command));
@@ -769,11 +795,16 @@ std::string UsageText() {
       "             protocol over TCP; --port (0 = ephemeral), --host,\n"
       "             --threads, --max-clients, --max-queue, --max-inflight,\n"
       "             --idle-timeout-ms, --max-runtime-ms (0 = until\n"
-      "             SIGTERM); drains gracefully on SIGTERM/SIGINT\n"
+      "             SIGTERM); drains gracefully on SIGTERM/SIGINT;\n"
+      "             --state-dir=PATH makes stream state crash-safe\n"
+      "             (journal + snapshots; replayed on restart), with\n"
+      "             --fsync=always|none and --snapshot-interval-ms=N\n"
       "  client     send protocol lines to a running sigsubd and print\n"
       "             the replies; --host, --port, --send=CMD (repeatable),\n"
       "             --input=SCRIPT (- reads stdin), --timeout-ms,\n"
-      "             --linger-ms (keep reading pushed ALARM lines)\n"
+      "             --linger-ms (keep reading pushed ALARM lines),\n"
+      "             --retries=N --backoff-ms=N (jittered exponential\n"
+      "             connect retry)\n"
       "\n"
       "input:\n"
       "  --string=TEXT | --input=PATH   the string to mine (required;\n"
@@ -918,6 +949,13 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
     } else if (name == "max-runtime-ms") {
       SIGSUB_ASSIGN_OR_RETURN(options.max_runtime_ms,
                               ParseInt(value, "--max-runtime-ms"));
+    } else if (name == "state-dir") {
+      options.state_dir = value;
+    } else if (name == "fsync") {
+      options.fsync = value;
+    } else if (name == "snapshot-interval-ms") {
+      SIGSUB_ASSIGN_OR_RETURN(options.snapshot_interval_ms,
+                              ParseInt(value, "--snapshot-interval-ms"));
     } else if (name == "send") {
       options.sends.push_back(value);
     } else if (name == "timeout-ms") {
@@ -926,6 +964,12 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
     } else if (name == "linger-ms") {
       SIGSUB_ASSIGN_OR_RETURN(options.linger_ms,
                               ParseInt(value, "--linger-ms"));
+    } else if (name == "retries") {
+      SIGSUB_ASSIGN_OR_RETURN(options.retries,
+                              ParseInt(value, "--retries"));
+    } else if (name == "backoff-ms") {
+      SIGSUB_ASSIGN_OR_RETURN(options.backoff_ms,
+                              ParseInt(value, "--backoff-ms"));
     } else {
       return Status::InvalidArgument(
           StrCat("unknown flag --", name, "\n", UsageText()));
@@ -980,6 +1024,23 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
       return Status::InvalidArgument(
           "--max-clients, --max-queue and --max-inflight must be >= 1");
     }
+    // ParseFsyncPolicy validates the spelling; the result is recomputed
+    // in RunServe (CliOptions carries plain strings).
+    SIGSUB_RETURN_IF_ERROR(
+        persist::ParseFsyncPolicy(options.fsync).status());
+    if (options.snapshot_interval_ms < 0) {
+      return Status::InvalidArgument(
+          StrCat("--snapshot-interval-ms must be >= 0, got ",
+                 options.snapshot_interval_ms));
+    }
+    if (options.state_dir.empty()) {
+      for (const std::string& flag : seen_flags) {
+        if (flag == "fsync" || flag == "snapshot-interval-ms") {
+          return Status::InvalidArgument(
+              StrCat("flag --", flag, " requires --state-dir"));
+        }
+      }
+    }
     return options;
   }
   if (options.command == "client") {
@@ -1007,6 +1068,14 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
     if (options.linger_ms < 0) {
       return Status::InvalidArgument(
           StrCat("--linger-ms must be >= 0, got ", options.linger_ms));
+    }
+    if (options.retries < 0) {
+      return Status::InvalidArgument(
+          StrCat("--retries must be >= 0, got ", options.retries));
+    }
+    if (options.backoff_ms < 1) {
+      return Status::InvalidArgument(
+          StrCat("--backoff-ms must be >= 1, got ", options.backoff_ms));
     }
     return options;
   }
@@ -1115,6 +1184,11 @@ Result<std::string> Run(const CliOptions& options) {
   // must surface as an EPIPE write error, not kill the process — and the
   // serve/client sockets need the same guarantee.
   IgnoreSigpipe();
+  // SIGSUB_FAULT=op:nth:fault arms the syscall fault-injection shim for
+  // out-of-process crash testing of the real binary (no-op when unset;
+  // a malformed spec is a hard error rather than silently testing
+  // nothing).
+  SIGSUB_RETURN_IF_ERROR(fault::ArmFromEnv());
   // Single-string commands build their ChiSquareContexts inside the core
   // convenience overloads, so the dispatch knob is applied process-wide
   // for this invocation (the batch engine additionally pins it in its

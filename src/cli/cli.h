@@ -81,11 +81,24 @@ namespace cli {
 ///   --max-inflight=N     per-connection in-flight cap (EQUOTA)
 ///   --idle-timeout-ms=N  idle-connection harvest (0 disables)
 ///   --max-runtime-ms=N   self-drain after N ms (0 = run until SIGTERM)
+///   --state-dir=PATH     crash-safe state directory: replay on startup,
+///                        journal every acknowledged stream op, snapshot
+///                        periodically and on drain (empty = volatile)
+///   --fsync=MODE         always|none — journal fsync policy. `always`
+///                        survives power loss; `none` only process
+///                        crashes (default always)
+///   --snapshot-interval-ms=N  milliseconds between periodic snapshots;
+///                        0 leaves only the snapshot-on-drain (default
+///                        30000)
 /// Client-only flags:
 ///   --send=CMD           one protocol line (repeatable, sent in order)
 ///   --timeout-ms=N       per-reply read timeout (default 5000)
 ///   --linger-ms=N        keep reading pushed ALARM lines this long after
 ///                        the last reply (default 0)
+///   --retries=N          extra connect attempts after the first, with
+///                        jittered exponential backoff (default 0)
+///   --backoff-ms=N       base backoff before the first retry; doubles
+///                        per attempt (default 100)
 struct CliOptions {
   std::string command;
   std::string input_path;
@@ -130,10 +143,15 @@ struct CliOptions {
   int64_t max_inflight = 32;
   int64_t idle_timeout_ms = 60000;
   int64_t max_runtime_ms = 0;
+  std::string state_dir;
+  std::string fsync = "always";
+  int64_t snapshot_interval_ms = 30000;
   // Client command.
   std::vector<std::string> sends;
   int64_t timeout_ms = 5000;
   int64_t linger_ms = 0;
+  int64_t retries = 0;
+  int64_t backoff_ms = 100;
 };
 
 /// Usage text for --help / errors.

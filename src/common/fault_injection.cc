@@ -1,0 +1,151 @@
+#include "common/fault_injection.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/result.h"
+#include "common/str_util.h"
+
+namespace sigsub {
+namespace fault {
+
+namespace internal {
+std::atomic<bool> armed{false};
+}  // namespace internal
+
+namespace {
+
+// The armed fault, kept in plain atomics (no lock) so OnCall stays
+// async-signal-safe: the server's wakeup write runs from signal
+// context and must be able to pass through the shim.
+std::atomic<int> armed_op{0};
+std::atomic<int64_t> armed_nth{0};
+std::atomic<int> armed_action{0};
+std::atomic<int> armed_errno{0};
+std::atomic<int64_t> call_counts[3]{};
+
+void ResetCounters() {
+  for (auto& count : call_counts) count.store(0, std::memory_order_relaxed);
+}
+
+Result<Op> ParseOp(std::string_view text) {
+  if (text == "write") return Op::kWrite;
+  if (text == "read") return Op::kRead;
+  if (text == "fsync") return Op::kFsync;
+  return Status::InvalidArgument(
+      StrCat("fault op must be write|read|fsync, got \"", std::string(text),
+             "\""));
+}
+
+struct FaultKind {
+  Action action;
+  int error;
+};
+
+Result<FaultKind> ParseFault(std::string_view text) {
+  if (text == "short") return FaultKind{Action::kShortWrite, 0};
+  if (text == "kill") return FaultKind{Action::kKill, 0};
+  if (text == "ENOSPC") return FaultKind{Action::kErrno, ENOSPC};
+  if (text == "EIO") return FaultKind{Action::kErrno, EIO};
+  if (text == "EPIPE") return FaultKind{Action::kErrno, EPIPE};
+  // Raw errno number for anything not named above.
+  int value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(
+          StrCat("fault must be ENOSPC|EIO|EPIPE|short|kill or an errno "
+                 "number, got \"",
+                 std::string(text), "\""));
+    }
+    value = value * 10 + (c - '0');
+  }
+  if (text.empty() || value <= 0) {
+    return Status::InvalidArgument("fault errno must be a positive integer");
+  }
+  return FaultKind{Action::kErrno, value};
+}
+
+}  // namespace
+
+Status Arm(std::string_view spec) {
+  size_t first = spec.find(':');
+  size_t last = spec.rfind(':');
+  if (first == std::string_view::npos || first == last) {
+    return Status::InvalidArgument(
+        StrCat("fault spec must be op:nth:fault, got \"", std::string(spec),
+               "\""));
+  }
+  SIGSUB_ASSIGN_OR_RETURN(Op op, ParseOp(spec.substr(0, first)));
+  std::string_view nth_text = spec.substr(first + 1, last - first - 1);
+  int64_t nth = 0;
+  for (char c : nth_text) {
+    if (c < '0' || c > '9') nth = -1;
+    if (nth < 0) break;
+    nth = nth * 10 + (c - '0');
+  }
+  if (nth_text.empty() || nth <= 0) {
+    return Status::InvalidArgument(
+        StrCat("fault nth must be a positive integer, got \"",
+               std::string(nth_text), "\""));
+  }
+  SIGSUB_ASSIGN_OR_RETURN(FaultKind kind, ParseFault(spec.substr(last + 1)));
+  if (kind.action == Action::kShortWrite && op != Op::kWrite) {
+    return Status::InvalidArgument("short faults apply to write only");
+  }
+
+  ResetCounters();
+  armed_op.store(static_cast<int>(op), std::memory_order_relaxed);
+  armed_nth.store(nth, std::memory_order_relaxed);
+  armed_action.store(static_cast<int>(kind.action),
+                     std::memory_order_relaxed);
+  armed_errno.store(kind.error, std::memory_order_relaxed);
+  internal::armed.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status ArmFromEnv() {
+  const char* spec = std::getenv("SIGSUB_FAULT");
+  if (spec == nullptr || spec[0] == '\0') return Status::OK();
+  return Arm(spec);
+}
+
+void Disarm() {
+  internal::armed.store(false, std::memory_order_release);
+  ResetCounters();
+}
+
+int64_t CallCount(Op op) {
+  return call_counts[static_cast<int>(op)].load(std::memory_order_relaxed);
+}
+
+Decision OnCall(Op op) {
+  Decision decision;
+  int64_t count = 1 + call_counts[static_cast<int>(op)].fetch_add(
+                          1, std::memory_order_relaxed);
+  // Re-checked here (not just in the wrappers' Enabled() fast path) so a
+  // disarmed shim never fires a stale spec regardless of caller.
+  if (!internal::armed.load(std::memory_order_relaxed)) return decision;
+  if (static_cast<int>(op) != armed_op.load(std::memory_order_relaxed)) {
+    return decision;
+  }
+  if (count != armed_nth.load(std::memory_order_relaxed)) return decision;
+  decision.fire = true;
+  decision.action =
+      static_cast<Action>(armed_action.load(std::memory_order_relaxed));
+  decision.error = armed_errno.load(std::memory_order_relaxed);
+  return decision;
+}
+
+void KillNow() {
+  ::kill(::getpid(), SIGKILL);
+  // SIGKILL cannot be blocked, but keep the noreturn contract honest for
+  // exotic environments (e.g. a debugger swallowing the signal).
+  std::abort();
+}
+
+}  // namespace fault
+}  // namespace sigsub

@@ -1,0 +1,83 @@
+#ifndef SIGSUB_COMMON_FAULT_INJECTION_H_
+#define SIGSUB_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace sigsub {
+namespace fault {
+
+/// Test-only syscall fault injection for the durability subsystem. The
+/// RawWrite/RawRead/RawFsync wrappers in common/posix_io.h consult this
+/// shim on every call, so a test can make exactly the Nth write in the
+/// process fail with ENOSPC, return a short count, or SIGKILL the
+/// process mid-record — the crash windows the persist/ journal and
+/// snapshot code must survive. Production pays one relaxed atomic load
+/// per syscall when disarmed; everything else is behind that branch.
+///
+/// Arming grammar (also the SIGSUB_FAULT environment variable):
+///
+///   <op>:<nth>:<fault>
+///
+///   op     write | read | fsync       which wrapper fires
+///   nth    1-based call count         fires on the nth call after arming
+///   fault  ENOSPC | EIO | EPIPE | <errno number>   fail with that errno
+///          short                      write half the bytes (write only)
+///          kill                       write half, then raise SIGKILL
+///
+/// Examples: `write:3:ENOSPC` (third write fails, no space),
+/// `fsync:1:EIO` (first fsync fails), `write:5:kill` (torn record:
+/// half of the fifth write lands, then the process dies).
+
+enum class Op : int { kWrite = 0, kRead = 1, kFsync = 2 };
+
+enum class Action : int { kErrno = 0, kShortWrite = 1, kKill = 2 };
+
+/// What the armed fault decided for one syscall. `fire` false means the
+/// call proceeds normally.
+struct Decision {
+  bool fire = false;
+  Action action = Action::kErrno;
+  int error = 0;  // errno value for Action::kErrno.
+};
+
+namespace internal {
+extern std::atomic<bool> armed;
+}  // namespace internal
+
+/// True when a fault is armed. Inline and relaxed: the disarmed fast
+/// path in the I/O wrappers is a single predictable-false branch.
+inline bool Enabled() {
+  return internal::armed.load(std::memory_order_relaxed);
+}
+
+/// Arms one fault from the grammar above, resetting the per-op call
+/// counters. InvalidArgument names the offending field on a bad spec.
+Status Arm(std::string_view spec);
+
+/// Arms from the SIGSUB_FAULT environment variable. OK (and a no-op)
+/// when the variable is unset or empty; otherwise the Arm() status.
+Status ArmFromEnv();
+
+/// Disarms and resets the call counters. Idempotent.
+void Disarm();
+
+/// Calls to `op` observed since the last Arm()/Disarm().
+int64_t CallCount(Op op);
+
+/// posix_io.cc hook: counts the call and reports whether the armed
+/// fault fires on it. Async-signal-safe (atomics only) so the server's
+/// signal-handler wakeup write stays legal through the shim.
+Decision OnCall(Op op);
+
+/// Raises SIGKILL (abort as a fallback); does not return. The I/O
+/// wrapper calls this for Action::kKill after its partial write.
+[[noreturn]] void KillNow();
+
+}  // namespace fault
+}  // namespace sigsub
+
+#endif  // SIGSUB_COMMON_FAULT_INJECTION_H_

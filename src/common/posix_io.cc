@@ -3,10 +3,13 @@
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include "common/fault_injection.h"
 #include "common/str_util.h"
 
 namespace sigsub {
@@ -17,11 +20,60 @@ void IgnoreSigpipe() {
   std::signal(SIGPIPE, SIG_IGN);
 }
 
+ssize_t RawWrite(int fd, const void* data, size_t size) {
+  if (fault::Enabled()) {
+    fault::Decision decision = fault::OnCall(fault::Op::kWrite);
+    if (decision.fire) {
+      switch (decision.action) {
+        case fault::Action::kShortWrite:
+          // Half the bytes land. Sub-2-byte writes cannot be shortened
+          // without turning into a 0-return the retry loops would spin
+          // on, so those proceed in full.
+          if (size >= 2) return ::write(fd, data, size / 2);
+          break;
+        case fault::Action::kKill:
+          // A torn record: half the bytes land, then the process dies
+          // as if the kernel scheduled a crash mid-write.
+          if (size >= 2) (void)::write(fd, data, size / 2);
+          fault::KillNow();
+        case fault::Action::kErrno:
+          errno = decision.error;
+          return -1;
+      }
+    }
+  }
+  return ::write(fd, data, size);
+}
+
+ssize_t RawRead(int fd, void* data, size_t size) {
+  if (fault::Enabled()) {
+    fault::Decision decision = fault::OnCall(fault::Op::kRead);
+    if (decision.fire) {
+      if (decision.action == fault::Action::kKill) fault::KillNow();
+      errno = decision.error;
+      return -1;
+    }
+  }
+  return ::read(fd, data, size);
+}
+
+int RawFsync(int fd) {
+  if (fault::Enabled()) {
+    fault::Decision decision = fault::OnCall(fault::Op::kFsync);
+    if (decision.fire) {
+      if (decision.action == fault::Action::kKill) fault::KillNow();
+      errno = decision.error;
+      return -1;
+    }
+  }
+  return ::fsync(fd);
+}
+
 Result<std::string> ReadFdToEof(int fd) {
   std::string out;
   char buffer[1 << 16];
   for (;;) {
-    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    ssize_t n = RawRead(fd, buffer, sizeof(buffer));
     if (n > 0) {
       out.append(buffer, static_cast<size_t>(n));
       continue;
@@ -36,7 +88,7 @@ Result<std::string> ReadFdToEof(int fd) {
 Status WriteFdAll(int fd, const std::string& data) {
   size_t written = 0;
   while (written < data.size()) {
-    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    ssize_t n = RawWrite(fd, data.data() + written, data.size() - written);
     if (n >= 0) {
       written += static_cast<size_t>(n);
       continue;
@@ -44,6 +96,59 @@ Status WriteFdAll(int fd, const std::string& data) {
     if (errno == EINTR) continue;
     return Status::IOError(
         StrCat("write(fd=", fd, "): ", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound(StrCat("no such file: ", path));
+    }
+    return Status::IOError(
+        StrCat("open(", path, "): ", std::strerror(errno)));
+  }
+  Result<std::string> contents = ReadFdToEof(fd);
+  ::close(fd);
+  return contents;
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& data) {
+  const std::string tmp = StrCat(path, ".tmp");
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::IOError(
+        StrCat("open(", tmp, "): ", std::strerror(errno)));
+  }
+  Status status = WriteFdAll(fd, data);
+  if (status.ok() && RawFsync(fd) != 0) {
+    status = Status::IOError(
+        StrCat("fsync(", tmp, "): ", std::strerror(errno)));
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status = Status::IOError(
+        StrCat("close(", tmp, "): ", std::strerror(errno)));
+  }
+  if (status.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = Status::IOError(
+        StrCat("rename(", tmp, " -> ", path, "): ", std::strerror(errno)));
+  }
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  // Make the rename itself durable: fsync the containing directory.
+  // Best effort — some filesystems refuse directory fsync and the data
+  // file is already synced.
+  size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+  int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    (void)RawFsync(dir_fd);
+    ::close(dir_fd);
   }
   return Status::OK();
 }

@@ -1,6 +1,9 @@
 #ifndef SIGSUB_COMMON_POSIX_IO_H_
 #define SIGSUB_COMMON_POSIX_IO_H_
 
+#include <sys/types.h>
+
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -19,6 +22,18 @@ namespace sigsub {
 /// through the normal Status error path instead.
 void IgnoreSigpipe();
 
+/// Single-shot syscall wrappers under the fault-injection shim
+/// (common/fault_injection.h): every write/read/fsync the library issues
+/// flows through these, so tests can inject short writes, ENOSPC/EIO,
+/// and kill-points at exact call counts (tools/lint.py bans the raw
+/// calls everywhere else in src/). Semantics match the raw syscalls —
+/// errno on failure, EINTR NOT retried here — and RawWrite stays
+/// async-signal-safe (the daemon's wakeup pipe writes from a signal
+/// handler).
+ssize_t RawWrite(int fd, const void* data, size_t size);
+ssize_t RawRead(int fd, void* data, size_t size);
+int RawFsync(int fd);
+
 /// Reads `fd` to EOF, retrying interrupted reads. Used for `--input=-`
 /// stdin ingestion; works on pipes, files, and terminals alike.
 Result<std::string> ReadFdToEof(int fd);
@@ -26,6 +41,16 @@ Result<std::string> ReadFdToEof(int fd);
 /// Writes all of `data`, retrying interrupted and short writes. IOError
 /// carries errno text on failure (EPIPE when the peer vanished).
 Status WriteFdAll(int fd, const std::string& data);
+
+/// Reads the entire regular file at `path`. NotFound when it does not
+/// exist (callers treat that as a clean cold start); IOError otherwise.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Atomically replaces `path` with `data`: writes `path`.tmp, fsyncs it,
+/// renames over `path`, then fsyncs the containing directory so the
+/// rename itself is durable. After a crash at any point, `path` holds
+/// either the old bytes or the new bytes — never a mix.
+Status AtomicWriteFile(const std::string& path, const std::string& data);
 
 /// Monotonic milliseconds since an arbitrary epoch (steady clock; immune
 /// to wall-clock jumps). The daemon's timeout arithmetic uses this.

@@ -299,6 +299,76 @@ StreamingDetector::TryAppendChunk(std::span<const uint8_t> symbols) {
   return AppendChunk(symbols);
 }
 
+StreamingDetector::State StreamingDetector::SaveState() const {
+  State state;
+  state.position = position_;
+  state.alarms_raised = alarms_raised_;
+  state.counts = counts_;
+  state.in_alarm = in_alarm_;
+  state.recent = recent_;
+  return state;
+}
+
+Status StreamingDetector::RestoreState(const State& state) {
+  const int k = context_->alphabet_size();
+  if (state.position < 0 || state.alarms_raised < 0) {
+    return Status::InvalidArgument(
+        "detector state: negative position or alarm count");
+  }
+  if (state.counts.size() != counts_.size() ||
+      state.in_alarm.size() != in_alarm_.size() ||
+      state.recent.size() != recent_.size()) {
+    return Status::InvalidArgument(StrCat(
+        "detector state shape mismatch: counts ", state.counts.size(),
+        "/", counts_.size(), ", in_alarm ", state.in_alarm.size(), "/",
+        in_alarm_.size(), ", recent ", state.recent.size(), "/",
+        recent_.size(),
+        " — snapshot does not match this stream's options"));
+  }
+  for (uint8_t flag : state.in_alarm) {
+    if (flag > 1) {
+      return Status::InvalidArgument(
+          "detector state: hysteresis flag outside {0, 1}");
+    }
+  }
+  for (uint8_t symbol : state.recent) {
+    if (symbol >= k) {
+      return Status::InvalidArgument(
+          StrCat("detector state: ring symbol ", static_cast<int>(symbol),
+                 " out of range for alphabet size ", k));
+    }
+  }
+  // Each scale's counter block must describe exactly the last
+  // min(scale, position) symbols: non-negative counts summing to the
+  // window's fill. A corrupt or fabricated snapshot fails here by name
+  // instead of poisoning every later X² evaluation.
+  for (size_t si = 0; si < scales_.size(); ++si) {
+    int64_t sum = 0;
+    for (int c = 0; c < k; ++c) {
+      int64_t count = state.counts[si * static_cast<size_t>(k) +
+                                   static_cast<size_t>(c)];
+      if (count < 0) {
+        return Status::InvalidArgument(
+            StrCat("detector state: negative count at scale ",
+                   scales_[si]));
+      }
+      sum += count;
+    }
+    const int64_t want = std::min(state.position, scales_[si]);
+    if (sum != want) {
+      return Status::InvalidArgument(
+          StrCat("detector state: scale ", scales_[si], " counters sum to ",
+                 sum, ", want ", want));
+    }
+  }
+  position_ = state.position;
+  alarms_raised_ = state.alarms_raised;
+  counts_ = state.counts;
+  in_alarm_ = state.in_alarm;
+  recent_ = state.recent;
+  return Status::OK();
+}
+
 std::vector<double> StreamingDetector::CurrentChiSquares() const {
   const int k = context_->alphabet_size();
   std::vector<double> out(scales_.size(), 0.0);

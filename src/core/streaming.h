@@ -108,6 +108,20 @@ class StreamingDetector {
     double p_value = 1.0;  // Asymptotic χ²(k−1) tail of chi_square.
   };
 
+  /// The detector's mutable state — everything Make() does not rederive
+  /// from the model and Options. SaveState/RestoreState round-trip a
+  /// detector bit-identically within one build: restore into a detector
+  /// made with the same model and Options, and every subsequent Append
+  /// produces the same counters, X² values, and alarms as the original
+  /// would have. persist/snapshot.{h,cc} serializes this struct.
+  struct State {
+    int64_t position = 0;
+    int64_t alarms_raised = 0;
+    std::vector<int64_t> counts;    // scales × k, position-major.
+    std::vector<uint8_t> in_alarm;  // Per-scale hysteresis flags (0/1).
+    std::vector<uint8_t> recent;    // Symbol ring, max_window + 1 wide.
+  };
+
   /// Fails if max_window < 1, alpha outside (0, 1) (when the calibrated
   /// path is active), or rearm_fraction < 0 / NaN.
   static Result<StreamingDetector> Make(const seq::MultinomialModel& model,
@@ -141,6 +155,22 @@ class StreamingDetector {
   /// AppendChunk for untrusted streams: validates every symbol first and
   /// returns InvalidArgument (state unchanged) instead of aborting.
   Result<std::vector<Alarm>> TryAppendChunk(std::span<const uint8_t> symbols);
+
+  /// Copies out the mutable state for persistence (see State).
+  State SaveState() const;
+
+  /// Adopts `state` into a detector built with the same model and
+  /// Options. On-disk state is untrusted after a crash, so this
+  /// validates before touching anything: buffer shapes must match this
+  /// detector's geometry, counters must be non-negative and sum to
+  /// min(scale, position) per scale, ring symbols must be inside the
+  /// alphabet. InvalidArgument (detector unchanged) otherwise — corrupt
+  /// state is named, never silently adopted.
+  Status RestoreState(const State& state);
+
+  /// The options the detector was built with (what a snapshot must
+  /// persist to rebuild it).
+  const Options& options() const { return options_; }
 
   /// Total symbols consumed.
   int64_t position() const { return position_; }

@@ -102,6 +102,11 @@ class Engine {
   size_t cache_size() const { return cache_.size(); }
   size_t cache_capacity() const { return cache_.capacity(); }
   void ClearCache() { cache_.Clear(); }
+  /// The result cache itself (thread-safe) — persist/cache_store.{h,cc}
+  /// exports it on drain and imports it on restart so the warm cache
+  /// survives a daemon restart.
+  ResultCache& result_cache() { return cache_; }
+  const ResultCache& result_cache() const { return cache_; }
 
   /// Lifetime execution counters (successful batches only; a batch that
   /// fails validation counts nothing). Atomic reads — safe from any

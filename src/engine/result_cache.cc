@@ -1,5 +1,6 @@
 #include "engine/result_cache.h"
 
+#include <iterator>
 #include <utility>
 
 namespace sigsub {
@@ -56,6 +57,31 @@ void ResultCache::Clear() {
 void ResultCache::ResetStats() {
   MutexLock lock(mutex_);
   stats_ = CacheStats{};
+}
+
+std::vector<CacheEntry> ResultCache::Export() const {
+  MutexLock lock(mutex_);
+  std::vector<CacheEntry> entries;
+  entries.reserve(lru_.size());
+  for (const Entry& entry : lru_) {
+    entries.push_back(CacheEntry{entry.key, entry.value});
+  }
+  return entries;
+}
+
+void ResultCache::Import(const std::vector<CacheEntry>& entries) {
+  if (capacity_ == 0) return;
+  MutexLock lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  // Entries arrive MRU-first; appending to the back in that order
+  // reconstitutes the recency list exactly.
+  for (const CacheEntry& entry : entries) {
+    if (lru_.size() >= capacity_) break;
+    if (index_.contains(entry.key)) continue;
+    lru_.push_back(Entry{entry.key, entry.value});
+    index_.emplace(entry.key, std::prev(lru_.end()));
+  }
 }
 
 CacheStats ResultCache::stats() const {

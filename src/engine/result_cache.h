@@ -52,6 +52,13 @@ struct CachedResult {
   int64_t match_count = 0;
 };
 
+/// One exported cache entry — persist/cache_store.{h,cc} serializes a
+/// vector of these (MRU first) for the disk-backed cache tier.
+struct CacheEntry {
+  CacheKey key;
+  CachedResult value;
+};
+
 /// Monotonic counters; snapshot via ResultCache::stats().
 struct CacheStats {
   int64_t hits = 0;
@@ -86,6 +93,16 @@ class ResultCache {
 
   /// Resets the stats counters without touching the entries.
   void ResetStats();
+
+  /// Copies out every entry, most recently used first, for persistence.
+  /// Does not perturb recency or stats.
+  std::vector<CacheEntry> Export() const;
+
+  /// Replaces the cache contents with `entries` (the Export order: MRU
+  /// first), truncating to capacity and dropping duplicate keys beyond
+  /// their first occurrence. Stats are untouched — a restored cache
+  /// starts its hit-rate ledger fresh.
+  void Import(const std::vector<CacheEntry>& entries);
 
   CacheStats stats() const;
 

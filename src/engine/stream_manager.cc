@@ -54,7 +54,7 @@ Status StreamManager::CreateStream(const std::string& name,
         StrCat("stream \"", name, "\": ", detector.status().message()));
   }
   auto stream =
-      std::make_shared<Stream>(name, std::move(detector).value());
+      std::make_shared<Stream>(name, probs, std::move(detector).value());
   {
     MutexLock lock(mutex_);
     if (streams_.contains(name)) {
@@ -195,6 +195,65 @@ Status StreamManager::CloseStream(const std::string& name) {
     }
   }
   streams_closed_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+std::vector<PersistedStream> StreamManager::ExportStreams() const {
+  // Snapshot the stream set first, then serialize each stream under its
+  // own mutex: holding mutex_ across the per-stream copies would invert
+  // the usual lock order and stall every concurrent lookup.
+  std::vector<std::shared_ptr<Stream>> streams;
+  {
+    MutexLock lock(mutex_);
+    streams.reserve(streams_.size());
+    for (const auto& [unused, stream] : streams_) streams.push_back(stream);
+  }
+  std::vector<PersistedStream> exported;
+  exported.reserve(streams.size());
+  for (const std::shared_ptr<Stream>& stream : streams) {
+    MutexLock lock(stream->mutex);
+    PersistedStream persisted;
+    persisted.name = stream->name;
+    persisted.probs = stream->probs;
+    persisted.options = stream->detector.options();
+    persisted.state = stream->detector.SaveState();
+    persisted.alarms.assign(stream->alarms.begin(), stream->alarms.end());
+    persisted.alarms_dropped = stream->alarms_dropped;
+    exported.push_back(std::move(persisted));
+  }
+  return exported;
+}
+
+Status StreamManager::RestoreStream(const PersistedStream& persisted) {
+  if (persisted.alarms_dropped < 0) {
+    return Status::InvalidArgument(
+        StrCat("stream \"", persisted.name, "\": negative dropped-alarm "
+                                            "count in snapshot"));
+  }
+  SIGSUB_RETURN_IF_ERROR(
+      CreateStream(persisted.name, persisted.probs, persisted.options));
+  std::shared_ptr<Stream> stream = FindStream(persisted.name);
+  SIGSUB_CHECK(stream != nullptr);
+  Status restored;
+  {
+    MutexLock lock(stream->mutex);
+    restored = stream->detector.RestoreState(persisted.state);
+    if (restored.ok()) {
+      stream->alarms.assign(persisted.alarms.begin(),
+                            persisted.alarms.end());
+      while (stream->alarms.size() > options_.max_alarms_per_stream) {
+        stream->alarms.pop_front();
+      }
+      stream->alarms_dropped = persisted.alarms_dropped;
+    }
+  }
+  if (!restored.ok()) {
+    // Leave no half-restored stream behind: a fresh detector with a
+    // persisted name would silently present as position 0.
+    (void)CloseStream(persisted.name);
+    return Status::InvalidArgument(StrCat("stream \"", persisted.name,
+                                          "\": ", restored.message()));
+  }
   return Status::OK();
 }
 

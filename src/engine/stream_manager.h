@@ -58,6 +58,19 @@ struct StreamAppend {
   std::vector<uint8_t> symbols;
 };
 
+/// Serializable image of one stream — everything RestoreStream needs to
+/// rebuild it bit-identically: the null model and detector options (the
+/// derived state Make() recomputes), the detector's mutable state, and
+/// the bounded alarm log. persist/snapshot.{h,cc} encodes this struct.
+struct PersistedStream {
+  std::string name;
+  std::vector<double> probs;
+  core::StreamingDetector::Options options;
+  core::StreamingDetector::State state;
+  std::vector<core::StreamingDetector::Alarm> alarms;  // Oldest first.
+  int64_t alarms_dropped = 0;
+};
+
 /// Many concurrent monitored streams over shared infrastructure — the
 /// online counterpart of engine::Engine. Each stream is a named
 /// core::StreamingDetector with a bounded alarm log; ingestion is chunked
@@ -114,6 +127,22 @@ class StreamManager {
   /// Removes the stream. NotFound for unknown streams.
   Status CloseStream(const std::string& name);
 
+  /// Exports every open stream for persistence, sorted by name. Each
+  /// stream's image is internally consistent (taken under its mutex),
+  /// but cross-stream consistency is the caller's problem: for a
+  /// point-in-time snapshot, quiesce ingestion first (the server calls
+  /// this from the executor thread between slices, which owns all
+  /// stream mutations).
+  std::vector<PersistedStream> ExportStreams() const;
+
+  /// Recreates one exported stream: CreateStream(name, probs, options)
+  /// followed by a validated detector-state restore and alarm-log
+  /// adoption. Fails (and removes the half-created stream) if the name
+  /// is taken, the options are invalid, or the state fails
+  /// StreamingDetector::RestoreState validation — a corrupt snapshot is
+  /// named, never silently adopted.
+  Status RestoreStream(const PersistedStream& stream);
+
   /// Names of all open streams, sorted.
   std::vector<std::string> StreamNames() const;
 
@@ -132,10 +161,16 @@ class StreamManager {
 
  private:
   struct Stream {
-    Stream(std::string stream_name, core::StreamingDetector d)
-        : name(std::move(stream_name)), detector(std::move(d)) {}
+    Stream(std::string stream_name, std::vector<double> stream_probs,
+           core::StreamingDetector d)
+        : name(std::move(stream_name)),
+          probs(std::move(stream_probs)),
+          detector(std::move(d)) {}
 
     const std::string name;
+    // The null model the stream was created under — what a snapshot
+    // must persist to rebuild the shared context on restore.
+    const std::vector<double> probs;
     mutable Mutex mutex;  // Serializes detector access.
     core::StreamingDetector detector SIGSUB_GUARDED_BY(mutex);
     // Bounded log.

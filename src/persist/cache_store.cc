@@ -1,0 +1,135 @@
+#include "persist/cache_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/posix_io.h"
+#include "common/str_util.h"
+#include "persist/format.h"
+
+namespace sigsub {
+namespace persist {
+namespace {
+
+constexpr uint32_t kMaxEntries = 1u << 20;
+
+Status Truncated(std::string_view what) {
+  return Status::FailedPrecondition(
+      StrCat("result cache truncated at ", what));
+}
+
+void EncodeSubstring(BinaryWriter* writer, const core::Substring& s) {
+  writer->PutI64(s.start);
+  writer->PutI64(s.end);
+  writer->PutDouble(s.chi_square);
+}
+
+bool DecodeSubstring(BinaryReader* reader, core::Substring* s) {
+  return reader->GetI64(&s->start) && reader->GetI64(&s->end) &&
+         reader->GetDouble(&s->chi_square);
+}
+
+}  // namespace
+
+std::string EncodeResultCache(
+    const std::vector<engine::CacheEntry>& entries) {
+  BinaryWriter payload;
+  payload.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const engine::CacheEntry& entry : entries) {
+    payload.PutU64(entry.key.sequence_fp);
+    payload.PutU64(entry.key.query_fp);
+    payload.PutU32(static_cast<uint32_t>(entry.value.substrings.size()));
+    for (const core::Substring& s : entry.value.substrings) {
+      EncodeSubstring(&payload, s);
+    }
+    EncodeSubstring(&payload, entry.value.best);
+    payload.PutI64(entry.value.match_count);
+  }
+  std::string out = EncodeFileHeader(FileKind::kResultCache);
+  AppendFrame(&out, payload.bytes());
+  return out;
+}
+
+Result<std::vector<engine::CacheEntry>> DecodeResultCache(
+    std::span<const uint8_t> bytes) {
+  SIGSUB_ASSIGN_OR_RETURN(
+      size_t header_size,
+      CheckFileHeader(bytes, FileKind::kResultCache,
+                      /*require_fingerprint=*/true));
+  FrameParser parser(bytes, header_size);
+  std::span<const uint8_t> payload;
+  switch (parser.Next(&payload)) {
+    case FrameStatus::kOk:
+      break;
+    case FrameStatus::kEnd:
+      return Status::FailedPrecondition(
+          "result cache has no payload frame");
+    case FrameStatus::kTorn:
+      return Status::FailedPrecondition("result cache payload truncated");
+    case FrameStatus::kCorrupt:
+      return Status::FailedPrecondition("result cache checksum mismatch");
+  }
+
+  BinaryReader reader(payload);
+  uint32_t count = 0;
+  if (!reader.GetU32(&count)) return Truncated("entry count");
+  if (count > kMaxEntries) {
+    return Status::FailedPrecondition(
+        StrCat("result cache claims ", count, " entries"));
+  }
+  std::vector<engine::CacheEntry> entries;
+  entries.reserve(std::min<size_t>(count, reader.remaining()));
+  for (uint32_t i = 0; i < count; ++i) {
+    engine::CacheEntry entry;
+    if (!reader.GetU64(&entry.key.sequence_fp) ||
+        !reader.GetU64(&entry.key.query_fp)) {
+      return Truncated("cache key");
+    }
+    uint32_t substrings = 0;
+    if (!reader.GetU32(&substrings)) return Truncated("substring count");
+    if (static_cast<size_t>(substrings) > reader.remaining() / 24) {
+      return Status::FailedPrecondition(
+          StrCat("result cache entry claims ", substrings,
+                 " substrings with only ", reader.remaining(),
+                 " bytes left"));
+    }
+    entry.value.substrings.resize(substrings);
+    for (uint32_t j = 0; j < substrings; ++j) {
+      if (!DecodeSubstring(&reader, &entry.value.substrings[j])) {
+        return Truncated("substrings");
+      }
+    }
+    if (!DecodeSubstring(&reader, &entry.value.best) ||
+        !reader.GetI64(&entry.value.match_count)) {
+      return Truncated("entry summary");
+    }
+    entries.push_back(std::move(entry));
+  }
+  if (!reader.exhausted()) {
+    return Status::FailedPrecondition(
+        StrCat("result cache has ", reader.remaining(), " trailing bytes"));
+  }
+  return entries;
+}
+
+Status SaveResultCacheFile(const std::string& path,
+                           const engine::ResultCache& cache) {
+  return AtomicWriteFile(path, EncodeResultCache(cache.Export()));
+}
+
+Result<int64_t> LoadResultCacheFile(const std::string& path,
+                                    engine::ResultCache* cache) {
+  SIGSUB_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  Result<std::vector<engine::CacheEntry>> entries =
+      DecodeResultCache(BytesOf(bytes));
+  if (!entries.ok()) {
+    return Status::FailedPrecondition(
+        StrCat("result cache ", path, ": ", entries.status().message()));
+  }
+  cache->Import(*entries);
+  return static_cast<int64_t>(
+      std::min(entries->size(), cache->capacity()));
+}
+
+}  // namespace persist
+}  // namespace sigsub

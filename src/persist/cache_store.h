@@ -1,0 +1,47 @@
+#ifndef SIGSUB_PERSIST_CACHE_STORE_H_
+#define SIGSUB_PERSIST_CACHE_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/result_cache.h"
+
+namespace sigsub {
+namespace persist {
+
+/// Disk-backed tier for engine::ResultCache. Unlike the journal and
+/// snapshots (pure data, valid across builds), cached query results are
+/// only trustworthy when the binary that computed them would compute
+/// them again bit-identically — so the file header's build fingerprint
+/// is enforced: a cache written by any other build (different compiler,
+/// flags, or format version) is discarded by name as a cold start, not
+/// an error.
+
+/// Header + one CRC frame around the encoded entries (MRU first).
+std::string EncodeResultCache(
+    const std::vector<engine::CacheEntry>& entries);
+
+/// Decodes cache bytes in memory, enforcing version + fingerprint.
+/// FailedPrecondition names fingerprint/version mismatches and any
+/// corruption. fuzz/persist_fuzz.cc drives this with arbitrary bytes.
+Result<std::vector<engine::CacheEntry>> DecodeResultCache(
+    std::span<const uint8_t> bytes);
+
+/// Atomically writes `cache`'s entries to `path`.
+Status SaveResultCacheFile(const std::string& path,
+                           const engine::ResultCache& cache);
+
+/// Loads `path` into `*cache` (replacing its contents, truncated to
+/// capacity). Returns the number of entries imported. NotFound when the
+/// file is absent; FailedPrecondition (cache untouched) on mismatch or
+/// corruption — callers treat both as a cold cache.
+Result<int64_t> LoadResultCacheFile(const std::string& path,
+                                    engine::ResultCache* cache);
+
+}  // namespace persist
+}  // namespace sigsub
+
+#endif  // SIGSUB_PERSIST_CACHE_STORE_H_

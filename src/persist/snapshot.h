@@ -1,0 +1,52 @@
+#ifndef SIGSUB_PERSIST_SNAPSHOT_H_
+#define SIGSUB_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/stream_manager.h"
+
+namespace sigsub {
+namespace persist {
+
+/// Point-in-time snapshots of StreamManager state: every open stream's
+/// model, detector options, counter blocks, symbol ring, hysteresis
+/// flags, and bounded alarm log, plus the journal LSN the snapshot
+/// reflects. Snapshots are written atomically (tmp + rename, see
+/// AtomicWriteFile) so a crash mid-snapshot leaves the previous one
+/// intact; recovery loads the snapshot and then replays only the
+/// journal records with LSN > last_lsn.
+struct SnapshotData {
+  /// Highest journal LSN whose effect this snapshot includes (0 for a
+  /// snapshot of a journal-less or empty state).
+  uint64_t last_lsn = 0;
+  std::vector<engine::PersistedStream> streams;
+};
+
+/// The full snapshot file image: versioned header + one CRC frame
+/// around the encoded payload.
+std::string EncodeSnapshot(const SnapshotData& snapshot);
+
+/// Parses snapshot bytes in memory. Unlike the journal, a snapshot has
+/// no legitimate torn state — AtomicWriteFile guarantees all-or-nothing
+/// — so any damage (bad header, bad CRC, malformed payload) is named
+/// corruption, never silently partial. fuzz/persist_fuzz.cc drives this
+/// with arbitrary bytes.
+Result<SnapshotData> DecodeSnapshot(std::span<const uint8_t> bytes);
+
+/// Atomically replaces the snapshot at `path`.
+Status WriteSnapshotFile(const std::string& path,
+                         const SnapshotData& snapshot);
+
+/// Reads and decodes the snapshot at `path`. NotFound when the file
+/// does not exist (a clean cold start); FailedPrecondition naming the
+/// damage when it exists but does not decode.
+Result<SnapshotData> ReadSnapshotFile(const std::string& path);
+
+}  // namespace persist
+}  // namespace sigsub
+
+#endif  // SIGSUB_PERSIST_SNAPSHOT_H_

@@ -1,0 +1,196 @@
+#include "persist/state_store.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <sys/stat.h>
+
+#include "common/posix_io.h"
+#include "common/str_util.h"
+#include "persist/cache_store.h"
+
+namespace sigsub {
+namespace persist {
+namespace {
+
+Status EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return Status::IOError(
+      StrCat("mkdir(", path, "): ", std::strerror(errno)));
+}
+
+}  // namespace
+
+std::string StateStore::JournalPath(const std::string& state_dir) {
+  return StrCat(state_dir, "/journal.wal");
+}
+
+std::string StateStore::SnapshotPath(const std::string& state_dir) {
+  return StrCat(state_dir, "/snapshot.bin");
+}
+
+std::string StateStore::CachePath(const std::string& state_dir) {
+  return StrCat(state_dir, "/cache.bin");
+}
+
+StateStore::StateStore(std::string state_dir, StateStoreOptions options,
+                       Journal journal)
+    : state_dir_(std::move(state_dir)),
+      options_(options),
+      journal_(std::move(journal)),
+      last_snapshot_ms_(MonotonicMillis()) {}
+
+Result<StateStore> StateStore::Open(std::string state_dir,
+                                    StateStoreOptions options,
+                                    engine::StreamManager* streams,
+                                    engine::ResultCache* cache,
+                                    RecoveryStats* recovery) {
+  RecoveryStats stats;
+  SIGSUB_RETURN_IF_ERROR(EnsureDir(state_dir));
+
+  // 1. Snapshot: the recovery baseline. Absence is a cold start;
+  // damage is a named failure before any state is touched.
+  uint64_t snapshot_lsn = 0;
+  Result<SnapshotData> snapshot = ReadSnapshotFile(SnapshotPath(state_dir));
+  if (snapshot.ok()) {
+    stats.snapshot_loaded = true;
+    snapshot_lsn = snapshot->last_lsn;
+    stats.snapshot_lsn = snapshot_lsn;
+    for (const engine::PersistedStream& stream : snapshot->streams) {
+      Status restored = streams->RestoreStream(stream);
+      if (!restored.ok()) {
+        // A snapshot that decodes but fails semantic validation is as
+        // corrupt as a bad checksum: refuse to start with partial
+        // state rather than silently present a subset of streams.
+        for (const engine::PersistedStream& undo : snapshot->streams) {
+          (void)streams->CloseStream(undo.name);
+        }
+        return Status::FailedPrecondition(
+            StrCat("snapshot ", SnapshotPath(state_dir),
+                   ": ", restored.message()));
+      }
+      ++stats.streams_restored;
+    }
+  } else if (snapshot.status().code() != StatusCode::kNotFound) {
+    return std::move(snapshot).status();
+  }
+
+  // 2. Journal: truncate the torn tail, then replay everything newer
+  // than the snapshot. Re-applying an op can fail only the way it
+  // failed (or would have failed) originally — CREATE of a name the
+  // snapshot already holds, APPEND to a stream closed later in the
+  // journal — so failures are counted, not fatal.
+  JournalReplay replay;
+  SIGSUB_ASSIGN_OR_RETURN(
+      Journal journal,
+      Journal::Open(JournalPath(state_dir), options.fsync_policy, &replay));
+  stats.journal_bytes_truncated =
+      static_cast<int64_t>(replay.truncated_bytes);
+  for (const JournalRecord& record : replay.records) {
+    if (record.lsn <= snapshot_lsn) {
+      ++stats.journal_records_skipped;
+      continue;
+    }
+    Status applied = Status::OK();
+    switch (record.op) {
+      case JournalOp::kCreate:
+        applied = streams->CreateStream(record.stream, record.probs,
+                                        record.options);
+        break;
+      case JournalOp::kAppend: {
+        Result<int64_t> alarms =
+            streams->Append(record.stream, record.symbols);
+        if (!alarms.ok()) applied = std::move(alarms).status();
+        break;
+      }
+      case JournalOp::kClose:
+        applied = streams->CloseStream(record.stream);
+        break;
+    }
+    if (applied.ok()) {
+      ++stats.journal_records_applied;
+    } else {
+      ++stats.journal_records_failed;
+    }
+  }
+
+  // 3. Result cache: best-effort warm start. A cache from another
+  // build (or damaged) is discarded by name in the stats — correctness
+  // never depends on it.
+  if (cache != nullptr) {
+    Result<int64_t> loaded =
+        LoadResultCacheFile(CachePath(state_dir), cache);
+    if (loaded.ok()) {
+      stats.cache_entries_loaded = *loaded;
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      stats.cache_discarded = true;
+    }
+  }
+
+  if (recovery != nullptr) *recovery = stats;
+  return StateStore(std::move(state_dir), options, std::move(journal));
+}
+
+Status StateStore::RecordCreate(
+    const std::string& name, const std::vector<double>& probs,
+    const core::StreamingDetector::Options& options) {
+  JournalRecord record;
+  record.op = JournalOp::kCreate;
+  record.stream = name;
+  record.probs = probs;
+  record.options = options;
+  return std::move(journal_->Append(std::move(record))).status();
+}
+
+Status StateStore::RecordAppend(const std::string& name,
+                                std::span<const uint8_t> symbols) {
+  JournalRecord record;
+  record.op = JournalOp::kAppend;
+  record.stream = name;
+  record.symbols.assign(symbols.begin(), symbols.end());
+  return std::move(journal_->Append(std::move(record))).status();
+}
+
+Status StateStore::RecordClose(const std::string& name) {
+  JournalRecord record;
+  record.op = JournalOp::kClose;
+  record.stream = name;
+  return std::move(journal_->Append(std::move(record))).status();
+}
+
+Status StateStore::Snapshot(const engine::StreamManager& streams,
+                            const engine::ResultCache* cache) {
+  SnapshotData snapshot;
+  snapshot.last_lsn = journal_->last_lsn();
+  snapshot.streams = streams.ExportStreams();
+  SIGSUB_RETURN_IF_ERROR(
+      WriteSnapshotFile(SnapshotPath(state_dir_), snapshot));
+  // Only after the snapshot is durably in place do its records become
+  // redundant. A crash between the two leaves snapshot + full journal;
+  // replay skips by LSN, so nothing is applied twice.
+  SIGSUB_RETURN_IF_ERROR(journal_->Reset());
+  if (cache != nullptr) {
+    SIGSUB_RETURN_IF_ERROR(
+        SaveResultCacheFile(CachePath(state_dir_), *cache));
+  }
+  return Status::OK();
+}
+
+Status StateStore::MaybeSnapshot(const engine::StreamManager& streams,
+                                 const engine::ResultCache* cache) {
+  if (options_.snapshot_interval_ms <= 0) return Status::OK();
+  const int64_t now = MonotonicMillis();
+  if (now - last_snapshot_ms_ < options_.snapshot_interval_ms) {
+    return Status::OK();
+  }
+  // Stamp before attempting: a snapshot failing on a full disk must
+  // not retry at every executor slice.
+  last_snapshot_ms_ = now;
+  return Snapshot(streams, cache);
+}
+
+}  // namespace persist
+}  // namespace sigsub

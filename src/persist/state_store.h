@@ -1,0 +1,119 @@
+#ifndef SIGSUB_PERSIST_STATE_STORE_H_
+#define SIGSUB_PERSIST_STATE_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/result_cache.h"
+#include "engine/stream_manager.h"
+#include "persist/journal.h"
+#include "persist/snapshot.h"
+
+namespace sigsub {
+namespace persist {
+
+struct StateStoreOptions {
+  FsyncPolicy fsync_policy = FsyncPolicy::kAlways;
+  /// Milliseconds between periodic snapshots (each snapshot truncates
+  /// the journal); <= 0 disables the timer, leaving only explicit
+  /// Snapshot() calls (the server still snapshots on drain).
+  int64_t snapshot_interval_ms = 30000;
+};
+
+/// What recovery found and did. The server logs this at startup.
+struct RecoveryStats {
+  bool snapshot_loaded = false;
+  uint64_t snapshot_lsn = 0;
+  int64_t streams_restored = 0;        // From the snapshot.
+  int64_t journal_records_applied = 0;
+  int64_t journal_records_skipped = 0;  // LSN <= snapshot (already in it).
+  int64_t journal_records_failed = 0;   // Deterministic op failures.
+  int64_t journal_bytes_truncated = 0;  // Torn tail dropped on open.
+  int64_t cache_entries_loaded = 0;
+  bool cache_discarded = false;  // Present but wrong build/corrupt.
+};
+
+/// The durability orchestrator tying journal + snapshot + cache store
+/// to one state directory:
+///
+///   <dir>/journal.wal     write-ahead journal (Journal)
+///   <dir>/snapshot.bin    latest point-in-time snapshot (atomic)
+///   <dir>/cache.bin       persistent result cache (fingerprint-gated)
+///
+/// Ordering contract (why acknowledged state is never lost and failed
+/// state is never invented): the caller journals an op via Record*()
+/// BEFORE applying it to the StreamManager and only acknowledges after
+/// both succeed. A Record*() failure means the op was never applied —
+/// the client sees EPERSIST and in-memory state still matches what
+/// recovery would rebuild. A crash after Record*() but before the
+/// acknowledgment replays the op on restart: it was a real client
+/// request, merely unconfirmed — at-least-once, never invented.
+///
+/// Threading: Record*/Snapshot/MaybeSnapshot are NOT thread-safe; the
+/// server calls them from the executor thread only, which also owns
+/// all stream mutations — that single-ownership is what makes the
+/// exported snapshot a consistent point in time.
+class StateStore {
+ public:
+  /// Opens (creating) `state_dir`, loads the snapshot (NotFound = cold
+  /// start; corruption = named error, nothing restored), opens the
+  /// journal (truncating any torn tail), replays the journal records
+  /// past the snapshot's LSN into `*streams`, and loads the cache file
+  /// into `*cache` when non-null (wrong-build caches discard quietly
+  /// into `recovery->cache_discarded`). On success the journal is
+  /// positioned for append and `*recovery` describes what happened.
+  static Result<StateStore> Open(std::string state_dir,
+                                 StateStoreOptions options,
+                                 engine::StreamManager* streams,
+                                 engine::ResultCache* cache,
+                                 RecoveryStats* recovery);
+
+  StateStore(StateStore&&) = default;
+  StateStore& operator=(StateStore&&) = default;
+
+  /// Journal one op before applying it (see the ordering contract).
+  Status RecordCreate(const std::string& name,
+                      const std::vector<double>& probs,
+                      const core::StreamingDetector::Options& options);
+  Status RecordAppend(const std::string& name,
+                      std::span<const uint8_t> symbols);
+  Status RecordClose(const std::string& name);
+
+  /// Writes a point-in-time snapshot of `streams` (and `cache` when
+  /// non-null), then truncates the journal. The caller must guarantee
+  /// no stream mutations are in flight.
+  Status Snapshot(const engine::StreamManager& streams,
+                  const engine::ResultCache* cache);
+
+  /// Snapshot() once snapshot_interval_ms has elapsed since the last
+  /// one (or since Open); otherwise a cheap no-op.
+  Status MaybeSnapshot(const engine::StreamManager& streams,
+                       const engine::ResultCache* cache);
+
+  uint64_t last_lsn() const { return journal_->last_lsn(); }
+  const std::string& state_dir() const { return state_dir_; }
+
+  static std::string JournalPath(const std::string& state_dir);
+  static std::string SnapshotPath(const std::string& state_dir);
+  static std::string CachePath(const std::string& state_dir);
+
+ private:
+  StateStore(std::string state_dir, StateStoreOptions options,
+             Journal journal);
+
+  std::string state_dir_;
+  StateStoreOptions options_;
+  /// optional<> only for move-assignability; engaged for the life of
+  /// the store.
+  std::optional<Journal> journal_;
+  int64_t last_snapshot_ms_ = 0;
+};
+
+}  // namespace persist
+}  // namespace sigsub
+
+#endif  // SIGSUB_PERSIST_STATE_STORE_H_

@@ -8,7 +8,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdint>
 #include <cstring>
 #include <utility>
 
@@ -18,6 +20,34 @@
 
 namespace sigsub {
 namespace server {
+namespace {
+
+/// Jitter in [0.5, 1.5) of `base_ms` from a splitmix64 step over a
+/// time-derived seed — deliberately not rand() (process-global, banned
+/// by the lint) and not <random> (heavyweight for one draw). The goal
+/// is decorrelating restarting clients, not statistical quality.
+int64_t Jittered(int64_t base_ms, uint64_t* seed) {
+  *seed += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = *seed;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const double unit = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0, 1).
+  const double scaled = static_cast<double>(base_ms) * (0.5 + unit);
+  return scaled < 1.0 ? 1 : static_cast<int64_t>(scaled);
+}
+
+/// EINTR-tolerant millisecond sleep (poll with no fds).
+void SleepMs(int64_t ms) {
+  const int64_t deadline = MonotonicMillis() + ms;
+  for (;;) {
+    int64_t remaining = deadline - MonotonicMillis();
+    if (remaining <= 0) return;
+    ::poll(nullptr, 0, static_cast<int>(remaining));
+  }
+}
+
+}  // namespace
 
 LineClient::LineClient(LineClient&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
@@ -108,6 +138,30 @@ Result<LineClient> LineClient::Connect(const std::string& host, int port,
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return LineClient(fd);
+}
+
+Result<LineClient> LineClient::ConnectWithRetry(const std::string& host,
+                                                int port,
+                                                const RetryPolicy& policy) {
+  uint64_t seed = static_cast<uint64_t>(MonotonicMillis()) ^
+                  (static_cast<uint64_t>(::getpid()) << 32);
+  const int attempts = policy.retries < 0 ? 1 : policy.retries + 1;
+  int64_t backoff = policy.backoff_ms < 1 ? 1 : policy.backoff_ms;
+  Result<LineClient> attempt = Status::IOError("no connect attempt made");
+  for (int n = 0; n < attempts; ++n) {
+    if (n > 0) {
+      SleepMs(Jittered(backoff, &seed));
+      // Doubling with a ceiling: past ~30s per wait the backoff is no
+      // longer protecting anything, it is just dead air.
+      backoff = std::min<int64_t>(backoff * 2, 30000);
+    }
+    attempt = Connect(host, port, policy.timeout_ms);
+    if (attempt.ok()) return attempt;
+    // Only transport failures are worth retrying; a malformed address
+    // is deterministic and fails the whole call immediately.
+    if (attempt.status().code() != StatusCode::kIOError) return attempt;
+  }
+  return attempt;
 }
 
 Status LineClient::SendLine(std::string_view line) {

@@ -1,6 +1,7 @@
 #ifndef SIGSUB_SERVER_CLIENT_H_
 #define SIGSUB_SERVER_CLIENT_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -8,6 +9,20 @@
 
 namespace sigsub {
 namespace server {
+
+/// Bounded-retry policy for ConnectWithRetry. Attempt n (0-based) that
+/// fails with IOError sleeps `backoff_ms * 2^n` milliseconds, jittered
+/// uniformly in [0.5, 1.5) of that value so a fleet of restarting
+/// clients does not stampede the daemon in lockstep, then tries again —
+/// up to `retries` extra attempts after the first.
+struct RetryPolicy {
+  /// Additional attempts after the first (0 = plain Connect).
+  int retries = 0;
+  /// Base backoff before the first retry; doubles per attempt.
+  int64_t backoff_ms = 100;
+  /// Per-attempt connect timeout.
+  int64_t timeout_ms = 5000;
+};
 
 /// Minimal blocking client for the sigsubd line protocol — the transport
 /// under the CLI `client` command, the server tests, and the loopback
@@ -27,6 +42,15 @@ class LineClient {
   /// Connects to host:port; IOError on refusal or after `timeout_ms`.
   static Result<LineClient> Connect(const std::string& host, int port,
                                     int64_t timeout_ms = 5000);
+
+  /// Connect with bounded, jittered exponential-backoff retry — the
+  /// polite way to reach a daemon that is restarting (crash recovery
+  /// replay takes a moment). Only IOError is retried; InvalidArgument
+  /// (a bad address will not get better) fails immediately. Returns the
+  /// last attempt's error after the budget is spent.
+  static Result<LineClient> ConnectWithRetry(const std::string& host,
+                                             int port,
+                                             const RetryPolicy& policy);
 
   /// Sends `line` plus the terminating '\n'.
   Status SendLine(std::string_view line);

@@ -159,6 +159,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "ETOOBIG";
     case ErrorCode::kInternal:
       return "EINTERNAL";
+    case ErrorCode::kPersist:
+      return "EPERSIST";
   }
   return "EINTERNAL";
 }

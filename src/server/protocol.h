@@ -54,6 +54,9 @@ namespace protocol {
 /// connection's own replies arrive — read them, then retry. ETIMEOUT /
 /// ETOOBIG precede a server-side close. EPROTO / EINVALID / ENOTFOUND
 /// are non-retryable client errors; EINTERNAL is a server-side bug.
+/// EPERSIST reports a durability failure (--state-dir journal write):
+/// the op was NOT applied, so in-memory and recoverable state still
+/// agree; it clears only once the operator fixes the state volume.
 enum class ErrorCode {
   kProto,     // EPROTO: malformed request line.
   kInvalid,   // EINVALID: well-formed but semantically invalid.
@@ -64,6 +67,8 @@ enum class ErrorCode {
   kTimeout,   // ETIMEOUT: idle too long; connection will close.
   kTooBig,    // ETOOBIG: request line over the size cap; closing.
   kInternal,  // EINTERNAL: unexpected server-side failure.
+  kPersist,   // EPERSIST: durability failure — the op could not be
+              // journaled and was NOT applied; state is unchanged.
 };
 
 /// Wire name of a code ("EBUSY"...).

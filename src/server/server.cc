@@ -79,6 +79,24 @@ Server::Server(engine::Corpus corpus, ServerOptions options)
 Status Server::Start() {
   IgnoreSigpipe();  // A dying client must not kill the daemon.
 
+  // Recovery precedes everything: both threads are born into a world
+  // where the stream manager already holds the replayed state, so no
+  // synchronization is needed. A corrupt snapshot fails Start() with
+  // its named Status — refusing to serve beats silently serving a
+  // subset of the durable state.
+  if (!options_.state_dir.empty() && state_ == nullptr) {
+    SIGSUB_ASSIGN_OR_RETURN(
+        persist::StateStore store,
+        persist::StateStore::Open(
+            options_.state_dir,
+            persist::StateStoreOptions{
+                .fsync_policy = options_.fsync_policy,
+                .snapshot_interval_ms = options_.snapshot_interval_ms,
+            },
+            &streams_, &engine_.result_cache(), &recovery_));
+    state_ = std::make_unique<persist::StateStore>(std::move(store));
+  }
+
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     return Status::IOError(StrCat("socket: ", std::strerror(errno)));
@@ -148,7 +166,10 @@ void Server::Wakeup() {
   if (wakeup_write_fd_ < 0) return;
   char byte = 1;
   for (;;) {
-    ssize_t n = ::write(wakeup_write_fd_, &byte, 1);
+    // RawWrite stays async-signal-safe (atomics only in its shim
+    // check), which this path requires: serve installs RequestDrain as
+    // the SIGTERM action.
+    ssize_t n = RawWrite(wakeup_write_fd_, &byte, 1);
     if (n >= 0 || errno != EINTR) break;  // A full pipe already wakes.
   }
 }
@@ -187,6 +208,7 @@ ServerStats Server::stats() const {
   stats.slow_disconnects =
       slow_disconnects_.load(std::memory_order_relaxed);
   stats.alarms_pushed = alarms_pushed_.load(std::memory_order_relaxed);
+  stats.persist_errors = persist_errors_.load(std::memory_order_relaxed);
   stats.uptime_ms = started_ms_ == 0 ? 0 : MonotonicMillis() - started_ms_;
   return stats;
 }
@@ -203,6 +225,14 @@ void Server::ExecutorLoop() {
     }
     if (queue_.empty()) {  // stop requested, nothing admitted left.
       queue_mutex_.Unlock();
+      if (state_ != nullptr) {
+        // Snapshot-on-drain: every admitted op has executed, so this is
+        // a perfectly quiescent point in time; the journal truncates to
+        // empty and the warm result cache goes to disk alongside it.
+        if (!state_->Snapshot(streams_, &engine_.result_cache()).ok()) {
+          persist_errors_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
       return;
     }
     if (options_.executor_hook) {
@@ -221,6 +251,15 @@ void Server::ExecutorLoop() {
     }
     queue_mutex_.Unlock();
     ExecuteSlice(std::move(slice));
+    if (state_ != nullptr) {
+      // Between slices no stream mutation is in flight (this thread is
+      // the only mutator), so the periodic snapshot sees a consistent
+      // point in time. Failures are counted, not fatal: the journal
+      // still has every record the snapshot would have absorbed.
+      if (!state_->MaybeSnapshot(streams_, &engine_.result_cache()).ok()) {
+        persist_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
 }
 
@@ -271,6 +310,21 @@ void Server::ExecuteSlice(std::vector<Work> slice) {
       case protocol::CommandKind::kQuery:
         break;  // Replied above.
       case protocol::CommandKind::kStreamCreate: {
+        // Journal-before-apply (also for APPEND/CLOSE below): once a
+        // client reads "OK", the op is durable per the fsync policy.
+        // On a journal failure the op is NOT applied — the client sees
+        // EPERSIST and in-memory state still matches what recovery
+        // would rebuild from disk.
+        if (state_ != nullptr) {
+          Status journaled = state_->RecordCreate(
+              request.stream, request.probs, request.detector);
+          if (!journaled.ok()) {
+            persist_errors_.fetch_add(1, std::memory_order_relaxed);
+            replies[i] = protocol::FormatError(
+                protocol::ErrorCode::kPersist, journaled.message());
+            break;
+          }
+        }
         Status status = streams_.CreateStream(request.stream, request.probs,
                                               request.detector);
         replies[i] = status.ok()
@@ -281,6 +335,16 @@ void Server::ExecuteSlice(std::vector<Work> slice) {
         break;
       }
       case protocol::CommandKind::kStreamAppend: {
+        if (state_ != nullptr) {
+          Status journaled =
+              state_->RecordAppend(request.stream, request.symbols);
+          if (!journaled.ok()) {
+            persist_errors_.fetch_add(1, std::memory_order_relaxed);
+            replies[i] = protocol::FormatError(
+                protocol::ErrorCode::kPersist, journaled.message());
+            break;
+          }
+        }
         auto alarms = streams_.AppendCollect(request.stream, request.symbols);
         if (!alarms.ok()) {
           replies[i] = protocol::FormatError(
@@ -308,6 +372,15 @@ void Server::ExecuteSlice(std::vector<Work> slice) {
         break;
       }
       case protocol::CommandKind::kStreamClose: {
+        if (state_ != nullptr) {
+          Status journaled = state_->RecordClose(request.stream);
+          if (!journaled.ok()) {
+            persist_errors_.fetch_add(1, std::memory_order_relaxed);
+            replies[i] = protocol::FormatError(
+                protocol::ErrorCode::kPersist, journaled.message());
+            break;
+          }
+        }
         Status status = streams_.CloseStream(request.stream);
         replies[i] = status.ok()
                          ? StrCat("OK closed ", request.stream)
@@ -661,7 +734,8 @@ std::string Server::StatsReplyPayload() const {
       " shed_drain=", s.shed_drain, " proto_errors=", s.protocol_errors,
       " idle_timeouts=", s.idle_timeouts,
       " slow_disconnects=", s.slow_disconnects,
-      " alarms_pushed=", s.alarms_pushed, " ",
+      " alarms_pushed=", s.alarms_pushed,
+      " persist_errors=", s.persist_errors, " ",
       engine::FormatEngineStats(
           engine::CollectEngineStats(&engine_, &streams_)));
 }
@@ -683,7 +757,7 @@ bool Server::QueueReply(Connection& conn, std::string line) {
 
 void Server::FlushWrites(Connection& conn) {
   while (!conn.wbuf.empty()) {
-    ssize_t n = ::write(conn.fd, conn.wbuf.data(), conn.wbuf.size());
+    ssize_t n = RawWrite(conn.fd, conn.wbuf.data(), conn.wbuf.size());
     if (n > 0) {
       conn.wbuf.erase(0, static_cast<size_t>(n));
       continue;

@@ -19,6 +19,7 @@
 #include "engine/corpus.h"
 #include "engine/engine.h"
 #include "engine/stream_manager.h"
+#include "persist/state_store.h"
 #include "server/protocol.h"
 
 namespace sigsub {
@@ -71,6 +72,22 @@ struct ServerOptions {
   /// popping its slice. A test that blocks in the hook freezes admission
   /// -> queue/quota saturation becomes deterministic instead of a race.
   std::function<void()> executor_hook;
+
+  // --- Durability (src/persist/) -----------------------------------------
+  /// When non-empty, the server is crash-safe: Start() replays the
+  /// directory's snapshot + journal tail into the stream manager (and
+  /// warms the result cache), every acknowledged stream op is journaled
+  /// on the executor thread BEFORE it is applied (a journal failure is
+  /// replied EPERSIST and NOT applied), snapshots are written
+  /// periodically and on drain, and each snapshot truncates the
+  /// journal. Empty (the default) disables persistence entirely.
+  std::string state_dir;
+  /// Journal fsync policy (kAlways survives power loss; kNone only
+  /// process crashes). Ignored without state_dir.
+  persist::FsyncPolicy fsync_policy = persist::FsyncPolicy::kAlways;
+  /// Milliseconds between periodic snapshots; <= 0 leaves only the
+  /// snapshot-on-drain. Ignored without state_dir.
+  int64_t snapshot_interval_ms = 30000;
 };
 
 /// Monotonic server-level counters (atomic snapshot via Server::stats()).
@@ -86,6 +103,7 @@ struct ServerStats {
   int64_t idle_timeouts = 0;
   int64_t slow_disconnects = 0;  // Write backlog over max_write_buffer.
   int64_t alarms_pushed = 0;     // ALARM lines delivered to subscribers.
+  int64_t persist_errors = 0;    // EPERSIST replies + failed snapshots.
   int64_t uptime_ms = 0;
 };
 
@@ -140,6 +158,10 @@ class Server {
   }
 
   ServerStats stats() const;
+
+  /// What replay-on-startup found (zero-valued without state_dir or
+  /// before Start). Stable once Start() returns.
+  const persist::RecoveryStats& recovery() const { return recovery_; }
 
   /// Drains (if still running) and joins.
   ~Server();
@@ -200,6 +222,12 @@ class Server {
   engine::Engine engine_;
   engine::StreamManager streams_;
 
+  // Durability (engaged only with options_.state_dir). Touched by the
+  // executor thread after Start(); Start() itself runs recovery before
+  // either thread exists.
+  std::unique_ptr<persist::StateStore> state_;
+  persist::RecoveryStats recovery_;
+
   int listen_fd_ = -1;
   int port_ = 0;
   int wakeup_read_fd_ = -1;
@@ -238,6 +266,7 @@ class Server {
   std::atomic<int64_t> idle_timeouts_{0};
   std::atomic<int64_t> slow_disconnects_{0};
   std::atomic<int64_t> alarms_pushed_{0};
+  std::atomic<int64_t> persist_errors_{0};
   std::atomic<int64_t> connections_current_{0};
   int64_t started_ms_ = 0;
 

@@ -38,6 +38,7 @@
 #include "api/query.h"
 #include "api/serde.h"
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/mutex.h"
 #include "common/posix_io.h"
 #include "core/agmm.h"
@@ -74,6 +75,11 @@
 #include "io/sports_sim.h"
 #include "io/string_codec.h"
 #include "io/table_writer.h"
+#include "persist/cache_store.h"
+#include "persist/format.h"
+#include "persist/journal.h"
+#include "persist/snapshot.h"
+#include "persist/state_store.h"
 #include "seq/alphabet.h"
 #include "server/client.h"
 #include "server/protocol.h"

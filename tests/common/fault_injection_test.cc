@@ -1,0 +1,155 @@
+#include "common/fault_injection.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "common/posix_io.h"
+#include "common/result.h"
+#include "testing/test_util.h"
+
+namespace sigsub {
+namespace fault {
+namespace {
+
+/// Every test leaves the process-global shim disarmed — a leaked fault
+/// would fail an unrelated test's I/O in the same binary.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Disarm(); }
+};
+
+TEST_F(FaultInjectionTest, ArmAcceptsTheDocumentedGrammar) {
+  EXPECT_TRUE(Arm("write:1:ENOSPC").ok());
+  EXPECT_TRUE(Arm("read:3:EIO").ok());
+  EXPECT_TRUE(Arm("fsync:2:EPIPE").ok());
+  EXPECT_TRUE(Arm("write:7:28").ok());  // Numeric errno (28 = ENOSPC).
+  EXPECT_TRUE(Arm("write:1:short").ok());
+  EXPECT_TRUE(Arm("write:4:kill").ok());
+  EXPECT_TRUE(Enabled());
+}
+
+TEST_F(FaultInjectionTest, ArmRejectsBadSpecsByName) {
+  for (const char* bad :
+       {"", "write", "write:1", "chmod:1:EIO", "write:0:EIO",
+        "write:-1:EIO", "write:x:EIO", "write:1:EWHAT", "write:1:",
+        "read:1:short", "fsync:1:short", "::"}) {
+    Status status = Arm(bad);
+    EXPECT_FALSE(status.ok()) << "spec \"" << bad << "\" was accepted";
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << bad;
+  }
+  // A rejected spec must not leave a half-armed fault behind.
+  EXPECT_FALSE(Enabled());
+}
+
+TEST_F(FaultInjectionTest, DisarmedShimNeverFires) {
+  ASSERT_FALSE(Enabled());
+  for (int i = 0; i < 100; ++i) {
+    Decision d = OnCall(Op::kWrite);
+    EXPECT_FALSE(d.fire);
+  }
+}
+
+TEST_F(FaultInjectionTest, FiresOnExactlyTheNthCall) {
+  ASSERT_OK(Arm("write:3:ENOSPC"));
+  EXPECT_FALSE(OnCall(Op::kWrite).fire);
+  EXPECT_FALSE(OnCall(Op::kWrite).fire);
+  Decision d = OnCall(Op::kWrite);
+  EXPECT_TRUE(d.fire);
+  EXPECT_EQ(d.action, Action::kErrno);
+  EXPECT_EQ(d.error, ENOSPC);
+  // One-shot per arm: later calls proceed.
+  EXPECT_FALSE(OnCall(Op::kWrite).fire);
+}
+
+TEST_F(FaultInjectionTest, OtherOpsDoNotAdvanceTheArmedCounter) {
+  ASSERT_OK(Arm("fsync:2:EIO"));
+  EXPECT_FALSE(OnCall(Op::kWrite).fire);
+  EXPECT_FALSE(OnCall(Op::kRead).fire);
+  EXPECT_FALSE(OnCall(Op::kFsync).fire);
+  Decision d = OnCall(Op::kFsync);
+  EXPECT_TRUE(d.fire);
+  EXPECT_EQ(d.error, EIO);
+}
+
+TEST_F(FaultInjectionTest, CallCountsTrackPerOp) {
+  ASSERT_OK(Arm("write:100:EIO"));
+  OnCall(Op::kWrite);
+  OnCall(Op::kWrite);
+  OnCall(Op::kRead);
+  EXPECT_EQ(CallCount(Op::kWrite), 2);
+  EXPECT_EQ(CallCount(Op::kRead), 1);
+  EXPECT_EQ(CallCount(Op::kFsync), 0);
+  Disarm();
+  EXPECT_EQ(CallCount(Op::kWrite), 0);
+}
+
+TEST_F(FaultInjectionTest, ErrnoPropagatesThroughRawWrite) {
+  char path[] = "/tmp/sigsub_fault_XXXXXX";
+  int fd = ::mkstemp(path);
+  ASSERT_GE(fd, 0);
+  ASSERT_OK(Arm("write:2:ENOSPC"));
+  EXPECT_EQ(RawWrite(fd, "aa", 2), 2);  // First write proceeds.
+  errno = 0;
+  EXPECT_EQ(RawWrite(fd, "bb", 2), -1);
+  EXPECT_EQ(errno, ENOSPC);
+  EXPECT_EQ(RawWrite(fd, "cc", 2), 2);  // Fault was one-shot.
+  ::close(fd);
+  ::unlink(path);
+}
+
+TEST_F(FaultInjectionTest, ShortWriteLandsHalfTheBytes) {
+  char path[] = "/tmp/sigsub_fault_XXXXXX";
+  int fd = ::mkstemp(path);
+  ASSERT_GE(fd, 0);
+  ASSERT_OK(Arm("write:1:short"));
+  EXPECT_EQ(RawWrite(fd, "abcdefgh", 8), 4);
+  ::close(fd);
+  ASSERT_OK_AND_ASSIGN(std::string contents, ReadFileToString(path));
+  EXPECT_EQ(contents, "abcd");
+  ::unlink(path);
+}
+
+TEST_F(FaultInjectionTest, WriteFdAllRecoversFromAShortWrite) {
+  // WriteFdAll loops on partial counts, so a single injected short
+  // write must not lose bytes — only a hard errno can.
+  char path[] = "/tmp/sigsub_fault_XXXXXX";
+  int fd = ::mkstemp(path);
+  ASSERT_GE(fd, 0);
+  ASSERT_OK(Arm("write:1:short"));
+  ASSERT_OK(WriteFdAll(fd, "abcdefgh"));
+  ::close(fd);
+  ASSERT_OK_AND_ASSIGN(std::string contents, ReadFileToString(path));
+  EXPECT_EQ(contents, "abcdefgh");
+  ::unlink(path);
+}
+
+TEST_F(FaultInjectionTest, ErrnoPropagatesThroughRawFsync) {
+  char path[] = "/tmp/sigsub_fault_XXXXXX";
+  int fd = ::mkstemp(path);
+  ASSERT_GE(fd, 0);
+  ASSERT_OK(Arm("fsync:1:EIO"));
+  errno = 0;
+  EXPECT_EQ(RawFsync(fd), -1);
+  EXPECT_EQ(errno, EIO);
+  EXPECT_EQ(RawFsync(fd), 0);
+  ::close(fd);
+  ::unlink(path);
+}
+
+TEST_F(FaultInjectionTest, ArmFromEnvIsANoOpWhenUnset) {
+  ::unsetenv("SIGSUB_FAULT");
+  EXPECT_TRUE(ArmFromEnv().ok());
+  EXPECT_FALSE(Enabled());
+  ::setenv("SIGSUB_FAULT", "write:2:EIO", 1);
+  EXPECT_TRUE(ArmFromEnv().ok());
+  EXPECT_TRUE(Enabled());
+  ::unsetenv("SIGSUB_FAULT");
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace sigsub

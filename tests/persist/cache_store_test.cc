@@ -1,0 +1,144 @@
+#include "persist/cache_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "common/posix_io.h"
+#include "common/result.h"
+#include "engine/result_cache.h"
+#include "persist/format.h"
+#include "testing/test_util.h"
+
+namespace sigsub {
+namespace persist {
+namespace {
+
+using engine::CacheEntry;
+using engine::CacheKey;
+using engine::CachedResult;
+using engine::ResultCache;
+
+CacheEntry MakeEntry(uint64_t seed) {
+  CacheEntry entry;
+  entry.key = {seed * 0x1111, seed * 0x2222 + 1};
+  entry.value.substrings = {
+      {.start = static_cast<int64_t>(seed), .end = static_cast<int64_t>(seed + 5),
+       .chi_square = 1.5 * static_cast<double>(seed)},
+      {.start = 0, .end = 2, .chi_square = 0.25},
+  };
+  entry.value.best = entry.value.substrings[0];
+  entry.value.match_count = static_cast<int64_t>(seed * 10);
+  return entry;
+}
+
+TEST(CacheCodecTest, EntriesRoundTrip) {
+  std::vector<CacheEntry> entries = {MakeEntry(1), MakeEntry(2),
+                                     MakeEntry(3)};
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<CacheEntry> decoded,
+      DecodeResultCache(BytesOf(EncodeResultCache(entries))));
+  ASSERT_EQ(decoded.size(), 3u);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(decoded[i].key, entries[i].key);
+    EXPECT_EQ(decoded[i].value.match_count, entries[i].value.match_count);
+    ASSERT_EQ(decoded[i].value.substrings.size(),
+              entries[i].value.substrings.size());
+    for (size_t j = 0; j < entries[i].value.substrings.size(); ++j) {
+      EXPECT_EQ(decoded[i].value.substrings[j].start,
+                entries[i].value.substrings[j].start);
+      EXPECT_EQ(decoded[i].value.substrings[j].end,
+                entries[i].value.substrings[j].end);
+      EXPECT_EQ(decoded[i].value.substrings[j].chi_square,
+                entries[i].value.substrings[j].chi_square);
+    }
+    EXPECT_EQ(decoded[i].value.best.chi_square,
+              entries[i].value.best.chi_square);
+  }
+}
+
+TEST(CacheCodecTest, ForeignBuildFingerprintIsRejectedByName) {
+  std::string bytes = EncodeResultCache({MakeEntry(1)});
+  // Flip a fingerprint byte and repair the header CRC: a structurally
+  // valid cache from a "different build". Header layout: magic(4)
+  // version(4) kind(4) fingerprint(8) crc(4).
+  bytes[12] = static_cast<char>(bytes[12] ^ 0x5a);
+  uint32_t crc = Crc32(std::string_view(bytes).substr(0, 20));
+  for (int i = 0; i < 4; ++i) {
+    bytes[20 + i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
+  Result<std::vector<CacheEntry>> result =
+      DecodeResultCache(BytesOf(bytes));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(result.status().message().find("fingerprint"),
+            std::string::npos);
+}
+
+TEST(CacheCodecTest, CorruptPayloadIsRejected) {
+  std::string bytes = EncodeResultCache({MakeEntry(1), MakeEntry(2)});
+  bytes[bytes.size() - 3] = static_cast<char>(bytes[bytes.size() - 3] ^ 0x01);
+  EXPECT_FALSE(DecodeResultCache(BytesOf(bytes)).ok());
+}
+
+TEST(CacheStoreTest, SaveLoadRoundTripsThroughAResultCache) {
+  char tmpl[] = "/tmp/sigsub_cache_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  std::string dir = tmpl;
+  std::string path = dir + "/cache.bin";
+
+  ResultCache cache(16);
+  CacheEntry oldest = MakeEntry(1);
+  CacheEntry newest = MakeEntry(2);
+  cache.Insert(oldest.key, oldest.value);
+  cache.Insert(newest.key, newest.value);
+  ASSERT_OK(SaveResultCacheFile(path, cache));
+
+  ResultCache restored(16);
+  ASSERT_OK_AND_ASSIGN(int64_t loaded, LoadResultCacheFile(path, &restored));
+  EXPECT_EQ(loaded, 2);
+  EXPECT_EQ(restored.size(), 2u);
+  auto hit = restored.Lookup(newest.key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->match_count, newest.value.match_count);
+
+  // MRU order survives the round trip: with capacity 1 only the most
+  // recently used entry is kept.
+  ResultCache tiny(1);
+  ASSERT_OK(LoadResultCacheFile(path, &tiny).status());
+  EXPECT_EQ(tiny.size(), 1u);
+  EXPECT_TRUE(tiny.Lookup(newest.key).has_value());
+  EXPECT_FALSE(tiny.Lookup(oldest.key).has_value());
+
+  // Absent file: NotFound, cache untouched.
+  Result<int64_t> missing =
+      LoadResultCacheFile(dir + "/nope.bin", &restored);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(restored.size(), 2u);
+
+  // Corrupt file: FailedPrecondition naming the path, cache untouched.
+  {
+    int fd = ::open(path.c_str(), O_WRONLY | O_TRUNC, 0644);
+    ASSERT_GE(fd, 0);
+    ASSERT_OK(WriteFdAll(fd, "junk"));
+    ::close(fd);
+  }
+  Result<int64_t> corrupt = LoadResultCacheFile(path, &restored);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(corrupt.status().message().find(path), std::string::npos);
+  EXPECT_EQ(restored.size(), 2u);
+
+  ::unlink(path.c_str());
+  ::rmdir(dir.c_str());
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace sigsub

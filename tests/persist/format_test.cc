@@ -1,0 +1,208 @@
+#include "persist/format.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "common/result.h"
+#include "testing/test_util.h"
+
+namespace sigsub {
+namespace persist {
+namespace {
+
+TEST(BinaryCodecTest, ScalarsRoundTrip) {
+  BinaryWriter writer;
+  writer.PutU8(0xab);
+  writer.PutU32(0xdeadbeef);
+  writer.PutU64(0x0123456789abcdefULL);
+  writer.PutI64(-42);
+  writer.PutDouble(3.141592653589793);
+  writer.PutDouble(std::numeric_limits<double>::infinity());
+  writer.PutString("hello");
+  writer.PutBytes(std::vector<uint8_t>{1, 2, 3});
+
+  BinaryReader reader(BytesOf(writer.bytes()));
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  double d = 0.0, inf = 0.0;
+  std::string text;
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(reader.GetU8(&u8));
+  ASSERT_TRUE(reader.GetU32(&u32));
+  ASSERT_TRUE(reader.GetU64(&u64));
+  ASSERT_TRUE(reader.GetI64(&i64));
+  ASSERT_TRUE(reader.GetDouble(&d));
+  ASSERT_TRUE(reader.GetDouble(&inf));
+  ASSERT_TRUE(reader.GetString(&text));
+  ASSERT_TRUE(reader.GetBytes(&bytes));
+  EXPECT_TRUE(reader.exhausted());
+
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(d, 3.141592653589793);  // Bit round-trip, so exact compare.
+  EXPECT_EQ(inf, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(text, "hello");
+  EXPECT_EQ(bytes, (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(BinaryCodecTest, ReaderRefusesTruncatedScalars) {
+  BinaryWriter writer;
+  writer.PutU64(7);
+  std::string bytes = writer.Take();
+  bytes.resize(5);
+  BinaryReader reader(BytesOf(bytes));
+  uint64_t value = 0;
+  EXPECT_FALSE(reader.GetU64(&value));
+  // A failed read must not advance: the u32 prefix is still readable.
+  uint32_t small = 0;
+  EXPECT_TRUE(reader.GetU32(&small));
+}
+
+TEST(BinaryCodecTest, LyingLengthPrefixFailsWithoutAllocating) {
+  // A 4 GiB length prefix followed by 3 bytes: the reader must reject
+  // it from remaining(), never reserve the announced size.
+  BinaryWriter writer;
+  writer.PutU32(0xffffff00u);
+  writer.PutU8('x');
+  writer.PutU8('y');
+  writer.PutU8('z');
+  BinaryReader reader(BytesOf(writer.bytes()));
+  std::string text;
+  EXPECT_FALSE(reader.GetString(&text));
+  // The failed GetString rewound its length prefix.
+  uint32_t prefix = 0;
+  EXPECT_TRUE(reader.GetU32(&prefix));
+  EXPECT_EQ(prefix, 0xffffff00u);
+}
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // The classic IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(Crc32(std::string_view("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(std::string_view("")), 0u);
+}
+
+TEST(BuildFingerprintTest, StableWithinAProcess) {
+  EXPECT_EQ(BuildFingerprint(), BuildFingerprint());
+  EXPECT_NE(BuildFingerprint(), 0u);
+}
+
+TEST(FileHeaderTest, RoundTrips) {
+  std::string header = EncodeFileHeader(FileKind::kJournal);
+  ASSERT_OK_AND_ASSIGN(
+      size_t size,
+      CheckFileHeader(BytesOf(header), FileKind::kJournal,
+                      /*require_fingerprint=*/false));
+  EXPECT_EQ(size, header.size());
+}
+
+TEST(FileHeaderTest, NamesEachFailureMode) {
+  std::string header = EncodeFileHeader(FileKind::kSnapshot);
+
+  {  // Truncated.
+    auto result = CheckFileHeader(BytesOf(header).subspan(0, 10),
+                                  FileKind::kSnapshot, false);
+    EXPECT_FALSE(result.ok());
+  }
+  {  // Wrong magic.
+    std::string bad = header;
+    bad[0] = 'X';
+    auto result = CheckFileHeader(BytesOf(bad), FileKind::kSnapshot, false);
+    EXPECT_FALSE(result.ok());
+  }
+  {  // Wrong kind: a journal header is not a snapshot header.
+    std::string other = EncodeFileHeader(FileKind::kJournal);
+    auto result =
+        CheckFileHeader(BytesOf(other), FileKind::kSnapshot, false);
+    EXPECT_FALSE(result.ok());
+  }
+  {  // Header CRC flips on any bit damage.
+    std::string bad = header;
+    bad[9] ^= 0x01;
+    auto result = CheckFileHeader(BytesOf(bad), FileKind::kSnapshot, false);
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+TEST(FileHeaderTest, FingerprintOnlyEnforcedWhenRequired) {
+  std::string header = EncodeFileHeader(FileKind::kResultCache);
+  // Flip a fingerprint byte and repair the header CRC so only the
+  // fingerprint differs — the "same format, different build" case.
+  // Layout: magic(4) version(4) kind(4) fingerprint(8) crc(4).
+  std::string bad = header;
+  bad[12] = static_cast<char>(bad[12] ^ 0x5a);
+  uint32_t crc = Crc32(std::string_view(bad).substr(0, 20));
+  for (int i = 0; i < 4; ++i) {
+    bad[20 + i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
+  EXPECT_TRUE(
+      CheckFileHeader(BytesOf(bad), FileKind::kResultCache, false).ok());
+  auto strict = CheckFileHeader(BytesOf(bad), FileKind::kResultCache, true);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FrameTest, AppendThenParseRoundTrips) {
+  std::string buffer;
+  AppendFrame(&buffer, "first");
+  AppendFrame(&buffer, "");
+  AppendFrame(&buffer, std::string(1000, 'x'));
+
+  FrameParser parser(BytesOf(buffer), 0);
+  std::span<const uint8_t> payload;
+  ASSERT_EQ(parser.Next(&payload), FrameStatus::kOk);
+  EXPECT_EQ(std::string(payload.begin(), payload.end()), "first");
+  ASSERT_EQ(parser.Next(&payload), FrameStatus::kOk);
+  EXPECT_TRUE(payload.empty());
+  ASSERT_EQ(parser.Next(&payload), FrameStatus::kOk);
+  EXPECT_EQ(payload.size(), 1000u);
+  EXPECT_EQ(parser.Next(&payload), FrameStatus::kEnd);
+  EXPECT_EQ(parser.offset(), buffer.size());
+}
+
+TEST(FrameTest, TornTailReportsTruncationPoint) {
+  std::string buffer;
+  AppendFrame(&buffer, "complete");
+  size_t good = buffer.size();
+  AppendFrame(&buffer, "interrupted");
+  buffer.resize(buffer.size() - 3);  // Crash mid-frame.
+
+  FrameParser parser(BytesOf(buffer), 0);
+  std::span<const uint8_t> payload;
+  ASSERT_EQ(parser.Next(&payload), FrameStatus::kOk);
+  EXPECT_EQ(parser.Next(&payload), FrameStatus::kTorn);
+  EXPECT_EQ(parser.offset(), good);  // Exactly where to truncate.
+}
+
+TEST(FrameTest, CorruptPayloadFailsItsCrc) {
+  std::string buffer;
+  AppendFrame(&buffer, "payload-bytes");
+  buffer[buffer.size() - 2] ^= 0x40;
+  FrameParser parser(BytesOf(buffer), 0);
+  std::span<const uint8_t> payload;
+  EXPECT_EQ(parser.Next(&payload), FrameStatus::kCorrupt);
+  EXPECT_EQ(parser.offset(), 0u);
+}
+
+TEST(FrameTest, OversizedLengthFieldIsCorruptNotTorn) {
+  // A length over kMaxFramePayload can never be satisfied by waiting
+  // for more bytes; report corruption, not a torn tail.
+  BinaryWriter writer;
+  writer.PutU32(kMaxFramePayload + 1);
+  writer.PutU32(0);
+  std::string buffer = writer.Take();
+  buffer += "some bytes";
+  FrameParser parser(BytesOf(buffer), 0);
+  std::span<const uint8_t> payload;
+  EXPECT_EQ(parser.Next(&payload), FrameStatus::kCorrupt);
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace sigsub

@@ -1,0 +1,362 @@
+#include "persist/state_store.h"
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "common/fault_injection.h"
+#include "common/posix_io.h"
+#include "common/result.h"
+#include "core/streaming.h"
+#include "engine/result_cache.h"
+#include "engine/stream_manager.h"
+#include "testing/test_util.h"
+
+// ThreadSanitizer cannot follow a fork()ed child that keeps running
+// arbitrary code, so the SIGKILL crash-matrix tests compile out under
+// TSan; ASan and plain builds run them.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SIGSUB_SKIP_FORK_TESTS 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define SIGSUB_SKIP_FORK_TESTS 1
+#endif
+
+namespace sigsub {
+namespace persist {
+namespace {
+
+core::StreamingDetector::Options SmallOptions() {
+  core::StreamingDetector::Options options;
+  options.max_window = 8;
+  options.alpha = 1e-4;
+  return options;
+}
+
+/// The deterministic append schedule the crash matrix uses: chunk i is
+/// four symbols of an alternating pattern keyed on i.
+std::vector<uint8_t> Chunk(int i) {
+  return {static_cast<uint8_t>(i % 2), static_cast<uint8_t>((i + 1) % 2),
+          static_cast<uint8_t>(i % 2), static_cast<uint8_t>(i % 2)};
+}
+
+class StateStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/sigsub_recovery_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+
+  void TearDown() override {
+    fault::Disarm();
+    ::unlink(StateStore::JournalPath(dir_).c_str());
+    ::unlink(StateStore::SnapshotPath(dir_).c_str());
+    ::unlink(StateStore::CachePath(dir_).c_str());
+    ::unlink((dir_ + "/acks").c_str());
+    ::rmdir(dir_.c_str());
+  }
+
+  std::string dir_;
+};
+
+/// Asserts the two managers hold bit-identical stream state.
+void ExpectSameStreams(engine::StreamManager& a, engine::StreamManager& b) {
+  std::vector<engine::PersistedStream> ea = a.ExportStreams();
+  std::vector<engine::PersistedStream> eb = b.ExportStreams();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].name, eb[i].name);
+    EXPECT_EQ(ea[i].probs, eb[i].probs);
+    EXPECT_EQ(ea[i].state.position, eb[i].state.position);
+    EXPECT_EQ(ea[i].state.counts, eb[i].state.counts);
+    EXPECT_EQ(ea[i].state.in_alarm, eb[i].state.in_alarm);
+    EXPECT_EQ(ea[i].state.recent, eb[i].state.recent);
+    EXPECT_EQ(ea[i].state.alarms_raised, eb[i].state.alarms_raised);
+    ASSERT_EQ(ea[i].alarms.size(), eb[i].alarms.size());
+    for (size_t j = 0; j < ea[i].alarms.size(); ++j) {
+      EXPECT_EQ(ea[i].alarms[j].end, eb[i].alarms[j].end);
+      EXPECT_EQ(ea[i].alarms[j].chi_square, eb[i].alarms[j].chi_square);
+    }
+  }
+}
+
+TEST_F(StateStoreTest, JournalOnlyRecoveryRebuildsAcknowledgedState) {
+  {
+    engine::StreamManager streams;
+    RecoveryStats recovery;
+    ASSERT_OK_AND_ASSIGN(
+        StateStore store,
+        StateStore::Open(dir_, {.fsync_policy = FsyncPolicy::kNone},
+                         &streams, nullptr, &recovery));
+    EXPECT_FALSE(recovery.snapshot_loaded);
+    // The server's ordering: journal first, then apply.
+    ASSERT_OK(store.RecordCreate("s", {0.5, 0.5}, SmallOptions()));
+    ASSERT_OK(streams.CreateStream("s", {0.5, 0.5}, SmallOptions()));
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_OK(store.RecordAppend("s", Chunk(i)));
+      ASSERT_OK(streams.Append("s", Chunk(i)).status());
+    }
+    ASSERT_OK(store.RecordCreate("t", {0.5, 0.5}, SmallOptions()));
+    ASSERT_OK(streams.CreateStream("t", {0.5, 0.5}, SmallOptions()));
+    ASSERT_OK(store.RecordClose("t"));
+    ASSERT_OK(streams.CloseStream("t"));
+  }
+
+  engine::StreamManager recovered;
+  RecoveryStats recovery;
+  ASSERT_OK_AND_ASSIGN(
+      StateStore store,
+      StateStore::Open(dir_, {.fsync_policy = FsyncPolicy::kNone},
+                       &recovered, nullptr, &recovery));
+  EXPECT_EQ(recovery.journal_records_applied, 9);
+  EXPECT_EQ(recovery.journal_records_failed, 0);
+  EXPECT_FALSE(recovered.HasStream("t"));
+
+  engine::StreamManager reference;
+  ASSERT_OK(reference.CreateStream("s", {0.5, 0.5}, SmallOptions()));
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_OK(reference.Append("s", Chunk(i)).status());
+  }
+  ExpectSameStreams(recovered, reference);
+}
+
+TEST_F(StateStoreTest, SnapshotPlusJournalTailRecovery) {
+  {
+    engine::StreamManager streams;
+    engine::ResultCache cache(8);
+    cache.Insert({1, 2}, {.match_count = 5});
+    RecoveryStats recovery;
+    ASSERT_OK_AND_ASSIGN(
+        StateStore store,
+        StateStore::Open(dir_, {.fsync_policy = FsyncPolicy::kNone},
+                         &streams, &cache, &recovery));
+    ASSERT_OK(store.RecordCreate("s", {0.5, 0.5}, SmallOptions()));
+    ASSERT_OK(streams.CreateStream("s", {0.5, 0.5}, SmallOptions()));
+    ASSERT_OK(store.RecordAppend("s", Chunk(0)));
+    ASSERT_OK(streams.Append("s", Chunk(0)).status());
+
+    ASSERT_OK(store.Snapshot(streams, &cache));
+
+    // Post-snapshot tail: only these should replay from the journal.
+    ASSERT_OK(store.RecordAppend("s", Chunk(1)));
+    ASSERT_OK(streams.Append("s", Chunk(1)).status());
+  }
+
+  engine::StreamManager recovered;
+  engine::ResultCache cache(8);
+  RecoveryStats recovery;
+  ASSERT_OK_AND_ASSIGN(
+      StateStore store,
+      StateStore::Open(dir_, {.fsync_policy = FsyncPolicy::kNone},
+                       &recovered, &cache, &recovery));
+  EXPECT_TRUE(recovery.snapshot_loaded);
+  EXPECT_EQ(recovery.streams_restored, 1);
+  EXPECT_EQ(recovery.journal_records_applied, 1);  // Chunk(1) only.
+  EXPECT_EQ(recovery.cache_entries_loaded, 1);
+  EXPECT_TRUE(cache.Lookup({1, 2}).has_value());
+
+  engine::StreamManager reference;
+  ASSERT_OK(reference.CreateStream("s", {0.5, 0.5}, SmallOptions()));
+  ASSERT_OK(reference.Append("s", Chunk(0)).status());
+  ASSERT_OK(reference.Append("s", Chunk(1)).status());
+  ExpectSameStreams(recovered, reference);
+}
+
+TEST_F(StateStoreTest, CorruptSnapshotFailsOpenByName) {
+  {
+    engine::StreamManager streams;
+    RecoveryStats recovery;
+    ASSERT_OK_AND_ASSIGN(
+        StateStore store,
+        StateStore::Open(dir_, {.fsync_policy = FsyncPolicy::kNone},
+                         &streams, nullptr, &recovery));
+    ASSERT_OK(store.RecordCreate("s", {0.5, 0.5}, SmallOptions()));
+    ASSERT_OK(streams.CreateStream("s", {0.5, 0.5}, SmallOptions()));
+    ASSERT_OK(store.Snapshot(streams, nullptr));
+  }
+  {
+    int fd = ::open(StateStore::SnapshotPath(dir_).c_str(),
+                    O_WRONLY | O_TRUNC, 0644);
+    ASSERT_GE(fd, 0);
+    ASSERT_OK(WriteFdAll(fd, "definitely not a snapshot"));
+    ::close(fd);
+  }
+  engine::StreamManager streams;
+  RecoveryStats recovery;
+  Result<StateStore> reopened =
+      StateStore::Open(dir_, {.fsync_policy = FsyncPolicy::kNone},
+                       &streams, nullptr, &recovery);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kFailedPrecondition);
+  // Nothing half-restored.
+  EXPECT_TRUE(streams.StreamNames().empty());
+}
+
+TEST_F(StateStoreTest, CorruptCacheIsDiscardedQuietly) {
+  {
+    engine::StreamManager streams;
+    engine::ResultCache cache(8);
+    cache.Insert({3, 4}, {.match_count = 1});
+    RecoveryStats recovery;
+    ASSERT_OK_AND_ASSIGN(
+        StateStore store,
+        StateStore::Open(dir_, {.fsync_policy = FsyncPolicy::kNone},
+                         &streams, &cache, &recovery));
+    ASSERT_OK(store.Snapshot(streams, &cache));
+  }
+  {
+    int fd = ::open(StateStore::CachePath(dir_).c_str(), O_WRONLY | O_TRUNC,
+                    0644);
+    ASSERT_GE(fd, 0);
+    ASSERT_OK(WriteFdAll(fd, "junk cache"));
+    ::close(fd);
+  }
+  engine::StreamManager streams;
+  engine::ResultCache cache(8);
+  RecoveryStats recovery;
+  ASSERT_OK(StateStore::Open(dir_, {.fsync_policy = FsyncPolicy::kNone},
+                             &streams, &cache, &recovery)
+                .status());
+  EXPECT_TRUE(recovery.cache_discarded);
+  EXPECT_EQ(recovery.cache_entries_loaded, 0);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(StateStoreTest, RecordFailureSurfacesEpersistConditions) {
+  engine::StreamManager streams;
+  RecoveryStats recovery;
+  ASSERT_OK_AND_ASSIGN(
+      StateStore store,
+      StateStore::Open(dir_, {.fsync_policy = FsyncPolicy::kNone},
+                       &streams, nullptr, &recovery));
+  ASSERT_OK(store.RecordCreate("s", {0.5, 0.5}, SmallOptions()));
+  ASSERT_OK(streams.CreateStream("s", {0.5, 0.5}, SmallOptions()));
+
+  ASSERT_OK(fault::Arm("write:1:ENOSPC"));
+  Status failed = store.RecordAppend("s", Chunk(0));
+  fault::Disarm();
+  ASSERT_FALSE(failed.ok());
+  // The op was not journaled; per the ordering contract the caller must
+  // not apply it — and recovery agrees the journal holds only CREATE.
+  Status ok = store.RecordAppend("s", Chunk(1));
+  ASSERT_OK(ok);
+  ASSERT_OK(streams.Append("s", Chunk(1)).status());
+}
+
+#ifndef SIGSUB_SKIP_FORK_TESTS
+
+/// Crash matrix: a forked child journals a CREATE plus appends with a
+/// SIGKILL armed on the nth journal write (or fsync), acknowledging each
+/// completed op through a side file written with raw syscalls (the raw
+/// ::write is deliberate — it must not advance the shim's counters).
+/// The parent then recovers the state directory and requires the
+/// recovered stream to be bit-identical to a reference fed exactly the
+/// acknowledged chunks — plus at most the one in-flight chunk when the
+/// kill landed between the journal write and the acknowledgment
+/// (at-least-once of a real request, never an invented op).
+class CrashMatrixTest : public StateStoreTest,
+                        public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(CrashMatrixTest, KilledChildRecoversToAcknowledgedPrefix) {
+  const std::string ack_path = dir_ + "/acks";
+  const int kChunks = 8;
+
+  pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // --- child: no gtest assertions past this point; _exit on error.
+    int ack_fd =
+        ::open(ack_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (ack_fd < 0) _exit(2);
+    engine::StreamManager streams;
+    RecoveryStats recovery;
+    auto store = StateStore::Open(
+        dir_, {.fsync_policy = FsyncPolicy::kAlways}, &streams, nullptr,
+        &recovery);
+    if (!store.ok()) _exit(3);
+    if (!fault::Arm(GetParam()).ok()) _exit(4);
+    if (!store->RecordCreate("s", {0.5, 0.5}, SmallOptions()).ok()) {
+      _exit(0);  // EPERSIST path: op refused, nothing applied. Legal.
+    }
+    if (!streams.CreateStream("s", {0.5, 0.5}, SmallOptions()).ok()) {
+      _exit(5);
+    }
+    // Raw syscalls on purpose: the ack channel must not pass through
+    // the armed shim. fsync makes the ack at least as durable as the
+    // journal record it confirms.
+    if (::write(ack_fd, "C", 1) != 1 || ::fsync(ack_fd) != 0) _exit(6);
+    for (int i = 0; i < kChunks; ++i) {
+      if (!store->RecordAppend("s", Chunk(i)).ok()) _exit(0);  // EPERSIST.
+      if (!streams.Append("s", Chunk(i)).ok()) _exit(7);
+      if (::write(ack_fd, "A", 1) != 1 || ::fsync(ack_fd) != 0) _exit(8);
+    }
+    _exit(0);  // Armed count higher than the ops performed: no kill.
+  }
+
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  const bool killed = WIFSIGNALED(wstatus) && WTERMSIG(wstatus) == SIGKILL;
+  const bool exited_clean = WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0;
+  ASSERT_TRUE(killed || exited_clean)
+      << "child ended unexpectedly, wstatus=" << wstatus;
+
+  ASSERT_OK_AND_ASSIGN(std::string acks, ReadFileToString(ack_path));
+  const bool created = !acks.empty() && acks[0] == 'C';
+  const int acked_chunks =
+      created ? static_cast<int>(acks.size()) - 1 : 0;
+
+  engine::StreamManager recovered;
+  RecoveryStats recovery;
+  ASSERT_OK_AND_ASSIGN(
+      StateStore store,
+      StateStore::Open(dir_, {.fsync_policy = FsyncPolicy::kAlways},
+                       &recovered, nullptr, &recovery));
+
+  const int64_t total_ops =
+      recovery.streams_restored + recovery.journal_records_applied;
+  const int64_t acked_ops = (created ? 1 : 0) + acked_chunks;
+  // Nothing acknowledged may be lost...
+  ASSERT_GE(total_ops, acked_ops)
+      << "acked ops lost (acks=\"" << acks << "\")";
+  // ...and nothing may be invented beyond the single in-flight op.
+  ASSERT_LE(total_ops, acked_ops + 1);
+  const int recovered_chunks =
+      static_cast<int>(total_ops) - (total_ops > 0 ? 1 : 0);
+
+  // Bit-identical to a reference fed exactly the recovered prefix.
+  engine::StreamManager reference;
+  if (total_ops > 0) {
+    ASSERT_OK(reference.CreateStream("s", {0.5, 0.5}, SmallOptions()));
+    for (int i = 0; i < recovered_chunks; ++i) {
+      ASSERT_OK(reference.Append("s", Chunk(i)).status());
+    }
+  }
+  ExpectSameStreams(recovered, reference);
+
+  // And the journal survived its torn tail: appending works again.
+  if (total_ops > 0) {
+    ASSERT_OK(store.RecordAppend("s", Chunk(0)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KillPoints, CrashMatrixTest,
+    ::testing::Values("write:1:kill", "write:2:kill", "write:3:kill",
+                      "write:5:kill", "write:8:kill", "write:40:kill",
+                      "fsync:1:kill", "fsync:3:kill", "fsync:7:kill"));
+
+#endif  // SIGSUB_SKIP_FORK_TESTS
+
+}  // namespace
+}  // namespace persist
+}  // namespace sigsub

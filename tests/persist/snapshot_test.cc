@@ -1,0 +1,322 @@
+#include "persist/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "common/check.h"
+#include "common/posix_io.h"
+#include "common/result.h"
+#include "core/streaming.h"
+#include "engine/stream_manager.h"
+#include "persist/format.h"
+#include "seq/generators.h"
+#include "seq/model.h"
+#include "seq/rng.h"
+#include "testing/test_util.h"
+
+namespace sigsub {
+namespace persist {
+namespace {
+
+using core::StreamingDetector;
+using engine::PersistedStream;
+
+std::vector<uint8_t> TestStream(uint64_t seed, int64_t length) {
+  seq::Rng rng(seed);
+  auto stream = seq::GenerateRegimes(
+      2, {{length / 2, {0.5, 0.5}}, {length / 4, {0.05, 0.95}},
+          {length / 4, {0.5, 0.5}}},
+      rng);
+  auto symbols = stream->symbols();
+  return std::vector<uint8_t>(symbols.begin(), symbols.end());
+}
+
+PersistedStream MakePersisted(const std::string& name) {
+  StreamingDetector::Options options;
+  options.max_window = 64;
+  options.alpha = 1e-4;
+  auto detector =
+      StreamingDetector::Make(seq::MultinomialModel::Uniform(2), options);
+  SIGSUB_CHECK(detector.ok());
+  std::vector<uint8_t> symbols = TestStream(11, 400);
+  std::vector<StreamingDetector::Alarm> alarms =
+      detector->AppendChunk(symbols);
+
+  PersistedStream persisted;
+  persisted.name = name;
+  persisted.probs = {0.5, 0.5};
+  persisted.options = options;
+  persisted.state = detector->SaveState();
+  persisted.alarms = std::move(alarms);
+  persisted.alarms_dropped = 3;
+  return persisted;
+}
+
+TEST(SnapshotCodecTest, RoundTripsStreamsAndAlarms) {
+  SnapshotData data;
+  data.last_lsn = 42;
+  data.streams.push_back(MakePersisted("alpha"));
+  data.streams.push_back(MakePersisted("beta"));
+
+  ASSERT_OK_AND_ASSIGN(SnapshotData decoded,
+                       DecodeSnapshot(BytesOf(EncodeSnapshot(data))));
+  EXPECT_EQ(decoded.last_lsn, 42u);
+  ASSERT_EQ(decoded.streams.size(), 2u);
+  const engine::PersistedStream& in = data.streams[0];
+  const engine::PersistedStream& out = decoded.streams[0];
+  EXPECT_EQ(out.name, "alpha");
+  EXPECT_EQ(out.probs, in.probs);
+  EXPECT_EQ(out.options.max_window, in.options.max_window);
+  EXPECT_EQ(out.options.alpha, in.options.alpha);
+  EXPECT_EQ(out.options.x2_threshold, in.options.x2_threshold);
+  EXPECT_EQ(out.options.rearm_fraction, in.options.rearm_fraction);
+  EXPECT_EQ(out.state.position, in.state.position);
+  EXPECT_EQ(out.state.alarms_raised, in.state.alarms_raised);
+  EXPECT_EQ(out.state.counts, in.state.counts);
+  EXPECT_EQ(out.state.in_alarm, in.state.in_alarm);
+  EXPECT_EQ(out.state.recent, in.state.recent);
+  EXPECT_EQ(out.alarms_dropped, 3);
+  ASSERT_EQ(out.alarms.size(), in.alarms.size());
+  for (size_t i = 0; i < in.alarms.size(); ++i) {
+    EXPECT_EQ(out.alarms[i].end, in.alarms[i].end);
+    EXPECT_EQ(out.alarms[i].length, in.alarms[i].length);
+    // Doubles travel as raw bits, so exact comparison is the contract.
+    EXPECT_EQ(out.alarms[i].chi_square, in.alarms[i].chi_square);
+    EXPECT_EQ(out.alarms[i].p_value, in.alarms[i].p_value);
+  }
+}
+
+TEST(SnapshotCodecTest, EmptySnapshotRoundTrips) {
+  SnapshotData data;
+  ASSERT_OK_AND_ASSIGN(SnapshotData decoded,
+                       DecodeSnapshot(BytesOf(EncodeSnapshot(data))));
+  EXPECT_EQ(decoded.last_lsn, 0u);
+  EXPECT_TRUE(decoded.streams.empty());
+}
+
+TEST(SnapshotCodecTest, RejectsDamageByName) {
+  SnapshotData data;
+  data.streams.push_back(MakePersisted("s"));
+  std::string bytes = EncodeSnapshot(data);
+
+  {  // Bit flip in the payload: frame CRC catches it.
+    std::string bad = bytes;
+    bad[bad.size() / 2] = static_cast<char>(bad[bad.size() / 2] ^ 0x10);
+    EXPECT_FALSE(DecodeSnapshot(BytesOf(bad)).ok());
+  }
+  {  // Truncation: snapshots have no legitimate torn state.
+    std::string bad = bytes.substr(0, bytes.size() - 7);
+    EXPECT_FALSE(DecodeSnapshot(BytesOf(bad)).ok());
+  }
+  {  // Trailing garbage after the payload frame.
+    std::string bad = bytes + "xxxx";
+    EXPECT_FALSE(DecodeSnapshot(BytesOf(bad)).ok());
+  }
+  {  // A journal file is not a snapshot.
+    EXPECT_FALSE(
+        DecodeSnapshot(BytesOf(EncodeFileHeader(FileKind::kJournal))).ok());
+  }
+}
+
+TEST(SnapshotFileTest, WriteReadRoundTripAndNamedFailures) {
+  char tmpl[] = "/tmp/sigsub_snapshot_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  std::string dir = tmpl;
+  std::string path = dir + "/snapshot.bin";
+
+  // Absent file = cold start, by the NotFound contract.
+  Result<SnapshotData> missing = ReadSnapshotFile(path);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  SnapshotData data;
+  data.last_lsn = 9;
+  data.streams.push_back(MakePersisted("s"));
+  ASSERT_OK(WriteSnapshotFile(path, data));
+  ASSERT_OK_AND_ASSIGN(SnapshotData decoded, ReadSnapshotFile(path));
+  EXPECT_EQ(decoded.last_lsn, 9u);
+  ASSERT_EQ(decoded.streams.size(), 1u);
+
+  // Corruption is FailedPrecondition naming the path, never a crash.
+  {
+    int fd = ::open(path.c_str(), O_WRONLY, 0644);
+    ASSERT_GE(fd, 0);
+    ASSERT_OK(WriteFdAll(fd, "garbage"));
+    ::close(fd);
+  }
+  Result<SnapshotData> corrupt = ReadSnapshotFile(path);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(corrupt.status().message().find(path), std::string::npos);
+
+  ::unlink(path.c_str());
+  ::rmdir(dir.c_str());
+}
+
+// ------------------------------------------------------------------ matrix
+//
+// Snapshot/restore must be bit-identical for EVERY detector option
+// combination: threshold mode (calibrated alpha vs raw X² override),
+// hysteresis (off, default, always-rearmed via +inf), and window size.
+// For each combination: run a detector over a prefix, save, restore into
+// a fresh detector, then feed the same suffix to both and require equal
+// counters, positions, alarm totals, and bitwise-equal X² values.
+
+struct MatrixCase {
+  int64_t max_window;
+  bool use_x2_threshold;  // false = calibrated alpha path.
+  double rearm_fraction;
+};
+
+class SnapshotOptionMatrixTest
+    : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(SnapshotOptionMatrixTest, RestoredDetectorContinuesBitIdentically) {
+  const MatrixCase& c = GetParam();
+  StreamingDetector::Options options;
+  options.max_window = c.max_window;
+  if (c.use_x2_threshold) {
+    options.x2_threshold = 6.0;  // Shallow: exercises frequent alarms.
+  } else {
+    options.alpha = 1e-4;
+  }
+  options.rearm_fraction = c.rearm_fraction;
+
+  auto model = seq::MultinomialModel::Uniform(2);
+  ASSERT_OK_AND_ASSIGN(StreamingDetector original,
+                       StreamingDetector::Make(model, options));
+
+  std::vector<uint8_t> symbols = TestStream(29, 600);
+  const size_t cut = symbols.size() / 2;
+  std::span<const uint8_t> prefix(symbols.data(), cut);
+  std::span<const uint8_t> suffix(symbols.data() + cut,
+                                  symbols.size() - cut);
+  original.AppendChunk(prefix);
+
+  // Serialize through the real snapshot codec, not just SaveState, so
+  // the on-disk double/bit discipline is part of what's tested.
+  SnapshotData data;
+  PersistedStream persisted;
+  persisted.name = "m";
+  persisted.probs = {0.5, 0.5};
+  persisted.options = options;
+  persisted.state = original.SaveState();
+  data.streams.push_back(persisted);
+  ASSERT_OK_AND_ASSIGN(SnapshotData decoded,
+                       DecodeSnapshot(BytesOf(EncodeSnapshot(data))));
+
+  ASSERT_OK_AND_ASSIGN(StreamingDetector restored,
+                       StreamingDetector::Make(model, options));
+  ASSERT_OK(restored.RestoreState(decoded.streams[0].state));
+  EXPECT_EQ(restored.position(), original.position());
+
+  std::vector<StreamingDetector::Alarm> original_alarms =
+      original.AppendChunk(suffix);
+  std::vector<StreamingDetector::Alarm> restored_alarms =
+      restored.AppendChunk(suffix);
+
+  EXPECT_EQ(restored.position(), original.position());
+  EXPECT_EQ(restored.alarms_raised(), original.alarms_raised());
+  ASSERT_EQ(restored_alarms.size(), original_alarms.size());
+  for (size_t i = 0; i < original_alarms.size(); ++i) {
+    EXPECT_EQ(restored_alarms[i].end, original_alarms[i].end);
+    EXPECT_EQ(restored_alarms[i].length, original_alarms[i].length);
+    EXPECT_EQ(restored_alarms[i].chi_square, original_alarms[i].chi_square);
+  }
+  std::vector<double> original_x2 = original.CurrentChiSquares();
+  std::vector<double> restored_x2 = restored.CurrentChiSquares();
+  ASSERT_EQ(restored_x2.size(), original_x2.size());
+  for (size_t i = 0; i < original_x2.size(); ++i) {
+    // Bitwise equality — the whole point of counter-exact restore.
+    EXPECT_EQ(restored_x2[i], original_x2[i]) << "scale " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOptionCombinations, SnapshotOptionMatrixTest,
+    ::testing::Values(
+        MatrixCase{4, false, 0.0}, MatrixCase{4, false, 0.5},
+        MatrixCase{4, false, 1.0},
+        MatrixCase{4, false, std::numeric_limits<double>::infinity()},
+        MatrixCase{4, true, 0.0}, MatrixCase{4, true, 0.5},
+        MatrixCase{4, true, 1.0},
+        MatrixCase{4, true, std::numeric_limits<double>::infinity()},
+        MatrixCase{64, false, 0.0}, MatrixCase{64, false, 0.5},
+        MatrixCase{64, false, 1.0},
+        MatrixCase{64, false, std::numeric_limits<double>::infinity()},
+        MatrixCase{64, true, 0.0}, MatrixCase{64, true, 0.5},
+        MatrixCase{64, true, 1.0},
+        MatrixCase{64, true, std::numeric_limits<double>::infinity()}));
+
+TEST(RestoreValidationTest, CorruptStateIsNamedNeverAdopted) {
+  StreamingDetector::Options options;
+  options.max_window = 8;
+  auto model = seq::MultinomialModel::Uniform(2);
+  ASSERT_OK_AND_ASSIGN(StreamingDetector donor,
+                       StreamingDetector::Make(model, options));
+  std::vector<uint8_t> symbols = TestStream(5, 100);
+  donor.AppendChunk(symbols);
+  StreamingDetector::State good = donor.SaveState();
+
+  auto expect_rejected = [&](StreamingDetector::State state) {
+    ASSERT_OK_AND_ASSIGN(StreamingDetector target,
+                         StreamingDetector::Make(model, options));
+    Status status = target.RestoreState(state);
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    // Detector unchanged: it still behaves as freshly made.
+    EXPECT_EQ(target.position(), 0);
+  };
+
+  {  // Negative position.
+    StreamingDetector::State bad = good;
+    bad.position = -1;
+    expect_rejected(bad);
+  }
+  {  // Wrong counter-block shape.
+    StreamingDetector::State bad = good;
+    bad.counts.pop_back();
+    expect_rejected(bad);
+  }
+  {  // Ring symbol outside the alphabet.
+    StreamingDetector::State bad = good;
+    bad.recent[0] = 77;
+    expect_rejected(bad);
+  }
+  {  // Hysteresis flag that is neither 0 nor 1.
+    StreamingDetector::State bad = good;
+    bad.in_alarm[0] = 2;
+    expect_rejected(bad);
+  }
+  {  // Counter sums no longer match min(scale, position).
+    StreamingDetector::State bad = good;
+    bad.counts[0] += 1;
+    expect_rejected(bad);
+  }
+  {  // Negative count.
+    StreamingDetector::State bad = good;
+    bad.counts[0] = -5;
+    bad.counts[1] += 5 + good.counts[0];
+    expect_rejected(bad);
+  }
+
+  // The pristine state still restores (the lambda above didn't poison
+  // anything global).
+  ASSERT_OK_AND_ASSIGN(StreamingDetector target,
+                       StreamingDetector::Make(model, options));
+  ASSERT_OK(target.RestoreState(good));
+  EXPECT_EQ(target.position(), donor.position());
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace sigsub

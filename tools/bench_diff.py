@@ -25,7 +25,15 @@ metric's BENCH file or row is missing, or when a bench recorded a failing
 correctness gate: numbers from a run that failed its own gates would bake
 a buggy build into the baseline.
 
-Usage: python3 tools/bench_diff.py [--dir DIR] [--baseline PATH]
+With --list the script prints every tracked metric (file, result, metric,
+committed baseline) and exits without reading any BENCH file — the quick
+answer to "what does CI actually gate on?".
+
+All failure modes exit with a named one-line error (exit 2 for a missing
+or malformed baseline file, exit 1 for missing metrics/regressions),
+never a Python traceback.
+
+Usage: python3 tools/bench_diff.py [--dir DIR] [--baseline PATH] [--list]
                                    [--write-baseline] [--write-margin M]
 """
 
@@ -38,6 +46,11 @@ import sys
 def load_json(path):
     with open(path, "r", encoding="utf-8") as handle:
         return json.load(handle)
+
+
+def fail(message):
+    print("bench_diff: error: %s" % message, file=sys.stderr)
+    return 2
 
 
 def find_result(bench, result_name):
@@ -66,6 +79,13 @@ def main():
         "failing gates do)",
     )
     parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_tracked",
+        help="print the tracked metrics and their committed baselines, "
+        "then exit without reading any BENCH file",
+    )
+    parser.add_argument(
         "--write-margin",
         type=float,
         default=0.15,
@@ -77,13 +97,49 @@ def main():
     if not 0.0 <= args.write_margin < 1.0:
         parser.error("--write-margin must be in [0, 1)")
 
-    baseline = load_json(args.baseline)
+    try:
+        baseline = load_json(args.baseline)
+    except OSError as error:
+        return fail("cannot read baseline file %s (%s)" % (args.baseline, error))
+    except json.JSONDecodeError as error:
+        return fail("baseline file %s is not valid JSON: %s" % (args.baseline, error))
     threshold = float(baseline.get("regression_threshold", 0.15))
+    tracked_list = baseline.get("tracked")
+    if not isinstance(tracked_list, list):
+        return fail('baseline file %s has no "tracked" list' % args.baseline)
+    for index, tracked in enumerate(tracked_list):
+        missing = [
+            key
+            for key in ("file", "result", "metric", "baseline")
+            if not isinstance(tracked, dict) or key not in tracked
+        ]
+        if missing:
+            return fail(
+                'baseline entry #%d is missing key(s) %s in %s'
+                % (index + 1, ", ".join('"%s"' % key for key in missing), args.baseline)
+            )
+
+    if args.list_tracked:
+        print(
+            "%d tracked metric(s) in %s (regression threshold %d%%):"
+            % (len(tracked_list), args.baseline, round(threshold * 100))
+        )
+        for tracked in tracked_list:
+            print(
+                "  %-24s %-24s %-12s baseline %.2f"
+                % (
+                    tracked["file"],
+                    tracked["result"],
+                    tracked["metric"],
+                    float(tracked["baseline"]),
+                )
+            )
+        return 0
 
     rows = []
     failures = 0
     bench_cache = {}
-    for tracked in baseline["tracked"]:
+    for tracked in tracked_list:
         file_name = tracked["file"]
         result_name = tracked["result"]
         metric = tracked["metric"]

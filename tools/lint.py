@@ -21,6 +21,12 @@ Rules (each can be suppressed on a single line with a trailing
                      under the thread pool: lgamma (glibc signgam),
                      strtok, localtime, gmtime, asctime, ctime, rand,
                      srand. Use the _r/alternative forms instead.
+  raw-io             direct ::write / ::fsync calls appear in src/ only
+                     inside common/posix_io.cc and
+                     common/fault_injection.cc. Everything else goes
+                     through RawWrite/RawFsync/WriteFdAll so the fault-
+                     injection shim (SIGSUB_FAULT) covers every byte the
+                     durability layer puts on disk.
 
 Exit status: 0 clean, 1 findings, 2 usage/environment error.
 """
@@ -45,6 +51,14 @@ RAW_MUTEX_RE = re.compile(
     r"|condition_variable(?:_any)?)\b"
 )
 RAW_MUTEX_EXEMPT = {"common/mutex.h"}
+
+# Raw write/fsync syscalls bypass the fault-injection shim; keeping them
+# behind common/posix_io.cc's RawWrite/RawFsync wrappers is what makes
+# the crash-recovery tests able to fail any on-disk byte by call count.
+# (::read is deliberately not banned: the poll-loop drain reads are not
+# durability-bearing.)
+RAW_IO_RE = re.compile(r"::\s*(write|fsync)\s*\(")
+RAW_IO_EXEMPT = {"common/posix_io.cc", "common/fault_injection.cc"}
 
 UNSAFE_CALL_RE = re.compile(
     r"(?<![A-Za-z0-9_])"
@@ -171,6 +185,13 @@ def check_text_rules(path, lines):
             report(path, lineno, "unsafe-call",
                    f"`{m.group(1)}()` touches process-global state and is "
                    "not thread-safe; use the reentrant alternative")
+        if rel not in RAW_IO_EXEMPT:
+            m = RAW_IO_RE.search(code)
+            if m and not allowed(line, "raw-io"):
+                report(path, lineno, "raw-io",
+                       f"`::{m.group(1)}()` bypasses the fault-injection "
+                       "shim — use RawWrite/RawFsync/WriteFdAll from "
+                       "common/posix_io.h")
 
 
 def check_self_contained(headers, compiler):
