@@ -13,8 +13,9 @@ namespace sigsub {
 /// Result<T> holds either a value of type T or a non-OK Status, mirroring
 /// arrow::Result / absl::StatusOr. Accessing the value of an errored Result
 /// is a programming error and aborts (checked in all build modes).
+/// [[nodiscard]]: dropping a Result drops both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
@@ -63,6 +64,27 @@ class Result {
   Status status_;
   std::optional<T> value_;
 };
+
+/// Evaluates `expr` (a Status or Result expression) and aborts with the
+/// rendered status if it is an error. The sanctioned way to consume a
+/// must-succeed Status whose failure would be a programming error —
+/// sigsub_lint's unchecked-result rule accepts it as a consumer.
+#define SIGSUB_CHECK_OK(expr)                                        \
+  do {                                                               \
+    const auto& _sigsub_check_ok = (expr);                           \
+    SIGSUB_CHECK_MSG(_sigsub_check_ok.ok(), "%s",                    \
+                     ::sigsub::internal::StatusOf(_sigsub_check_ok)  \
+                         .ToString()                                 \
+                         .c_str());                                  \
+  } while (false)
+
+namespace internal {
+inline const Status& StatusOf(const Status& status) { return status; }
+template <typename T>
+const Status& StatusOf(const Result<T>& result) {
+  return result.status();
+}
+}  // namespace internal
 
 /// Evaluates `expr` (a Status expression) and returns it from the enclosing
 /// function if it is an error.

@@ -26,7 +26,11 @@ std::string_view StatusCodeToString(StatusCode code);
 
 /// A cheap, copyable success-or-error value. The OK state carries no
 /// allocation; error states carry a code and a message.
-class Status {
+///
+/// [[nodiscard]] on the class makes every function returning a Status
+/// warn when the caller drops the value on the floor; sigsub_lint's
+/// unchecked-result rule enforces the same contract compiler-independently.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

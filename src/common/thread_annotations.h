@@ -70,4 +70,13 @@
 #define SIGSUB_NO_THREAD_SAFETY_ANALYSIS \
   SIGSUB_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
 
+/// Documents that a member of a mutex-owning class is NOT shared: it is
+/// touched only by `owner` (a thread name, or `init` for members written
+/// during construction/destruction and immutable while threads run).
+/// Expands to nothing for every compiler — the annotation exists for
+/// readers and for sigsub_lint's lock-order rule, which requires every
+/// mutable member of a mutex-owning class to say who protects it
+/// (GUARDED_BY / atomic / const / this).
+#define SIGSUB_THREAD_CONFINED(owner)
+
 #endif  // SIGSUB_COMMON_THREAD_ANNOTATIONS_H_

@@ -60,8 +60,11 @@ class ThreadPool {
   void WorkerLoop(size_t worker_index);
   bool TryRunOneTask(size_t worker_index);
 
-  std::vector<std::unique_ptr<Worker>> workers_;
-  std::vector<std::thread> threads_;
+  // Both vectors are built in the constructor and joined/destroyed in the
+  // destructor; their shape never changes while workers run (per-worker
+  // queue state lives behind each Worker::mutex).
+  std::vector<std::unique_ptr<Worker>> workers_ SIGSUB_THREAD_CONFINED(init);
+  std::vector<std::thread> threads_ SIGSUB_THREAD_CONFINED(init);
 
   // Wakes idle workers when work arrives or the pool shuts down. Guards
   // no data of its own: the predicate state (`stop_`, `pending_`) is
@@ -70,7 +73,10 @@ class ThreadPool {
   Mutex wake_mutex_;
   CondVar wake_cv_;
 
-  // Signals Wait() when the last outstanding task retires.
+  // Signals Wait() when the last outstanding task retires. Deque locks
+  // come before the completion lock in the task pipeline; no path holds
+  // both (TryRunOneTask releases the deque lock before touching it).
+  // sigsub-lint: order ThreadPool::Worker::mutex < ThreadPool::done_mutex_
   Mutex done_mutex_;
   CondVar done_cv_;
 

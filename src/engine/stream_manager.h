@@ -189,9 +189,14 @@ class StreamManager {
       Stream& stream, std::span<const uint8_t> symbols)
       SIGSUB_EXCLUDES(stream.mutex);
 
-  StreamManagerOptions options_;
-  ThreadPool pool_;
+  StreamManagerOptions options_ SIGSUB_THREAD_CONFINED(init);
+  ThreadPool pool_;  // Internally synchronized.
 
+  // Canonical order: the manager map lock comes before any per-stream
+  // lock (lookups resolve the shared_ptr under mutex_, then operate on
+  // the stream under its own mutex — ExportStreams documents why the
+  // two are never actually nested).
+  // sigsub-lint: order StreamManager::mutex_ < StreamManager::Stream::mutex
   mutable Mutex mutex_;  // Guards streams_ and contexts_.
   std::map<std::string, std::shared_ptr<Stream>> streams_
       SIGSUB_GUARDED_BY(mutex_);

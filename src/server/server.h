@@ -217,28 +217,32 @@ class Server {
       SIGSUB_EXCLUDES(response_mutex_);
   void Wakeup();
 
-  engine::Corpus corpus_;
-  ServerOptions options_;
-  engine::Engine engine_;
-  engine::StreamManager streams_;
+  engine::Corpus corpus_ SIGSUB_THREAD_CONFINED(init);
+  ServerOptions options_ SIGSUB_THREAD_CONFINED(init);
+  engine::Engine engine_ SIGSUB_THREAD_CONFINED(executor);
+  engine::StreamManager streams_;  // Internally synchronized.
 
   // Durability (engaged only with options_.state_dir). Touched by the
   // executor thread after Start(); Start() itself runs recovery before
   // either thread exists.
-  std::unique_ptr<persist::StateStore> state_;
-  persist::RecoveryStats recovery_;
+  std::unique_ptr<persist::StateStore> state_ SIGSUB_THREAD_CONFINED(executor);
+  persist::RecoveryStats recovery_ SIGSUB_THREAD_CONFINED(init);
 
-  int listen_fd_ = -1;
-  int port_ = 0;
-  int wakeup_read_fd_ = -1;
-  int wakeup_write_fd_ = -1;
+  // Sockets: opened in Start() before either thread spawns, immutable
+  // until Stop() joins them again.
+  int listen_fd_ SIGSUB_THREAD_CONFINED(init) = -1;
+  int port_ SIGSUB_THREAD_CONFINED(init) = 0;
+  int wakeup_read_fd_ SIGSUB_THREAD_CONFINED(init) = -1;
+  int wakeup_write_fd_ SIGSUB_THREAD_CONFINED(init) = -1;
 
   std::atomic<bool> draining_{false};
   std::atomic<bool> stop_executor_{false};
   std::atomic<int64_t> inflight_total_{0};
 
-  // Admission queue: I/O thread pushes, executor pops slices.
-  mutable Mutex queue_mutex_;
+  // Admission queue: I/O thread pushes, executor pops slices. Never held
+  // together with response_mutex_ (DrainComplete takes them in separate
+  // scopes); the declared order matches the request pipeline direction.
+  mutable Mutex queue_mutex_ SIGSUB_ACQUIRED_BEFORE(response_mutex_);
   CondVar queue_cv_;
   std::deque<Work> queue_ SIGSUB_GUARDED_BY(queue_mutex_);
 
@@ -248,12 +252,13 @@ class Server {
   std::vector<Outbound> responses_ SIGSUB_GUARDED_BY(response_mutex_);
 
   // I/O-thread-only state (no locks; never touched elsewhere).
-  std::map<uint64_t, std::unique_ptr<Connection>> connections_;
-  uint64_t next_conn_id_ = 1;
-  int64_t drain_started_ms_ = 0;
+  std::map<uint64_t, std::unique_ptr<Connection>> connections_
+      SIGSUB_THREAD_CONFINED(io);
+  uint64_t next_conn_id_ SIGSUB_THREAD_CONFINED(io) = 1;
+  int64_t drain_started_ms_ SIGSUB_THREAD_CONFINED(io) = 0;
   // First moment the drain condition held; the loop lingers kDrainLingerMs
   // past it to catch request bytes that were on the wire at drain time.
-  int64_t drain_quiesce_ms_ = 0;
+  int64_t drain_quiesce_ms_ SIGSUB_THREAD_CONFINED(io) = 0;
 
   // Counters (any thread).
   std::atomic<int64_t> connections_accepted_{0};
@@ -268,12 +273,13 @@ class Server {
   std::atomic<int64_t> alarms_pushed_{0};
   std::atomic<int64_t> persist_errors_{0};
   std::atomic<int64_t> connections_current_{0};
-  int64_t started_ms_ = 0;
+  int64_t started_ms_ SIGSUB_THREAD_CONFINED(init) = 0;
 
-  std::thread io_thread_;
-  std::thread executor_thread_;
-  bool started_ = false;
-  bool joined_ = false;
+  // Lifecycle state, touched only by the thread driving Start()/Stop().
+  std::thread io_thread_ SIGSUB_THREAD_CONFINED(lifecycle);
+  std::thread executor_thread_ SIGSUB_THREAD_CONFINED(lifecycle);
+  bool started_ SIGSUB_THREAD_CONFINED(lifecycle) = false;
+  bool joined_ SIGSUB_THREAD_CONFINED(lifecycle) = false;
 };
 
 }  // namespace server

@@ -62,7 +62,8 @@ double LogGamma(double x) {
 #else
   // Non-glibc fallback without the _r variant; signgam races are
   // tolerated there because we never read it.
-  return std::lgamma(x);  // sigsub-lint: allow(unsafe-call)
+  // sigsub-lint: allow(unsafe-call): signgam is written but never read here
+  return std::lgamma(x);
 #endif
 }
 

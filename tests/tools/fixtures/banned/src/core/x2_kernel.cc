@@ -1,0 +1,11 @@
+#include <cmath>
+
+namespace sigsub {
+
+// The scalar chi-square kernel is an audited hot path: no libm
+// transcendentals allowed.
+double Kernel(double x) {
+  return exp(x);  // expect-lint: audit-path
+}
+
+}  // namespace sigsub

@@ -1,0 +1,16 @@
+#include <mutex>
+
+namespace sigsub {
+
+std::mutex global_lock;  // expect-lint: raw-mutex
+
+void Flush(int fd, const char* buf, unsigned long n) {
+  ::write(fd, buf, n);  // expect-lint: raw-io
+  ::fsync(fd);  // expect-lint: raw-io
+}
+
+int Roll() {
+  return rand();  // expect-lint: unsafe-call
+}
+
+}  // namespace sigsub

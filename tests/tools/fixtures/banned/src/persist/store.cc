@@ -1,0 +1,8 @@
+#include <unordered_map>
+
+namespace sigsub {
+
+// Serialization paths must not iterate hash containers.
+std::unordered_map<int, int> table;  // expect-lint: iteration-order
+
+}  // namespace sigsub

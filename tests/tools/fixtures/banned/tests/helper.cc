@@ -1,0 +1,6 @@
+#include <mutex>
+
+// Raw std::mutex is allowed outside src/ — tests may use it freely.
+std::mutex test_lock;
+
+void WithLock() { std::lock_guard<std::mutex> hold(test_lock); }

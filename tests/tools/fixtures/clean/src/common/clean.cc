@@ -1,0 +1,27 @@
+#include "common/clean.h"
+
+#include "common/check.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sigsub {
+
+namespace {
+
+Status Ping();
+Result<int> Fetch();
+
+}  // namespace
+
+Status Forward() { return Ping(); }
+
+void Consume(bool cond) {
+  (void)Ping();
+  Status s = cond ? Ping() : Forward();
+  if (s.ok()) {
+    (void)Fetch();
+  }
+  SIGSUB_CHECK_OK(Ping());
+}
+
+}  // namespace sigsub

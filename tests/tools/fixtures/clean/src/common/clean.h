@@ -1,0 +1,45 @@
+#ifndef SIGSUB_COMMON_CLEAN_H_
+#define SIGSUB_COMMON_CLEAN_H_
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace sigsub {
+
+class Widget {
+ public:
+  Widget() = default;
+  Widget(const Widget&) = delete;
+  Widget& operator=(const Widget&) = delete;
+
+  void Poke();
+
+ private:
+  Mutex fast_ SIGSUB_ACQUIRED_BEFORE(slow_);
+  Mutex slow_;
+  CondVar cv_;
+  int count_ SIGSUB_GUARDED_BY(fast_);
+  int64_t epoch_ SIGSUB_GUARDED_BY(slow_);
+  std::atomic<bool> stop_{false};
+  const int limit_ = 8;
+  static constexpr int kMax = 16;
+  int scratch_ SIGSUB_THREAD_CONFINED(init) = 0;
+};
+
+// Holds a Widget: an internally-synchronized member needs no annotation.
+class Holder {
+ public:
+  void Use();
+
+ private:
+  Mutex mu_;
+  int n_ SIGSUB_GUARDED_BY(mu_);
+  Widget widget_;
+};
+
+}  // namespace sigsub
+
+#endif  // SIGSUB_COMMON_CLEAN_H_

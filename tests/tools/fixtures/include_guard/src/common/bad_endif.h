@@ -1,0 +1,7 @@
+#ifndef SIGSUB_COMMON_BAD_ENDIF_H_
+#define SIGSUB_COMMON_BAD_ENDIF_H_
+
+inline int Answer() { return 42; }
+
+// expect-lint: include-guard
+#endif

@@ -1,0 +1,7 @@
+// expect-lint: include-guard
+#ifndef SIGSUB_WRONG_NAME_H_
+#define SIGSUB_WRONG_NAME_H_
+
+inline int Answer() { return 42; }
+
+#endif  // SIGSUB_WRONG_NAME_H_

@@ -1,0 +1,6 @@
+#ifndef SIGSUB_COMMON_GOOD_H_
+#define SIGSUB_COMMON_GOOD_H_
+
+inline int Answer() { return 42; }
+
+#endif  // SIGSUB_COMMON_GOOD_H_

@@ -1,0 +1,5 @@
+// A core/ file reaching up into engine/ — the canonical back-edge.
+#include "common/ok.h"
+#include "engine/thing.h"  // expect-lint: include-layering
+
+int CoreFunction() { return 1; }

@@ -1,0 +1,4 @@
+// Forward (legal) edge: engine depends on core.
+#include "core/thing.h"
+
+int EngineFunction() { return 3; }

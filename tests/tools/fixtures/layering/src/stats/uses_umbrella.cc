@@ -1,0 +1,4 @@
+// Only cli/ may pull in the umbrella header.
+#include "sigsub.h"  // expect-lint: include-layering
+
+int StatsFunction() { return 2; }

@@ -1,0 +1,26 @@
+#ifndef SIGSUB_COMMON_LOCKS_H_
+#define SIGSUB_COMMON_LOCKS_H_
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace sigsub {
+
+// A declares a_ before B::b_ via the attribute; the order directive at the
+// bottom of this file declares the opposite, closing a cycle.
+struct A {
+  Mutex a_ SIGSUB_ACQUIRED_BEFORE(b_);
+  int counter_;  // expect-lint: lock-order
+};
+
+struct B {
+  Mutex b_;
+  int ok_ SIGSUB_GUARDED_BY(b_);
+};
+
+}  // namespace sigsub
+
+// expect-lint: lock-order
+// sigsub-lint: order B::b_ < A::a_
+
+#endif  // SIGSUB_COMMON_LOCKS_H_

@@ -1,0 +1,20 @@
+namespace sigsub {
+
+// A reasoned allow() on the same line fully suppresses the finding.
+int Seed() {
+  return rand();  // sigsub-lint: allow(unsafe-call): fixture exercising suppression
+}
+
+// A reasoned allow() on the line above also suppresses.
+int Seed2() {
+  // sigsub-lint: allow(unsafe-call): fixture exercising next-line suppression
+  return rand();
+}
+
+// A reason-less allow() suppresses nothing and is itself a finding.
+int Seed3() {
+  // expect-lint: unsafe-call, suppression-reason
+  return rand();  // sigsub-lint: allow(unsafe-call)
+}
+
+}  // namespace sigsub

@@ -1,0 +1,19 @@
+#ifndef SIGSUB_CORE_API_H_
+#define SIGSUB_CORE_API_H_
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sigsub {
+
+Status Save(int v);
+Result<int> Load();
+
+// `Reset` is ambiguous on purpose: it also exists with a void return type
+// below, so the analyzer must decline to enforce it.
+Status Reset(int generation);
+void Reset();
+
+}  // namespace sigsub
+
+#endif  // SIGSUB_CORE_API_H_

@@ -1,0 +1,23 @@
+#include "core/api.h"
+
+namespace sigsub {
+
+void Exercise(bool cond) {
+  Save(1);  // expect-lint: unchecked-result
+  Load();  // expect-lint: unchecked-result
+
+  if (cond) Save(2);  // expect-lint: unchecked-result
+
+  // All of the following are legal consumption patterns.
+  (void)Save(3);
+  Status s = Save(4);
+  if (!s.ok()) return;
+  Status t = cond ? Save(5) : Save(6);
+  (void)t;
+
+  // Ambiguous name: a void overload exists, so no diagnostic.
+  Reset(7);
+  Reset();
+}
+
+}  // namespace sigsub

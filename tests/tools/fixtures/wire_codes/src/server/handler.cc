@@ -1,0 +1,25 @@
+#include "server/protocol.h"
+
+namespace sigsub {
+
+// Classifier bodies are excluded from the production scan: naming every
+// enumerator here must not count as "producing" it.
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kFoo:
+      return "EFOO";
+    case ErrorCode::kBar:
+      return "EBAR";
+    case ErrorCode::kBaz:
+      return "EBAZ";
+  }
+  return "EUNKNOWN";
+}
+
+bool IsRetryable(ErrorCode code) { return code == ErrorCode::kBar; }
+
+ErrorCode HandleMalformed() { return ErrorCode::kFoo; }
+
+ErrorCode HandleOverload() { return ErrorCode::kBaz; }
+
+}  // namespace sigsub

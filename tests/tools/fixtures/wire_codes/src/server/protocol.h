@@ -1,0 +1,19 @@
+#ifndef SIGSUB_SERVER_PROTOCOL_H_
+#define SIGSUB_SERVER_PROTOCOL_H_
+
+namespace sigsub {
+
+enum class ErrorCode {
+  kFoo,
+  // expect-lint: wire-codes, wire-codes
+  kBar,
+  // expect-lint: wire-codes
+  kBaz,
+};
+
+const char* ErrorCodeName(ErrorCode code);
+bool IsRetryable(ErrorCode code);
+
+}  // namespace sigsub
+
+#endif  // SIGSUB_SERVER_PROTOCOL_H_

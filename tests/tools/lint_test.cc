@@ -1,0 +1,149 @@
+// Golden tests for sigsub_lint: each fixture under tests/tools/fixtures/
+// is a miniature repo root whose files carry expectation markers naming
+// the diagnostics the analyzer must produce there. The comparison is
+// bidirectional — an unexpected diagnostic fails, and so does a marker
+// with no matching diagnostic. A marker matches a diagnostic for the same
+// rule on its own line or on the following line (markers for lines that
+// already carry another lint directive must sit on the line above, since
+// the lexer reads one directive per comment).
+
+#include "lint/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sigsub {
+namespace lint {
+namespace {
+
+std::string FixtureRoot(const char* name) {
+  return std::string(SIGSUB_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+struct Marker {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  bool used = false;
+};
+
+struct FixtureRun {
+  std::vector<Diagnostic> diagnostics;
+  std::vector<Marker> markers;
+};
+
+FixtureRun RunFixture(const char* name) {
+  FixtureRun run;
+  Analysis analysis;
+  EXPECT_TRUE(LoadTree(FixtureRoot(name), &analysis))
+      << "fixture " << name << " failed to load";
+  for (const SourceFile& file : analysis.files) {
+    for (const Expectation& e : file.lexed.expectations) {
+      run.markers.push_back(Marker{file.rel, e.line, e.rule, false});
+    }
+  }
+  run.diagnostics = RunRules(&analysis, {});
+  return run;
+}
+
+void CheckGolden(const char* name) {
+  FixtureRun run = RunFixture(name);
+  for (const Diagnostic& d : run.diagnostics) {
+    bool matched = false;
+    for (Marker& m : run.markers) {
+      if (m.used || m.file != d.file || m.rule != d.rule) continue;
+      if (d.line != m.line && d.line != m.line + 1) continue;
+      m.used = true;
+      matched = true;
+      break;
+    }
+    EXPECT_TRUE(matched) << name << ": unexpected diagnostic " << d.file << ":"
+                         << d.line << ": [" << d.rule << "] " << d.message;
+  }
+  for (const Marker& m : run.markers) {
+    EXPECT_TRUE(m.used) << name << ": expected a [" << m.rule
+                        << "] diagnostic at " << m.file << ":" << m.line
+                        << " (or the next line); none was reported";
+  }
+}
+
+TEST(LintGolden, IncludeGuard) { CheckGolden("include_guard"); }
+
+TEST(LintGolden, IncludeLayering) { CheckGolden("layering"); }
+
+TEST(LintGolden, UncheckedResult) { CheckGolden("unchecked_result"); }
+
+TEST(LintGolden, LockOrder) { CheckGolden("lock_order"); }
+
+TEST(LintGolden, WireCodes) { CheckGolden("wire_codes"); }
+
+TEST(LintGolden, BannedApis) { CheckGolden("banned"); }
+
+TEST(LintGolden, Suppression) { CheckGolden("suppression"); }
+
+// The clean fixture exercises shapes that historically caused false
+// positives (deleted operators, ternary consumption, macro-wrapped calls,
+// internally-synchronized members). It must produce nothing at all.
+TEST(LintGolden, CleanFixtureHasNoFindings) {
+  FixtureRun run = RunFixture("clean");
+  EXPECT_TRUE(run.markers.empty())
+      << "the clean fixture must not carry markers";
+  for (const Diagnostic& d : run.diagnostics) {
+    ADD_FAILURE() << "clean: false positive " << d.file << ":" << d.line
+                  << ": [" << d.rule << "] " << d.message;
+  }
+}
+
+// The acceptance bar for the lock graph: an injected cycle (attribute one
+// way, order directive the other) must be reported as such.
+TEST(LintLockOrder, InjectedCycleIsReported) {
+  Analysis analysis;
+  ASSERT_TRUE(LoadTree(FixtureRoot("lock_order"), &analysis));
+  std::set<std::string> only{"lock-order"};
+  std::vector<Diagnostic> diags = RunRules(&analysis, only);
+  bool found_cycle = false;
+  for (const Diagnostic& d : diags) {
+    if (d.message.find("cycle") != std::string::npos) found_cycle = true;
+  }
+  EXPECT_TRUE(found_cycle)
+      << "lock_order fixture did not report the injected cycle";
+}
+
+// Every registered rule id must be spendable in an allow()/marker comment;
+// the five required families must each be exercised by at least one
+// fixture marker.
+TEST(LintRules, RequiredFamiliesHaveFixtureCoverage) {
+  const char* fixtures[] = {"include_guard",  "layering", "unchecked_result",
+                            "lock_order",     "wire_codes", "banned",
+                            "suppression",    "clean"};
+  std::set<std::string> covered;
+  for (const char* name : fixtures) {
+    Analysis analysis;
+    ASSERT_TRUE(LoadTree(FixtureRoot(name), &analysis));
+    for (const SourceFile& file : analysis.files) {
+      for (const Expectation& e : file.lexed.expectations) {
+        covered.insert(e.rule);
+      }
+    }
+  }
+  for (const char* family :
+       {"include-layering", "unchecked-result", "lock-order", "wire-codes",
+        "raw-mutex", "raw-io", "unsafe-call", "iteration-order",
+        "audit-path"}) {
+    EXPECT_TRUE(covered.count(family))
+        << "no fixture exercises rule " << family;
+  }
+  std::set<std::string> known;
+  for (const Rule& rule : AllRules()) known.insert(std::string(rule.name));
+  known.insert("suppression-reason");  // Synthesized by the driver.
+  for (const std::string& rule : covered) {
+    EXPECT_TRUE(known.count(rule)) << "marker names unknown rule " << rule;
+  }
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace sigsub

@@ -1,247 +1,98 @@
 #!/usr/bin/env python3
-"""Repo-local static lint for sigsub. Run from anywhere:
+"""Header self-containment check for sigsub.
 
-    python3 tools/lint.py              # all rules, including header compiles
-    python3 tools/lint.py --no-compile # text rules only (fast pre-commit)
+Every text rule that used to live here moved into the C++ analyzer at
+tools/lint/ (the `sigsub_lint` binary, built by CMake and registered in
+ctest as `lint_repo`). This wrapper keeps the one check that needs a
+compiler rather than a lexer: every src/ header must compile on its own
+via `-fsyntax-only -I src`.
 
-Rules (each can be suppressed on a single line with a trailing
-`// sigsub-lint: allow(<rule>)` comment):
+The compiler defaults to whatever the build already configured: the
+first build*/CMakeCache.txt under the repo root supplies
+CMAKE_CXX_COMPILER and CMAKE_CXX_COMPILER_LAUNCHER (ccache), falling
+back to $CXX and then plain `c++` when no build directory exists.
 
-  include-guard      src/ headers use #ifndef/#define SIGSUB_<PATH>_H_ and
-                     close with `#endif  // SIGSUB_<PATH>_H_`.
-  self-contained     every src/ header compiles alone via
-                     `g++ -std=c++20 -fsyntax-only -I src`.
-  raw-mutex          std::mutex / std::lock_guard / std::unique_lock /
-                     std::scoped_lock / std::condition_variable appear in
-                     src/ only inside common/mutex.h, so clang's thread
-                     safety analysis sees every lock in the library.
-                     (std::call_once / std::once_flag stay legal: they are
-                     one-shot initialization, not a lockable capability.)
-  unsafe-call        calls that mutate hidden process-global state and race
-                     under the thread pool: lgamma (glibc signgam),
-                     strtok, localtime, gmtime, asctime, ctime, rand,
-                     srand. Use the _r/alternative forms instead.
-  raw-io             direct ::write / ::fsync calls appear in src/ only
-                     inside common/posix_io.cc and
-                     common/fault_injection.cc. Everything else goes
-                     through RawWrite/RawFsync/WriteFdAll so the fault-
-                     injection shim (SIGSUB_FAULT) covers every byte the
-                     durability layer puts on disk.
+    python3 tools/lint.py                 # all src/ headers
+    python3 tools/lint.py --compiler g++  # override the compiler
 
 Exit status: 0 clean, 1 findings, 2 usage/environment error.
 """
 
 import argparse
+import glob
 import os
-import re
 import subprocess
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC_ROOT = os.path.join(REPO_ROOT, "src")
 
-ALLOW_RE = re.compile(r"//\s*sigsub-lint:\s*allow\(([a-z-]+)\)")
 
-# Lockable primitives that must stay wrapped by common/mutex.h. The ban is
-# on the identifier anywhere in a source line, not just declarations:
-# aliases and typedefs would otherwise launder them past the check.
-RAW_MUTEX_RE = re.compile(
-    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|shared_mutex"
-    r"|lock_guard|unique_lock|scoped_lock|shared_lock"
-    r"|condition_variable(?:_any)?)\b"
-)
-RAW_MUTEX_EXEMPT = {"common/mutex.h"}
-
-# Raw write/fsync syscalls bypass the fault-injection shim; keeping them
-# behind common/posix_io.cc's RawWrite/RawFsync wrappers is what makes
-# the crash-recovery tests able to fail any on-disk byte by call count.
-# (::read is deliberately not banned: the poll-loop drain reads are not
-# durability-bearing.)
-RAW_IO_RE = re.compile(r"::\s*(write|fsync)\s*\(")
-RAW_IO_EXEMPT = {"common/posix_io.cc", "common/fault_injection.cc"}
-
-UNSAFE_CALL_RE = re.compile(
-    r"(?<![A-Za-z0-9_])"
-    r"(lgamma|lgammaf|lgammal|strtok|localtime|gmtime|asctime|ctime"
-    r"|rand|srand|drand48|lrand48)"
-    r"\s*\("
-)
-
-findings = []
+def configured_compiler():
+    """(launcher, compiler) from the newest build*/CMakeCache.txt, or
+    (None, fallback) when not configured yet."""
+    caches = sorted(
+        glob.glob(os.path.join(REPO_ROOT, "build*", "CMakeCache.txt")),
+        key=os.path.getmtime, reverse=True)
+    for cache in caches:
+        compiler = None
+        launcher = None
+        with open(cache, encoding="utf-8", errors="replace") as f:
+            for line in f:
+                line = line.strip()
+                if line.startswith("CMAKE_CXX_COMPILER:"):
+                    compiler = line.split("=", 1)[1]
+                elif line.startswith("CMAKE_CXX_COMPILER_LAUNCHER:"):
+                    launcher = line.split("=", 1)[1]
+        if compiler:
+            return launcher or None, compiler
+    return None, os.environ.get("CXX", "c++")
 
 
-def report(path, lineno, rule, message):
-    rel = os.path.relpath(path, REPO_ROOT)
-    findings.append(f"{rel}:{lineno}: [{rule}] {message}")
-
-
-def strip_strings(line):
-    """Blank out string/char literal contents so banned names inside
-    log messages or test data don't trip the text rules."""
-    out = []
-    quote = None
-    i = 0
-    while i < len(line):
-        ch = line[i]
-        if quote:
-            if ch == "\\":
-                i += 2
-                continue
-            if ch == quote:
-                quote = None
-                out.append(ch)
-            i += 1
-            continue
-        if ch in "\"'":
-            quote = ch
-            out.append(ch)
-        else:
-            out.append(ch)
-        i += 1
-    # Rebuild with literal interiors removed.
-    result = []
-    quote = None
-    for ch in line:
-        if quote:
-            if ch == quote:
-                quote = None
-                result.append(ch)
-            continue
-        if ch in "\"'":
-            quote = ch
-        result.append(ch)
-    return "".join(result)
-
-
-def code_portion(line):
-    """The line with string contents and // comments removed."""
-    no_strings = strip_strings(line)
-    cut = no_strings.find("//")
-    return no_strings[:cut] if cut >= 0 else no_strings
-
-
-def allowed(line, rule):
-    m = ALLOW_RE.search(line)
-    return m is not None and m.group(1) == rule
-
-
-def iter_source_files(root, suffixes):
-    for dirpath, _, names in os.walk(root):
+def iter_headers():
+    for dirpath, _, names in os.walk(SRC_ROOT):
         for name in sorted(names):
-            if name.endswith(suffixes):
+            if name.endswith(".h"):
                 yield os.path.join(dirpath, name)
-
-
-def expected_guard(header_path):
-    rel = os.path.relpath(header_path, SRC_ROOT)
-    token = re.sub(r"[^A-Za-z0-9]", "_", rel).upper()
-    return f"SIGSUB_{token}_"
-
-
-def check_include_guard(path, lines):
-    guard = expected_guard(path)
-    ifndef = f"#ifndef {guard}"
-    define = f"#define {guard}"
-    endif = f"#endif  // {guard}"
-
-    stripped = [ln.rstrip("\n") for ln in lines]
-    try:
-        idx = next(i for i, ln in enumerate(stripped)
-                   if ln.startswith("#ifndef") or ln.startswith("#if "))
-    except StopIteration:
-        report(path, 1, "include-guard", f"missing `{ifndef}`")
-        return
-    if stripped[idx] != ifndef:
-        if allowed(stripped[idx], "include-guard"):
-            return
-        report(path, idx + 1, "include-guard",
-               f"first guard line is `{stripped[idx]}`, want `{ifndef}`")
-        return
-    if idx + 1 >= len(stripped) or stripped[idx + 1] != define:
-        report(path, idx + 2, "include-guard", f"missing `{define}`")
-        return
-    last_nonblank = next(
-        (i for i in range(len(stripped) - 1, -1, -1) if stripped[i].strip()),
-        None)
-    if last_nonblank is None or stripped[last_nonblank] != endif:
-        report(path, (last_nonblank or 0) + 1, "include-guard",
-               f"header must end with `{endif}`")
-
-
-def check_text_rules(path, lines):
-    rel = os.path.relpath(path, SRC_ROOT).replace(os.sep, "/")
-    for lineno, raw in enumerate(lines, start=1):
-        line = raw.rstrip("\n")
-        code = code_portion(line)
-        if rel not in RAW_MUTEX_EXEMPT:
-            m = RAW_MUTEX_RE.search(code)
-            if m and not allowed(line, "raw-mutex"):
-                report(path, lineno, "raw-mutex",
-                       f"`{m.group(0)}` outside common/mutex.h — use "
-                       "common::Mutex / MutexLock / CondVar so clang's "
-                       "thread safety analysis covers the lock")
-        m = UNSAFE_CALL_RE.search(code)
-        if m and not allowed(line, "unsafe-call"):
-            report(path, lineno, "unsafe-call",
-                   f"`{m.group(1)}()` touches process-global state and is "
-                   "not thread-safe; use the reentrant alternative")
-        if rel not in RAW_IO_EXEMPT:
-            m = RAW_IO_RE.search(code)
-            if m and not allowed(line, "raw-io"):
-                report(path, lineno, "raw-io",
-                       f"`::{m.group(1)}()` bypasses the fault-injection "
-                       "shim — use RawWrite/RawFsync/WriteFdAll from "
-                       "common/posix_io.h")
-
-
-def check_self_contained(headers, compiler):
-    for header in headers:
-        proc = subprocess.run(
-            [compiler, "-std=c++20", "-fsyntax-only", "-x", "c++",
-             "-I", SRC_ROOT, header],
-            capture_output=True, text=True)
-        if proc.returncode != 0:
-            first = proc.stderr.strip().splitlines()
-            detail = first[0] if first else "compile failed"
-            report(header, 1, "self-contained", detail)
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--no-compile", action="store_true",
-                        help="skip the header self-containment compiles")
-    parser.add_argument("--compiler", default=os.environ.get("CXX", "g++"),
-                        help="compiler for self-containment checks")
+    parser.add_argument("--compiler", default=None,
+                        help="compiler for the syntax-only compiles "
+                             "(default: the configured build's)")
     args = parser.parse_args()
 
     if not os.path.isdir(SRC_ROOT):
         print(f"lint.py: src/ not found under {REPO_ROOT}", file=sys.stderr)
         return 2
 
-    headers = list(iter_source_files(SRC_ROOT, (".h",)))
-    sources = list(iter_source_files(SRC_ROOT, (".h", ".cc")))
+    if args.compiler:
+        launcher, compiler = None, args.compiler
+    else:
+        launcher, compiler = configured_compiler()
 
+    findings = []
+    headers = list(iter_headers())
     for header in headers:
-        with open(header, encoding="utf-8", errors="replace") as f:
-            lines = f.readlines()
-        check_include_guard(header, lines)
-    for source in sources:
-        with open(source, encoding="utf-8", errors="replace") as f:
-            lines = f.readlines()
-        check_text_rules(source, lines)
-    if not args.no_compile:
-        check_self_contained(headers, args.compiler)
+        cmd = ([launcher] if launcher else []) + [
+            compiler, "-std=c++20", "-fsyntax-only", "-x", "c++",
+            "-I", SRC_ROOT, header]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            rel = os.path.relpath(header, REPO_ROOT)
+            first = proc.stderr.strip().splitlines()
+            detail = first[0] if first else "compile failed"
+            findings.append(f"{rel}:1: [self-contained] {detail}")
 
     for finding in sorted(findings):
         print(finding)
-    checked = len(sources)
-    mode = "text rules" if args.no_compile else "all rules"
     if findings:
-        print(f"lint.py: {len(findings)} finding(s) in {checked} files "
-              f"({mode})", file=sys.stderr)
+        print(f"lint.py: {len(findings)} finding(s) in {len(headers)} "
+              "headers", file=sys.stderr)
         return 1
-    print(f"lint.py: clean — {checked} files, {len(headers)} headers "
-          f"({mode})")
+    print(f"lint.py: clean — {len(headers)} headers self-contained "
+          f"(compiler: {compiler})")
     return 0
 
 

@@ -1,0 +1,245 @@
+#include "lint/analyzer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace sigsub {
+namespace lint {
+
+namespace fs = std::filesystem;
+
+std::vector<Diagnostic> Analysis::FinalizeDiagnostics() const {
+  std::map<std::string, const SourceFile*> by_rel;
+  for (const SourceFile& file : files) by_rel[file.rel] = &file;
+
+  std::vector<Diagnostic> result;
+  for (const Diagnostic& diag : diagnostics_) {
+    auto it = by_rel.find(diag.file);
+    bool suppressed = false;
+    if (it != by_rel.end()) {
+      for (const Suppression& s : it->second->lexed.suppressions) {
+        // A reason-less allow() does not suppress; it gets its own
+        // finding below, so the original diagnostic stays visible too.
+        // An allow() covers its own line and the one after it, so the
+        // comment can stand alone above the statement it waives.
+        if ((s.line == diag.line || s.line + 1 == diag.line) &&
+            s.rule == diag.rule && !s.reason.empty()) {
+          suppressed = true;
+          break;
+        }
+      }
+    }
+    if (!suppressed) result.push_back(diag);
+  }
+
+  // The suppression contract: every waiver says why. A bare allow() is a
+  // finding whether or not a rule fired on its line.
+  for (const SourceFile& file : files) {
+    for (const Suppression& s : file.lexed.suppressions) {
+      if (s.reason.empty()) {
+        result.push_back(Diagnostic{
+            file.rel, s.line, "suppression-reason",
+            "allow(" + s.rule + ") needs a reason: `// sigsub-lint: allow(" +
+                s.rule + "): <why this is safe>`"});
+      }
+    }
+  }
+
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end(),
+                           [](const Diagnostic& a, const Diagnostic& b) {
+                             return !(a < b) && !(b < a);
+                           }),
+               result.end());
+  return result;
+}
+
+const std::vector<Rule>& AllRules() {
+  static const std::vector<Rule>* const kRules = new std::vector<Rule>{
+      {"include-guard",
+       "src/tools/tests/bench headers use SIGSUB_<PATH>_H_ guards",
+       RunIncludeGuardRule},
+      {"include-layering",
+       "src/ subsystem includes follow the declared dependency DAG",
+       RunIncludeLayeringRule},
+      {"unchecked-result",
+       "every Status/Result-returning call is consumed or explicitly "
+       "discarded",
+       RunUncheckedResultRule},
+      {"lock-order",
+       "lock annotations are acyclic and mutex-owning classes annotate "
+       "every mutable member",
+       RunLockOrderRule},
+      {"wire-codes",
+       "every server/protocol.h ErrorCode is produced in src/server/ and "
+       "named in the README",
+       RunWireCodesRule},
+      {"raw-mutex",
+       "std:: lockables appear only inside common/mutex.h",
+       RunRawMutexRule},
+      {"raw-io",
+       "raw ::write/::fsync appear only inside the posix_io/fault "
+       "injection shims",
+       RunRawIoRule},
+      {"unsafe-call",
+       "no libc calls with hidden process-global state (lgamma, strtok, "
+       "rand, static-tm formatters)",
+       RunUnsafeCallRule},
+      {"iteration-order",
+       "no unordered containers in serialization paths",
+       RunIterationOrderRule},
+      {"audit-path",
+       "the scalar X2 kernel path calls no non-deterministic libm",
+       RunAuditPathRule},
+  };
+  return *kRules;
+}
+
+namespace {
+
+bool HasSuffix(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void LoadFile(const fs::path& path, const std::string& rel,
+              Analysis* analysis) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  SourceFile file;
+  file.rel = rel;
+  file.content = buffer.str();
+  size_t slash = rel.find('/');
+  file.area = rel.substr(0, slash);
+  if (file.area == "src" && slash != std::string::npos) {
+    size_t next = rel.find('/', slash + 1);
+    if (next != std::string::npos) {
+      file.subsystem = rel.substr(slash + 1, next - slash - 1);
+    }
+  }
+  file.is_header = HasSuffix(rel, ".h");
+  file.lexed = Lex(file.content);
+  analysis->files.push_back(std::move(file));
+}
+
+}  // namespace
+
+bool LoadTree(const std::string& root, Analysis* analysis) {
+  fs::path root_path(root);
+  if (!fs::is_directory(root_path / "src")) return false;
+  analysis->root = fs::absolute(root_path).string();
+
+  static constexpr std::string_view kAreas[] = {"src", "tools", "bench",
+                                                "fuzz", "tests"};
+  for (std::string_view area : kAreas) {
+    fs::path dir = root_path / area;
+    if (!fs::is_directory(dir)) continue;
+    std::vector<fs::path> paths;
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory() && it->path().filename() == "fixtures") {
+        it.disable_recursion_pending();  // Deliberate-violation trees.
+        continue;
+      }
+      if (!it->is_regular_file()) continue;
+      std::string name = it->path().filename().string();
+      if (HasSuffix(name, ".h") || HasSuffix(name, ".cc") ||
+          HasSuffix(name, ".cpp")) {
+        paths.push_back(it->path());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const fs::path& path : paths) {
+      std::string rel = fs::relative(path, root_path).generic_string();
+      LoadFile(path, rel, analysis);
+    }
+  }
+
+  std::ifstream readme(root_path / "README.md", std::ios::binary);
+  if (readme) {
+    std::ostringstream buffer;
+    buffer << readme.rdbuf();
+    analysis->readme = buffer.str();
+  }
+  return true;
+}
+
+std::vector<Diagnostic> RunRules(Analysis* analysis,
+                                 const std::set<std::string>& rule_filter) {
+  for (const Rule& rule : AllRules()) {
+    if (!rule_filter.empty() &&
+        rule_filter.find(std::string(rule.name)) == rule_filter.end()) {
+      continue;
+    }
+    rule.run(analysis);
+  }
+  return analysis->FinalizeDiagnostics();
+}
+
+// ------------------------------------------------------- token utilities
+
+bool IsIdent(const std::vector<Token>& tokens, size_t i,
+             std::string_view text) {
+  return i < tokens.size() && tokens[i].kind == TokenKind::kIdentifier &&
+         tokens[i].text == text;
+}
+
+bool IsPunct(const std::vector<Token>& tokens, size_t i,
+             std::string_view text) {
+  return i < tokens.size() && tokens[i].kind == TokenKind::kPunct &&
+         tokens[i].text == text;
+}
+
+size_t MatchingClose(const std::vector<Token>& tokens, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kPunct) continue;
+    std::string_view t = tokens[i].text;
+    if (t == "(" || t == "{" || t == "[") ++depth;
+    if (t == ")" || t == "}" || t == "]") {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return tokens.size();
+}
+
+size_t MatchingOpen(const std::vector<Token>& tokens, size_t close) {
+  int depth = 0;
+  for (size_t i = close + 1; i-- > 0;) {
+    if (tokens[i].kind != TokenKind::kPunct) continue;
+    std::string_view t = tokens[i].text;
+    if (t == ")" || t == "}" || t == "]") ++depth;
+    if (t == "(" || t == "{" || t == "[") {
+      --depth;
+      if (depth == 0) return i;
+    }
+    if (i == 0) break;
+  }
+  return static_cast<size_t>(-1);
+}
+
+size_t SkipAngles(const std::vector<Token>& tokens, size_t i) {
+  if (!IsPunct(tokens, i, "<")) return i + 1;
+  int depth = 0;
+  for (size_t j = i; j < tokens.size(); ++j) {
+    const Token& t = tokens[j];
+    if (t.kind == TokenKind::kPunct) {
+      if (t.text == "<") ++depth;
+      if (t.text == "<<") depth += 2;
+      if (t.text == ">") --depth;
+      if (t.text == ">>") depth -= 2;
+      if (t.text == ";" || t.text == "{") return i + 1;  // Not a list.
+      if (depth <= 0) return j + 1;
+    }
+  }
+  return i + 1;
+}
+
+}  // namespace lint
+}  // namespace sigsub

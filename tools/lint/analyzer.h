@@ -1,0 +1,139 @@
+#ifndef SIGSUB_TOOLS_LINT_ANALYZER_H_
+#define SIGSUB_TOOLS_LINT_ANALYZER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace sigsub {
+namespace lint {
+
+/// One source file as the rules see it. `rel` is the path relative to the
+/// analysis root with '/' separators ("src/core/mss.cc"); `area` is its
+/// first component ("src", "tools", "bench", "fuzz", "tests");
+/// `subsystem` is the second component for src/ files ("core"), empty
+/// otherwise ("src/sigsub.h" has area "src" and an empty subsystem).
+struct SourceFile {
+  std::string rel;
+  std::string area;
+  std::string subsystem;
+  bool is_header = false;
+  std::string content;  // Owns the bytes the lexed views point into.
+  LexedFile lexed;
+};
+
+struct Diagnostic {
+  std::string file;  // Root-relative path.
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Diagnostic& other) const {
+    if (file != other.file) return file < other.file;
+    if (line != other.line) return line < other.line;
+    if (rule != other.rule) return rule < other.rule;
+    return message < other.message;
+  }
+};
+
+/// Shared state for one analysis run. Rules read `files` and call
+/// Report(); the driver applies suppressions afterwards, so rules never
+/// reason about allow() comments themselves.
+class Analysis {
+ public:
+  std::vector<SourceFile> files;
+  std::string readme;  // README.md content ("" when absent).
+  std::string root;    // Absolute analysis root.
+
+  void Report(const SourceFile& file, int line, std::string_view rule,
+              std::string message) {
+    diagnostics_.push_back(
+        Diagnostic{file.rel, line, std::string(rule), std::move(message)});
+  }
+
+  /// Report against a file that may not be loaded (e.g. README.md).
+  void ReportPath(std::string_view rel, int line, std::string_view rule,
+                  std::string message) {
+    diagnostics_.push_back(Diagnostic{std::string(rel), line,
+                                      std::string(rule), std::move(message)});
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  /// Applies `// sigsub-lint: allow(<rule>): <reason>` comments: a
+  /// diagnostic whose (file, line, rule) matches a suppression with a
+  /// reason is dropped; a matching suppression WITHOUT a reason does not
+  /// suppress and instead yields a `suppression-reason` finding. Returns
+  /// the surviving diagnostics, sorted.
+  std::vector<Diagnostic> FinalizeDiagnostics() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// A rule: a name (the id used in allow()/expect-lint comments), a
+/// one-line description, and the pass over the loaded tree.
+struct Rule {
+  std::string_view name;
+  std::string_view description;
+  void (*run)(Analysis* analysis);
+};
+
+/// All registered rules, in execution order.
+const std::vector<Rule>& AllRules();
+
+/// Loads every *.h/*.cc/*.cpp under root/{src,tools,bench,fuzz,tests}
+/// (skipping any directory named "fixtures" — those hold deliberate
+/// violations for the golden tests) plus README.md. Returns false when
+/// `root` has no src/ directory.
+bool LoadTree(const std::string& root, Analysis* analysis);
+
+/// Runs the named rules (all when `rule_filter` is empty) and returns the
+/// surviving diagnostics, sorted.
+std::vector<Diagnostic> RunRules(Analysis* analysis,
+                                 const std::set<std::string>& rule_filter);
+
+// ----------------------------------------------------------------- rules
+// (one registration function per family; see the matching rules_*.cc)
+void RunIncludeGuardRule(Analysis* analysis);
+void RunIncludeLayeringRule(Analysis* analysis);
+void RunUncheckedResultRule(Analysis* analysis);
+void RunLockOrderRule(Analysis* analysis);
+void RunWireCodesRule(Analysis* analysis);
+void RunRawMutexRule(Analysis* analysis);
+void RunRawIoRule(Analysis* analysis);
+void RunUnsafeCallRule(Analysis* analysis);
+void RunIterationOrderRule(Analysis* analysis);
+void RunAuditPathRule(Analysis* analysis);
+
+// ------------------------------------------------------- token utilities
+
+/// True if token i exists and is an identifier with exactly `text`.
+bool IsIdent(const std::vector<Token>& tokens, size_t i,
+             std::string_view text);
+
+/// True if token i exists and is punctuation with exactly `text`.
+bool IsPunct(const std::vector<Token>& tokens, size_t i,
+             std::string_view text);
+
+/// Index of the matching close for the open paren/brace/bracket at
+/// `open`, or tokens.size() when unbalanced.
+size_t MatchingClose(const std::vector<Token>& tokens, size_t open);
+
+/// Index of the matching open for the close paren/brace/bracket at
+/// `close`, or SIZE_MAX when unbalanced.
+size_t MatchingOpen(const std::vector<Token>& tokens, size_t close);
+
+/// Skips a template argument list starting at the '<' at `i`; returns the
+/// index one past the closing '>' (treating ">>" as two closes), or
+/// `i` + 1 when it does not look like a balanced list.
+size_t SkipAngles(const std::vector<Token>& tokens, size_t i);
+
+}  // namespace lint
+}  // namespace sigsub
+
+#endif  // SIGSUB_TOOLS_LINT_ANALYZER_H_

@@ -1,0 +1,335 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace sigsub {
+namespace lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string_view TrimView(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Parses the lint-relevant comment forms out of one line comment body
+/// (the text after `//`).
+void ParseComment(std::string_view body, int line, LexedFile* out) {
+  body = TrimView(body);
+  constexpr std::string_view kAllow = "sigsub-lint: allow(";
+  constexpr std::string_view kExpect = "expect-lint:";
+  constexpr std::string_view kOrder = "sigsub-lint: order ";
+  if (body.substr(0, kAllow.size()) == kAllow) {
+    std::string_view rest = body.substr(kAllow.size());
+    size_t close = rest.find(')');
+    if (close == std::string_view::npos) return;
+    Suppression s;
+    s.line = line;
+    s.rule = std::string(rest.substr(0, close));
+    std::string_view tail = TrimView(rest.substr(close + 1));
+    if (!tail.empty() && tail.front() == ':') {
+      s.reason = std::string(TrimView(tail.substr(1)));
+    }
+    out->suppressions.push_back(std::move(s));
+    return;
+  }
+  if (body.substr(0, kExpect.size()) == kExpect) {
+    // One marker may expect several rules: `// expect-lint: a, b`.
+    std::string_view rest = body.substr(kExpect.size());
+    while (!rest.empty()) {
+      size_t comma = rest.find(',');
+      std::string_view one = TrimView(rest.substr(0, comma));
+      if (!one.empty()) {
+        out->expectations.push_back(Expectation{line, std::string(one)});
+      }
+      if (comma == std::string_view::npos) break;
+      rest.remove_prefix(comma + 1);
+    }
+    return;
+  }
+  if (body.substr(0, kOrder.size()) == kOrder) {
+    std::string_view rest = body.substr(kOrder.size());
+    size_t lt = rest.find('<');
+    if (lt == std::string_view::npos) return;
+    OrderDirective d;
+    d.line = line;
+    d.before = std::string(TrimView(rest.substr(0, lt)));
+    d.after = std::string(TrimView(rest.substr(lt + 1)));
+    if (!d.before.empty() && !d.after.empty()) {
+      out->order_directives.push_back(std::move(d));
+    }
+  }
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view content) : src_(content) {}
+
+  LexedFile Run() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        BlockComment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        Preprocessor();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == 'R' && Peek(1) == '"') {
+        RawString();
+        continue;
+      }
+      // Encoding prefixes on ordinary literals: u8"x", L'x', ...
+      if ((c == 'u' || c == 'U' || c == 'L') && IsLiteralPrefix()) {
+        continue;  // IsLiteralPrefix consumed the prefixed literal.
+      }
+      if (c == '"') {
+        Quoted('"', TokenKind::kString);
+        continue;
+      }
+      if (c == '\'') {
+        Quoted('\'', TokenKind::kCharLiteral);
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        Identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+        Number();
+        continue;
+      }
+      Punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void Emit(TokenKind kind, size_t begin, size_t end, int line) {
+    out_.tokens.push_back(Token{kind, src_.substr(begin, end - begin), line});
+  }
+
+  void LineComment() {
+    size_t begin = pos_ + 2;
+    size_t end = src_.find('\n', pos_);
+    if (end == std::string_view::npos) end = src_.size();
+    ParseComment(src_.substr(begin, end - begin), line_, &out_);
+    pos_ = end;  // The '\n' is handled by the main loop (line count).
+  }
+
+  void BlockComment() {
+    pos_ += 2;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') ++line_;
+      if (src_[pos_] == '*' && Peek(1) == '/') {
+        pos_ += 2;
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  void Preprocessor() {
+    int line = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\\' && (Peek(1) == '\n' ||
+                        (Peek(1) == '\r' && Peek(2) == '\n'))) {
+        // Continuation: join, keep counting lines.
+        pos_ += (Peek(1) == '\r') ? 3 : 2;
+        ++line_;
+        text.push_back(' ');
+        continue;
+      }
+      if (c == '\n') break;
+      if (c == '/' && Peek(1) == '/') {
+        size_t end = src_.find('\n', pos_);
+        if (end == std::string_view::npos) end = src_.size();
+        ParseComment(src_.substr(pos_ + 2, end - pos_ - 2), line_, &out_);
+        pos_ = end;
+        break;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        BlockComment();
+        text.push_back(' ');
+        continue;
+      }
+      text.push_back(c);
+      ++pos_;
+    }
+    out_.directives.push_back(Directive{line, std::move(text)});
+  }
+
+  /// Handles u8"..", u'..', L"..", U".." and uR"(..)" forms. Returns via
+  /// side effect; true return means a literal was consumed.
+  bool IsLiteralPrefix() {
+    size_t i = pos_;
+    if (src_[i] == 'u' && Peek(1) == '8') ++i;
+    char next = i + 1 < src_.size() ? src_[i + 1] : '\0';
+    if (next == '"' || next == '\'') {
+      pos_ = i + 1;
+      Quoted(next, next == '"' ? TokenKind::kString : TokenKind::kCharLiteral);
+      return true;
+    }
+    if (next == 'R' && i + 2 < src_.size() && src_[i + 2] == '"') {
+      pos_ = i + 1;
+      RawString();
+      return true;
+    }
+    return false;
+  }
+
+  void Quoted(char quote, TokenKind kind) {
+    int line = line_;
+    size_t begin = ++pos_;  // Skip the opening quote.
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == quote) break;
+      if (c == '\n') ++line_;  // Unterminated; tolerate and keep counting.
+      ++pos_;
+    }
+    Emit(kind, begin, pos_, line);
+    if (pos_ < src_.size()) ++pos_;  // Closing quote.
+  }
+
+  void RawString() {
+    // pos_ at 'R'. R"delim( ... )delim"
+    int line = line_;
+    size_t q = pos_ + 1;  // The '"'.
+    size_t open = src_.find('(', q);
+    if (open == std::string_view::npos) {
+      pos_ = src_.size();
+      return;
+    }
+    std::string closer = ")";
+    closer.append(src_.substr(q + 1, open - q - 1));
+    closer.push_back('"');
+    size_t end = src_.find(closer, open + 1);
+    if (end == std::string_view::npos) end = src_.size();
+    for (size_t i = open; i < end && i < src_.size(); ++i) {
+      if (src_[i] == '\n') ++line_;
+    }
+    Emit(TokenKind::kString, open + 1, end, line);
+    pos_ = end + closer.size();
+    if (pos_ > src_.size()) pos_ = src_.size();
+  }
+
+  void Identifier() {
+    size_t begin = pos_;
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) ++pos_;
+    Emit(TokenKind::kIdentifier, begin, pos_, line_);
+  }
+
+  void Number() {
+    size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '\'') {
+        ++pos_;
+        continue;
+      }
+      // Exponent signs: 1e-3, 0x1p+2.
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    Emit(TokenKind::kNumber, begin, pos_, line_);
+  }
+
+  void Punct() {
+    static constexpr std::string_view kThree[] = {"<<=", ">>=", "->*", "..."};
+    static constexpr std::string_view kTwo[] = {
+        "::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=",
+        "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", ".*"};
+    size_t len = 1;
+    std::string_view rest = src_.substr(pos_);
+    for (std::string_view op : kThree) {
+      if (rest.substr(0, 3) == op) {
+        len = 3;
+        break;
+      }
+    }
+    if (len == 1) {
+      for (std::string_view op : kTwo) {
+        if (rest.substr(0, 2) == op) {
+          len = 2;
+          break;
+        }
+      }
+    }
+    Emit(TokenKind::kPunct, pos_, pos_ + len, line_);
+    pos_ += len;
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile Lex(std::string_view content) { return Lexer(content).Run(); }
+
+std::string_view IncludePath(const Directive& directive) {
+  std::string_view text = TrimView(directive.text);
+  if (text.substr(0, 1) != "#") return {};
+  text = TrimView(text.substr(1));
+  constexpr std::string_view kInclude = "include";
+  if (text.substr(0, kInclude.size()) != kInclude) return {};
+  text = TrimView(text.substr(kInclude.size()));
+  if (text.size() < 2) return {};
+  char open = text.front();
+  char close = open == '"' ? '"' : (open == '<' ? '>' : '\0');
+  if (close == '\0') return {};
+  size_t end = text.find(close, 1);
+  if (end == std::string_view::npos) return {};
+  return text.substr(1, end - 1);
+}
+
+}  // namespace lint
+}  // namespace sigsub

@@ -1,0 +1,80 @@
+#ifndef SIGSUB_TOOLS_LINT_LEXER_H_
+#define SIGSUB_TOOLS_LINT_LEXER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sigsub {
+namespace lint {
+
+/// A real (if single-file) C++ lexer: it understands line and block
+/// comments, string/char literals with escapes, raw string literals, and
+/// preprocessor lines with backslash continuations. Rules therefore never
+/// see a banned identifier inside a log message or a commented-out block —
+/// the class of false positive the regex lint this replaces could only
+/// avoid with per-line heuristics.
+enum class TokenKind {
+  kIdentifier,   // foo, std, SIGSUB_GUARDED_BY (keywords included).
+  kNumber,       // 123, 0x1f, 1.5e-3, 1'000'000.
+  kString,       // "..." / R"(...)" — text excludes the quotes.
+  kCharLiteral,  // 'x'.
+  kPunct,        // ::, ->, <<, or any single punctuation character.
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string_view text;  // View into the lexed buffer; keep it alive.
+  int line = 0;           // 1-based.
+};
+
+/// One `// sigsub-lint: allow(<rule>): <reason>` suppression comment.
+struct Suppression {
+  int line = 0;
+  std::string rule;
+  std::string reason;  // Empty when the author omitted the reason.
+};
+
+/// One `// expect-lint: <rule>` golden-test marker (fixture files only).
+struct Expectation {
+  int line = 0;
+  std::string rule;
+};
+
+/// One `// sigsub-lint: order A < B` cross-class lock-order directive.
+/// The attribute form (SIGSUB_ACQUIRED_BEFORE) can only name members
+/// visible in the annotated class's scope; the directive form documents
+/// orders between locks of different classes for the lock-order graph.
+struct OrderDirective {
+  int line = 0;
+  std::string before;
+  std::string after;
+};
+
+/// A preprocessor line (continuations joined). `text` starts at '#'.
+struct Directive {
+  int line = 0;
+  std::string text;
+};
+
+/// Everything the lexer extracts from one translation unit.
+struct LexedFile {
+  std::vector<Token> tokens;  // Code tokens only; no comments/preproc.
+  std::vector<Directive> directives;
+  std::vector<Suppression> suppressions;
+  std::vector<Expectation> expectations;
+  std::vector<OrderDirective> order_directives;
+};
+
+/// Lexes `content` (which must outlive the result — tokens are views).
+LexedFile Lex(std::string_view content);
+
+/// Extracts `path` from an `#include "path"` or `#include <path>`
+/// directive; empty when the directive is not an include.
+std::string_view IncludePath(const Directive& directive);
+
+}  // namespace lint
+}  // namespace sigsub
+
+#endif  // SIGSUB_TOOLS_LINT_LEXER_H_

@@ -1,0 +1,88 @@
+// sigsub_lint: the repo's own static analyzer. Token-level C++ rules —
+// include layering, unchecked Status/Result, lock-order, wire-code
+// exhaustiveness, banned APIs — over src/ tools/ bench/ fuzz/ tests/.
+//
+//   sigsub_lint [--root=<repo>] [--rule=<id>]... [--list-rules]
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/load error. Suppress one
+// finding with `// sigsub-lint: allow(<rule>): <reason>` on its line;
+// the reason is mandatory.
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "lint/analyzer.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: sigsub_lint [--root=<repo>] [--rule=<id>]... [--list-rules]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::set<std::string> rule_filter;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    constexpr std::string_view kRoot = "--root=";
+    constexpr std::string_view kRule = "--rule=";
+    if (arg.rfind(kRoot, 0) == 0) {
+      root = std::string(arg.substr(kRoot.size()));
+    } else if (arg.rfind(kRule, 0) == 0) {
+      rule_filter.insert(std::string(arg.substr(kRule.size())));
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  const auto& rules = sigsub::lint::AllRules();
+  if (list_rules) {
+    for (const auto& rule : rules) {
+      std::printf("%-18s %s\n", std::string(rule.name).c_str(),
+                  std::string(rule.description).c_str());
+    }
+    return 0;
+  }
+  for (const std::string& name : rule_filter) {
+    bool known = false;
+    for (const auto& rule : rules) {
+      if (rule.name == name) known = true;
+    }
+    if (!known) {
+      std::fprintf(stderr, "sigsub_lint: unknown rule '%s'\n", name.c_str());
+      return Usage();
+    }
+  }
+
+  sigsub::lint::Analysis analysis;
+  if (!sigsub::lint::LoadTree(root, &analysis)) {
+    std::fprintf(stderr,
+                 "sigsub_lint: '%s' does not look like the repo root "
+                 "(no src/ directory)\n",
+                 root.c_str());
+    return 2;
+  }
+
+  const auto findings = sigsub::lint::RunRules(&analysis, rule_filter);
+  for (const auto& diag : findings) {
+    std::printf("%s:%d: [%s] %s\n", diag.file.c_str(), diag.line,
+                diag.rule.c_str(), diag.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "sigsub_lint: %zu finding(s) in %zu file(s)\n",
+                 findings.size(), analysis.files.size());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,442 @@
+// lock-order: parses SIGSUB_GUARDED_BY / SIGSUB_ACQUIRED_BEFORE /
+// SIGSUB_ACQUIRED_AFTER annotations (plus `// sigsub-lint: order A < B`
+// directives for cross-class pairs the attribute grammar cannot name),
+// builds the global lock graph, and fails on cycles. It also enforces
+// the annotation discipline itself: a class that owns a common::Mutex
+// must say, for every mutable member, who protects it —
+// SIGSUB_GUARDED_BY(mu), std::atomic, const, or SIGSUB_THREAD_CONFINED.
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/analyzer.h"
+
+namespace sigsub {
+namespace lint {
+namespace {
+
+struct Member {
+  std::string name;
+  int line = 0;
+  bool is_mutex = false;
+  bool is_condvar = false;
+  bool exempt = false;  // const / atomic / guarded / thread-confined.
+  // Identifiers appearing in the declaration's type part — used to
+  // recognize members whose type is itself a mutex-owning (internally
+  // synchronized) class.
+  std::vector<std::string> type_idents;
+  std::vector<std::string> acquired_before;
+  std::vector<std::string> acquired_after;
+};
+
+struct ClassInfo {
+  std::string name;  // Qualified: "StreamManager::Stream".
+  const SourceFile* file = nullptr;
+  int line = 0;
+  std::vector<Member> members;
+
+  bool OwnsMutex() const {
+    for (const Member& m : members) {
+      if (m.is_mutex) return true;
+    }
+    return false;
+  }
+};
+
+bool IsKeyword(std::string_view text) {
+  static const std::set<std::string_view> kSkip = {
+      "using", "typedef", "friend",   "static", "template",
+      "enum",  "public",  "private",  "protected"};
+  return kSkip.find(text) != kSkip.end();
+}
+
+/// Joins the identifiers/`::` inside an annotation's parens into one
+/// comma-separated list of lock names ("a_", "Stream::mutex").
+std::vector<std::string> AnnotationArgs(const std::vector<Token>& tokens,
+                                        size_t open, size_t close) {
+  std::vector<std::string> args;
+  std::string current;
+  for (size_t i = open + 1; i < close; ++i) {
+    if (IsPunct(tokens, i, ",")) {
+      if (!current.empty()) args.push_back(current);
+      current.clear();
+      continue;
+    }
+    current += std::string(tokens[i].text);
+  }
+  if (!current.empty()) args.push_back(current);
+  return args;
+}
+
+class ClassParser {
+ public:
+  ClassParser(const SourceFile& file, std::vector<ClassInfo>* out)
+      : file_(file), tokens_(file.lexed.tokens), out_(out) {}
+
+  void Parse() { Scan(0, tokens_.size(), ""); }
+
+ private:
+  /// Scans [begin, end) for class/struct definitions; recurses into their
+  /// bodies both to parse members and to find nested classes.
+  void Scan(size_t begin, size_t end, const std::string& outer) {
+    for (size_t i = begin; i < end; ++i) {
+      if (tokens_[i].kind != TokenKind::kIdentifier) continue;
+      if (tokens_[i].text != "class" && tokens_[i].text != "struct") continue;
+      if (i > 0 && (IsIdent(tokens_, i - 1, "enum") ||
+                    IsIdent(tokens_, i - 1, "friend"))) {
+        continue;
+      }
+      // Find the class name: last plain identifier before '{', ':', ';',
+      // skipping attribute macros like SIGSUB_CAPABILITY("mutex").
+      size_t j = i + 1;
+      std::string name;
+      int line = tokens_[i].line;
+      bool definition = false;
+      while (j < end) {
+        const Token& t = tokens_[j];
+        if (t.kind == TokenKind::kIdentifier) {
+          if (IsPunct(tokens_, j + 1, "(")) {
+            j = MatchingClose(tokens_, j + 1) + 1;  // Annotation macro.
+            continue;
+          }
+          name = std::string(t.text);
+          line = t.line;
+          ++j;
+          continue;
+        }
+        if (t.kind == TokenKind::kPunct) {
+          if (t.text == "{") {
+            definition = true;
+            break;
+          }
+          if (t.text == ";" || t.text == ">" || t.text == ",") {
+            break;  // Forward declaration or template parameter.
+          }
+          if (t.text == ":") {  // Base clause; body brace follows.
+            while (j < end && !IsPunct(tokens_, j, "{") &&
+                   !IsPunct(tokens_, j, ";")) {
+              ++j;
+            }
+            definition = IsPunct(tokens_, j, "{");
+            break;
+          }
+        }
+        ++j;
+      }
+      if (!definition || name.empty()) continue;
+      size_t open = j;
+      size_t close = MatchingClose(tokens_, open);
+      std::string qualified = outer.empty() ? name : outer + "::" + name;
+      ParseBody(open + 1, close, qualified, line);
+      Scan(open + 1, close, qualified);
+      i = close;
+    }
+  }
+
+  void ParseBody(size_t begin, size_t end, const std::string& qualified,
+                 int line) {
+    ClassInfo info;
+    info.name = qualified;
+    info.file = &file_;
+    info.line = line;
+
+    size_t decl_begin = begin;
+    for (size_t i = begin; i < end && i < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (t.kind == TokenKind::kIdentifier &&
+          (t.text == "class" || t.text == "struct") &&
+          !(i > 0 && IsIdent(tokens_, i - 1, "enum"))) {
+        // Nested definition: handled by the caller's recursive Scan; skip
+        // past it here (forward declarations just end at the ';').
+        size_t j = i;
+        while (j < end && !IsPunct(tokens_, j, "{") &&
+               !IsPunct(tokens_, j, ";")) {
+          ++j;
+        }
+        if (IsPunct(tokens_, j, "{")) j = MatchingClose(tokens_, j);
+        while (j < end && !IsPunct(tokens_, j, ";")) ++j;
+        i = j;
+        decl_begin = i + 1;
+        continue;
+      }
+      if (t.kind == TokenKind::kPunct && (t.text == "{" || t.text == "(")) {
+        size_t close = MatchingClose(tokens_, i);
+        if (t.text == "{" && !IsPunct(tokens_, close + 1, ";") &&
+            !IsPunct(tokens_, close + 1, ",")) {
+          // Inline function body (or nested scope): declaration over.
+          decl_begin = close + 1;
+        }
+        i = close;
+        continue;
+      }
+      if (t.kind == TokenKind::kPunct && t.text == ":" &&
+          i == decl_begin + 1) {
+        decl_begin = i + 1;  // Access specifier label.
+        continue;
+      }
+      if (t.kind == TokenKind::kPunct && t.text == ";") {
+        ParseMember(decl_begin, i, &info);
+        decl_begin = i + 1;
+      }
+    }
+    out_->push_back(std::move(info));
+  }
+
+  void ParseMember(size_t begin, size_t end, ClassInfo* info) {
+    if (begin >= end) return;
+    if (tokens_[begin].kind == TokenKind::kIdentifier &&
+        IsKeyword(tokens_[begin].text)) {
+      return;
+    }
+    // Separate annotation macros from the declaration proper.
+    std::vector<size_t> decl;  // Indices of non-annotation tokens.
+    Member member;
+    bool guarded = false;
+    bool confined = false;
+    for (size_t i = begin; i < end; ++i) {
+      const Token& t = tokens_[i];
+      if (t.kind == TokenKind::kIdentifier &&
+          t.text.rfind("SIGSUB_", 0) == 0 && IsPunct(tokens_, i + 1, "(")) {
+        size_t close = MatchingClose(tokens_, i + 1);
+        if (t.text == "SIGSUB_GUARDED_BY" ||
+            t.text == "SIGSUB_PT_GUARDED_BY") {
+          guarded = true;
+        } else if (t.text == "SIGSUB_THREAD_CONFINED") {
+          confined = true;
+        } else if (t.text == "SIGSUB_ACQUIRED_BEFORE") {
+          member.acquired_before = AnnotationArgs(tokens_, i + 1, close);
+        } else if (t.text == "SIGSUB_ACQUIRED_AFTER") {
+          member.acquired_after = AnnotationArgs(tokens_, i + 1, close);
+        }
+        i = close;
+        continue;
+      }
+      decl.push_back(i);
+    }
+    if (decl.empty()) return;
+    for (size_t idx : decl) {
+      // `Foo& operator=(...) = delete;` has '=' before '(' and would
+      // otherwise parse as a data member named "operator".
+      if (IsIdent(tokens_, idx, "operator")) return;
+    }
+
+    // A '(' in the stripped declaration (outside template args) means a
+    // function, unless an '=' introduced an initializer first.
+    bool is_function = false;
+    for (size_t k = 0; k < decl.size(); ++k) {
+      const Token& t = tokens_[decl[k]];
+      if (t.kind == TokenKind::kPunct && t.text == "=") break;
+      if (t.kind == TokenKind::kPunct && t.text == "<") {
+        // Template argument lists may contain parens: std::function<void()>.
+        size_t after = SkipAngles(tokens_, decl[k]);
+        while (k + 1 < decl.size() && decl[k + 1] < after) ++k;
+        continue;
+      }
+      if (t.kind == TokenKind::kPunct && t.text == "(") {
+        is_function = true;
+        break;
+      }
+    }
+    if (is_function) return;
+
+    // Declarator name: last identifier before '=' / '[' / end.
+    std::string name;
+    int name_line = tokens_[decl.front()].line;
+    bool is_const = false;
+    bool is_atomic = false;
+    bool saw_mutex = false;
+    bool saw_condvar = false;
+    for (size_t idx : decl) {
+      const Token& t = tokens_[idx];
+      if (t.kind == TokenKind::kPunct && (t.text == "=" || t.text == "[")) {
+        break;
+      }
+      if (t.kind != TokenKind::kIdentifier) continue;
+      if (t.text == "const" || t.text == "constexpr") is_const = true;
+      if (t.text == "atomic" || t.text.rfind("atomic_", 0) == 0) {
+        is_atomic = true;
+      }
+      if (t.text == "Mutex") saw_mutex = true;
+      if (t.text == "CondVar") saw_condvar = true;
+      member.type_idents.push_back(std::string(t.text));
+      name = std::string(t.text);
+      name_line = t.line;
+    }
+    if (name.empty() || name == "Mutex" || name == "CondVar") {
+      // `Mutex` as the last identifier means no declarator name — a
+      // malformed or macro-heavy line; skip rather than guess.
+      return;
+    }
+    member.name = name;
+    member.line = name_line;
+    member.is_mutex = saw_mutex;
+    member.is_condvar = saw_condvar;
+    member.exempt = guarded || confined || is_const || is_atomic;
+    info->members.push_back(std::move(member));
+  }
+
+  const SourceFile& file_;
+  const std::vector<Token>& tokens_;
+  std::vector<ClassInfo>* out_;
+};
+
+/// Fully-qualified lock node name.
+std::string NodeName(const ClassInfo& cls, const Member& m) {
+  return cls.name + "::" + m.name;
+}
+
+struct Graph {
+  // node -> (successor -> line where the edge was declared).
+  std::map<std::string, std::map<std::string, int>> edges;
+  std::map<std::string, const SourceFile*> node_file;
+
+  void AddEdge(const std::string& from, const std::string& to,
+               const SourceFile* file, int line) {
+    edges[from][to] = line;
+    edges[to];  // Ensure the node exists.
+    if (node_file.find(from) == node_file.end()) node_file[from] = file;
+    if (node_file.find(to) == node_file.end()) node_file[to] = file;
+  }
+};
+
+/// Resolves an annotation argument to a known lock node: same class
+/// first, then a unique suffix match anywhere, else the literal text.
+std::string Resolve(const std::string& arg, const std::string& cls,
+                    const std::set<std::string>& nodes) {
+  std::string qualified = cls + "::" + arg;
+  if (nodes.find(qualified) != nodes.end()) return qualified;
+  std::string match;
+  int count = 0;
+  for (const std::string& node : nodes) {
+    if (node == arg ||
+        (node.size() > arg.size() + 2 &&
+         node.compare(node.size() - arg.size() - 2, 2, "::") == 0 &&
+         node.compare(node.size() - arg.size(), arg.size(), arg) == 0)) {
+      match = node;
+      ++count;
+    }
+  }
+  return count == 1 ? match : arg;
+}
+
+}  // namespace
+
+void RunLockOrderRule(Analysis* analysis) {
+  std::vector<ClassInfo> classes;
+  for (const SourceFile& file : analysis->files) {
+    if (file.area != "src" && file.area != "bench" && file.area != "tools") {
+      continue;  // Tests may use ad-hoc helpers; production code may not.
+    }
+    ClassParser(file, &classes).Parse();
+  }
+
+  // Unqualified names of classes that own a Mutex: a member of such a
+  // type is internally synchronized and needs no annotation of its own.
+  std::set<std::string> synchronized_types;
+  for (const ClassInfo& cls : classes) {
+    if (!cls.OwnsMutex()) continue;
+    size_t sep = cls.name.rfind("::");
+    synchronized_types.insert(
+        sep == std::string::npos ? cls.name : cls.name.substr(sep + 2));
+  }
+
+  // --- discipline check: mutex-owning classes annotate every member.
+  for (const ClassInfo& cls : classes) {
+    if (!cls.OwnsMutex()) continue;
+    for (const Member& m : cls.members) {
+      if (m.is_mutex || m.is_condvar || m.exempt) continue;
+      bool self_synchronized = false;
+      for (const std::string& ident : m.type_idents) {
+        if (ident != m.name &&
+            synchronized_types.find(ident) != synchronized_types.end()) {
+          self_synchronized = true;
+        }
+      }
+      if (self_synchronized) continue;
+      analysis->Report(
+          *cls.file, m.line, "lock-order",
+          "member '" + m.name + "' of mutex-owning class '" + cls.name +
+              "' has no concurrency annotation — add SIGSUB_GUARDED_BY(mu), "
+              "make it const/std::atomic, or mark it "
+              "SIGSUB_THREAD_CONFINED(<owning thread>)");
+    }
+  }
+
+  // --- global lock graph from annotations + order directives.
+  std::set<std::string> nodes;
+  for (const ClassInfo& cls : classes) {
+    for (const Member& m : cls.members) {
+      if (m.is_mutex) nodes.insert(NodeName(cls, m));
+    }
+  }
+  Graph graph;
+  for (const ClassInfo& cls : classes) {
+    for (const Member& m : cls.members) {
+      if (!m.is_mutex) continue;
+      std::string self = NodeName(cls, m);
+      for (const std::string& arg : m.acquired_before) {
+        graph.AddEdge(self, Resolve(arg, cls.name, nodes), cls.file, m.line);
+      }
+      for (const std::string& arg : m.acquired_after) {
+        graph.AddEdge(Resolve(arg, cls.name, nodes), self, cls.file, m.line);
+      }
+    }
+  }
+  for (const SourceFile& file : analysis->files) {
+    for (const OrderDirective& d : file.lexed.order_directives) {
+      graph.AddEdge(Resolve(d.before, "", nodes), Resolve(d.after, "", nodes),
+                    &file, d.line);
+    }
+  }
+
+  // --- cycle detection (DFS, three colors).
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black.
+  std::vector<std::string> stack;
+  bool reported = false;
+
+  std::function<void(const std::string&)> visit =
+      [&](const std::string& node) {
+        color[node] = 1;
+        stack.push_back(node);
+        auto it = graph.edges.find(node);
+        if (it != graph.edges.end()) {
+          for (const auto& [next, line] : it->second) {
+            if (reported) return;
+            int c = color[next];
+            if (c == 1) {
+              // Found a cycle: render it from `next` around to `node`.
+              std::string cycle = next;
+              size_t from = stack.size();
+              for (size_t k = 0; k < stack.size(); ++k) {
+                if (stack[k] == next) {
+                  from = k;
+                  break;
+                }
+              }
+              for (size_t k = from + 1; k < stack.size(); ++k) {
+                cycle += " -> " + stack[k];
+              }
+              cycle += " -> " + next;
+              const SourceFile* file = graph.node_file[node];
+              analysis->Report(*file, line, "lock-order",
+                               "lock acquisition order cycle: " + cycle);
+              reported = true;
+              return;
+            }
+            if (c == 0) visit(next);
+          }
+        }
+        stack.pop_back();
+        color[node] = 2;
+      };
+  for (const auto& [node, _] : graph.edges) {
+    if (reported) break;
+    if (color[node] == 0) visit(node);
+  }
+}
+
+}  // namespace lint
+}  // namespace sigsub

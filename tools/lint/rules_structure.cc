@@ -1,0 +1,216 @@
+// include-guard and include-layering: the file- and subsystem-structure
+// rules. Layering is the machine-checked form of the architecture
+// README documents: a back-edge include (core pulling in engine, say)
+// is how layer discipline dies one convenience at a time.
+
+#include <array>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/analyzer.h"
+
+namespace sigsub {
+namespace lint {
+namespace {
+
+std::string NormalizeSpaces(std::string_view text) {
+  std::string out;
+  bool in_space = false;
+  for (char c : text) {
+    if (c == ' ' || c == '\t') {
+      in_space = true;
+      continue;
+    }
+    if (in_space && !out.empty()) out.push_back(' ');
+    in_space = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string ExpectedGuard(const SourceFile& file) {
+  // src/core/mss.h -> SIGSUB_CORE_MSS_H_ (the src/ prefix is dropped);
+  // tests/testing/test_util.h -> SIGSUB_TESTS_TESTING_TEST_UTIL_H_.
+  std::string rel = file.rel;
+  constexpr std::string_view kSrc = "src/";
+  if (rel.compare(0, kSrc.size(), kSrc) == 0) rel = rel.substr(kSrc.size());
+  std::string token = "SIGSUB_";
+  for (char c : rel) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      token.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    } else {
+      token.push_back('_');
+    }
+  }
+  token.push_back('_');
+  return token;
+}
+
+std::vector<std::string> ContentLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+}  // namespace
+
+void RunIncludeGuardRule(Analysis* analysis) {
+  for (const SourceFile& file : analysis->files) {
+    if (!file.is_header) continue;
+    const std::string guard = ExpectedGuard(file);
+    const std::string ifndef = "#ifndef " + guard;
+    const std::string define = "#define " + guard;
+
+    const Directive* first = nullptr;
+    for (const Directive& d : file.lexed.directives) {
+      std::string text = NormalizeSpaces(d.text);
+      if (text.rfind("#ifndef", 0) == 0 || text.rfind("#if ", 0) == 0) {
+        first = &d;
+        break;
+      }
+    }
+    if (first == nullptr) {
+      analysis->Report(file, 1, "include-guard", "missing `" + ifndef + "`");
+      continue;
+    }
+    if (NormalizeSpaces(first->text) != ifndef) {
+      analysis->Report(file, first->line, "include-guard",
+                       "first guard line is `" + NormalizeSpaces(first->text) +
+                           "`, want `" + ifndef + "`");
+      continue;
+    }
+    bool defined = false;
+    for (const Directive& d : file.lexed.directives) {
+      if (d.line == first->line + 1 && NormalizeSpaces(d.text) == define) {
+        defined = true;
+        break;
+      }
+    }
+    if (!defined) {
+      analysis->Report(file, first->line + 1, "include-guard",
+                       "missing `" + define + "` right after the #ifndef");
+      continue;
+    }
+    // The closing line is checked textually: the convention pins the
+    // trailing comment (`#endif  // GUARD`), which the directive text
+    // cannot carry (comments are lexed separately).
+    std::vector<std::string> lines = ContentLines(file.content);
+    int last_nonblank = -1;
+    for (int i = static_cast<int>(lines.size()) - 1; i >= 0; --i) {
+      std::string norm = NormalizeSpaces(lines[static_cast<size_t>(i)]);
+      if (!norm.empty()) {
+        last_nonblank = i;
+        break;
+      }
+    }
+    const std::string endif = "#endif  // " + guard;
+    if (last_nonblank < 0 ||
+        lines[static_cast<size_t>(last_nonblank)] != endif) {
+      analysis->Report(file, last_nonblank + 1, "include-guard",
+                       "header must end with `" + endif + "`");
+    }
+  }
+}
+
+namespace {
+
+/// The declared subsystem dependency DAG over src/. An include from a
+/// row's subsystem is legal only when the included subsystem appears in
+/// the row (or is the subsystem itself). README "Architecture & layering"
+/// documents the same table; change both together.
+const std::map<std::string, std::vector<std::string>>& LayerDag() {
+  static const auto* const kDag =
+      new std::map<std::string, std::vector<std::string>>{
+          {"common", {}},
+          {"stats", {"common"}},
+          {"seq", {"common"}},
+          {"io", {"common", "seq"}},
+          {"core", {"common", "stats", "seq"}},
+          {"api", {"common", "stats", "seq", "core"}},
+          {"engine", {"common", "stats", "seq", "io", "core", "api"}},
+          {"persist",
+           {"common", "stats", "seq", "io", "core", "api", "engine"}},
+          {"server",
+           {"common", "stats", "seq", "io", "core", "api", "engine",
+            "persist"}},
+          {"cli",
+           {"common", "stats", "seq", "io", "core", "api", "engine",
+            "persist", "server"}},
+      };
+  return *kDag;
+}
+
+}  // namespace
+
+void RunIncludeLayeringRule(Analysis* analysis) {
+  const auto& dag = LayerDag();
+  for (const SourceFile& file : analysis->files) {
+    if (file.area != "src") continue;
+    // Files directly under src/ (the sigsub.h umbrella) sit above every
+    // subsystem and may include anything.
+    if (file.subsystem.empty()) continue;
+    auto row = dag.find(file.subsystem);
+    for (const Directive& d : file.lexed.directives) {
+      // Only quoted includes are project includes; <...> is the system.
+      if (d.text.find('"') == std::string::npos) continue;
+      std::string_view path = IncludePath(d);
+      if (path.empty()) continue;
+      size_t slash = path.find('/');
+      std::string included = slash == std::string_view::npos
+                                 ? std::string()
+                                 : std::string(path.substr(0, slash));
+      if (path == "sigsub.h") {
+        // The umbrella transitively includes every subsystem; only the
+        // top layer may pull it in.
+        if (file.subsystem != "cli") {
+          analysis->Report(file, d.line, "include-layering",
+                           "subsystem '" + file.subsystem +
+                               "' must not include the sigsub.h umbrella "
+                               "(it would pull in every layer above it)");
+        }
+        continue;
+      }
+      if (included.empty() || dag.find(included) == dag.end()) continue;
+      if (included == file.subsystem) continue;
+      if (row == dag.end()) {
+        analysis->Report(file, d.line, "include-layering",
+                         "subsystem '" + file.subsystem +
+                             "' is not in the declared dependency DAG "
+                             "(tools/lint/rules_structure.cc); add it with "
+                             "an explicit dependency row");
+        break;
+      }
+      bool allowed = false;
+      for (const std::string& dep : row->second) {
+        if (dep == included) {
+          allowed = true;
+          break;
+        }
+      }
+      if (!allowed) {
+        std::string deps;
+        for (const std::string& dep : row->second) {
+          if (!deps.empty()) deps += ", ";
+          deps += dep;
+        }
+        analysis->Report(
+            file, d.line, "include-layering",
+            "back-edge: '" + file.subsystem + "' may not include '" +
+                included + "' (declared dependencies: " +
+                (deps.empty() ? "none" : deps) + ")");
+      }
+    }
+  }
+}
+
+}  // namespace lint
+}  // namespace sigsub

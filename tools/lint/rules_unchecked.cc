@@ -1,0 +1,228 @@
+// unchecked-result: every call to a function returning common::Status or
+// Result<T> must be consumed — assigned, returned, passed on, wrapped in
+// SIGSUB_CHECK_OK / SIGSUB_RETURN_IF_ERROR / ASSERT_OK, or explicitly
+// discarded with a (void) cast. [[nodiscard]] on the types gives the
+// compiler the same opinion; this rule enforces it compiler-independently
+// and inside gcc blind spots (discards behind control-clause statements).
+
+#include <set>
+#include <string>
+
+#include "lint/analyzer.h"
+
+namespace sigsub {
+namespace lint {
+namespace {
+
+/// Statement-position keywords: `return Foo(...)` is a call, never a
+/// declaration of Foo with return type `return`.
+bool IsStatementKeyword(std::string_view text) {
+  static const std::set<std::string_view> kKeywords = {
+      "return", "co_return", "co_await", "co_yield", "else",   "do",
+      "case",   "new",       "delete",   "throw",    "goto",   "operator",
+      "not",    "and",       "or",       "explicit", "friend"};
+  return kKeywords.find(text) != kKeywords.end();
+}
+
+/// For a '>' at `close`, walks back over the balanced angle group and
+/// returns the index of the identifier right before the matching '<'
+/// (the template name), or SIZE_MAX when it does not look like one.
+size_t TemplateNameBeforeAngles(const std::vector<Token>& tokens,
+                                size_t close) {
+  int depth = 0;
+  for (size_t i = close + 1; i-- > 0;) {
+    const Token& t = tokens[i];
+    if (t.kind == TokenKind::kPunct) {
+      if (t.text == ">") ++depth;
+      if (t.text == ">>") depth += 2;
+      if (t.text == "<") --depth;
+      if (t.text == "<<") depth -= 2;
+      if (t.text == ";" || t.text == "{" || t.text == "}") break;
+      if (depth <= 0) {
+        if (i > 0 && tokens[i - 1].kind == TokenKind::kIdentifier) {
+          return i - 1;
+        }
+        break;
+      }
+    }
+    if (i == 0) break;
+  }
+  return static_cast<size_t>(-1);
+}
+
+/// Collects the names of functions declared to return Status /
+/// Result<T> anywhere in the tree (`names`), and the names declared with
+/// any OTHER return type (`others`). A name in both sets is ambiguous —
+/// a token-level pass cannot type the receiver of `x.Reset()`, so the
+/// caller only enforces the unambiguous names.
+void CollectStatusReturners(const Analysis& analysis,
+                            std::set<std::string, std::less<>>* names,
+                            std::set<std::string, std::less<>>* others) {
+  for (const SourceFile& file : analysis.files) {
+    const auto& tokens = file.lexed.tokens;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      // --- Status/Result<T> declarations.
+      if (tokens[i].kind == TokenKind::kIdentifier) {
+        size_t j = 0;
+        if (tokens[i].text == "Status") {
+          j = i + 1;
+        } else if (tokens[i].text == "Result" &&
+                   IsPunct(tokens, i + 1, "<")) {
+          j = SkipAngles(tokens, i + 1);
+        }
+        if (j != 0) {
+          while (IsPunct(tokens, j, "&") || IsPunct(tokens, j, "&&") ||
+                 IsPunct(tokens, j, "*")) {
+            ++j;
+          }
+          if (j < tokens.size() &&
+              tokens[j].kind == TokenKind::kIdentifier &&
+              IsPunct(tokens, j + 1, "(") && tokens[j].text != "operator") {
+            // `Status(...)` constructor calls don't reach here (next
+            // token is the paren); `Status foo = ...` has no paren.
+            names->insert(std::string(tokens[j].text));
+          }
+        }
+      }
+
+      // --- declarations with any other return type: `type name (`,
+      // where `type` may end in &/*/> (void Reset(), vector<int> f()).
+      if (i == 0 || tokens[i].kind != TokenKind::kIdentifier ||
+          !IsPunct(tokens, i + 1, "(")) {
+        continue;
+      }
+      size_t p = i - 1;
+      while (p > 0 && (IsPunct(tokens, p, "&") || IsPunct(tokens, p, "&&") ||
+                       IsPunct(tokens, p, "*"))) {
+        --p;
+      }
+      size_t type_at = static_cast<size_t>(-1);
+      if (tokens[p].kind == TokenKind::kIdentifier) {
+        type_at = p;
+      } else if (IsPunct(tokens, p, ">") || IsPunct(tokens, p, ">>")) {
+        type_at = TemplateNameBeforeAngles(tokens, p);
+      }
+      if (type_at == static_cast<size_t>(-1)) continue;
+      std::string_view type = tokens[type_at].text;
+      if (type == "Status" || type == "Result" ||
+          IsStatementKeyword(type)) {
+        continue;
+      }
+      others->insert(std::string(tokens[i].text));
+    }
+  }
+}
+
+/// Walks left from the call-name token at `i` over the member /
+/// qualification chain (`a.b->c::d(...)` and `std::move(x).status()`
+/// shapes) and returns the index of the chain's leftmost token.
+size_t ChainStart(const std::vector<Token>& tokens, size_t i) {
+  size_t p = i;
+  while (p > 0) {
+    const Token& prev = tokens[p - 1];
+    if (prev.kind != TokenKind::kPunct ||
+        (prev.text != "." && prev.text != "->" && prev.text != "::")) {
+      break;
+    }
+    if (p < 2) return 0;
+    size_t q = p - 2;  // The primary before the connector.
+    if (IsPunct(tokens, q, ")") || IsPunct(tokens, q, "]")) {
+      size_t open = MatchingOpen(tokens, q);
+      if (open == static_cast<size_t>(-1)) break;
+      // A call's callee identifier is part of the same primary:
+      // `move` in `std::move(x).status()`.
+      if (open > 0 && tokens[open - 1].kind == TokenKind::kIdentifier) {
+        p = open - 1;
+      } else {
+        p = open;
+      }
+      continue;
+    }
+    if (tokens[q].kind == TokenKind::kIdentifier) {
+      p = q;
+      continue;
+    }
+    break;
+  }
+  return p;
+}
+
+/// True when the call whose chain starts at `start` stands alone as an
+/// expression statement (its value is dropped).
+bool IsDiscardedStatement(const std::vector<Token>& tokens, size_t start) {
+  if (start == 0) return true;  // File scope: only in fixtures.
+  const Token& before = tokens[start - 1];
+  if (before.kind == TokenKind::kPunct) {
+    if (before.text == ";" || before.text == "{" || before.text == "}") {
+      return true;
+    }
+    if (before.text == ":") {
+      // A label (`case x:`) starts a statement; a ternary's ':' does not.
+      for (size_t p = start - 1; p-- > 0;) {
+        const Token& t = tokens[p];
+        if (t.kind != TokenKind::kPunct) continue;
+        if (t.text == "?") return false;
+        if (t.text == ";" || t.text == "{" || t.text == "}") break;
+      }
+      return true;
+    }
+    if (before.text == ")") {
+      size_t open = MatchingOpen(tokens, start - 1);
+      if (open == static_cast<size_t>(-1)) return false;
+      // `(void)Call();` is the sanctioned explicit discard.
+      if (open + 2 == start - 1 && IsIdent(tokens, open + 1, "void")) {
+        return false;
+      }
+      // `if (...) Call();` and friends drop the value.
+      if (open > 0 && tokens[open - 1].kind == TokenKind::kIdentifier) {
+        std::string_view kw = tokens[open - 1].text;
+        return kw == "if" || kw == "while" || kw == "for" || kw == "switch";
+      }
+      return false;
+    }
+    return false;
+  }
+  if (before.kind == TokenKind::kIdentifier) {
+    return before.text == "else" || before.text == "do";
+  }
+  return false;
+}
+
+}  // namespace
+
+void RunUncheckedResultRule(Analysis* analysis) {
+  std::set<std::string, std::less<>> returners;
+  std::set<std::string, std::less<>> others;
+  CollectStatusReturners(*analysis, &returners, &others);
+  // Enforce only names that are unambiguously Status/Result-returning:
+  // `x.Reset()` cannot be typed at token level, so a name that is void
+  // somewhere (Incremental::Reset) and Status somewhere else
+  // (Journal::Reset) is skipped rather than misreported.
+  for (const std::string& name : others) returners.erase(name);
+
+  for (const SourceFile& file : analysis->files) {
+    const auto& tokens = file.lexed.tokens;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (tokens[i].kind != TokenKind::kIdentifier) continue;
+      if (returners.find(tokens[i].text) == returners.end()) continue;
+      if (!IsPunct(tokens, i + 1, "(")) continue;
+      size_t close = MatchingClose(tokens, i + 1);
+      if (close >= tokens.size() || !IsPunct(tokens, close + 1, ";")) {
+        continue;  // Part of a larger expression: consumed.
+      }
+      size_t start = ChainStart(tokens, i);
+      // A declaration (`Status Foo();`) stops the chain walk at the
+      // return type identifier, which fails the statement-start test.
+      if (!IsDiscardedStatement(tokens, start)) continue;
+      analysis->Report(
+          file, tokens[i].line, "unchecked-result",
+          "result of '" + std::string(tokens[i].text) +
+              "(...)' (a Status/Result) is silently dropped — assign it, "
+              "SIGSUB_RETURN_IF_ERROR it, wrap it in SIGSUB_CHECK_OK, or "
+              "cast to (void) with a comment saying why");
+    }
+  }
+}
+
+}  // namespace lint
+}  // namespace sigsub

@@ -1,0 +1,154 @@
+// wire-codes: the protocol error enum is a contract with every client,
+// so each ErrorCode must (a) actually be produced somewhere in
+// src/server/ — a code no path emits is dead wire surface clients still
+// have to handle — and (b) appear by wire name in the README's protocol
+// documentation. Classifier functions (ErrorCodeName, IsRetryable) map
+// over all codes by construction and do not count as production.
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "lint/analyzer.h"
+
+namespace sigsub {
+namespace lint {
+namespace {
+
+struct Enumerator {
+  std::string name;  // "kProto"
+  std::string wire;  // "EPROTO"
+  int line = 0;
+};
+
+/// Wire name for an enumerator: kTooBig -> ETOOBIG.
+std::string WireName(std::string_view enumerator) {
+  std::string wire = "E";
+  size_t start = enumerator.size() > 1 && enumerator[0] == 'k' ? 1 : 0;
+  for (size_t i = start; i < enumerator.size(); ++i) {
+    wire.push_back(static_cast<char>(
+        std::toupper(static_cast<unsigned char>(enumerator[i]))));
+  }
+  return wire;
+}
+
+/// Parses `enum class ErrorCode ... { k..., k..., };` out of protocol.h.
+std::vector<Enumerator> ParseErrorCodes(const SourceFile& file) {
+  std::vector<Enumerator> codes;
+  const auto& tokens = file.lexed.tokens;
+  for (size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (!IsIdent(tokens, i, "enum")) continue;
+    size_t name_at = IsIdent(tokens, i + 1, "class") ? i + 2 : i + 1;
+    if (!IsIdent(tokens, name_at, "ErrorCode")) continue;
+    size_t open = name_at + 1;
+    while (open < tokens.size() && !IsPunct(tokens, open, "{") &&
+           !IsPunct(tokens, open, ";")) {
+      ++open;  // Skip an underlying-type clause (`: uint8_t`).
+    }
+    if (!IsPunct(tokens, open, "{")) continue;
+    size_t close = MatchingClose(tokens, open);
+    bool expect_name = true;
+    for (size_t j = open + 1; j < close; ++j) {
+      if (expect_name && tokens[j].kind == TokenKind::kIdentifier) {
+        codes.push_back(Enumerator{std::string(tokens[j].text),
+                                   WireName(tokens[j].text),
+                                   tokens[j].line});
+        expect_name = false;
+      } else if (IsPunct(tokens, j, ",")) {
+        expect_name = true;
+      }
+    }
+    return codes;
+  }
+  return codes;
+}
+
+/// Token ranges covered by the bodies of the named classifier functions.
+struct Range {
+  size_t begin;
+  size_t end;
+};
+
+std::vector<Range> ClassifierBodies(const SourceFile& file) {
+  static constexpr std::string_view kClassifiers[] = {"ErrorCodeName",
+                                                      "IsRetryable"};
+  std::vector<Range> ranges;
+  const auto& tokens = file.lexed.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kIdentifier) continue;
+    bool classifier = false;
+    for (std::string_view name : kClassifiers) {
+      if (tokens[i].text == name) classifier = true;
+    }
+    if (!classifier || !IsPunct(tokens, i + 1, "(")) continue;
+    size_t close = MatchingClose(tokens, i + 1);
+    if (!IsPunct(tokens, close + 1, "{")) continue;  // Call, not definition.
+    ranges.push_back(Range{close + 1, MatchingClose(tokens, close + 1)});
+  }
+  return ranges;
+}
+
+bool InRanges(const std::vector<Range>& ranges, size_t i) {
+  for (const Range& r : ranges) {
+    if (i >= r.begin && i <= r.end) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void RunWireCodesRule(Analysis* analysis) {
+  const SourceFile* protocol = nullptr;
+  for (const SourceFile& file : analysis->files) {
+    if (file.area == "src" && file.subsystem == "server" && file.is_header &&
+        file.rel.size() >= 10 &&
+        file.rel.compare(file.rel.size() - 10, 10, "protocol.h") == 0) {
+      protocol = &file;
+      break;
+    }
+  }
+  if (protocol == nullptr) return;  // Fixture trees without a server.
+  std::vector<Enumerator> codes = ParseErrorCodes(*protocol);
+  if (codes.empty()) return;
+
+  for (const Enumerator& code : codes) {
+    // (a) produced somewhere in src/server/*.cc outside the classifiers.
+    bool produced = false;
+    for (const SourceFile& file : analysis->files) {
+      if (produced) break;
+      if (file.area != "src" || file.subsystem != "server" || file.is_header) {
+        continue;
+      }
+      std::vector<Range> skip = ClassifierBodies(file);
+      const auto& tokens = file.lexed.tokens;
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        if (tokens[i].kind == TokenKind::kIdentifier &&
+            tokens[i].text == code.name && !InRanges(skip, i)) {
+          produced = true;
+          break;
+        }
+      }
+    }
+    if (!produced) {
+      analysis->Report(
+          *protocol, code.line, "wire-codes",
+          "ErrorCode::" + code.name +
+              " is never produced in src/server/*.cc (outside the "
+              "ErrorCodeName/IsRetryable classifiers) — dead wire surface; "
+              "emit it or remove it from the protocol");
+    }
+
+    // (b) documented: the wire name appears in README.md.
+    if (!analysis->readme.empty() &&
+        analysis->readme.find(code.wire) == std::string::npos) {
+      analysis->Report(
+          *protocol, code.line, "wire-codes",
+          "wire code " + code.wire + " (ErrorCode::" + code.name +
+              ") is not documented in README.md — add it to the error/"
+              "backpressure table");
+    }
+  }
+}
+
+}  // namespace lint
+}  // namespace sigsub
