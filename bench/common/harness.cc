@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "common/str_util.h"
 #include "stats/descriptive.h"
@@ -75,15 +76,19 @@ bool JsonBench::WriteTo(const std::string& path) const {
   out += StrCat("  \"bench\": \"", name_, "\",\n");
   out += StrCat("  \"fast_mode\": ", FastMode() ? "true" : "false", ",\n");
   out += "  \"results\": [\n";
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    const Row& row = rows_[i];
+  for (const Row& row : rows_) {
     out += StrCat("    {\"name\": \"", row.name, "\", \"", row.key,
                   "\": ", StrFormat("%.6f", row.value));
     if (!std::isnan(row.speedup)) {
       out += StrCat(", \"speedup\": ", StrFormat("%.4f", row.speedup));
     }
-    out += i + 1 < rows_.size() ? "},\n" : "}\n";
+    out += "},\n";
   }
+  // Every BENCH file records the machine's logical core count so
+  // tools/bench_diff.py can flag cross-machine comparisons — speedups are
+  // relative, but contention-sensitive ones still shift with core count.
+  out += StrCat("    {\"name\": \"machine\", \"hardware_concurrency\": ",
+                std::thread::hardware_concurrency(), "}\n");
   out += "  ],\n  \"gates\": {\n";
   for (size_t i = 0; i < gates_.size(); ++i) {
     out += StrCat("    \"", gates_[i].first, "\": ",

@@ -41,7 +41,9 @@ double PrintLogLogSlope(const std::string& label,
 /// {name, ms[, speedup]}; gates are named booleans (bit-identity checks,
 /// perf targets). The file also records whether the run was a
 /// SIGSUB_BENCH_FAST smoke pass, since smoke timings are not comparable
-/// to full-scale ones.
+/// to full-scale ones, and a {"name": "machine", "hardware_concurrency"}
+/// row so bench_diff can warn when a run and the committed baseline came
+/// from machines with different core counts.
 class JsonBench {
  public:
   /// `name` is the suite label: "core" writes BENCH_core.json (in the

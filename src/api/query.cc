@@ -26,6 +26,8 @@ static_assert(std::is_same_v<std::variant_alternative_t<7, QueryRequest>,
                              AgmmQuery>);
 static_assert(std::is_same_v<std::variant_alternative_t<8, QueryRequest>,
                              BlockedQuery>);
+static_assert(std::is_same_v<std::variant_alternative_t<9, QueryRequest>,
+                             SubstringsQuery>);
 
 ModelSpec ModelSpec::Uniform() { return ModelSpec{}; }
 
@@ -66,6 +68,8 @@ std::string_view QueryKindToString(QueryKind kind) {
       return "agmm";
     case QueryKind::kBlocked:
       return "blocked";
+    case QueryKind::kSubstrings:
+      return "substrings";
   }
   return "unknown";
 }
@@ -74,13 +78,14 @@ Result<QueryKind> ParseQueryKind(std::string_view name) {
   for (QueryKind kind :
        {QueryKind::kMss, QueryKind::kTopT, QueryKind::kTopDisjoint,
         QueryKind::kThreshold, QueryKind::kMinLength, QueryKind::kLengthBounded,
-        QueryKind::kArlm, QueryKind::kAgmm, QueryKind::kBlocked}) {
+        QueryKind::kArlm, QueryKind::kAgmm, QueryKind::kBlocked,
+        QueryKind::kSubstrings}) {
     if (name == QueryKindToString(kind)) return kind;
   }
   return Status::InvalidArgument(
       StrCat("unknown query kind \"", std::string(name),
              "\" (expected mss|topt|disjoint|threshold|minlen|lenbound|"
-             "arlm|agmm|blocked)"));
+             "arlm|agmm|blocked|substrings)"));
 }
 
 namespace {
@@ -93,6 +98,9 @@ const core::Substring& QueryResult::best() const {
   if (const auto* r = std::get_if<RankedPayload>(&payload)) {
     return r->ranked.empty() ? kEmptySubstring : r->ranked.front();
   }
+  if (const auto* s = std::get_if<SubstringsPayload>(&payload)) {
+    return s->ranked.empty() ? kEmptySubstring : s->ranked.front();
+  }
   const auto& t = std::get<ThresholdPayload>(payload);
   return t.match_count > 0 ? t.best : kEmptySubstring;
 }
@@ -103,18 +111,27 @@ std::span<const core::Substring> QueryResult::substrings() const {
                                 : std::span<const core::Substring>();
   }
   if (const auto* r = std::get_if<RankedPayload>(&payload)) return r->ranked;
+  if (const auto* s = std::get_if<SubstringsPayload>(&payload)) {
+    return s->ranked;
+  }
   return std::get<ThresholdPayload>(payload).matches;
 }
 
 const core::ScanStats& QueryResult::stats() const {
   if (const auto* b = std::get_if<BestPayload>(&payload)) return b->stats;
   if (const auto* r = std::get_if<RankedPayload>(&payload)) return r->stats;
+  if (const auto* s = std::get_if<SubstringsPayload>(&payload)) {
+    return s->stats;
+  }
   return std::get<ThresholdPayload>(payload).stats;
 }
 
 int64_t QueryResult::match_count() const {
   if (const auto* t = std::get_if<ThresholdPayload>(&payload)) {
     return t->match_count;
+  }
+  if (const auto* s = std::get_if<SubstringsPayload>(&payload)) {
+    return s->match_count;
   }
   return static_cast<int64_t>(substrings().size());
 }

@@ -70,11 +70,12 @@ enum class QueryKind {
   kArlm = 6,          // core::FindMssArlm (PAKDD'10 local-maxima baseline).
   kAgmm = 7,          // core::FindMssAgmm (PAKDD'10 global-extrema baseline).
   kBlocked = 8,       // core::FindMssBlocked (blocking-technique exact scan).
+  kSubstrings = 9,    // core::SuffixScan (all-substrings suffix-array scan).
 };
 
 /// Stable lowercase name ("mss", "topt", "disjoint", "threshold", "minlen",
-/// "lenbound", "arlm", "agmm", "blocked") — the vocabulary of the CLI and
-/// of the serialized query form.
+/// "lenbound", "arlm", "agmm", "blocked", "substrings") — the vocabulary of
+/// the CLI and of the serialized query form.
 std::string_view QueryKindToString(QueryKind kind);
 
 /// Inverse of QueryKindToString; InvalidArgument on unknown names.
@@ -149,12 +150,36 @@ struct BlockedQuery {
   friend bool operator==(const BlockedQuery&, const BlockedQuery&) = default;
 };
 
+/// All-substrings mining (core::SuffixScan): the `top` highest-X²
+/// *distinct substrings* of the record — each with its occurrence count
+/// and p-value — instead of one best interval. `maximal` keeps only
+/// class-maximal substrings (every one-symbol right extension occurs
+/// strictly fewer times); with maximal=0 every distinct substring is
+/// enumerated, which is quadratic in the worst case, so the engine then
+/// requires max_length > 0. The significance floor mirrors ThresholdQuery:
+/// `alpha0` is a raw X² cutoff, `alpha_p` a per-substring p-value
+/// (converted at execution; wins over alpha0 when both are set); negative
+/// means unset, and with neither set every candidate qualifies. Markov
+/// models are supported (the candidates' transition counts are scored with
+/// the Markov X²).
+struct SubstringsQuery {
+  int64_t top = 10;        // 0 = report every match.
+  int64_t min_length = 1;
+  int64_t max_length = 0;  // 0 = unbounded.
+  int64_t min_count = 2;   // Substrings occurring fewer times are skipped.
+  bool maximal = true;
+  double alpha0 = -1.0;
+  double alpha_p = -1.0;
+  friend bool operator==(const SubstringsQuery&,
+                         const SubstringsQuery&) = default;
+};
+
 /// The request union. Alternative order mirrors QueryKind numerically, so
 /// `request.index()` is the kind (static_asserted in query.cc).
 using QueryRequest =
     std::variant<MssQuery, TopTQuery, TopDisjointQuery, ThresholdQuery,
                  MinLengthQuery, LengthBoundedQuery, ArlmQuery, AgmmQuery,
-                 BlockedQuery>;
+                 BlockedQuery, SubstringsQuery>;
 
 /// One unit of work: run `request` against corpus record `sequence_index`
 /// under `model`. This is the engine's native job representation; the
@@ -195,6 +220,21 @@ struct ThresholdPayload {
   core::ScanStats stats;
 };
 
+/// Payload of substrings queries: one entry per reported distinct
+/// substring in the suffix scan's total order (X² descending, then length
+/// ascending, then text ascending). `counts[i]` / `p_values[i]` parallel
+/// `ranked[i]` — each ranked entry is a representative occurrence (its
+/// smallest start), the count is the class occurrence count corpus-wide in
+/// the record. `match_count` is the exact number of candidates that passed
+/// the filters (>= ranked.size(); the excess was cut by `top`).
+struct SubstringsPayload {
+  std::vector<core::Substring> ranked;
+  std::vector<int64_t> counts;
+  std::vector<double> p_values;
+  int64_t match_count = 0;
+  core::ScanStats stats;
+};
+
 /// Outcome of one query. The payload alternative is determined by the
 /// query's kind; `best()`/`substrings()`/`stats()` give shape-independent
 /// access for tabular consumers.
@@ -203,7 +243,9 @@ struct QueryResult {
   int64_t sequence_index = 0;  // Echo of the spec.
   QueryKind kind = QueryKind::kMss;
   bool cache_hit = false;
-  std::variant<BestPayload, RankedPayload, ThresholdPayload> payload;
+  std::variant<BestPayload, RankedPayload, ThresholdPayload,
+               SubstringsPayload>
+      payload;
 
   /// The highest-X² substring of any payload (zero-length when none).
   const core::Substring& best() const;
@@ -213,8 +255,8 @@ struct QueryResult {
   /// Scan statistics (zero for cache hits and for kernels that report
   /// none).
   const core::ScanStats& stats() const;
-  /// Threshold queries: the exact match total. Other kinds: the number of
-  /// materialized substrings.
+  /// Threshold and substrings queries: the exact match total. Other
+  /// kinds: the number of materialized substrings.
   int64_t match_count() const;
 };
 

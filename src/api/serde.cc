@@ -215,6 +215,19 @@ std::vector<std::pair<std::string, std::string>> RequestFields(
           [&](const BlockedQuery& q) {
             fields.emplace_back("block_size", FormatI(q.block_size));
           },
+          [&](const SubstringsQuery& q) {
+            fields.emplace_back("top", FormatI(q.top));
+            fields.emplace_back("min_length", FormatI(q.min_length));
+            fields.emplace_back("max_length", FormatI(q.max_length));
+            fields.emplace_back("min_count", FormatI(q.min_count));
+            fields.emplace_back("maximal", FormatI(q.maximal ? 1 : 0));
+            if (q.alpha0 >= 0.0) {
+              fields.emplace_back("alpha0", FormatF(q.alpha0));
+            }
+            if (q.alpha_p >= 0.0) {
+              fields.emplace_back("alpha_p", FormatF(q.alpha_p));
+            }
+          },
       },
       request);
   return fields;
@@ -242,6 +255,8 @@ QueryRequest DefaultRequestFor(QueryKind kind) {
       return AgmmQuery{};
     case QueryKind::kBlocked:
       return BlockedQuery{};
+    case QueryKind::kSubstrings:
+      return SubstringsQuery{};
   }
   return MssQuery{};
 }
@@ -297,6 +312,29 @@ Status ApplyField(QueryRequest* request, std::string_view key,
           [&](AgmmQuery&) { return unknown(); },
           [&](BlockedQuery& q) {
             if (key == "block_size") return set_i(&q.block_size);
+            return unknown();
+          },
+          [&](SubstringsQuery& q) {
+            if (key == "top") return set_i(&q.top);
+            if (key == "min_length") return set_i(&q.min_length);
+            if (key == "max_length") return set_i(&q.max_length);
+            if (key == "min_count") return set_i(&q.min_count);
+            if (key == "maximal") {
+              // Strictly 0 or 1: a canonical form must not accept a
+              // family of spellings for one flag value.
+              int64_t flag = 0;
+              Status status = set_i(&flag);
+              if (!status.ok()) return status;
+              if (flag != 0 && flag != 1) {
+                return Status::InvalidArgument(
+                    StrCat("query field maximal must be 0 or 1, got ",
+                           flag));
+              }
+              q.maximal = flag == 1;
+              return Status::OK();
+            }
+            if (key == "alpha0") return set_f(&q.alpha0);
+            if (key == "alpha_p") return set_f(&q.alpha_p);
             return unknown();
           },
       },

@@ -23,6 +23,7 @@
 #include "core/parallel.h"
 #include "core/significance.h"
 #include "core/streaming.h"
+#include "core/suffix_scan.h"
 #include "core/threshold.h"
 #include "core/top_disjoint.h"
 #include "core/top_t.h"
@@ -45,9 +46,9 @@ namespace sigsub {
 namespace cli {
 namespace {
 
-const char* const kCommands[] = {"mss",   "topt",  "threshold", "minlen",
-                                 "score", "batch", "query",     "stream",
-                                 "serve", "client"};
+const char* const kCommands[] = {"mss",   "topt",       "threshold", "minlen",
+                                 "score", "substrings", "batch",     "query",
+                                 "stream", "serve",     "client"};
 
 /// Flags every command accepts.
 const char* const kCommonFlags[] = {"string", "input", "alphabet", "probs",
@@ -66,6 +67,9 @@ const CommandFlags kCommandFlags[] = {
     {"threshold", {"alpha0", "pvalue"}},
     {"minlen", {"min-length"}},
     {"score", {"start", "end"}},
+    {"substrings",
+     {"top", "min-length", "max-length", "min-count", "all", "positions",
+      "mmap", "alpha0", "alpha-p", "cache"}},
     {"batch",
      {"job", "format", "column", "csv-header", "threads", "cache",
       "shard-min", "t", "min-length", "alpha0", "pvalue", "alpha-p",
@@ -478,6 +482,163 @@ Result<std::string> RunQuery(const CliOptions& options) {
   return out.str();
 }
 
+/// Executes the `substrings` command: all-substrings mining over one
+/// record. The record is either memory-mapped in place (--mmap: no decoded
+/// in-RAM copy, the suffix index reads through the byte→symbol table) or
+/// loaded like the other single-string commands. The default path routes a
+/// serialized substrings query through the engine (shared validation,
+/// result cache); --positions calls the suffix scan directly, since
+/// occurrence positions are computed on request and never cached.
+Result<std::string> RunSubstrings(const CliOptions& options) {
+  std::string text;  // Backing for non-mapped corpora; also rendering.
+  Result<engine::Corpus> loaded =
+      options.mmap
+          ? engine::Corpus::FromMappedFile(options.input_path,
+                                           options.alphabet)
+          : [&]() -> Result<engine::Corpus> {
+              SIGSUB_ASSIGN_OR_RETURN(text, LoadInput(options));
+              if (text.empty()) {
+                return Status::InvalidArgument("input string is empty");
+              }
+              return engine::Corpus::FromStrings({text}, options.alphabet);
+            }();
+  SIGSUB_RETURN_IF_ERROR(loaded.status());
+  engine::Corpus corpus = std::move(loaded).value();
+  const int k = corpus.alphabet().size();
+  if (!options.probs.empty() &&
+      static_cast<int>(options.probs.size()) != k) {
+    return Status::InvalidArgument(
+        StrCat("--probs has ", options.probs.size(),
+               " probabilities but the record alphabet has ", k,
+               " symbols"));
+  }
+  const std::string_view record =
+      options.mmap
+          ? std::string_view(
+                reinterpret_cast<const char*>(corpus.mapped_record().data()),
+                corpus.mapped_record().size())
+          : std::string_view(text);
+
+  std::ostringstream out;
+  out << "n = " << record.size() << ", k = " << k
+      << (options.mmap ? ", mapped" : "") << "\n";
+
+  // Rendered substring text column; long substrings are elided, the
+  // start/end columns always identify them exactly.
+  auto render_text = [&record](const core::Substring& sub) {
+    constexpr int64_t kMaxShown = 24;
+    if (sub.length() <= kMaxShown) {
+      return StrCat("\"",
+                    std::string(record.substr(
+                        static_cast<size_t>(sub.start),
+                        static_cast<size_t>(sub.length()))),
+                    "\"");
+    }
+    return StrCat("\"",
+                  std::string(record.substr(static_cast<size_t>(sub.start),
+                                            kMaxShown)),
+                  "\"... (", sub.length(), " symbols)");
+  };
+  io::TableWriter table({"rank", "start", "end", "length", "count", "X2",
+                         "p-value", "substring"});
+  auto add_row = [&](size_t rank, const core::Substring& sub, int64_t count,
+                     double p_value) {
+    table.AddRow({std::to_string(rank + 1), std::to_string(sub.start),
+                  std::to_string(sub.end), std::to_string(sub.length()),
+                  std::to_string(count), StrFormat("%.4f", sub.chi_square),
+                  StrFormat("%.4g", p_value), render_text(sub)});
+  };
+
+  if (options.positions) {
+    // Direct core call: positions are collected during the sweep and are
+    // not part of the cached result shape.
+    std::vector<double> probs = options.probs;
+    if (probs.empty()) probs.assign(k, 1.0 / k);
+    SIGSUB_ASSIGN_OR_RETURN(core::ChiSquareContext context,
+                            core::ChiSquareContext::Make(std::move(probs)));
+    core::SuffixScanOptions scan_options;
+    scan_options.top_n = options.top;
+    scan_options.min_length = options.min_length;
+    scan_options.max_length = options.max_length;
+    scan_options.min_count = options.min_count;
+    scan_options.maximal_only = !options.all_substrings;
+    scan_options.collect_positions = true;
+    // The same alpha resolution the engine applies: a p-value converts
+    // through the χ²(k−1) critical value and wins over a raw X² cutoff.
+    if (options.alpha_p > 0.0) {
+      scan_options.min_x2 =
+          stats::ChiSquaredDistribution(k - 1).CriticalValue(options.alpha_p);
+    } else if (options.alpha0 >= 0.0) {
+      scan_options.min_x2 = options.alpha0;
+    }
+    SIGSUB_ASSIGN_OR_RETURN(
+        core::SuffixScan scan,
+        options.mmap
+            ? core::SuffixScan::BuildMapped(corpus.mapped_record(),
+                                            corpus.decode_table(), k)
+            : core::SuffixScan::Build(corpus.sequence(0).symbols(), k));
+    SIGSUB_ASSIGN_OR_RETURN(core::SuffixScanResult result,
+                            scan.Scan(context, scan_options));
+    out << result.match_count << " matching substrings";
+    if (result.match_count >
+        static_cast<int64_t>(result.classes.size())) {
+      out << " (showing " << result.classes.size() << ")";
+    }
+    out << "\n";
+    for (size_t i = 0; i < result.classes.size(); ++i) {
+      add_row(i, result.classes[i].substring, result.classes[i].count,
+              result.classes[i].p_value);
+    }
+    if (table.row_count() > 0) out << table.Render();
+    for (size_t i = 0; i < result.positions.size(); ++i) {
+      out << "positions " << (i + 1) << ":";
+      for (int64_t pos : result.positions[i]) out << " " << pos;
+      out << "\n";
+    }
+    out << "classes: " << result.stats.classes_enumerated
+        << " enumerated, " << result.stats.candidates_scored
+        << " candidates scored; index: " << result.stats.index_bytes
+        << " bytes (peak " << result.stats.peak_index_bytes << ")\n";
+    return out.str();
+  }
+
+  // Engine path: the flags spell one serialized substrings query (the
+  // same grammar the query command and the wire protocol accept), so the
+  // CLI cannot drift from the query surface — and repeats hit the result
+  // cache.
+  std::string query_text = StrCat(
+      "substrings:top=", options.top, ",min_length=", options.min_length,
+      ",max_length=", options.max_length, ",min_count=", options.min_count,
+      ",maximal=", options.all_substrings ? 0 : 1);
+  if (options.alpha_p > 0.0) {
+    query_text += StrCat(",alpha_p=", StrFormat("%.17g", options.alpha_p));
+  } else if (options.alpha0 >= 0.0) {
+    query_text += StrCat(",alpha0=", StrFormat("%.17g", options.alpha0));
+  }
+  SIGSUB_ASSIGN_OR_RETURN(api::QuerySpec spec, api::ParseQuery(query_text));
+  if (!options.probs.empty()) {
+    spec.model = api::ModelSpec::Multinomial(options.probs);
+  }
+  engine::Engine engine(EngineOptionsFrom(options));
+  SIGSUB_ASSIGN_OR_RETURN(std::vector<api::QueryResult> results,
+                          engine.ExecuteQueries(corpus, {spec}));
+  const auto& payload =
+      std::get<api::SubstringsPayload>(results[0].payload);
+  out << payload.match_count << " matching substrings";
+  if (payload.match_count > static_cast<int64_t>(payload.ranked.size())) {
+    out << " (showing " << payload.ranked.size() << ")";
+  }
+  out << "\n";
+  for (size_t i = 0; i < payload.ranked.size(); ++i) {
+    add_row(i, payload.ranked[i], payload.counts[i], payload.p_values[i]);
+  }
+  if (table.row_count() > 0) out << table.Render();
+  engine::CacheStats cache_stats = engine.cache_stats();
+  out << "cache: " << cache_stats.hits << " hits, " << cache_stats.misses
+      << " misses (" << engine.cache_size() << " entries)\n";
+  return out.str();
+}
+
 /// The effective fused-kernel selection, reported when the user passed
 /// --x2-dispatch explicitly. A `simd` request on a host without AVX2
 /// would otherwise degrade to scalar silently (x2_dispatch.h documents
@@ -773,6 +934,14 @@ std::string UsageText() {
       "--pvalue\n"
       "  minlen     MSS above a length floor (Problem 4); --min-length\n"
       "  score      score one substring; --start, --end\n"
+      "  substrings all statistically significant distinct substrings of\n"
+      "             one record, each with its occurrence count, X2 and\n"
+      "             p-value (suffix-array scan); --top (0 = all matches),\n"
+      "             --min-length, --max-length, --min-count, --alpha0 or\n"
+      "             --alpha-p, --all (every distinct substring, not just\n"
+      "             class-maximal ones; needs --max-length), --positions\n"
+      "             (list occurrence positions), --mmap (memory-map\n"
+      "             --input and mine it in place, no decoded copy)\n"
       "  batch      mine a whole corpus (one record per line, or a CSV\n"
       "             column with --format=csv); --job=mss|topt|disjoint|\n"
       "             threshold|minlen, --threads, --cache, plus the job's\n"
@@ -884,6 +1053,30 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
     } else if (name == "min-length") {
       SIGSUB_ASSIGN_OR_RETURN(options.min_length,
                               ParseInt(value, "--min-length"));
+    } else if (name == "top") {
+      SIGSUB_ASSIGN_OR_RETURN(options.top, ParseInt(value, "--top"));
+    } else if (name == "max-length") {
+      SIGSUB_ASSIGN_OR_RETURN(options.max_length,
+                              ParseInt(value, "--max-length"));
+    } else if (name == "min-count") {
+      SIGSUB_ASSIGN_OR_RETURN(options.min_count,
+                              ParseInt(value, "--min-count"));
+    } else if (name == "all") {
+      if (!value.empty()) {
+        return Status::InvalidArgument("flag --all does not take a value");
+      }
+      options.all_substrings = true;
+    } else if (name == "positions") {
+      if (!value.empty()) {
+        return Status::InvalidArgument(
+            "flag --positions does not take a value");
+      }
+      options.positions = true;
+    } else if (name == "mmap") {
+      if (!value.empty()) {
+        return Status::InvalidArgument("flag --mmap does not take a value");
+      }
+      options.mmap = true;
     } else if (name == "start") {
       SIGSUB_ASSIGN_OR_RETURN(options.start, ParseInt(value, "--start"));
     } else if (name == "end") {
@@ -1170,6 +1363,36 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
     }
     return options;
   }
+  if (options.command == "substrings") {
+    if (options.mmap) {
+      if (options.has_input_text) {
+        return Status::InvalidArgument(
+            "flag --mmap maps a file; use --input=PATH, not --string");
+      }
+      if (options.input_path.empty()) {
+        return Status::InvalidArgument("flag --mmap requires --input=PATH");
+      }
+    }
+    // Flag-level range checks stay in flag vocabulary; the engine's
+    // query-layer messages (field top, field min_count, ...) cover the
+    // rest identically for the CLI and wire surfaces.
+    if (options.all_substrings && options.max_length < 1) {
+      return Status::InvalidArgument(
+          "flag --all enumerates every distinct substring and requires "
+          "--max-length=N to bound the output");
+    }
+    for (const std::string& flag : seen_flags) {
+      if (flag == "alpha-p" &&
+          (options.alpha_p <= 0.0 || options.alpha_p >= 1.0)) {
+        return Status::InvalidArgument(
+            StrCat("--alpha-p must be in (0, 1), got ", options.alpha_p));
+      }
+      if (flag == "cache" && options.cache < 0) {
+        return Status::InvalidArgument(
+            StrCat("--cache must be >= 0, got ", options.cache));
+      }
+    }
+  }
   if (!options.has_input_text && options.input_path.empty()) {
     return Status::InvalidArgument("one of --string or --input is required");
   }
@@ -1207,6 +1430,9 @@ Result<std::string> Run(const CliOptions& options) {
   };
   if (options.command == "batch") return with_banner(RunBatch(options));
   if (options.command == "query") return with_banner(RunQuery(options));
+  if (options.command == "substrings") {
+    return with_banner(RunSubstrings(options));
+  }
   if (options.command == "stream") return with_banner(RunStream(options));
   if (options.command == "serve") return with_banner(RunServe(options));
   if (options.command == "client") return RunClient(options);

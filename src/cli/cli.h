@@ -15,10 +15,10 @@ namespace cli {
 ///
 ///   sigsub_cli <command> [--flag=value ...]
 ///
-/// Commands: mss | topt | threshold | minlen | score | batch | query |
-/// stream | serve | client. Flags are validated against the selected
-/// command: supplying a flag that the command does not consume is an
-/// InvalidArgument error, not a silent acceptance.
+/// Commands: mss | topt | threshold | minlen | score | substrings | batch |
+/// query | stream | serve | client. Flags are validated against the
+/// selected command: supplying a flag that the command does not consume is
+/// an InvalidArgument error, not a silent acceptance.
 ///
 /// Common flags:
 ///   --string=TEXT        input string literal (exclusive with --input)
@@ -44,6 +44,18 @@ namespace cli {
 ///   --min-length=N       length floor (minlen, topt --disjoint, batch)
 ///   --start=I --end=J    substring to score (score)
 ///   --threads=N          worker threads (mss, batch; default 1)
+/// Substrings-only flags (all-substrings mining over one record):
+///   --top=N              keep the N highest-X² substrings (default 10;
+///                        0 reports every match)
+///   --max-length=N       length ceiling (default 0 = unbounded)
+///   --min-count=N        occurrence floor (default 2)
+///   --all                enumerate every distinct substring, not just
+///                        class-maximal ones; requires --max-length
+///   --positions          list each substring's occurrence positions
+///                        (direct suffix-scan call, bypasses the cache)
+///   --mmap               memory-map --input read-only and mine it in
+///                        place as a single record (no decoded in-RAM
+///                        copy; excludes --string)
 /// Batch-only flags:
 ///   --job=KIND           mss|topt|disjoint|threshold|minlen (default mss)
 ///   --alpha-p=P          threshold jobs: per-substring p-value cutoff,
@@ -118,6 +130,13 @@ struct CliOptions {
   // True when --x2-dispatch was passed explicitly: Run() then reports the
   // effective dispatch (and warns when a SIMD request fell back).
   bool x2_dispatch_explicit = false;
+  // Substrings command.
+  int64_t top = 10;
+  int64_t max_length = 0;
+  int64_t min_count = 2;
+  bool all_substrings = false;
+  bool positions = false;
+  bool mmap = false;
   // Batch command.
   std::string job = "mss";
   double alpha_p = -1.0;

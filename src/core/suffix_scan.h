@@ -1,0 +1,195 @@
+#ifndef SIGSUB_CORE_SUFFIX_SCAN_H_
+#define SIGSUB_CORE_SUFFIX_SCAN_H_
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/chi_square.h"
+#include "core/markov_scan.h"
+#include "core/scan_types.h"
+#include "seq/sequence.h"
+
+namespace sigsub {
+namespace core {
+
+/// All-substrings mining over one record (ROADMAP item 2, after
+/// Belazzougui & Cunial "Space-efficient detection of unusual words"):
+/// instead of asking "which interval is most significant?" this subsystem
+/// reports *the significant distinct substrings themselves*, each with its
+/// occurrence count, X², and p-value.
+///
+/// The index is a suffix array (SA-IS, O(n)) plus an LCP array (Kasai,
+/// O(n)). A left-to-right sweep over the LCP array with an interval stack
+/// enumerates the suffix-tree nodes; each node is one *right-extension
+/// equivalence class*: the set of distinct substrings sharing the same
+/// start-position set, which are exactly the path strings with lengths in
+/// (parent_depth, depth]. The class's occurrence count is the SA-interval
+/// width, its positions are the SA entries of the interval, and its
+/// members are scored against the null model with the same fused X²
+/// kernel the interval scanners use (X2Kernel::EvaluateCounts) — no
+/// per-position PrefixCounts scratch is ever materialized, which is what
+/// keeps peak memory at a handful of bytes per symbol (SA + LCP + the
+/// record) instead of the 8·k bytes per position of the interval-scan
+/// layout.
+///
+/// Maximality ("maximal-only" reporting contract): a distinct substring w
+/// is reported iff it is the longest member of its class — equivalently,
+/// iff every one-symbol right extension wa occurs strictly fewer times
+/// than w. Nested substrings that occur in exactly the same places as a
+/// longer reported one are suppressed; they add no information (same
+/// positions, same count) and would otherwise flood the output. With
+/// `maximal_only = false` every distinct substring is enumerated (one
+/// entry per class member), which is quadratic in the worst case — cap it
+/// with `max_length`.
+struct SuffixScanOptions {
+  /// Keep the `top_n` highest-X² substrings (0 = keep every match; only
+  /// sensible together with a threshold or on small records).
+  int64_t top_n = 10;
+
+  /// Report only substrings with length in [min_length, max_length];
+  /// max_length 0 means unbounded. In maximal-only mode a class whose
+  /// longest member exceeds max_length is skipped entirely (its truncation
+  /// is not class-maximal), so maximality semantics stay exact.
+  int64_t min_length = 1;
+  int64_t max_length = 0;
+
+  /// Report only substrings occurring at least this often.
+  int64_t min_count = 1;
+
+  /// See the class comment. Default on: report one substring per class.
+  bool maximal_only = true;
+
+  /// Collect the sorted occurrence start positions of each reported
+  /// substring (SuffixScanResult::positions, parallel to `classes`).
+  bool collect_positions = false;
+
+  /// X² threshold: candidates scoring below are neither reported nor
+  /// counted in match_count. Default accepts everything.
+  double min_x2 = -std::numeric_limits<double>::infinity();
+};
+
+/// One reported distinct substring: a representative occurrence (the
+/// smallest-index one the sweep saw), its class occurrence count, and the
+/// asymptotic p-value of its X² (χ²(k−1) multinomial, χ²(k(k−1)) Markov).
+struct SubstringClass {
+  Substring substring;
+  int64_t count = 0;
+  double p_value = 1.0;
+};
+
+/// Sweep instrumentation and memory accounting.
+struct SuffixScanStats {
+  int64_t classes_enumerated = 0;  // Suffix-tree nodes visited.
+  int64_t candidates_scored = 0;   // Substrings evaluated against filters.
+  int64_t peak_index_bytes = 0;    // High-water bytes while building SA+LCP.
+  int64_t index_bytes = 0;         // Steady-state bytes held by the index.
+};
+
+struct SuffixScanResult {
+  /// Descending X²; ties broken by length ascending, then substring text
+  /// ascending (symbol order) — a total order over distinct substrings
+  /// that is independent of enumeration order, so the top-N cut is
+  /// deterministic and comparable across the suffix and naive paths.
+  std::vector<SubstringClass> classes;
+
+  /// Total candidates passing all filters (>= classes.size(); the excess
+  /// was cut by top_n).
+  int64_t match_count = 0;
+
+  /// When SuffixScanOptions::collect_positions: positions[i] holds the
+  /// ascending occurrence start positions of classes[i].
+  std::vector<std::vector<int64_t>> positions;
+
+  SuffixScanStats stats;
+};
+
+/// The suffix index over one record. Build() borrows the symbol data — the
+/// caller keeps it alive (and unchanged) for the lifetime of the scan;
+/// this is what lets a memory-mapped record be indexed without a decoded
+/// in-RAM copy (BuildMapped applies a byte→symbol table on access).
+class SuffixScan {
+ public:
+  /// Builds the index over decoded symbols (each < alphabet_size).
+  /// Records are limited to 2^31 − 2 symbols (the index is 32-bit).
+  static Result<SuffixScan> Build(std::span<const uint8_t> symbols,
+                                  int alphabet_size);
+
+  /// As Build, over raw (e.g. memory-mapped) bytes: `decode` maps each
+  /// byte to its symbol id, 0xFF marking bytes outside the alphabet
+  /// (rejected). Only alphabets with k <= 255 are mappable.
+  static Result<SuffixScan> BuildMapped(std::span<const uint8_t> bytes,
+                                        std::span<const uint8_t, 256> decode,
+                                        int alphabet_size);
+
+  int64_t size() const { return n_; }
+  int alphabet_size() const { return k_; }
+
+  /// Steady-state bytes held by the index (SA + LCP arrays).
+  int64_t index_bytes() const { return index_bytes_; }
+
+  /// High-water bytes transiently allocated while building (SA-IS
+  /// recursion workspace + the rank array of the LCP pass).
+  int64_t peak_index_bytes() const { return peak_index_bytes_; }
+
+  /// The underlying arrays, exposed for validation: suffix_array()[r] is
+  /// the start of the rank-r suffix; lcp_array()[r] the longest common
+  /// prefix with the rank-(r−1) suffix (lcp_array()[0] == 0).
+  std::span<const int32_t> suffix_array() const { return sa_; }
+  std::span<const int32_t> lcp_array() const { return lcp_; }
+
+  /// Scores under the multinomial null of `context` with the fused X²
+  /// kernel (alphabet sizes must match).
+  Result<SuffixScanResult> Scan(const ChiSquareContext& context,
+                                const SuffixScanOptions& options) const;
+
+  /// Scores under a first-order Markov null: X²_M of each candidate's
+  /// transition counts (core/markov_scan.h). Length-1 substrings carry no
+  /// transition and score 0.
+  Result<SuffixScanResult> ScanMarkov(const MarkovChiSquare& context,
+                                      const SuffixScanOptions& options) const;
+
+ private:
+  SuffixScan() = default;
+
+  Status BuildIndex();
+
+  uint8_t Sym(int64_t i) const { return decode_[data_[i]]; }
+
+  template <typename Scorer>
+  Result<SuffixScanResult> ScanImpl(Scorer&& scorer,
+                                    const SuffixScanOptions& options) const;
+
+  const uint8_t* data_ = nullptr;
+  int64_t n_ = 0;
+  int k_ = 0;
+  std::array<uint8_t, 256> decode_{};
+  std::vector<int32_t> sa_;   // sa_[r] = start of rank-r suffix.
+  std::vector<int32_t> lcp_;  // lcp_[r] = lcp(suffix sa_[r-1], sa_[r]).
+  int64_t index_bytes_ = 0;
+  int64_t peak_index_bytes_ = 0;
+};
+
+/// Brute-force reference: enumerates every substring by position, dedupes
+/// by content, counts occurrences by map aggregation, applies the same
+/// filters/ordering as SuffixScan::Scan, and scores each reported
+/// substring over a PrefixCounts built for the record — i.e. exactly the
+/// per-position layout the suffix path avoids. O(n²·L) time and O(n·k)
+/// memory; exists to gate the suffix path (tests and bench/suffix_scan.cc
+/// check bit-identical X² and identical class sets).
+Result<SuffixScanResult> NaiveAllSubstringsScan(
+    const seq::Sequence& sequence, const ChiSquareContext& context,
+    const SuffixScanOptions& options);
+
+/// Markov-null brute-force reference (see NaiveAllSubstringsScan).
+Result<SuffixScanResult> NaiveAllSubstringsScanMarkov(
+    const seq::Sequence& sequence, const MarkovChiSquare& context,
+    const SuffixScanOptions& options);
+
+}  // namespace core
+}  // namespace sigsub
+
+#endif  // SIGSUB_CORE_SUFFIX_SCAN_H_

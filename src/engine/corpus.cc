@@ -1,9 +1,12 @@
 #include "engine/corpus.h"
 
+#include <algorithm>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <utility>
 
+#include "common/fnv1a.h"
 #include "common/str_util.h"
 #include "io/csv.h"
 
@@ -108,6 +111,75 @@ Result<Corpus> Corpus::FromCsvColumn(const std::string& path, int64_t column,
     records.push_back(rows[r][static_cast<size_t>(column)]);
   }
   return FromStrings(records, alphabet_chars);
+}
+
+Result<Corpus> Corpus::FromMappedFile(const std::string& path,
+                                      const std::string& alphabet_chars) {
+  SIGSUB_ASSIGN_OR_RETURN(io::MappedFile file, io::MappedFile::Open(path));
+  file.AdviseSequential();
+  std::span<const uint8_t> record = file.bytes();
+  // Mirror the text loaders: a leading UTF-8 BOM and one trailing newline
+  // are framing, not data.
+  if (record.size() >= 3 && record[0] == 0xEF && record[1] == 0xBB &&
+      record[2] == 0xBF) {
+    record = record.subspan(3);
+  }
+  if (!record.empty() && record.back() == '\n') {
+    record = record.first(record.size() - 1);
+    if (!record.empty() && record.back() == '\r') {
+      record = record.first(record.size() - 1);
+    }
+  }
+  if (record.empty()) {
+    return Status::InvalidArgument("corpus has no non-empty records");
+  }
+
+  std::string chars =
+      alphabet_chars.empty() ? io::InferAlphabetBytes(record) : alphabet_chars;
+  SIGSUB_ASSIGN_OR_RETURN(seq::Alphabet alphabet,
+                          seq::Alphabet::FromCharacters(chars));
+  std::array<uint8_t, 256> decode =
+      io::MakeDecodeTable(alphabet.characters());
+  if (!alphabet_chars.empty()) {
+    // Inferred alphabets cover every present byte by construction; a
+    // pinned one must be checked.
+    int64_t bad = io::FindInvalidByte(record, decode);
+    if (bad >= 0) {
+      return Status::InvalidArgument(
+          StrCat("record 0: byte value ", static_cast<int>(record[bad]),
+                 " at offset ", bad, " is outside the alphabet"));
+    }
+  }
+
+  // Streaming fingerprint of the *decoded* content — the exact byte
+  // stream FingerprintSequence hashes, without materializing it.
+  Fnv1a hasher;
+  hasher.UpdateI64(alphabet.size());
+  hasher.UpdateI64(static_cast<int64_t>(record.size()));
+  std::array<uint8_t, 1 << 16> buffer;
+  for (size_t offset = 0; offset < record.size(); offset += buffer.size()) {
+    size_t end = std::min(record.size(), offset + buffer.size());
+    for (size_t i = offset; i < end; ++i) {
+      buffer[i - offset] = decode[record[i]];
+    }
+    hasher.Update(buffer.data(), end - offset);
+  }
+
+  Corpus corpus(std::move(alphabet), {}, {}, {});
+  corpus.mapped_ = std::make_shared<io::MappedFile>(std::move(file));
+  corpus.mapped_record_ = record;
+  corpus.decode_ = decode;
+  corpus.mapped_fingerprint_ = hasher.Digest();
+  return corpus;
+}
+
+Result<seq::PrefixCounts> Corpus::BuildMappedPrefixCounts() const {
+  if (!is_mapped()) {
+    return Status::InvalidArgument(
+        "BuildMappedPrefixCounts requires a mapped corpus");
+  }
+  return seq::PrefixCounts::FromBytes(mapped_record_, decode_,
+                                      alphabet_.size());
 }
 
 std::string Corpus::InferAlphabetChars(

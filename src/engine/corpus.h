@@ -1,12 +1,17 @@
 #ifndef SIGSUB_ENGINE_CORPUS_H_
 #define SIGSUB_ENGINE_CORPUS_H_
 
+#include <array>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "io/mmap_corpus.h"
 #include "seq/alphabet.h"
+#include "seq/prefix_counts.h"
 #include "seq/sequence.h"
 
 namespace sigsub {
@@ -39,6 +44,20 @@ class Corpus {
                                       bool has_header,
                                       const std::string& alphabet_chars = "");
 
+  /// Memory-maps `path` as ONE record mined in place — the path for
+  /// records too large to decode into RAM. One trailing newline ("\n" or
+  /// "\r\n") and a leading UTF-8 BOM are excluded from the record; every
+  /// other byte is data. The alphabet is inferred over the mapped bytes
+  /// with the same rule as the text loaders (streamed, no decoded copy)
+  /// unless `alphabet_chars` pins it, in which case every byte must be in
+  /// it. A mapped corpus has no `sequence()`/`text()`: consumers read
+  /// `mapped_record()` through `decode_table()`, build counts with
+  /// BuildMappedPrefixCounts(), and key caches on `mapped_fingerprint()`
+  /// (identical to FingerprintSequence of the decoded record, computed
+  /// streaming).
+  static Result<Corpus> FromMappedFile(const std::string& path,
+                                       const std::string& alphabet_chars = "");
+
   /// The alphabet-inference rule shared by Corpus and the single-string
   /// CLI path: sorted distinct characters across all records, padded to
   /// two symbols when unary (X² needs k >= 2). Records must not all be
@@ -47,9 +66,13 @@ class Corpus {
       const std::vector<std::string>& records);
 
   const seq::Alphabet& alphabet() const { return alphabet_; }
-  int64_t size() const { return static_cast<int64_t>(sequences_.size()); }
-  bool empty() const { return sequences_.empty(); }
+  int64_t size() const {
+    return is_mapped() ? 1 : static_cast<int64_t>(sequences_.size());
+  }
+  bool empty() const { return size() == 0; }
 
+  /// Decoded record `index`. Mapped corpora have none (is_mapped());
+  /// consumers that need a decoded sequence must reject mapped input.
   const seq::Sequence& sequence(int64_t index) const {
     return sequences_[static_cast<size_t>(index)];
   }
@@ -61,8 +84,26 @@ class Corpus {
   /// for FromLines, data-row number for FromCsvColumn, element index for
   /// FromStrings) — stable even when empty records were skipped.
   int64_t source_index(int64_t index) const {
-    return source_indices_[static_cast<size_t>(index)];
+    return is_mapped() ? 0 : source_indices_[static_cast<size_t>(index)];
   }
+
+  /// Mapped-corpus surface (FromMappedFile). The record is the mapped
+  /// bytes; decode_table() translates byte -> symbol (io::kInvalidByte
+  /// never occurs — bytes were validated at load).
+  bool is_mapped() const { return mapped_ != nullptr; }
+  std::span<const uint8_t> mapped_record() const { return mapped_record_; }
+  const std::array<uint8_t, 256>& decode_table() const { return decode_; }
+
+  /// FNV-1a fingerprint of the mapped record's decoded content —
+  /// bit-identical to engine::FingerprintSequence of the same record
+  /// loaded through a text path, so cache entries are shared across
+  /// loaders.
+  uint64_t mapped_fingerprint() const { return mapped_fingerprint_; }
+
+  /// Chunk-streamed seq::PrefixCounts over the mapped record (the O(n·k)
+  /// layout — callers opting into interval kernels on mapped input; the
+  /// suffix path does not need it).
+  Result<seq::PrefixCounts> BuildMappedPrefixCounts() const;
 
  private:
   Corpus(seq::Alphabet alphabet, std::vector<seq::Sequence> sequences,
@@ -72,6 +113,13 @@ class Corpus {
   std::vector<seq::Sequence> sequences_;
   std::vector<std::string> texts_;
   std::vector<int64_t> source_indices_;
+
+  // Mapped mode. shared_ptr keeps Corpus movable/copyable; the mapping
+  // itself is immutable and read-only after load.
+  std::shared_ptr<io::MappedFile> mapped_;
+  std::span<const uint8_t> mapped_record_;
+  std::array<uint8_t, 256> decode_{};
+  uint64_t mapped_fingerprint_ = 0;
 };
 
 }  // namespace engine

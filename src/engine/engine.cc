@@ -1,11 +1,14 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <utility>
 
@@ -22,6 +25,7 @@
 #include "core/min_length.h"
 #include "core/mss.h"
 #include "core/parallel.h"
+#include "core/suffix_scan.h"
 #include "core/threshold.h"
 #include "core/top_disjoint.h"
 #include "core/top_t.h"
@@ -44,9 +48,42 @@ struct SequenceState {
   std::optional<seq::PrefixCounts> counts;
   uint64_t fingerprint = 0;
 
-  const seq::PrefixCounts& CountsFor(const seq::Sequence& sequence) {
-    std::call_once(build_once, [&] { counts.emplace(sequence); });
+  const seq::PrefixCounts& CountsFor(const Corpus& corpus, int64_t index) {
+    std::call_once(build_once, [&] {
+      if (corpus.is_mapped()) {
+        // Chunk-streamed from the mapped bytes; the bytes were validated
+        // against the alphabet at load, so the build cannot fail.
+        counts.emplace(std::move(corpus.BuildMappedPrefixCounts()).value());
+      } else {
+        counts.emplace(corpus.sequence(index));
+      }
+    });
     return *counts;
+  }
+};
+
+/// One corpus record as the kernels see it: either a decoded sequence or
+/// the mapped bytes plus their decode table (never both). Kernels that
+/// need a decoded seq::Sequence (arlm, agmm, blocked, Markov MSS) were
+/// rejected at validation for mapped corpora, so they may dereference
+/// `sequence` unconditionally.
+struct RecordView {
+  const seq::Sequence* sequence = nullptr;
+  std::span<const uint8_t> mapped_bytes;
+  const std::array<uint8_t, 256>* decode = nullptr;
+  int64_t size = 0;
+
+  static RecordView For(const Corpus& corpus, int64_t index) {
+    RecordView view;
+    if (corpus.is_mapped()) {
+      view.mapped_bytes = corpus.mapped_record();
+      view.decode = &corpus.decode_table();
+      view.size = static_cast<int64_t>(view.mapped_bytes.size());
+    } else {
+      view.sequence = &corpus.sequence(index);
+      view.size = view.sequence->size();
+    }
+    return view;
   }
 };
 
@@ -60,6 +97,9 @@ struct QueryPlan {
   const core::ChiSquareContext* context = nullptr;  // null for Markov.
   const seq::MarkovModel* markov = nullptr;
   double alpha0 = -1.0;  // kThreshold: resolved X² cutoff.
+  // kSubstrings: resolved X² floor (alpha_p converted at the kind's
+  // degrees of freedom — k−1 multinomial, k(k−1) Markov).
+  double min_x2 = -std::numeric_limits<double>::infinity();
 };
 
 Status QueryError(std::string_view label, size_t index, api::QueryKind kind,
@@ -70,13 +110,32 @@ Status QueryError(std::string_view label, size_t index, api::QueryKind kind,
 }
 
 /// Kind-specific parameter validation; failures name the query field.
-Status ValidateRequest(const api::QuerySpec& spec, int64_t corpus_size) {
+Status ValidateRequest(const api::QuerySpec& spec, const Corpus& corpus) {
+  const int64_t corpus_size = corpus.size();
   auto fail = [](const std::string& detail) {
     return Status::InvalidArgument(detail);
   };
   if (spec.sequence_index < 0 || spec.sequence_index >= corpus_size) {
     return fail(StrCat("field seq: index ", spec.sequence_index,
                        " out of range [0, ", corpus_size, ")"));
+  }
+  if (corpus.is_mapped()) {
+    // A mapped corpus has no decoded seq::Sequence; only the kernels that
+    // consume prefix counts or the suffix index can run over it.
+    const api::QueryKind kind = spec.kind();
+    if (kind == api::QueryKind::kArlm || kind == api::QueryKind::kAgmm ||
+        kind == api::QueryKind::kBlocked) {
+      return fail(
+          "kind is not executable over a memory-mapped corpus (the kernel "
+          "walks a decoded sequence); load the record through a text "
+          "loader instead");
+    }
+    if (spec.model.kind == api::ModelKind::kMarkov &&
+        kind != api::QueryKind::kSubstrings) {
+      return fail(
+          "field model: the Markov MSS scan walks a decoded sequence and "
+          "is not executable over a memory-mapped corpus");
+    }
   }
   if (const auto* q = std::get_if<api::TopTQuery>(&spec.request)) {
     if (q->t < 1) return fail(StrCat("field t must be >= 1, got ", q->t));
@@ -136,6 +195,40 @@ Status ValidateRequest(const api::QuerySpec& spec, int64_t corpus_size) {
       return fail(
           StrCat("field block_size must be >= 1, got ", q->block_size));
     }
+  } else if (const auto* q = std::get_if<api::SubstringsQuery>(&spec.request)) {
+    if (q->top < 0) {
+      return fail(StrCat("field top must be >= 0 (0 = all matches), got ",
+                         q->top));
+    }
+    if (q->min_length < 1) {
+      return fail(
+          StrCat("field min_length must be >= 1, got ", q->min_length));
+    }
+    if (q->max_length != 0 && q->max_length < q->min_length) {
+      return fail(StrCat("field max_length (", q->max_length,
+                         ") must be 0 (unbounded) or >= min_length (",
+                         q->min_length, ")"));
+    }
+    if (q->min_count < 1) {
+      return fail(StrCat("field min_count must be >= 1, got ", q->min_count));
+    }
+    if (!q->maximal && q->max_length == 0) {
+      // Without maximality, every class member is enumerated — O(n²)
+      // candidates on an unbounded length. Refuse rather than hang.
+      return fail(
+          "field maximal: maximal=0 enumerates every distinct substring "
+          "and requires max_length > 0 to bound the output");
+    }
+    if (std::isnan(q->alpha0) || std::isnan(q->alpha_p)) {
+      return fail("fields alpha0 and alpha_p must not be NaN");
+    }
+    if (q->alpha0 >= 0.0 && !std::isfinite(q->alpha0)) {
+      return fail("field alpha0 must be finite");
+    }
+    if (q->alpha_p >= 0.0 && (q->alpha_p <= 0.0 || q->alpha_p >= 1.0)) {
+      return fail(
+          StrCat("field alpha_p must be in (0, 1), got ", q->alpha_p));
+    }
   }
   return Status::OK();
 }
@@ -156,10 +249,12 @@ Status ValidateModel(const api::ModelSpec& model, api::QueryKind kind,
       }
       return Status::OK();
     case api::ModelKind::kMarkov:
-      if (kind != api::QueryKind::kMss) {
+      if (kind != api::QueryKind::kMss &&
+          kind != api::QueryKind::kSubstrings) {
         return Status::InvalidArgument(
             StrCat("field model: Markov models are executable only via "
-                   "mss queries (the Markov-statistic scan), not ",
+                   "mss queries (the Markov-statistic scan) or substrings "
+                   "queries (Markov-scored suffix scan), not ",
                    api::QueryKindToString(kind)));
       }
       if (model.order != 1) {
@@ -196,23 +291,83 @@ CachedResult MssCachedResult(const core::Substring& best) {
   return out;
 }
 
+/// Shapes a suffix-scan result into the cached payload: the class
+/// substrings with their parallel counts and p-values, plus the sweep's
+/// instrumentation mapped onto ScanStats (candidates scored = positions
+/// examined, classes enumerated = start positions).
+CachedResult SubstringsCachedResult(core::SuffixScanResult result,
+                                    core::ScanStats* stats) {
+  CachedResult out;
+  out.substrings.reserve(result.classes.size());
+  out.counts.reserve(result.classes.size());
+  out.p_values.reserve(result.classes.size());
+  for (const core::SubstringClass& cls : result.classes) {
+    out.substrings.push_back(cls.substring);
+    out.counts.push_back(cls.count);
+    out.p_values.push_back(cls.p_value);
+  }
+  if (!out.substrings.empty()) out.best = out.substrings.front();
+  out.match_count = result.match_count;
+  stats->positions_examined = result.stats.candidates_scored;
+  stats->start_positions = result.stats.classes_enumerated;
+  return out;
+}
+
+/// Runs a substrings query: builds the suffix index over the record (the
+/// decoded symbols, or the mapped bytes through their decode table) and
+/// sweeps it with the plan's scorer. No PrefixCounts are consumed — this
+/// is the path that keeps peak memory at SA+LCP instead of 8·k bytes per
+/// position.
+CachedResult RunSubstringsKernel(const QueryPlan& plan,
+                                 const RecordView& view,
+                                 core::ScanStats* stats) {
+  const auto& q = std::get<api::SubstringsQuery>(plan.spec->request);
+  core::SuffixScanOptions options;
+  options.top_n = q.top;
+  options.min_length = q.min_length;
+  options.max_length = q.max_length;
+  options.min_count = q.min_count;
+  options.maximal_only = q.maximal;
+  options.min_x2 = plan.min_x2;
+
+  const int k = plan.context->alphabet_size();
+  // Validation pinned every parameter and the record bytes, so the
+  // builds/scans cannot fail here.
+  core::SuffixScan scan =
+      view.sequence != nullptr
+          ? core::SuffixScan::Build(view.sequence->symbols(), k).value()
+          : core::SuffixScan::BuildMapped(view.mapped_bytes, *view.decode, k)
+                .value();
+  if (plan.markov != nullptr) {
+    core::MarkovChiSquare markov =
+        core::MarkovChiSquare::Make(*plan.markov).value();
+    return SubstringsCachedResult(scan.ScanMarkov(markov, options).value(),
+                                  stats);
+  }
+  return SubstringsCachedResult(scan.Scan(*plan.context, options).value(),
+                                stats);
+}
+
 /// Runs the query's kernel against prebuilt state. Pure function of its
 /// inputs — safe to call concurrently for distinct queries. `counts` is
-/// null exactly for Markov-model queries, whose kernel never reads
-/// prefix counts (the caller skips the O(k·n) build entirely).
-CachedResult RunQueryKernel(const QueryPlan& plan,
-                            const seq::Sequence& sequence,
+/// null exactly for Markov-model queries and substrings queries, whose
+/// kernels never read prefix counts (the caller skips the O(k·n) build
+/// entirely).
+CachedResult RunQueryKernel(const QueryPlan& plan, const RecordView& view,
                             const seq::PrefixCounts* counts_ptr,
                             core::ScanStats* stats) {
   const core::ChiSquareContext& context = *plan.context;
   CachedResult out;
+  if (plan.kind == api::QueryKind::kSubstrings) {
+    return RunSubstringsKernel(plan, view, stats);
+  }
   if (plan.markov != nullptr) {
-    if (sequence.size() < 2) {
+    if (view.size < 2) {
       // No transition to score; the kernel contract needs >= 2 symbols.
       return MssCachedResult(core::Substring{});
     }
     core::MssResult result =
-        core::FindMssMarkov(sequence, *plan.markov).value();
+        core::FindMssMarkov(*view.sequence, *plan.markov).value();
     *stats = result.stats;
     return MssCachedResult(result.best);
   }
@@ -266,7 +421,7 @@ CachedResult RunQueryKernel(const QueryPlan& plan,
     }
     case api::QueryKind::kLengthBounded: {
       const auto& q = std::get<api::LengthBoundedQuery>(plan.spec->request);
-      const int64_t n = sequence.size();
+      const int64_t n = view.size;
       const int64_t max_length = q.max_length == 0 ? n : q.max_length;
       if (n < q.min_length || max_length < q.min_length) {
         // No substring can satisfy the window; the kernel contract
@@ -281,25 +436,29 @@ CachedResult RunQueryKernel(const QueryPlan& plan,
       break;
     }
     case api::QueryKind::kArlm: {
-      core::MssResult result = core::FindMssArlm(sequence, counts, context);
+      core::MssResult result =
+          core::FindMssArlm(*view.sequence, counts, context);
       out = MssCachedResult(result.best);
       *stats = result.stats;
       break;
     }
     case api::QueryKind::kAgmm: {
-      core::MssResult result = core::FindMssAgmm(sequence, counts, context);
+      core::MssResult result =
+          core::FindMssAgmm(*view.sequence, counts, context);
       out = MssCachedResult(result.best);
       *stats = result.stats;
       break;
     }
     case api::QueryKind::kBlocked: {
       const auto& q = std::get<api::BlockedQuery>(plan.spec->request);
-      core::MssResult result =
-          core::FindMssBlocked(sequence, counts, context, q.block_size);
+      core::MssResult result = core::FindMssBlocked(*view.sequence, counts,
+                                                    context, q.block_size);
       out = MssCachedResult(result.best);
       *stats = result.stats;
       break;
     }
+    case api::QueryKind::kSubstrings:
+      break;  // Handled before the switch.
   }
   return out;
 }
@@ -321,6 +480,16 @@ void FillPayload(api::QueryKind kind, const CachedResult& computed,
       payload.matches = computed.substrings;
       payload.match_count = computed.match_count;
       payload.best = computed.best;
+      payload.stats = stats;
+      result->payload = std::move(payload);
+      return;
+    }
+    case api::QueryKind::kSubstrings: {
+      api::SubstringsPayload payload;
+      payload.ranked = computed.substrings;
+      payload.counts = computed.counts;
+      payload.p_values = computed.p_values;
+      payload.match_count = computed.match_count;
       payload.stats = stats;
       result->payload = std::move(payload);
       return;
@@ -389,7 +558,7 @@ Result<std::vector<api::QueryResult>> Engine::ExecuteQueriesInternal(
       return status.ok() ? status
                          : QueryError(label, i, plan.kind, status.message());
     };
-    SIGSUB_RETURN_IF_ERROR(wrap(ValidateRequest(spec, corpus.size())));
+    SIGSUB_RETURN_IF_ERROR(wrap(ValidateRequest(spec, corpus)));
     SIGSUB_RETURN_IF_ERROR(wrap(ValidateModel(spec.model, plan.kind, k)));
 
     if (spec.model.kind == api::ModelKind::kMarkov) {
@@ -436,6 +605,18 @@ Result<std::vector<api::QueryResult>> Engine::ExecuteQueriesInternal(
                         ? stats::ChiSquaredDistribution(k - 1)
                               .CriticalValue(q->alpha_p)
                         : q->alpha0;
+    } else if (const auto* q =
+                   std::get_if<api::SubstringsQuery>(&spec.request)) {
+      // Same precedence as threshold, at the statistic's own degrees of
+      // freedom. Neither set -> -inf (everything qualifies).
+      const int dof =
+          plan.markov != nullptr ? k * (k - 1) : k - 1;
+      if (q->alpha_p >= 0.0) {
+        plan.min_x2 =
+            stats::ChiSquaredDistribution(dof).CriticalValue(q->alpha_p);
+      } else if (q->alpha0 >= 0.0) {
+        plan.min_x2 = q->alpha0;
+      }
     }
   }
 
@@ -448,8 +629,12 @@ Result<std::vector<api::QueryResult>> Engine::ExecuteQueriesInternal(
     auto& state = states[static_cast<size_t>(spec.sequence_index)];
     if (state) continue;
     state = std::make_unique<SequenceState>();
+    // Mapped records carry a precomputed streaming fingerprint with the
+    // same byte semantics, so cache identity is loader-independent.
     state->fingerprint =
-        FingerprintSequence(corpus.sequence(spec.sequence_index));
+        corpus.is_mapped()
+            ? corpus.mapped_fingerprint()
+            : FingerprintSequence(corpus.sequence(spec.sequence_index));
   }
 
   // Resolve cache hits; group the misses by cache key so identical
@@ -512,14 +697,14 @@ Result<std::vector<api::QueryResult>> Engine::ExecuteQueriesInternal(
     const size_t g = group_index++;
     const QueryPlan& plan = plans[query_indices.front()];
     const api::QuerySpec& spec = *plan.spec;
-    SequenceState* state =
-        states[static_cast<size_t>(spec.sequence_index)].get();
-    const seq::Sequence* sequence = &corpus.sequence(spec.sequence_index);
+    const int64_t seq_index = spec.sequence_index;
+    SequenceState* state = states[static_cast<size_t>(seq_index)].get();
+    const RecordView view = RecordView::For(corpus, seq_index);
 
     // In-record sharding: one oversized multinomial MSS record is strided
     // across the pool instead of pinning a single worker. (Markov MSS has
     // no sharded kernel; it runs sequentially like every other kind.)
-    const int64_t n = sequence->size();
+    const int64_t n = view.size;
     int num_shards = static_cast<int>(std::min<int64_t>(
         pool_.num_threads(), std::max<int64_t>(1, n)));
     if (plan.kind == api::QueryKind::kMss && plan.markov == nullptr &&
@@ -530,12 +715,15 @@ Result<std::vector<api::QueryResult>> Engine::ExecuteQueriesInternal(
       group->indices = &query_indices;
       group->shards.resize(static_cast<size_t>(num_shards));
       const core::ChiSquareContext* context = plan.context;
+      const Corpus* corpus_ptr = &corpus;
       for (int shard = 0; shard < num_shards; ++shard) {
         ShardedGroup* gr = group.get();
-        pool_.Submit([state, sequence, context, shard, num_shards, gr] {
+        pool_.Submit([state, corpus_ptr, seq_index, context, shard,
+                      num_shards, gr] {
           // First shard to arrive builds the record's counts; the rest
           // block on call_once only until that build finishes.
-          const seq::PrefixCounts& counts = state->CountsFor(*sequence);
+          const seq::PrefixCounts& counts =
+              state->CountsFor(*corpus_ptr, seq_index);
           gr->shards[static_cast<size_t>(shard)] = core::MssShardScan(
               counts, *context, shard, num_shards, &gr->shared_best);
         });
@@ -545,15 +733,20 @@ Result<std::vector<api::QueryResult>> Engine::ExecuteQueriesInternal(
     }
 
     const QueryPlan* plan_ptr = &plan;
+    const Corpus* corpus_ptr = &corpus;
     core::ScanStats* stats = &group_stats[g];
     CachedResult* payload = &group_payloads[g].second;
     group_payloads[g].first = &key;
-    pool_.Submit([plan_ptr, state, sequence, stats, payload] {
-      // Markov kernels never read prefix counts; skip the O(k·n) build.
+    pool_.Submit([plan_ptr, state, corpus_ptr, seq_index, view, stats,
+                  payload] {
+      // Markov and substrings kernels never read prefix counts; skip the
+      // O(k·n) build (for substrings that skip IS the memory win).
       const seq::PrefixCounts* counts =
-          plan_ptr->markov == nullptr ? &state->CountsFor(*sequence)
-                                      : nullptr;
-      *payload = RunQueryKernel(*plan_ptr, *sequence, counts, stats);
+          plan_ptr->markov == nullptr &&
+                  plan_ptr->kind != api::QueryKind::kSubstrings
+              ? &state->CountsFor(*corpus_ptr, seq_index)
+              : nullptr;
+      *payload = RunQueryKernel(*plan_ptr, view, counts, stats);
     });
   }
   pool_.Wait();

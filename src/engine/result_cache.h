@@ -45,9 +45,13 @@ struct CacheKeyHash {
 };
 
 /// The kernel output stored per cache entry: everything a JobResult needs
-/// except the per-job identity fields.
+/// except the per-job identity fields. `counts`/`p_values` are populated
+/// only by substrings queries (parallel to `substrings`; empty for every
+/// other kind).
 struct CachedResult {
   std::vector<core::Substring> substrings;
+  std::vector<int64_t> counts;
+  std::vector<double> p_values;
   core::Substring best;
   int64_t match_count = 0;
 };

@@ -1,0 +1,75 @@
+#ifndef SIGSUB_IO_MMAP_CORPUS_H_
+#define SIGSUB_IO_MMAP_CORPUS_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/result.h"
+
+namespace sigsub {
+namespace io {
+
+/// A read-only memory-mapped file. The mapping is the record: callers mine
+/// the bytes in place (decode tables translate byte -> symbol on access),
+/// so a multi-gigabyte corpus costs page-cache residency, not a decoded
+/// in-RAM copy. Move-only; the mapping lives until destruction.
+///
+/// An empty file maps to an empty span (no mmap is made — POSIX rejects
+/// zero-length mappings).
+class MappedFile {
+ public:
+  static Result<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  std::span<const uint8_t> bytes() const {
+    return {static_cast<const uint8_t*>(data_), size_};
+  }
+  int64_t size() const { return static_cast<int64_t>(size_); }
+  bool empty() const { return size_ == 0; }
+  const std::string& path() const { return path_; }
+
+  /// Hints the kernel that the mapping will be read front to back
+  /// (madvise(MADV_SEQUENTIAL)); best-effort, errors ignored.
+  void AdviseSequential() const;
+
+ private:
+  void* data_ = nullptr;
+  size_t size_ = 0;
+  std::string path_;
+};
+
+/// Byte -> symbol translation table for mining mapped bytes in place:
+/// decode[b] is the symbol id of byte b, or kInvalidByte for bytes outside
+/// the alphabet. (Symbol ids are < 255 — seq::Alphabet caps k at 255 — so
+/// the sentinel never collides.)
+inline constexpr uint8_t kInvalidByte = 0xFF;
+
+/// Builds the decode table of an alphabet given as its character string
+/// (seq::Alphabet::characters() order: decode[chars[s]] = s).
+std::array<uint8_t, 256> MakeDecodeTable(std::string_view alphabet_chars);
+
+/// Scans `bytes` and reports the distinct byte values as a string sorted
+/// in `char` order — the same inference rule engine::Corpus uses for text
+/// corpora (including the pad-to-two-symbols rule for unary input), so a
+/// mapped record and the same bytes loaded through FromStrings infer the
+/// same alphabet. Streams in chunks; touches each page once.
+std::string InferAlphabetBytes(std::span<const uint8_t> bytes);
+
+/// Returns the offset of the first byte of `bytes` whose decode entry is
+/// kInvalidByte, or -1 when every byte is in the alphabet. Streams in
+/// chunks.
+int64_t FindInvalidByte(std::span<const uint8_t> bytes,
+                        const std::array<uint8_t, 256>& decode);
+
+}  // namespace io
+}  // namespace sigsub
+
+#endif  // SIGSUB_IO_MMAP_CORPUS_H_

@@ -42,6 +42,13 @@ std::string EncodeResultCache(
     for (const core::Substring& s : entry.value.substrings) {
       EncodeSubstring(&payload, s);
     }
+    // Substrings-query entries carry per-substring counts and p-values
+    // (empty for every other kind). Encoded with their own lengths so the
+    // decoder needs no knowledge of which kind produced the entry.
+    payload.PutU32(static_cast<uint32_t>(entry.value.counts.size()));
+    for (int64_t count : entry.value.counts) payload.PutI64(count);
+    payload.PutU32(static_cast<uint32_t>(entry.value.p_values.size()));
+    for (double p : entry.value.p_values) payload.PutDouble(p);
     EncodeSubstring(&payload, entry.value.best);
     payload.PutI64(entry.value.match_count);
   }
@@ -97,6 +104,30 @@ Result<std::vector<engine::CacheEntry>> DecodeResultCache(
     for (uint32_t j = 0; j < substrings; ++j) {
       if (!DecodeSubstring(&reader, &entry.value.substrings[j])) {
         return Truncated("substrings");
+      }
+    }
+    uint32_t counts = 0;
+    if (!reader.GetU32(&counts)) return Truncated("count count");
+    if (static_cast<size_t>(counts) > reader.remaining() / 8) {
+      return Status::FailedPrecondition(
+          StrCat("result cache entry claims ", counts, " counts with only ",
+                 reader.remaining(), " bytes left"));
+    }
+    entry.value.counts.resize(counts);
+    for (uint32_t j = 0; j < counts; ++j) {
+      if (!reader.GetI64(&entry.value.counts[j])) return Truncated("counts");
+    }
+    uint32_t p_values = 0;
+    if (!reader.GetU32(&p_values)) return Truncated("p-value count");
+    if (static_cast<size_t>(p_values) > reader.remaining() / 8) {
+      return Status::FailedPrecondition(
+          StrCat("result cache entry claims ", p_values,
+                 " p-values with only ", reader.remaining(), " bytes left"));
+    }
+    entry.value.p_values.resize(p_values);
+    for (uint32_t j = 0; j < p_values; ++j) {
+      if (!reader.GetDouble(&entry.value.p_values[j])) {
+        return Truncated("p-values");
       }
     }
     if (!DecodeSubstring(&reader, &entry.value.best) ||

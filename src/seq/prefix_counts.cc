@@ -1,8 +1,10 @@
 #include "seq/prefix_counts.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
+#include "common/str_util.h"
 
 namespace sigsub {
 namespace seq {
@@ -19,6 +21,38 @@ PrefixCounts::PrefixCounts(const Sequence& sequence)
     ++next[symbols[i]];
     prev = next;
   }
+}
+
+Result<PrefixCounts> PrefixCounts::FromBytes(
+    std::span<const uint8_t> bytes, const std::array<uint8_t, 256>& decode,
+    int alphabet_size) {
+  if (alphabet_size < 2 || alphabet_size > 255) {
+    return Status::InvalidArgument(
+        StrCat("alphabet size must be in [2, 255], got ", alphabet_size));
+  }
+  const size_t k = static_cast<size_t>(alphabet_size);
+  PrefixCounts counts(alphabet_size, static_cast<int64_t>(bytes.size()));
+  counts.counts_.assign((bytes.size() + 1) * k, 0);
+  // One pass in chunks: decode and accumulate without a decoded copy of
+  // the record.
+  constexpr size_t kChunk = size_t{1} << 20;
+  int64_t* prev = counts.counts_.data();
+  for (size_t offset = 0; offset < bytes.size(); offset += kChunk) {
+    size_t end = std::min(bytes.size(), offset + kChunk);
+    for (size_t i = offset; i < end; ++i) {
+      uint8_t symbol = decode[bytes[i]];
+      if (symbol == 0xFF || symbol >= k) {
+        return Status::InvalidArgument(
+            StrCat("byte value ", static_cast<int>(bytes[i]), " at offset ",
+                   static_cast<int64_t>(i), " is outside the alphabet"));
+      }
+      int64_t* next = prev + k;
+      std::copy(prev, prev + k, next);
+      ++next[symbol];
+      prev = next;
+    }
+  }
+  return counts;
 }
 
 void PrefixCounts::FillCounts(int64_t start, int64_t end,

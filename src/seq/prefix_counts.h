@@ -1,11 +1,13 @@
 #ifndef SIGSUB_SEQ_PREFIX_COUNTS_H_
 #define SIGSUB_SEQ_PREFIX_COUNTS_H_
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "common/check.h"
+#include "common/result.h"
 #include "seq/sequence.h"
 
 namespace sigsub {
@@ -44,6 +46,17 @@ class PrefixCounts {
   };
 
   explicit PrefixCounts(const Sequence& sequence);
+
+  /// Chunk-streamed construction over raw (e.g. memory-mapped) bytes:
+  /// `decode` maps each byte to its symbol id, with 0xFF marking bytes
+  /// outside the alphabet (io::kInvalidByte; rejected with the offending
+  /// offset). Equivalent to decoding the bytes into a Sequence and using
+  /// the constructor above, but never materializes the decoded copy —
+  /// the transient working set is one chunk of the source plus the counts
+  /// buffer being filled.
+  static Result<PrefixCounts> FromBytes(std::span<const uint8_t> bytes,
+                                        const std::array<uint8_t, 256>& decode,
+                                        int alphabet_size);
 
   int alphabet_size() const { return alphabet_size_; }
   int64_t sequence_size() const { return n_; }
@@ -88,6 +101,9 @@ class PrefixCounts {
   }
 
  private:
+  PrefixCounts(int alphabet_size, int64_t n)
+      : alphabet_size_(alphabet_size), n_(n) {}
+
   int alphabet_size_;
   int64_t n_;
   std::vector<int64_t> counts_;  // (n+1) position-major blocks of k.

@@ -273,10 +273,18 @@ std::string FormatQueryResult(const api::QueryResult& result,
              " seq=", FormatI(result.sequence_index),
              " cache=", result.cache_hit ? 1 : 0,
              " matches=", FormatI(result.match_count()), " rows=");
+  // Substrings rows carry two extra fields (occurrence count, p-value);
+  // the shared start:end:x2 prefix keeps row parsing uniform.
+  const auto* substrings =
+      std::get_if<api::SubstringsPayload>(&result.payload);
   for (size_t i = 0; i < rows; ++i) {
     if (i > 0) out += ';';
     out += StrCat(FormatI(subs[i].start), ":", FormatI(subs[i].end), ":",
                   FormatF(subs[i].chi_square));
+    if (substrings != nullptr) {
+      out += StrCat(":", FormatI(substrings->counts[i]), ":",
+                    FormatF(substrings->p_values[i]));
+    }
   }
   return out;
 }

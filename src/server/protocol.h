@@ -120,9 +120,11 @@ Result<Request> ParseRequest(std::string_view line);
 
 /// Renders a query result as the single-line OK payload:
 ///   kind=<kind> seq=<i> cache=<0|1> matches=<m> rows=<s:e:x2;...>
-/// At most `max_rows` substrings are materialized into `rows=` (the
-/// exact total stays in `matches=`); doubles print in shortest
-/// round-trip form so equal results serialize to equal bytes.
+/// Substrings-query rows carry two extra colon fields — occurrence count
+/// and p-value (`s:e:x2:count:p`). At most `max_rows` substrings are
+/// materialized into `rows=` (the exact total stays in `matches=`);
+/// doubles print in shortest round-trip form so equal results serialize
+/// to equal bytes.
 std::string FormatQueryResult(const api::QueryResult& result,
                               size_t max_rows);
 

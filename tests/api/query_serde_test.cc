@@ -42,6 +42,12 @@ std::vector<QuerySpec> RepresentativeSpecs() {
   add(0, ModelSpec::Multinomial({0.5, 0.25, 0.25}), ArlmQuery{});
   add(0, ModelSpec::Uniform(), AgmmQuery{});
   add(0, ModelSpec::Uniform(), BlockedQuery{32});
+  add(0, ModelSpec::Uniform(), SubstringsQuery{});
+  add(2, ModelSpec::Uniform(), SubstringsQuery{0, 2, 16, 1, true, 9.5, -1.0});
+  add(0, ModelSpec::Uniform(),
+      SubstringsQuery{25, 3, 12, 4, false, -1.0, 0.001});
+  add(0, ModelSpec::Markov({0.9, 0.1, 0.1, 0.9}),
+      SubstringsQuery{5, 1, 0, 2, true, -1.0, -1.0});
   // Doubles that need shortest-round-trip printing to survive.
   add(0, ModelSpec::Multinomial({1.0 / 3.0, 2.0 / 3.0}), TopTQuery{2});
   add(0, ModelSpec::Uniform(), ThresholdQuery{-1.0, 1e-12,
@@ -81,6 +87,30 @@ TEST(QuerySerdeTest, KnownSpellings) {
   EXPECT_EQ(CanonicalQueryKey(spec), "topt:t=5,model=probs(0.25;0.75)");
 }
 
+TEST(QuerySerdeTest, SubstringsKnownSpellings) {
+  QuerySpec spec;
+  spec.request = SubstringsQuery{};
+  EXPECT_EQ(FormatQuery(spec),
+            "substrings:seq=0,top=10,min_length=1,max_length=0,min_count=2,"
+            "maximal=1,model=uniform");
+  EXPECT_EQ(FormatQueryJson(spec),
+            "{\"kind\":\"substrings\",\"seq\":0,\"top\":10,\"min_length\":1,"
+            "\"max_length\":0,\"min_count\":2,\"maximal\":1,"
+            "\"model\":{\"kind\":\"uniform\"}}");
+  // Omitted fields keep defaults; the significance gates only appear
+  // in the canonical form once set.
+  ASSERT_OK_AND_ASSIGN(QuerySpec partial,
+                       ParseQuery("substrings:top=3,alpha_p=0.01"));
+  const auto& q = std::get<SubstringsQuery>(partial.request);
+  EXPECT_EQ(q.top, 3);
+  EXPECT_EQ(q.min_count, 2);
+  EXPECT_TRUE(q.maximal);
+  EXPECT_EQ(q.alpha_p, 0.01);
+  EXPECT_EQ(FormatQuery(partial),
+            "substrings:seq=0,top=3,min_length=1,max_length=0,min_count=2,"
+            "maximal=1,alpha_p=0.01,model=uniform");
+}
+
 TEST(QuerySerdeTest, ParseAcceptsDefaultsAndWhitespace) {
   ASSERT_OK_AND_ASSIGN(QuerySpec bare, ParseQuery("mss"));
   EXPECT_EQ(bare, QuerySpec{});
@@ -117,6 +147,10 @@ TEST(QuerySerdeTest, MalformedInputsAreNamedErrors) {
        "needs \"transitions\""},
       {"{\"kind\":\"mss\",\"model\":{\"kind\":\"uniform\",\"probs\":[1]}}",
        "no field \"probs\""},
+      {"substrings:maximal=2", "maximal must be 0 or 1"},
+      {"substrings:maximal=yes", "expects an integer"},
+      {"substrings:t=3", "no field \"t\""},
+      {"{\"kind\":\"substrings\",\"maximal\":7}", "maximal must be 0 or 1"},
   };
   for (const Case& c : cases) {
     auto result = ParseQuery(c.text);
@@ -173,7 +207,7 @@ TEST(QuerySerdeTest, EveryKindNameParses) {
        {QueryKind::kMss, QueryKind::kTopT, QueryKind::kTopDisjoint,
         QueryKind::kThreshold, QueryKind::kMinLength,
         QueryKind::kLengthBounded, QueryKind::kArlm, QueryKind::kAgmm,
-        QueryKind::kBlocked}) {
+        QueryKind::kBlocked, QueryKind::kSubstrings}) {
     ASSERT_OK_AND_ASSIGN(QueryKind parsed,
                          ParseQueryKind(QueryKindToString(kind)));
     EXPECT_EQ(parsed, kind);

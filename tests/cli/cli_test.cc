@@ -435,6 +435,83 @@ TEST(BatchTest, MatchesSingleStringCommand) {
   std::remove(path.c_str());
 }
 
+TEST(SubstringsTest, ParsesFlagsAndValidates) {
+  auto options = ParseArgs({"substrings", "--string=abab", "--top=0",
+                            "--min-length=2", "--max-length=8",
+                            "--min-count=3", "--all", "--positions"});
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options->top, 0);
+  EXPECT_EQ(options->min_length, 2);
+  EXPECT_EQ(options->max_length, 8);
+  EXPECT_EQ(options->min_count, 3);
+  EXPECT_TRUE(options->all_substrings);
+  EXPECT_TRUE(options->positions);
+  // --all without a length cap would enumerate O(n²) substrings.
+  EXPECT_TRUE(ParseArgs({"substrings", "--string=abab", "--all"})
+                  .status()
+                  .IsInvalidArgument());
+  // --mmap maps a file, so --string cannot feed it.
+  EXPECT_TRUE(ParseArgs({"substrings", "--string=abab", "--mmap"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseArgs({"substrings", "--string=abab", "--alpha-p=2"})
+                  .status()
+                  .IsInvalidArgument());
+  // The flag set is substrings-specific; a foreign flag is rejected.
+  EXPECT_TRUE(ParseArgs({"substrings", "--string=abab", "--t=3"})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SubstringsTest, ReportsCountsAndText) {
+  // "ababab": "ab" occurs 3 times and is class-maximal up front.
+  auto options = ParseArgs({"substrings", "--string=abababab",
+                            "--min-length=2", "--min-count=2"});
+  ASSERT_TRUE(options.ok());
+  auto report = cli::Run(options.value());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("n = 8, k = 2"), std::string::npos) << *report;
+  EXPECT_NE(report->find("\"abab\""), std::string::npos) << *report;
+  EXPECT_NE(report->find("cache:"), std::string::npos) << *report;
+}
+
+TEST(SubstringsTest, PositionsListsOccurrences) {
+  auto options = ParseArgs({"substrings", "--string=abababab", "--top=1",
+                            "--min-length=2", "--min-count=3",
+                            "--max-length=2", "--positions"});
+  ASSERT_TRUE(options.ok());
+  auto report = cli::Run(options.value());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // "ab" occurs at 0, 2, 4 (and 6); with min_count=3 and max_length=2 the
+  // top row is "ab" with its full position list.
+  EXPECT_NE(report->find("positions 1: 0 2 4 6"), std::string::npos)
+      << *report;
+}
+
+TEST(SubstringsTest, MmapMatchesInMemoryRun) {
+  const std::string record = "0010110100111100101101001";
+  std::string path = ::testing::TempDir() + "/sigsub_cli_substrings.txt";
+  ASSERT_TRUE(io::WriteTextFile(path, record + "\n").ok());
+  auto mapped = ParseArgs({"substrings", std::string("--input=") + path,
+                           "--mmap", "--min-length=2"});
+  ASSERT_TRUE(mapped.ok());
+  auto in_memory = ParseArgs({"substrings", std::string("--input=") + path,
+                              "--min-length=2"});
+  ASSERT_TRUE(in_memory.ok());
+  auto mapped_report = cli::Run(mapped.value());
+  ASSERT_TRUE(mapped_report.ok()) << mapped_report.status().ToString();
+  auto memory_report = cli::Run(in_memory.value());
+  ASSERT_TRUE(memory_report.ok()) << memory_report.status().ToString();
+  // Identical rows; only the header advertises the mapping.
+  EXPECT_NE(mapped_report->find(", mapped"), std::string::npos);
+  std::string mapped_body =
+      mapped_report->substr(mapped_report->find('\n'));
+  std::string memory_body =
+      memory_report->substr(memory_report->find('\n'));
+  EXPECT_EQ(mapped_body, memory_body);
+  std::remove(path.c_str());
+}
+
 TEST(BatchTest, MissingCorpusIsIOError) {
   auto options = ParseArgs({"batch", "--input=/no/such/corpus"});
   ASSERT_TRUE(options.ok());

@@ -1,0 +1,400 @@
+#include "core/suffix_scan.h"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/chi_square.h"
+#include "core/markov_scan.h"
+#include "gtest/gtest.h"
+#include "seq/generators.h"
+#include "seq/model.h"
+#include "seq/rng.h"
+#include "seq/sequence.h"
+#include "testing/test_util.h"
+
+namespace sigsub {
+namespace core {
+namespace {
+
+seq::Sequence FromPattern(int k, const std::string& pattern) {
+  std::vector<uint8_t> symbols;
+  symbols.reserve(pattern.size());
+  for (char c : pattern) {
+    symbols.push_back(static_cast<uint8_t>(c - 'a'));
+  }
+  return seq::Sequence::FromSymbols(k, std::move(symbols)).value();
+}
+
+/// The adversarial repetitive strings of the property sweep: runs,
+/// alternations, squares, a Fibonacci word (maximal repetition density),
+/// and strings that use only part of the alphabet.
+std::vector<seq::Sequence> AdversarialStrings(int k) {
+  std::string fib_a = "a";
+  std::string fib_b = "ab";
+  while (fib_b.size() < 60) {
+    std::string next = fib_b + fib_a;
+    fib_a = fib_b;
+    fib_b = next;
+  }
+  std::vector<std::string> patterns = {
+      std::string(40, 'a'),
+      "abababababababababababab",
+      "aabbaabbaabbaabbaabb",
+      fib_b,
+      "a",
+      "ab",
+      "ba",
+      "aabab",
+  };
+  if (k >= 4) {
+    patterns.push_back("abcdabcdabcdabcd");
+    patterns.push_back("abcddcbaabcddcba");
+    patterns.push_back("aaaabbbbccccdddd");
+  }
+  std::vector<seq::Sequence> out;
+  for (const std::string& pattern : patterns) {
+    out.push_back(FromPattern(k, pattern));
+  }
+  return out;
+}
+
+std::string TextOf(const seq::Sequence& s, const Substring& sub) {
+  std::string text;
+  for (int64_t i = sub.start; i < sub.end; ++i) {
+    text.push_back(static_cast<char>('a' + s[i]));
+  }
+  return text;
+}
+
+/// Brute-force suffix array for validating the SA-IS construction.
+std::vector<int32_t> BruteSuffixArray(const seq::Sequence& s) {
+  std::vector<int32_t> sa(static_cast<size_t>(s.size()));
+  std::iota(sa.begin(), sa.end(), 0);
+  std::sort(sa.begin(), sa.end(), [&](int32_t a, int32_t b) {
+    return std::lexicographical_compare(
+        s.symbols().begin() + a, s.symbols().end(),
+        s.symbols().begin() + b, s.symbols().end());
+  });
+  return sa;
+}
+
+void ExpectSameResult(const seq::Sequence& s, const SuffixScanResult& got,
+                      const SuffixScanResult& want, const std::string& label) {
+  ASSERT_EQ(got.classes.size(), want.classes.size()) << label;
+  EXPECT_EQ(got.match_count, want.match_count) << label;
+  for (size_t i = 0; i < got.classes.size(); ++i) {
+    const SubstringClass& g = got.classes[i];
+    const SubstringClass& w = want.classes[i];
+    EXPECT_EQ(TextOf(s, g.substring), TextOf(s, w.substring))
+        << label << " row " << i;
+    EXPECT_EQ(g.substring.start, w.substring.start) << label << " row " << i;
+    EXPECT_EQ(g.substring.end, w.substring.end) << label << " row " << i;
+    EXPECT_EQ(g.count, w.count) << label << " row " << i;
+    // The gate of the subsystem: bit-identical X² across the suffix and
+    // per-position paths (same fused kernel, same integer counts).
+    EXPECT_EQ(g.substring.chi_square, w.substring.chi_square)
+        << label << " row " << i << " text " << TextOf(s, g.substring);
+    EXPECT_EQ(g.p_value, w.p_value) << label << " row " << i;
+  }
+  ASSERT_EQ(got.positions.size(), want.positions.size()) << label;
+  for (size_t i = 0; i < got.positions.size(); ++i) {
+    EXPECT_EQ(got.positions[i], want.positions[i]) << label << " row " << i;
+  }
+}
+
+TEST(SuffixScanIndexTest, SuffixArrayMatchesBruteForceSort) {
+  for (int k : {2, 4}) {
+    seq::Rng rng(1234 + static_cast<uint64_t>(k));
+    std::vector<seq::Sequence> cases = AdversarialStrings(k);
+    for (int64_t n : {1, 2, 3, 7, 33, 100, 257}) {
+      cases.push_back(seq::GenerateNull(k, n, rng));
+    }
+    for (const seq::Sequence& s : cases) {
+      ASSERT_OK_AND_ASSIGN(SuffixScan scan,
+                           SuffixScan::Build(s.symbols(), k));
+      std::vector<int32_t> brute = BruteSuffixArray(s);
+      ASSERT_EQ(scan.suffix_array().size(), brute.size());
+      for (size_t r = 0; r < brute.size(); ++r) {
+        EXPECT_EQ(scan.suffix_array()[r], brute[r])
+            << "n=" << s.size() << " rank " << r;
+      }
+      // LCP spot check against direct comparison.
+      for (size_t r = 1; r < brute.size(); ++r) {
+        int64_t a = brute[r - 1];
+        int64_t b = brute[r];
+        int64_t h = 0;
+        while (a + h < s.size() && b + h < s.size() &&
+               s[a + h] == s[b + h]) {
+          ++h;
+        }
+        EXPECT_EQ(scan.lcp_array()[r], h) << "rank " << r;
+      }
+    }
+  }
+}
+
+TEST(SuffixScanPropertyTest, MatchesNaiveReferenceMultinomial) {
+  struct OptionCase {
+    SuffixScanOptions options;
+    std::string label;
+  };
+  std::vector<OptionCase> option_cases;
+  {
+    SuffixScanOptions o;
+    o.top_n = 0;
+    o.collect_positions = true;
+    option_cases.push_back({o, "maximal_all"});
+    o.min_count = 2;
+    option_cases.push_back({o, "maximal_min_count_2"});
+    o.min_count = 1;
+    o.max_length = 5;
+    option_cases.push_back({o, "maximal_max_len_5"});
+    o.maximal_only = false;
+    o.max_length = 6;
+    option_cases.push_back({o, "full_max_len_6"});
+    o.min_length = 2;
+    option_cases.push_back({o, "full_min_len_2"});
+  }
+  for (int k : {2, 4}) {
+    seq::Rng rng(99 + static_cast<uint64_t>(k));
+    std::vector<seq::Sequence> cases = AdversarialStrings(k);
+    for (int64_t n : {16, 60, 120}) {
+      cases.push_back(seq::GenerateNull(k, n, rng));
+      cases.push_back(
+          seq::GenerateMultinomial(seq::MultinomialModel::Geometric(k), n,
+                                   rng));
+    }
+    ChiSquareContext uniform(seq::MultinomialModel::Uniform(k));
+    ChiSquareContext geometric(seq::MultinomialModel::Geometric(k));
+    for (const seq::Sequence& s : cases) {
+      ASSERT_OK_AND_ASSIGN(SuffixScan scan,
+                           SuffixScan::Build(s.symbols(), k));
+      for (const ChiSquareContext& context : {uniform, geometric}) {
+        for (const OptionCase& option_case : option_cases) {
+          ASSERT_OK_AND_ASSIGN(SuffixScanResult got,
+                               scan.Scan(context, option_case.options));
+          ASSERT_OK_AND_ASSIGN(
+              SuffixScanResult want,
+              NaiveAllSubstringsScan(s, context, option_case.options));
+          ExpectSameResult(s, got, want,
+                           option_case.label + " n=" +
+                               std::to_string(s.size()) +
+                               " k=" + std::to_string(k));
+        }
+      }
+    }
+  }
+}
+
+TEST(SuffixScanPropertyTest, MatchesNaiveReferenceMarkov) {
+  SuffixScanOptions options;
+  options.top_n = 0;
+  options.min_length = 2;
+  options.collect_positions = true;
+  for (int k : {2, 4}) {
+    seq::Rng rng(7 + static_cast<uint64_t>(k));
+    seq::MarkovModel model = seq::MarkovModel::PaperFamily(k);
+    ASSERT_OK_AND_ASSIGN(MarkovChiSquare context, MarkovChiSquare::Make(model));
+    std::vector<seq::Sequence> cases = AdversarialStrings(k);
+    cases.push_back(seq::GenerateMarkov(model, 80, rng));
+    cases.push_back(seq::GenerateNull(k, 50, rng));
+    for (const seq::Sequence& s : cases) {
+      ASSERT_OK_AND_ASSIGN(SuffixScan scan,
+                           SuffixScan::Build(s.symbols(), k));
+      ASSERT_OK_AND_ASSIGN(SuffixScanResult got, scan.ScanMarkov(context, options));
+      ASSERT_OK_AND_ASSIGN(
+          SuffixScanResult want,
+          NaiveAllSubstringsScanMarkov(s, context, options));
+      ExpectSameResult(s, got, want, "markov n=" + std::to_string(s.size()));
+    }
+  }
+}
+
+TEST(SuffixScanContractTest, MaximalOnlyReportsClassMaximalSubstrings) {
+  // S = abab. Class-maximal means every one-symbol right extension occurs
+  // strictly fewer times: {b, ab, bab, abab} qualify; a (→ab keeps count
+  // 2), ba (→bab keeps count 1) and aba (→abab keeps count 1) do not.
+  seq::Sequence s = FromPattern(2, "abab");
+  ChiSquareContext context(seq::MultinomialModel::Uniform(2));
+  ASSERT_OK_AND_ASSIGN(SuffixScan scan, SuffixScan::Build(s.symbols(), 2));
+  SuffixScanOptions options;
+  options.top_n = 0;
+  ASSERT_OK_AND_ASSIGN(SuffixScanResult result, scan.Scan(context, options));
+  std::vector<std::string> texts;
+  std::vector<int64_t> counts;
+  for (const SubstringClass& entry : result.classes) {
+    texts.push_back(TextOf(s, entry.substring));
+    counts.push_back(entry.count);
+  }
+  std::vector<std::pair<std::string, int64_t>> rows;
+  for (size_t i = 0; i < texts.size(); ++i) {
+    rows.emplace_back(texts[i], counts[i]);
+  }
+  std::sort(rows.begin(), rows.end());
+  std::vector<std::pair<std::string, int64_t>> want = {
+      {"ab", 2}, {"abab", 1}, {"b", 2}, {"bab", 1}};
+  EXPECT_EQ(rows, want);
+}
+
+TEST(SuffixScanContractTest, TopNIsPrefixOfFullOrdering) {
+  seq::Rng rng(42);
+  seq::Sequence s = seq::GenerateNull(4, 200, rng);
+  ChiSquareContext context(seq::MultinomialModel::Uniform(4));
+  ASSERT_OK_AND_ASSIGN(SuffixScan scan, SuffixScan::Build(s.symbols(), 4));
+  SuffixScanOptions all;
+  all.top_n = 0;
+  ASSERT_OK_AND_ASSIGN(SuffixScanResult full, scan.Scan(context, all));
+  SuffixScanOptions top;
+  top.top_n = 7;
+  ASSERT_OK_AND_ASSIGN(SuffixScanResult cut, scan.Scan(context, top));
+  ASSERT_EQ(cut.classes.size(), 7u);
+  EXPECT_EQ(cut.match_count, full.match_count);
+  for (size_t i = 0; i < cut.classes.size(); ++i) {
+    EXPECT_EQ(cut.classes[i].substring.start, full.classes[i].substring.start);
+    EXPECT_EQ(cut.classes[i].substring.end, full.classes[i].substring.end);
+    EXPECT_EQ(cut.classes[i].substring.chi_square,
+              full.classes[i].substring.chi_square);
+  }
+}
+
+TEST(SuffixScanContractTest, ThresholdFiltersAndCounts) {
+  seq::Rng rng(11);
+  seq::Sequence s = seq::GenerateBiasedBinary(0.9, 300, rng);
+  ChiSquareContext context(seq::MultinomialModel::Uniform(2));
+  ASSERT_OK_AND_ASSIGN(SuffixScan scan, SuffixScan::Build(s.symbols(), 2));
+  SuffixScanOptions all;
+  all.top_n = 0;
+  ASSERT_OK_AND_ASSIGN(SuffixScanResult full, scan.Scan(context, all));
+  SuffixScanOptions thresholded = all;
+  thresholded.min_x2 = 10.0;
+  ASSERT_OK_AND_ASSIGN(SuffixScanResult cut, scan.Scan(context, thresholded));
+  int64_t expected = 0;
+  for (const SubstringClass& entry : full.classes) {
+    if (entry.substring.chi_square >= 10.0) ++expected;
+  }
+  EXPECT_GT(expected, 0);
+  EXPECT_EQ(cut.match_count, expected);
+  EXPECT_EQ(static_cast<int64_t>(cut.classes.size()), expected);
+  for (const SubstringClass& entry : cut.classes) {
+    EXPECT_GE(entry.substring.chi_square, 10.0);
+  }
+}
+
+TEST(SuffixScanMappedTest, DecodeTableMatchesDecodedBuild) {
+  const std::string text = "ACGTACGTGGGTTTACGT";
+  seq::Alphabet alphabet = seq::Alphabet::FromCharacters("ACGT").value();
+  ASSERT_OK_AND_ASSIGN(seq::Sequence s,
+                       seq::Sequence::FromString(alphabet, text));
+  std::array<uint8_t, 256> decode;
+  decode.fill(0xFF);
+  decode[static_cast<uint8_t>('A')] = 0;
+  decode[static_cast<uint8_t>('C')] = 1;
+  decode[static_cast<uint8_t>('G')] = 2;
+  decode[static_cast<uint8_t>('T')] = 3;
+  std::span<const uint8_t> bytes(
+      reinterpret_cast<const uint8_t*>(text.data()), text.size());
+  ASSERT_OK_AND_ASSIGN(SuffixScan mapped,
+                       SuffixScan::BuildMapped(bytes, decode, 4));
+  ASSERT_OK_AND_ASSIGN(SuffixScan decoded, SuffixScan::Build(s.symbols(), 4));
+  ChiSquareContext context(seq::MultinomialModel::Uniform(4));
+  SuffixScanOptions options;
+  options.top_n = 0;
+  options.collect_positions = true;
+  ASSERT_OK_AND_ASSIGN(SuffixScanResult a, mapped.Scan(context, options));
+  ASSERT_OK_AND_ASSIGN(SuffixScanResult b, decoded.Scan(context, options));
+  ExpectSameResult(s, a, b, "mapped vs decoded");
+}
+
+TEST(SuffixScanMappedTest, RejectsBytesOutsideTheAlphabet) {
+  const std::string text = "ACGTXACGT";
+  std::array<uint8_t, 256> decode;
+  decode.fill(0xFF);
+  decode[static_cast<uint8_t>('A')] = 0;
+  decode[static_cast<uint8_t>('C')] = 1;
+  decode[static_cast<uint8_t>('G')] = 2;
+  decode[static_cast<uint8_t>('T')] = 3;
+  std::span<const uint8_t> bytes(
+      reinterpret_cast<const uint8_t*>(text.data()), text.size());
+  auto result = SuffixScan::BuildMapped(bytes, decode, 4);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SuffixScanEdgeTest, EmptyAndTinyRecords) {
+  ChiSquareContext context(seq::MultinomialModel::Uniform(2));
+  SuffixScanOptions options;
+  options.top_n = 0;
+  {
+    std::vector<uint8_t> empty;
+    ASSERT_OK_AND_ASSIGN(SuffixScan scan, SuffixScan::Build(empty, 2));
+    ASSERT_OK_AND_ASSIGN(SuffixScanResult result, scan.Scan(context, options));
+    EXPECT_TRUE(result.classes.empty());
+    EXPECT_EQ(result.match_count, 0);
+  }
+  {
+    std::vector<uint8_t> one = {1};
+    ASSERT_OK_AND_ASSIGN(SuffixScan scan, SuffixScan::Build(one, 2));
+    ASSERT_OK_AND_ASSIGN(SuffixScanResult result, scan.Scan(context, options));
+    ASSERT_EQ(result.classes.size(), 1u);
+    EXPECT_EQ(result.classes[0].substring.start, 0);
+    EXPECT_EQ(result.classes[0].substring.end, 1);
+    EXPECT_EQ(result.classes[0].count, 1);
+  }
+}
+
+TEST(SuffixScanEdgeTest, RejectsBadOptionsAndMismatchedAlphabet) {
+  std::vector<uint8_t> symbols = {0, 1, 0, 1};
+  ASSERT_OK_AND_ASSIGN(SuffixScan scan, SuffixScan::Build(symbols, 2));
+  ChiSquareContext context(seq::MultinomialModel::Uniform(2));
+  {
+    SuffixScanOptions options;
+    options.min_length = 0;
+    EXPECT_FALSE(scan.Scan(context, options).ok());
+  }
+  {
+    SuffixScanOptions options;
+    options.min_count = 0;
+    EXPECT_FALSE(scan.Scan(context, options).ok());
+  }
+  {
+    SuffixScanOptions options;
+    options.min_length = 4;
+    options.max_length = 2;
+    EXPECT_FALSE(scan.Scan(context, options).ok());
+  }
+  {
+    SuffixScanOptions options;
+    options.top_n = -1;
+    EXPECT_FALSE(scan.Scan(context, options).ok());
+  }
+  ChiSquareContext wrong(seq::MultinomialModel::Uniform(4));
+  EXPECT_FALSE(scan.Scan(wrong, SuffixScanOptions()).ok());
+  EXPECT_FALSE(
+      SuffixScan::Build(symbols, 1).ok());  // Alphabet too small.
+  std::vector<uint8_t> bad = {0, 3, 0};
+  EXPECT_FALSE(SuffixScan::Build(bad, 2).ok());  // Symbol out of range.
+}
+
+TEST(SuffixScanStatsTest, ReportsIndexFootprint) {
+  seq::Rng rng(5);
+  seq::Sequence s = seq::GenerateNull(4, 512, rng);
+  ASSERT_OK_AND_ASSIGN(SuffixScan scan, SuffixScan::Build(s.symbols(), 4));
+  EXPECT_EQ(scan.index_bytes(), 512 * 8);
+  EXPECT_GT(scan.peak_index_bytes(), 0);
+  ChiSquareContext context(seq::MultinomialModel::Uniform(4));
+  SuffixScanOptions options;
+  ASSERT_OK_AND_ASSIGN(SuffixScanResult result, scan.Scan(context, options));
+  EXPECT_GT(result.stats.classes_enumerated, 0);
+  EXPECT_GT(result.stats.candidates_scored, 0);
+  EXPECT_EQ(result.stats.index_bytes, scan.index_bytes());
+  EXPECT_EQ(result.stats.peak_index_bytes, scan.peak_index_bytes());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sigsub

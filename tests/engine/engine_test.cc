@@ -7,10 +7,12 @@
 #include "core/agmm.h"
 #include "core/arlm.h"
 #include "core/blocked_scan.h"
+#include "core/chi_square.h"
 #include "core/length_bounded.h"
 #include "core/markov_scan.h"
 #include "core/min_length.h"
 #include "core/mss.h"
+#include "core/suffix_scan.h"
 #include "core/threshold.h"
 #include "core/top_disjoint.h"
 #include "core/top_t.h"
@@ -18,6 +20,7 @@
 #include "engine/fingerprint.h"
 #include "engine/stream_manager.h"
 #include "gtest/gtest.h"
+#include "io/csv.h"
 #include "seq/generators.h"
 #include "seq/model.h"
 #include "seq/rng.h"
@@ -409,7 +412,19 @@ std::vector<api::QuerySpec> MakeAllKindQueries(int64_t sequence_index) {
   add(api::ArlmQuery{});
   add(api::AgmmQuery{});
   add(api::BlockedQuery{16});
+  add(api::SubstringsQuery{5, 2, 0, 2, true, -1.0, -1.0});
   return queries;
+}
+
+/// The SuffixScanOptions equivalent of MakeAllKindQueries's substrings
+/// entry, for direct-kernel comparisons.
+core::SuffixScanOptions DirectSubstringsOptions() {
+  core::SuffixScanOptions options;
+  options.top_n = 5;
+  options.min_length = 2;
+  options.min_count = 2;
+  options.maximal_only = true;
+  return options;
 }
 
 TEST(QueryEngineTest, EveryKernelMatchesDirectCallBitIdentically) {
@@ -518,6 +533,30 @@ TEST(QueryEngineTest, EveryKernelMatchesDirectCallBitIdentically) {
         EXPECT_EQ(result.best().chi_square, direct.best.chi_square);
         EXPECT_EQ(result.best().start, direct.best.start);
         EXPECT_EQ(result.best().end, direct.best.end);
+        break;
+      }
+      case api::QueryKind::kSubstrings: {
+        core::ChiSquareContext context(model);
+        ASSERT_OK_AND_ASSIGN(core::SuffixScan scan,
+                             core::SuffixScan::Build(sequence.symbols(), 2));
+        ASSERT_OK_AND_ASSIGN(core::SuffixScanResult direct,
+                             scan.Scan(context, DirectSubstringsOptions()));
+        const auto& payload =
+            std::get<api::SubstringsPayload>(result.payload);
+        ASSERT_EQ(payload.ranked.size(), direct.classes.size());
+        for (size_t r = 0; r < direct.classes.size(); ++r) {
+          EXPECT_EQ(payload.ranked[r].chi_square,
+                    direct.classes[r].substring.chi_square);
+          EXPECT_EQ(payload.ranked[r].start, direct.classes[r].substring.start);
+          EXPECT_EQ(payload.ranked[r].end, direct.classes[r].substring.end);
+          EXPECT_EQ(payload.counts[r], direct.classes[r].count);
+          EXPECT_EQ(payload.p_values[r], direct.classes[r].p_value);
+        }
+        EXPECT_EQ(result.match_count(), direct.match_count);
+        EXPECT_EQ(result.stats().positions_examined,
+                  direct.stats.candidates_scored);
+        EXPECT_EQ(result.stats().start_positions,
+                  direct.stats.classes_enumerated);
         break;
       }
     }
@@ -654,6 +693,158 @@ TEST(QueryEngineTest, ValidationNamesQueryAndField) {
     EXPECT_NE(status.message().find("field model.transitions"),
               std::string::npos);
   }
+}
+
+TEST(QueryEngineTest, SubstringsMarkovModelMatchesDirectScan) {
+  // A Markov ModelSpec on a substrings query scores classes with the
+  // transition statistic, bit-identically to the direct suffix scan.
+  Corpus corpus = MakeCorpus();
+  Engine engine({.num_threads = 1, .cache_capacity = 8});
+  api::QuerySpec spec;
+  spec.model = api::ModelSpec::Markov({0.6, 0.4, 0.3, 0.7});
+  spec.request = api::SubstringsQuery{5, 2, 0, 2, true, -1.0, -1.0};
+  ASSERT_OK_AND_ASSIGN(auto results, engine.ExecuteQueries(corpus, {spec}));
+
+  ASSERT_OK_AND_ASSIGN(
+      seq::MarkovModel model,
+      seq::MarkovModel::Make(2, {0.6, 0.4, 0.3, 0.7}, {0.5, 0.5}));
+  ASSERT_OK_AND_ASSIGN(core::MarkovChiSquare markov,
+                       core::MarkovChiSquare::Make(model));
+  ASSERT_OK_AND_ASSIGN(
+      core::SuffixScan scan,
+      core::SuffixScan::Build(corpus.sequence(0).symbols(), 2));
+  ASSERT_OK_AND_ASSIGN(core::SuffixScanResult direct,
+                       scan.ScanMarkov(markov, DirectSubstringsOptions()));
+  const auto& payload = std::get<api::SubstringsPayload>(results[0].payload);
+  ASSERT_EQ(payload.ranked.size(), direct.classes.size());
+  for (size_t r = 0; r < direct.classes.size(); ++r) {
+    EXPECT_EQ(payload.ranked[r].chi_square,
+              direct.classes[r].substring.chi_square);
+    EXPECT_EQ(payload.counts[r], direct.classes[r].count);
+  }
+  ASSERT_OK_AND_ASSIGN(auto warm, engine.ExecuteQueries(corpus, {spec}));
+  EXPECT_TRUE(warm[0].cache_hit);
+  const auto& cached = std::get<api::SubstringsPayload>(warm[0].payload);
+  EXPECT_EQ(cached.ranked.size(), payload.ranked.size());
+  EXPECT_EQ(cached.counts, payload.counts);
+  EXPECT_EQ(cached.p_values, payload.p_values);
+}
+
+TEST(QueryEngineTest, SubstringsAlphaPConvertsViaCriticalValue) {
+  // alpha_p gates classes exactly like alpha0 = the χ²(k−1) critical
+  // value, and wins when both are set.
+  Corpus corpus = MakeCorpus();
+  Engine engine({.num_threads = 1, .cache_capacity = 0});
+  const double alpha_p = 0.001;
+  const double critical =
+      stats::ChiSquaredDistribution(1).CriticalValue(alpha_p);
+  api::QuerySpec by_p;
+  by_p.request = api::SubstringsQuery{0, 1, 0, 2, true, -1.0, alpha_p};
+  api::QuerySpec by_x2;
+  by_x2.request = api::SubstringsQuery{0, 1, 0, 2, true, critical, -1.0};
+  api::QuerySpec both;  // A stale alpha0 must lose to alpha_p.
+  both.request = api::SubstringsQuery{0, 1, 0, 2, true, 0.0, alpha_p};
+  ASSERT_OK_AND_ASSIGN(auto results,
+                       engine.ExecuteQueries(corpus, {by_p, by_x2, both}));
+  EXPECT_GT(results[0].match_count(), 0);
+  EXPECT_EQ(results[0].match_count(), results[1].match_count());
+  EXPECT_EQ(results[0].best().chi_square, results[1].best().chi_square);
+  EXPECT_EQ(results[2].match_count(), results[0].match_count());
+}
+
+TEST(QueryEngineTest, SubstringsValidationNamesField) {
+  Corpus corpus = MakeCorpus();
+  Engine engine;
+  struct Case {
+    api::SubstringsQuery query;
+    const char* needle;
+  };
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const Case cases[] = {
+      {{-1, 1, 0, 2, true, -1.0, -1.0}, "field top"},
+      {{10, 0, 0, 2, true, -1.0, -1.0}, "field min_length"},
+      {{10, 5, 3, 2, true, -1.0, -1.0}, "field max_length"},
+      {{10, 1, 0, 0, true, -1.0, -1.0}, "field min_count"},
+      {{10, 1, 0, 2, false, -1.0, -1.0}, "maximal=0"},
+      {{10, 1, 0, 2, true, nan, -1.0}, "alpha0"},
+      {{10, 1, 0, 2, true, -1.0, 1.5}, "field alpha_p"},
+  };
+  for (const Case& c : cases) {
+    api::QuerySpec spec;
+    spec.request = c.query;
+    auto status = engine.ExecuteQueries(corpus, {spec}).status();
+    ASSERT_TRUE(status.IsInvalidArgument()) << c.needle;
+    EXPECT_NE(status.message().find("substrings"), std::string::npos)
+        << status.message();
+    EXPECT_NE(status.message().find(c.needle), std::string::npos)
+        << status.message();
+  }
+  // Non-maximal enumeration is legal once a length bound caps the
+  // candidate set.
+  api::QuerySpec bounded;
+  bounded.request = api::SubstringsQuery{10, 1, 6, 2, false, -1.0, -1.0};
+  EXPECT_TRUE(engine.ExecuteQueries(corpus, {bounded}).ok());
+}
+
+TEST(QueryEngineTest, MappedCorpusMatchesTextLoaderAndRejectsWalkers) {
+  // One record, loaded both ways: substrings results are bit-identical
+  // and share cache entries (the mapped fingerprint equals the decoded
+  // sequence fingerprint); sequence-walking kernels refuse the mapped
+  // corpus by name.
+  seq::Rng rng(424242);
+  seq::Sequence planted = seq::GenerateNull(2, 600, rng);
+  std::string text = planted.ToString(seq::Alphabet::Binary());
+  text.replace(100, 30, std::string(30, '1'));
+  const std::string path =
+      ::testing::TempDir() + "/sigsub_engine_mapped_corpus.txt";
+  ASSERT_OK(io::WriteTextFile(path, text + "\n"));
+  ASSERT_OK_AND_ASSIGN(Corpus mapped, Corpus::FromMappedFile(path, "01"));
+  ASSERT_OK_AND_ASSIGN(Corpus decoded, Corpus::FromStrings({text}, "01"));
+
+  api::QuerySpec substrings;
+  substrings.request = api::SubstringsQuery{8, 2, 0, 2, true, -1.0, -1.0};
+  api::QuerySpec threshold;  // Counts-consuming kinds work mapped too.
+  threshold.request = api::ThresholdQuery{8.0, -1.0, 1000};
+
+  Engine engine({.num_threads = 1, .cache_capacity = 16});
+  ASSERT_OK_AND_ASSIGN(auto from_mapped,
+                       engine.ExecuteQueries(mapped, {substrings, threshold}));
+  ASSERT_OK_AND_ASSIGN(
+      auto from_decoded,
+      engine.ExecuteQueries(decoded, {substrings, threshold}));
+  const auto& a = std::get<api::SubstringsPayload>(from_mapped[0].payload);
+  const auto& b = std::get<api::SubstringsPayload>(from_decoded[0].payload);
+  ASSERT_EQ(a.ranked.size(), b.ranked.size());
+  for (size_t i = 0; i < a.ranked.size(); ++i) {
+    EXPECT_EQ(a.ranked[i].chi_square, b.ranked[i].chi_square);
+    EXPECT_EQ(a.ranked[i].start, b.ranked[i].start);
+    EXPECT_EQ(a.ranked[i].end, b.ranked[i].end);
+  }
+  EXPECT_EQ(a.counts, b.counts);
+  EXPECT_EQ(from_mapped[1].match_count(), from_decoded[1].match_count());
+  EXPECT_EQ(from_mapped[1].best().chi_square,
+            from_decoded[1].best().chi_square);
+  // Identical content + canonical query bytes = the decoded run was pure
+  // cache hits.
+  EXPECT_TRUE(from_decoded[0].cache_hit);
+  EXPECT_TRUE(from_decoded[1].cache_hit);
+
+  for (api::QueryRequest walker :
+       {api::QueryRequest{api::ArlmQuery{}}, api::QueryRequest{api::AgmmQuery{}},
+        api::QueryRequest{api::BlockedQuery{16}}}) {
+    api::QuerySpec spec;
+    spec.request = std::move(walker);
+    auto status = engine.ExecuteQueries(mapped, {spec}).status();
+    ASSERT_TRUE(status.IsInvalidArgument());
+    EXPECT_NE(status.message().find("memory-mapped"), std::string::npos)
+        << status.message();
+  }
+  api::QuerySpec markov_mss;
+  markov_mss.model = api::ModelSpec::Markov({0.5, 0.5, 0.5, 0.5});
+  auto status = engine.ExecuteQueries(mapped, {markov_mss}).status();
+  ASSERT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("Markov"), std::string::npos)
+      << status.message();
 }
 
 TEST(QueryEngineTest, CacheKeysOnCanonicalBytes) {

@@ -164,6 +164,23 @@ TEST(ProtocolFormatTest, QueryResultRowsAndCap) {
             "kind=mss seq=0 cache=0 matches=0 rows=");
 }
 
+TEST(ProtocolFormatTest, SubstringsResultLineCarriesCountsAndPValues) {
+  api::QueryResult result;
+  result.kind = api::QueryKind::kSubstrings;
+  result.sequence_index = 0;
+  api::SubstringsPayload payload;
+  payload.ranked = {{0, 4, 12.5}, {6, 8, 3.25}};
+  payload.counts = {7, 2};
+  payload.p_values = {0.25, 0.5};
+  payload.match_count = 9;  // More matched than were materialized.
+  result.payload = payload;
+  EXPECT_EQ(FormatQueryResult(result, 64),
+            "kind=substrings seq=0 cache=0 matches=9 "
+            "rows=0:4:12.5:7:0.25;6:8:3.25:2:0.5");
+  EXPECT_EQ(FormatQueryResult(result, 1),
+            "kind=substrings seq=0 cache=0 matches=9 rows=0:4:12.5:7:0.25");
+}
+
 TEST(ProtocolFormatTest, AlarmLine) {
   core::StreamingDetector::Alarm alarm;
   alarm.end = 1000;

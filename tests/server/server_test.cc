@@ -100,6 +100,32 @@ TEST(ServerTest, QueryReplyMatchesLocalEngineByte4Byte) {
             StrCat("OK ", protocol::FormatQueryResult(results[0], 64)));
 }
 
+TEST(ServerTest, SubstringsQueryOverTheWire) {
+  Server server(TestCorpus(), ServerOptions{});
+  ASSERT_OK(server.Start());
+  ASSERT_OK_AND_ASSIGN(LineClient client, ConnectTo(server));
+
+  const std::string spec_text =
+      "substrings:seq=1,top=4,min_length=2,min_count=2";
+  ASSERT_OK(client.SendLine(StrCat("QUERY ", spec_text)));
+  ASSERT_OK_AND_ASSIGN(std::string reply, client.ReadLine());
+  EXPECT_TRUE(StartsWith(reply, "OK kind=substrings seq=1 ")) << reply;
+
+  engine::Engine local;
+  ASSERT_OK_AND_ASSIGN(api::QuerySpec spec, api::ParseQuery(spec_text));
+  ASSERT_OK_AND_ASSIGN(std::vector<api::QueryResult> results,
+                       local.ExecuteQueries(TestCorpus(), {spec}));
+  EXPECT_EQ(reply,
+            StrCat("OK ", protocol::FormatQueryResult(results[0], 64)));
+
+  // A repeat is served from the daemon's result cache: same rows, cache=1.
+  ASSERT_OK(client.SendLine(StrCat("QUERY ", spec_text)));
+  ASSERT_OK_AND_ASSIGN(std::string warm, client.ReadLine());
+  results[0].cache_hit = true;
+  EXPECT_EQ(warm,
+            StrCat("OK ", protocol::FormatQueryResult(results[0], 64)));
+}
+
 TEST(ServerTest, PipelinedRepliesPreserveRequestOrder) {
   Server server(TestCorpus(), ServerOptions{});
   ASSERT_OK(server.Start());

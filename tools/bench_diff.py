@@ -12,6 +12,11 @@ readable table when
 
 Tracked metrics are speedups (two timings from the same run), not absolute
 milliseconds, so they stay comparable across machines and load levels.
+Every BENCH file also carries a {"name": "machine"} row recording the
+measuring machine's hardware_concurrency; when it differs from the
+baseline file's recorded value the script prints a warning naming both
+values (never a failure — relative metrics mostly survive a core-count
+change, but contention-sensitive ones deserve a second look).
 
 With --write-baseline the roles reverse: every tracked metric's baseline
 is refreshed from the measured value, discounted by --write-margin
@@ -181,6 +186,8 @@ def main():
 
     gate_rows = []
     gate_failures = 0
+    hc_warnings = []
+    baseline_hc = baseline.get("hardware_concurrency")
     for file_name, bench in sorted(bench_cache.items()):
         if isinstance(bench, Exception):
             continue
@@ -188,6 +195,26 @@ def main():
             gate_rows.append((file_name, gate_name, passed))
             if not passed:
                 gate_failures += 1
+        # Benches record the measuring machine's logical core count as a
+        # {"name": "machine"} row. Speedups are relative metrics, but a
+        # different core count than the baseline machine's still shifts
+        # contention-sensitive ratios — warn (never fail) so a surprising
+        # diff is read with that in mind.
+        machine = find_result(bench, "machine")
+        run_hc = machine.get("hardware_concurrency") if machine else None
+        if args.write_baseline and run_hc is not None:
+            baseline["hardware_concurrency"] = int(run_hc)
+        elif (
+            baseline_hc is not None
+            and run_hc is not None
+            and int(run_hc) != int(baseline_hc)
+        ):
+            hc_warnings.append(
+                "bench_diff: warning: %s was measured with "
+                "hardware_concurrency=%d but the baseline was recorded with "
+                "hardware_concurrency=%d — speedups may not be comparable"
+                % (file_name, int(run_hc), int(baseline_hc))
+            )
 
     headers = ("file", "metric", "kind", "baseline", "value", "status")
     table = [headers] + [
@@ -202,6 +229,8 @@ def main():
     print()
     for file_name, gate_name, passed in gate_rows:
         print("gate %-24s %-36s %s" % (file_name, gate_name, "pass" if passed else "FAIL"))
+    for warning in hc_warnings:
+        print(warning)
 
     if args.write_baseline:
         if failures or gate_failures:
